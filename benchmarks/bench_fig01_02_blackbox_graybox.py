@@ -1,0 +1,47 @@
+"""Figs. 1-2: black-box vs gray-box prediction error (Sec. II-A).
+
+Paper: a linear regression with DNN-specific features (number of layers,
+number of parameters) cuts RMSE by up to 99.5% for VGG-16 (Fig. 1) and
+91.2% for MobileNet-V3 (Fig. 2) compared to a black-box model that only
+sees (model name, #servers, FLOPS).
+"""
+
+import numpy as np
+
+from repro.bench import blackbox_vs_graybox, format_table, render_report, \
+    write_report
+from repro.regression import LinearRegression
+
+
+def test_fig01_02_blackbox_vs_graybox(traces, results_dir, benchmark):
+    cifar = traces["cifar10"]
+    results = [
+        blackbox_vs_graybox(cifar, "vgg16", seed=0),
+        blackbox_vs_graybox(cifar, "mobilenet_v3_large", seed=0),
+    ]
+    rows = [(r.model, f"{r.black_box_rmse:.1f}s",
+             f"{r.gray_box_rmse:.1f}s", f"{r.improvement:.1%}")
+            for r in results]
+    report = render_report(
+        "Figs. 1-2: black-box vs gray-box RMSE (linear regression)",
+        "gray-box RMSE improvement up to 99.5% (VGG-16) and "
+        "91.2% (MobileNet-V3)",
+        format_table(("target model", "black-box RMSE", "gray-box RMSE",
+                      "improvement"), rows),
+        notes="Gray box adds #layers and #params to the black-box "
+              "features; the improvement direction and scale must match "
+              "the paper's motivation.")
+    write_report("fig01_02_blackbox_graybox", report, results_dir)
+
+    # Shape assertions: gray box wins clearly for both models (the
+    # paper reports "up to" 99.5%/91.2%; the required shape is a large
+    # reduction, whose exact size varies with the split).
+    for r in results:
+        assert r.gray_box_rmse < r.black_box_rmse, r
+        assert r.improvement > 0.3, r
+
+    # Benchmark the black-box fit itself (the cheap baseline op).
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((200, 8))
+    y = np.abs(rng.standard_normal(200)) + 1.0
+    benchmark(lambda: LinearRegression(alpha=1e-6).fit(x, y))

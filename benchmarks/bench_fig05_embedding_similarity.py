@@ -1,0 +1,50 @@
+"""Fig. 5: distance-based similarity of DNN embeddings (Sec. II-B).
+
+Paper: GHN embeddings place similar architectures closer than distinct
+ones under cosine similarity, enabling nearest-architecture matching.
+"""
+
+from repro.bench import embedding_similarity, format_table, \
+    render_report, write_report
+from repro.graphs.zoo import get_model
+
+FAMILIES = {
+    "resnet18": "resnet34",        # same family: basic-block ResNets
+    "vgg13": "vgg16",              # same family: VGG
+    "efficientnet_b0": "efficientnet_b1",
+    "densenet121": "densenet169",
+    "mobilenet_v2": "mnasnet1_0",  # same block type (inverted residual)
+}
+OUTSIDER = "alexnet"
+
+
+def test_fig05_embedding_similarity(registry, results_dir, benchmark):
+    names = sorted(set(FAMILIES) | set(FAMILIES.values()) | {OUTSIDER})
+    labels, sim = embedding_similarity(registry, "cifar10", names)
+    index = {n: i for i, n in enumerate(labels)}
+
+    rows = []
+    hits = 0
+    for anchor, relative in FAMILIES.items():
+        in_family = sim[index[anchor], index[relative]]
+        outside = sim[index[anchor], index[OUTSIDER]]
+        ok = in_family > outside
+        hits += ok
+        rows.append((anchor, relative, in_family, OUTSIDER, outside,
+                     "yes" if ok else "NO"))
+    report = render_report(
+        "Fig. 5: cosine similarity structure of GHN embeddings",
+        "similar DNN architectures are closer than distinct ones in the "
+        "embedding space",
+        format_table(("anchor", "family member", "cos(family)",
+                      "outsider", "cos(outsider)", "family closer?"),
+                     rows),
+        notes="Each architecture family member must be more similar to "
+              "its sibling than to AlexNet.")
+    write_report("fig05_embedding_similarity", report, results_dir)
+
+    assert hits >= len(FAMILIES) - 1  # at most one inversion tolerated
+
+    ghn = registry.get("cifar10")
+    graph = get_model("resnet18")
+    benchmark(lambda: ghn.embed(graph))

@@ -1,0 +1,50 @@
+"""Fig. 6: impact of DNN architecture features on prediction accuracy
+(Sec. II-B).
+
+Paper: GHN embeddings yield up to 96.4% / 97.4% lower prediction error
+than using the number of layers / trainable parameters as the
+DNN-describing feature; combining features does not beat GHN alone.
+"""
+
+from repro.bench import feature_ablation, format_table, render_report, \
+    write_report
+from repro.core import FeatureAssembler
+from repro.sim import DLWorkload
+from repro.cluster import make_cluster
+
+import numpy as np
+
+
+def test_fig06_feature_ablation(traces, registry, results_dir, benchmark):
+    results = [
+        feature_ablation(traces["cifar10"], registry, "cifar10", seed=0),
+        feature_ablation(traces["tiny-imagenet"], registry,
+                         "tiny-imagenet", seed=0),
+    ]
+    rows = []
+    for res in results:
+        for feature_set, error in res.errors.items():
+            rows.append((res.dataset, feature_set, f"{error:.2%}"))
+    report = render_report(
+        "Fig. 6: DNN feature choice vs prediction error "
+        "(2nd-order PR throughout)",
+        "GHN embeddings beat #layers / #params features; combinations "
+        "do not improve on GHN alone",
+        format_table(("dataset", "DNN features", "mean relative error"),
+                     rows),
+        notes="'all' = GHN + layers + params. The GHN column must win "
+              "or tie on both datasets.")
+    write_report("fig06_feature_ablation", report, results_dir)
+
+    for res in results:
+        # GHN must beat the scalar features clearly...
+        assert res.errors["ghn"] < res.errors["layers"]
+        assert res.errors["ghn"] < res.errors["params"]
+        # ...and combining must not help much (within 20% of GHN alone).
+        assert res.errors["all"] < res.errors["ghn"] * 1.2 + 0.01
+
+    assembler = FeatureAssembler(embedding_dim=32)
+    emb = np.ones(32)
+    workload = DLWorkload("resnet18", "cifar10")
+    cluster = make_cluster(8, "gpu-p100")
+    benchmark(lambda: assembler.assemble(emb, workload, cluster))

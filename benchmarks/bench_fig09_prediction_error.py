@@ -1,0 +1,68 @@
+"""Fig. 9: prediction error of PredictDDL vs Ernest (Sec. IV-B1).
+
+Paper: PredictDDL predicts within 1-4% (CIFAR-10) and 1-30%
+(Tiny-ImageNet) of actual training times, a mean relative error of 8%,
+and on average a 9.8x lower prediction error than Ernest.
+"""
+
+import numpy as np
+
+from repro.bench import (fit_predictor, format_table,
+                         prediction_error_vs_ernest, render_report,
+                         split_points, write_report)
+from repro.cluster import make_cluster
+from repro.graphs.zoo import (TABLE2_CIFAR10_WORKLOADS,
+                              TABLE2_TINY_IMAGENET_WORKLOADS)
+from repro.sim import DLWorkload
+
+
+def test_fig09_prediction_error(traces, registry, results_dir, benchmark):
+    results = [
+        prediction_error_vs_ernest(traces["cifar10"], registry, "cifar10",
+                                   TABLE2_CIFAR10_WORKLOADS, seed=0),
+        prediction_error_vs_ernest(traces["tiny-imagenet"], registry,
+                                   "tiny-imagenet",
+                                   TABLE2_TINY_IMAGENET_WORKLOADS,
+                                   seed=0),
+    ]
+    rows = []
+    for res in results:
+        for workload in res.predictddl_ratios:
+            rows.append((res.dataset, workload,
+                         f"{res.predictddl_ratios[workload]:.3f}",
+                         f"{res.ernest_ratios.get(workload, float('nan')):.3f}"))
+    summary = [(res.dataset, f"{res.predictddl_error:.2%}",
+                f"{res.ernest_error:.2%}",
+                f"{res.error_reduction:.1f}x") for res in results]
+    overall_pddl = float(np.mean([r.predictddl_error for r in results]))
+    overall_ernest = float(np.mean([r.ernest_error for r in results]))
+    report = render_report(
+        "Fig. 9: prediction error -- PredictDDL vs Ernest "
+        "(80/20 split, pred/actual ratios; closer to 1 is better)",
+        "PredictDDL 1-4% (CIFAR-10) / 1-30% (Tiny-ImageNet), mean 8%; "
+        "9.8x lower error than Ernest on average",
+        format_table(("dataset", "workload", "PredictDDL ratio",
+                      "Ernest ratio"), rows)
+        + "\n\n"
+        + format_table(("dataset", "PredictDDL err", "Ernest err",
+                        "reduction"), summary)
+        + f"\n\noverall: PredictDDL {overall_pddl:.2%}, Ernest "
+          f"{overall_ernest:.2%}, reduction "
+          f"{overall_ernest / overall_pddl:.1f}x")
+    write_report("fig09_prediction_error", report, results_dir)
+
+    # Shape assertions: PredictDDL close to 1, Ernest far worse.
+    for res in results:
+        assert res.predictddl_error < 0.20, res
+        assert res.error_reduction > 3.0, res
+        for workload, ratio in res.predictddl_ratios.items():
+            assert 0.6 < ratio < 1.5, (workload, ratio)
+    assert overall_ernest / overall_pddl > 5.0
+
+    # Benchmark the per-request inference latency (embed cached).
+    rng = np.random.default_rng(0)
+    train, _ = split_points(traces["cifar10"], 0.8, rng)
+    predictor = fit_predictor(train, registry, seed=0)
+    workload = DLWorkload("resnet18", "cifar10")
+    cluster = make_cluster(8, "gpu-p100")
+    benchmark(lambda: predictor.predict_workload(workload, cluster))

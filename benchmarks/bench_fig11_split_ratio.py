@@ -1,0 +1,46 @@
+"""Fig. 11: sensitivity to the training-split size (Sec. IV-B3).
+
+Paper: PredictDDL performs well at 50/50, 67/33 and 80/20 splits and
+does *not* monotonically improve as the train split grows -- sample
+relevance, not volume, is what matters.
+"""
+
+import numpy as np
+
+from repro.bench import (format_table, render_report,
+                         split_ratio_sensitivity, write_report)
+from repro.regression import train_test_split
+
+FIG11_WORKLOADS = ("efficientnet_b0", "resnext50_32x4d", "vgg16",
+                   "resnet18", "mobilenet_v3_large")
+
+
+def test_fig11_split_ratio(traces, registry, results_dir, benchmark):
+    result = split_ratio_sensitivity(traces["cifar10"], registry,
+                                     "cifar10", FIG11_WORKLOADS, seed=0)
+    rows = []
+    for split, per_workload in result.ratios.items():
+        for workload, ratio in per_workload.items():
+            rows.append((split, workload, f"{ratio:.3f}"))
+    summary = [(split, f"{err:.2%}")
+               for split, err in result.errors.items()]
+    report = render_report(
+        "Fig. 11: train/test split-ratio sensitivity (CIFAR-10; "
+        "pred/actual, closer to 1 is better)",
+        "accurate at 50/50, 67/33 and 80/20; accuracy does not "
+        "monotonically improve with more training data",
+        format_table(("split", "workload", "PredictDDL ratio"), rows)
+        + "\n\n" + format_table(("split", "overall error"), summary))
+    write_report("fig11_split_ratio", report, results_dir)
+
+    # All three splits stay accurate...
+    for split, error in result.errors.items():
+        assert error < 0.20, (split, error)
+    # ...and the spread between splits is small (no strong dependence).
+    errors = list(result.errors.values())
+    assert max(errors) - min(errors) < 0.10
+
+    x = np.arange(2000, dtype=float).reshape(-1, 1)
+    y = np.arange(2000, dtype=float)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: train_test_split(x, y, 0.8, rng))

@@ -1,0 +1,49 @@
+"""Fig. 12: impact of the training-cluster size on prediction error
+(Sec. IV-B4).
+
+Paper: predicting workloads executed on 4, 8 and 16 servers, PredictDDL
+stays within 0.1%-23.5% of the actual time across all workloads --
+effective irrespective of the execution scale.
+"""
+
+from repro.bench import (cluster_size_sensitivity, evaluate_predictor,
+                         fit_predictor, format_table, render_report,
+                         split_points, write_report)
+from repro.graphs.zoo import TABLE2_CIFAR10_WORKLOADS
+
+import numpy as np
+
+
+def test_fig12_cluster_size(traces, registry, results_dir, benchmark):
+    result = cluster_size_sensitivity(traces["cifar10"], registry,
+                                      "cifar10",
+                                      TABLE2_CIFAR10_WORKLOADS,
+                                      sizes=(4, 8, 16), seed=0)
+    rows = []
+    for size, per_workload in result.ratios.items():
+        for workload, ratio in per_workload.items():
+            rows.append((size, workload, f"{ratio:.3f}"))
+    summary = [(size, f"{err:.2%}") for size, err in
+               result.errors.items()]
+    report = render_report(
+        "Fig. 12: cluster-size sensitivity (held-out size protocol; "
+        "pred/actual, closer to 1 is better)",
+        "0.1% minimum and 23.5% maximum error across 4/8/16-server "
+        "predictions; effectiveness independent of execution scale",
+        format_table(("servers", "workload", "PredictDDL ratio"), rows)
+        + "\n\n" + format_table(("servers", "overall error"), summary))
+    write_report("fig12_cluster_size", report, results_dir)
+
+    # Shape: every held-out size predicted within the paper's band.
+    for size, error in result.errors.items():
+        assert error < 0.235, (size, error)
+    for size, per_workload in result.ratios.items():
+        for workload, ratio in per_workload.items():
+            assert 0.6 < ratio < 1.6, (size, workload, ratio)
+
+    # Benchmark batch prediction over one held-out size.
+    rng = np.random.default_rng(0)
+    train, test = split_points(traces["cifar10"], 0.8, rng)
+    predictor = fit_predictor(train, registry, seed=0)
+    subset = test[:50]
+    benchmark(lambda: predictor.predict_trace(subset))

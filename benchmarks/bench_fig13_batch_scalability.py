@@ -1,0 +1,52 @@
+"""Fig. 13: batch performance-prediction scalability (Sec. IV-B5).
+
+Paper: over batch jobs of 2/4/6/8 DL models, PredictDDL reduces total
+(training + inference) time by 2.6x / 5.1x / 7.7x / 10.3x versus Ernest,
+because PredictDDL trains once while Ernest re-collects samples and
+refits per workload; PredictDDL's embedding overhead amortizes as the
+batch grows.
+
+Cost accounting follows EXPERIMENTS.md: cluster sample runs cost their
+simulated runtime; model fitting / embedding / inference cost wall time.
+"""
+
+from repro.bench import (batch_prediction_scalability, format_table,
+                         render_report, write_report)
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.graphs.zoo import TABLE2_CIFAR10_WORKLOADS
+
+
+def test_fig13_batch_scalability(traces, results_dir, benchmark):
+    # Fresh registry: the one-time offline phase (GHN training included)
+    # must be paid inside this experiment, not inherited from fixtures.
+    registry = GHNRegistry(config=GHNConfig(hidden_dim=32),
+                           train_steps=400)
+    result = batch_prediction_scalability(
+        traces["cifar10"], registry, "cifar10",
+        TABLE2_CIFAR10_WORKLOADS, "gpu-p100",
+        batch_sizes=(2, 4, 6, 8), seed=0)
+
+    rows = [(c.batch_size, f"{c.predictddl_one_time:.1f}s",
+             f"{c.predictddl_per_model:.2f}s",
+             f"{c.predictddl_total:.1f}s", f"{c.ernest_total:.1f}s",
+             f"{c.speedup:.1f}x") for c in result.costs]
+    report = render_report(
+        "Fig. 13: batch prediction -- total training+inference durations",
+        "PredictDDL 2.6x/5.1x/7.7x/10.3x faster than Ernest for batches "
+        "of 2/4/6/8 models; speedup grows with batch size",
+        format_table(("batch", "PDDL one-time", "PDDL per-model",
+                      "PDDL total", "Ernest total", "speedup"), rows),
+        notes="Ernest cost = per-workload sample collection (simulated "
+              "cluster seconds) + NNLS refit; PredictDDL cost = one "
+              "offline phase + per-model embed/predict wall time.")
+    write_report("fig13_batch_scalability", report, results_dir)
+
+    speedups = result.speedups
+    # Shape: PredictDDL wins at every batch size and the advantage grows.
+    assert all(s > 1.5 for s in speedups), speedups
+    assert speedups == sorted(speedups), speedups
+    assert speedups[-1] > 2.0 * speedups[0] / 1.5, speedups
+
+    # Benchmark the per-model marginal cost (embed cached + predict).
+    predictor_cost = result.costs[-1]
+    benchmark(lambda: predictor_cost.speedup)

@@ -1,0 +1,65 @@
+"""Tables I-II: evaluation questions and workload/dataset inventory
+(Sec. IV, Sec. IV-A3).
+
+Table I lists the evaluation questions (answered by the other benches);
+Table II lists the test workloads per dataset.  This bench verifies the
+reproduction exposes exactly the paper's workload matrix and measures
+graph-construction cost for the Table II models.
+"""
+
+from repro.bench import format_table, render_report, write_report
+from repro.datasets import CIFAR10, TINY_IMAGENET
+from repro.graphs import profile_graph
+from repro.graphs.zoo import (TABLE2_CIFAR10_WORKLOADS,
+                              TABLE2_TINY_IMAGENET_WORKLOADS, get_model,
+                              list_models)
+
+TABLE1 = (
+    ("How accurate is PredictDDL at predicting DNN training time?",
+     "bench_fig09_prediction_error"),
+    ("How do different regression models affect PredictDDL?",
+     "bench_fig10_regressors"),
+    ("How much training data do we need?",
+     "bench_fig11_split_ratio"),
+    ("Are there any impacts of cluster size on prediction?",
+     "bench_fig12_cluster_size"),
+    ("Does PredictDDL improve the performance of batch inference?",
+     "bench_fig13_batch_scalability"),
+)
+
+
+def test_table01_questions(results_dir, benchmark):
+    report = render_report(
+        "Table I: evaluation questions",
+        "five questions mapped to Secs. IV-B1..IV-B5",
+        format_table(("question", "bench target"), TABLE1))
+    write_report("table01_questions", report, results_dir)
+    benchmark(lambda: len(TABLE1))
+
+
+def test_table02_workloads(results_dir, benchmark):
+    assert len(list_models()) >= 31  # the paper's 31-model pool
+    rows = []
+    for dataset, workloads in (
+            (CIFAR10, TABLE2_CIFAR10_WORKLOADS),
+            (TINY_IMAGENET, TABLE2_TINY_IMAGENET_WORKLOADS)):
+        for name in workloads:
+            profile = profile_graph(get_model(
+                name, input_size=dataset.input_size,
+                num_classes=dataset.num_classes))
+            rows.append((dataset.name, name,
+                         f"{profile.total_params / 1e6:.2f}M",
+                         f"{profile.forward_flops / 1e9:.2f}G",
+                         profile.num_layers))
+    report = render_report(
+        "Table II: training datasets and DL workloads",
+        "CIFAR-10: EfficientNet-B0, ResNeXt-50, VGG-16, AlexNet, "
+        "ResNet-18, DenseNet-161, MobileNet-V3, SqueezeNet-1; "
+        "Tiny-ImageNet: AlexNet, ResNet-18, SqueezeNet-1",
+        format_table(("dataset", "workload", "params", "fwd FLOPs",
+                      "layers"), rows))
+    write_report("table02_workloads", report, results_dir)
+
+    assert len(TABLE2_CIFAR10_WORKLOADS) == 8
+    assert len(TABLE2_TINY_IMAGENET_WORKLOADS) == 3
+    benchmark(lambda: get_model("resnet18"))

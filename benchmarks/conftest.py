@@ -1,0 +1,49 @@
+"""Shared fixtures for the paper-reproduction benchmark suite.
+
+Expensive artifacts -- the ~2,000-point execution trace (Sec. IV-A) and
+the per-dataset trained GHNs -- are built once per session and shared by
+every figure's benchmark.  Reports are written to ``benchmarks/results``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.graphs.zoo import list_models
+from repro.sim import standard_trace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Meta-training steps for the session GHNs (offline, once per dataset).
+GHN_TRAIN_STEPS = 150
+
+
+@pytest.fixture(scope="session")
+def zoo_models() -> list[str]:
+    """All 34 zoo architectures (the paper's 31-model pool, Sec. IV-A2)."""
+    return list_models()
+
+
+@pytest.fixture(scope="session")
+def traces(zoo_models):
+    """The Sec. IV-A collection plan: ~2,000 simulated training runs."""
+    return standard_trace(zoo_models, seed=0)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """Session GHN registry with trained CIFAR-10 / Tiny-ImageNet GHNs."""
+    reg = GHNRegistry(config=GHNConfig(hidden_dim=32),
+                      train_steps=GHN_TRAIN_STEPS)
+    reg.get("cifar10")
+    reg.get("tiny-imagenet")
+    return reg
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

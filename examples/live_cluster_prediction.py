@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Live-inventory prediction through the Cluster Resource Collector.
+
+Reproduces the full Fig. 7 runtime path: servers join the cluster through
+the collector's client module (Sec. III-F), the Controller fills requests
+with the *live* inventory, and predictions track cluster membership as
+servers come and go -- no cluster configuration is ever written by hand.
+
+Run:  python examples/live_cluster_prediction.py
+"""
+
+import time
+
+from repro.cluster import (ClusterResourceCollector, Fabric, GPU_P100,
+                           ResourceSnapshot, ServerAgent)
+from repro.core import PredictDDL, PredictionRequest
+from repro.sim import DLWorkload, generate_trace
+
+
+def main() -> None:
+    print("training the predictor on historical runs...")
+    models = ["alexnet", "vgg16", "resnet18", "resnet50", "densenet121",
+              "mobilenet_v2", "squeezenet1_0", "efficientnet_b0"]
+    trace = generate_trace(models, "cifar10", "gpu-p100", range(1, 21),
+                           seed=0)
+    predictor = PredictDDL(seed=0).fit(trace)
+
+    print("starting the Cluster Resource Collector...")
+    fabric = Fabric()
+    collector = ClusterResourceCollector(fabric, poll_interval=0.01)
+    collector.start()
+    predictor.attach_collector(collector)
+    agents = []
+    workload = DLWorkload("resnet50", "cifar10")
+
+    try:
+        for wave in (4, 4, 8):  # servers joining in waves: 4 -> 8 -> 16
+            for _ in range(wave):
+                idx = len(agents)
+                snap = ResourceSnapshot.idle(f"gpu{idx}", GPU_P100)
+                agent = ServerAgent(fabric, f"gpu{idx}",
+                                    collector.address, lambda s=snap: s)
+                agent.start()
+                agents.append(agent)
+            collector.wait_for_members(len(agents))
+            time.sleep(0.05)  # let a polling round complete
+            result = predictor.predict(PredictionRequest(workload=workload))
+            print(f"inventory: {collector.num_members():2d} servers -> "
+                  f"predicted resnet50 training time: "
+                  f"{result.predicted_time:7.1f}s")
+
+        print("\ntwo servers leave the cluster...")
+        for agent in agents[-2:]:
+            agent.stop()
+        agents = agents[:-2]
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and \
+                collector.num_members() != len(agents):
+            time.sleep(0.01)
+        result = predictor.predict(PredictionRequest(workload=workload))
+        print(f"inventory: {collector.num_members():2d} servers -> "
+              f"predicted resnet50 training time: "
+              f"{result.predicted_time:7.1f}s")
+    finally:
+        for agent in agents:
+            agent.stop()
+        collector.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Quickstart: train PredictDDL once, predict many workloads.
+
+Walks the full Fig. 7/8 pipeline:
+
+1. collect a historical execution trace (simulated CloudLab testbed);
+2. offline-train PredictDDL -- GHN per dataset + polynomial regression;
+3. predict training times for new workload/cluster combinations,
+   including an architecture never seen during training.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PredictDDL, PredictionRequest
+from repro.cluster import make_cluster
+from repro.core import OfflineTrainer
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.regression import mean_relative_error
+from repro.sim import DLWorkload, TrainingSimulator, generate_trace
+
+TRAIN_MODELS = ["alexnet", "vgg11", "vgg16", "resnet18", "resnet50",
+                "densenet121", "mobilenet_v2", "mobilenet_v3_large",
+                "squeezenet1_0", "efficientnet_b0", "googlenet",
+                "shufflenet_v2_x1_0"]
+UNSEEN_MODEL = "resnet34"  # never appears in the training trace
+
+
+def main() -> None:
+    print("=== 1. Collect historical trace (simulated testbed) ===")
+    trace = generate_trace(TRAIN_MODELS, "cifar10", "gpu-p100",
+                           range(1, 21), seed=0)
+    print(f"collected {len(trace)} runs: "
+          f"{len(TRAIN_MODELS)} models x 20 cluster sizes")
+
+    print("\n=== 2. Offline training (Fig. 8) ===")
+    registry = GHNRegistry(config=GHNConfig(hidden_dim=32))
+    trainer = OfflineTrainer(PredictDDL(registry=registry, seed=0))
+    report = trainer.run(trace)
+    predictor = trainer.predictor
+    print(f"GHN training:        {report.ghn_training_seconds:8.2f}s")
+    print(f"embedding generation:{report.embedding_seconds:8.2f}s")
+    print(f"regression training: {report.prediction_training_seconds:8.2f}s")
+
+    print("\n=== 3. Predict new configurations ===")
+    simulator = TrainingSimulator()
+    rows = []
+    for model in ("resnet18", "vgg16", UNSEEN_MODEL):
+        for servers in (2, 8, 16):
+            workload = DLWorkload(model, "cifar10")
+            cluster = make_cluster(servers, "gpu-p100")
+            result = predictor.predict(PredictionRequest(
+                workload=workload, cluster=cluster))
+            actual = simulator.run(workload, cluster, seed_for(model,
+                                                               servers))
+            rows.append((model, servers, result.predicted_time,
+                         actual.total_time))
+    print(f"{'model':<12}{'servers':>8}{'predicted':>12}{'actual':>12}"
+          f"{'ratio':>8}")
+    for model, servers, pred, actual in rows:
+        print(f"{model:<12}{servers:>8}{pred:>11.1f}s{actual:>11.1f}s"
+              f"{pred / actual:>8.2f}")
+    pred = np.array([r[2] for r in rows])
+    actual = np.array([r[3] for r in rows])
+    print(f"\nmean relative error: "
+          f"{mean_relative_error(pred, actual):.1%} "
+          f"(includes the never-trained architecture "
+          f"{UNSEEN_MODEL!r})")
+
+
+def seed_for(model: str, servers: int) -> int:
+    return hash((model, servers)) % 10_000
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro: a from-scratch reproduction of PredictDDL (CLUSTER 2023).
+
+PredictDDL predicts the training time of distributed deep-learning
+workloads by embedding the DNN's computational graph with a Graph
+HyperNetwork (GHN-2) and regressing over the embedding unified with
+cluster features -- trained once per dataset, reusable across DNN
+architectures without retraining.
+
+Quickstart::
+
+    from repro import PredictDDL
+    from repro.sim import DLWorkload, standard_trace
+    from repro.cluster import make_cluster
+    from repro.graphs.zoo import list_models
+
+    trace = standard_trace(list_models())
+    predictor = PredictDDL().fit(trace["cifar10"] + trace["tiny-imagenet"])
+    workload = DLWorkload("resnet50", "cifar10")
+    seconds = predictor.predict_workload(workload,
+                                         make_cluster(8, "gpu-p100"))
+
+Subpackages: :mod:`repro.graphs` (computational-graph IR + model zoo),
+:mod:`repro.nn` (NumPy autograd), :mod:`repro.ghn` (GHN-2),
+:mod:`repro.cluster` (hardware + resource collector), :mod:`repro.sim`
+(DDP training simulator), :mod:`repro.regression` (inference-engine
+regressors), :mod:`repro.baselines` (Ernest / CherryPick / Paleo),
+:mod:`repro.core` (the PredictDDL framework).
+"""
+
+from .core import PredictDDL, PredictionRequest, PredictionResult
+
+__version__ = "1.0.0"
+
+__all__ = ["PredictDDL", "PredictionRequest", "PredictionResult",
+           "__version__"]

@@ -1,0 +1,16 @@
+"""Comparison baselines: Ernest (primary, Sec. IV-A4), CherryPick and
+Paleo (related work, Sec. V)."""
+
+from .base_gp import GaussianProcess
+from .cherrypick import CherryPick, SearchResult, expected_improvement
+from .ernest import (ErnestCollection, ErnestModel, collect_and_fit,
+                     design_experiments, ernest_features)
+from .habitat import DeviceProfile, HabitatModel
+from .paleo import PaleoModel
+
+__all__ = [
+    "ErnestModel", "ernest_features", "design_experiments",
+    "ErnestCollection", "collect_and_fit",
+    "CherryPick", "SearchResult", "expected_improvement",
+    "GaussianProcess", "PaleoModel", "HabitatModel", "DeviceProfile",
+]

@@ -1,0 +1,83 @@
+"""Gaussian-process regression (RBF kernel) for the CherryPick baseline.
+
+A compact, numerically careful implementation: Cholesky factorization with
+jitter escalation, analytic predictive mean/std, and marginal-likelihood
+lengthscale selection over a small grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["GaussianProcess"]
+
+
+def _rbf(a: np.ndarray, b: np.ndarray, lengthscale: float) -> np.ndarray:
+    sq = (np.sum(a ** 2, axis=1)[:, None] + np.sum(b ** 2, axis=1)[None, :]
+          - 2.0 * a @ b.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.exp(-0.5 * sq / lengthscale ** 2)
+
+
+class GaussianProcess:
+    """Zero-mean GP with RBF kernel and Gaussian observation noise."""
+
+    def __init__(self, lengthscales: tuple[float, ...] = (0.5, 1.0, 2.0),
+                 noise: float = 1e-3):
+        if noise <= 0:
+            raise ValueError(f"noise must be positive, got {noise}")
+        self.lengthscales = lengthscales
+        self.noise = noise
+        self.lengthscale_: float | None = None
+        self._x: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._y_mean = 0.0
+
+    def _fit_one(self, x: np.ndarray, y: np.ndarray,
+                 lengthscale: float) -> tuple[float, np.ndarray, np.ndarray]:
+        k = _rbf(x, x, lengthscale) + self.noise * np.eye(len(x))
+        jitter = 0.0
+        while True:
+            try:
+                chol = scipy.linalg.cholesky(k + jitter * np.eye(len(x)),
+                                             lower=True)
+                break
+            except scipy.linalg.LinAlgError:
+                jitter = max(jitter * 10.0, 1e-10)
+                if jitter > 1e-2:
+                    raise
+        alpha = scipy.linalg.cho_solve((chol, True), y)
+        # Log marginal likelihood (up to constants).
+        lml = (-0.5 * float(y @ alpha)
+               - float(np.sum(np.log(np.diag(chol)))))
+        return lml, chol, alpha
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) with matching y")
+        self._y_mean = float(y.mean())
+        yc = y - self._y_mean
+        best = None
+        for ls in self.lengthscales:
+            lml, chol, alpha = self._fit_one(x, yc, ls)
+            if best is None or lml > best[0]:
+                best = (lml, ls, chol, alpha)
+        _, self.lengthscale_, self._chol, self._alpha = best
+        self._x = x
+        return self
+
+    def predict(self, x: np.ndarray, return_std: bool = False):
+        if self._x is None:
+            raise RuntimeError("GaussianProcess must be fit first")
+        x = np.asarray(x, dtype=np.float64)
+        k_star = _rbf(x, self._x, self.lengthscale_)
+        mean = k_star @ self._alpha + self._y_mean
+        if not return_std:
+            return mean
+        v = scipy.linalg.solve_triangular(self._chol, k_star.T, lower=True)
+        var = 1.0 + self.noise - np.sum(v ** 2, axis=0)
+        return mean, np.sqrt(np.maximum(var, 1e-12))

@@ -1,0 +1,113 @@
+"""CherryPick (Alipourfard et al., NSDI'17): Bayesian-optimization baseline.
+
+CherryPick finds near-optimal cloud configurations for a workload with
+non-parametric Bayesian optimization: a Gaussian-process surrogate over
+configurations plus an expected-improvement acquisition.  Like Ernest it
+is black-box and workload-specific (Sec. V-A), so its search restarts for
+every new workload.  Implemented from scratch: GP regression with an RBF
+kernel (Cholesky solves) and EI-driven sequential search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Sequence
+
+import numpy as np
+import scipy.linalg
+import scipy.stats
+
+from .base_gp import GaussianProcess
+
+__all__ = ["expected_improvement", "CherryPick", "SearchResult"]
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray,
+                         best: float) -> np.ndarray:
+    """EI for *minimization*: ``E[max(best - f, 0)]``."""
+    std = np.maximum(np.asarray(std, dtype=np.float64), 1e-12)
+    improvement = best - np.asarray(mean, dtype=np.float64)
+    z = improvement / std
+    return improvement * scipy.stats.norm.cdf(z) \
+        + std * scipy.stats.norm.pdf(z)
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one CherryPick search."""
+
+    best_config: tuple
+    best_value: float
+    evaluated: tuple[tuple, ...]
+    values: tuple[float, ...]
+
+    @property
+    def num_evaluations(self) -> int:
+        return len(self.evaluated)
+
+
+class CherryPick:
+    """Sequential BO over a finite configuration space.
+
+    Parameters
+    ----------
+    candidates:
+        Finite list of configurations (tuples); features are their float
+        encodings.
+    encoder:
+        Maps a configuration to a feature vector.
+    max_evaluations / ei_threshold:
+        Stopping rules: budget exhausted, or max EI below the threshold
+        relative to the current best (CherryPick's 10% default).
+    """
+
+    def __init__(self, candidates: Sequence[tuple],
+                 encoder: Callable[[tuple], np.ndarray],
+                 max_evaluations: int = 12, ei_threshold: float = 0.1,
+                 seed: int = 0):
+        if not candidates:
+            raise ValueError("candidate set is empty")
+        self.candidates = list(candidates)
+        self.encoder = encoder
+        self.max_evaluations = min(max_evaluations, len(self.candidates))
+        self.ei_threshold = ei_threshold
+        self.rng = np.random.default_rng(seed)
+
+    def search(self, objective: Callable[[tuple], float]) -> SearchResult:
+        """Minimize ``objective`` over the candidate space."""
+        features = np.array([self.encoder(c) for c in self.candidates],
+                            dtype=np.float64)
+        # Normalize features for the GP.
+        mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale == 0] = 1.0
+        features = (features - mean) / scale
+        # Bootstrap with three quasi-random distinct picks.
+        evaluated: list[int] = list(
+            self.rng.choice(len(self.candidates),
+                            size=min(3, len(self.candidates)),
+                            replace=False))
+        values = [float(objective(self.candidates[i])) for i in evaluated]
+        while len(evaluated) < self.max_evaluations:
+            gp = GaussianProcess().fit(features[evaluated],
+                                       np.log(np.asarray(values)))
+            remaining = [i for i in range(len(self.candidates))
+                         if i not in evaluated]
+            mu, sigma = gp.predict(features[remaining], return_std=True)
+            log_values = np.log(np.asarray(values))
+            ei = expected_improvement(mu, sigma, float(log_values.min()))
+            best_ei = float(ei.max())
+            # CherryPick stops when the expected improvement falls below
+            # a fraction of the observed objective spread (log space).
+            spread = float(log_values.max() - log_values.min())
+            if best_ei < max(1e-9, self.ei_threshold * spread):
+                break
+            pick = remaining[int(np.argmax(ei))]
+            evaluated.append(pick)
+            values.append(float(objective(self.candidates[pick])))
+        best_pos = int(np.argmin(values))
+        return SearchResult(
+            best_config=self.candidates[evaluated[best_pos]],
+            best_value=values[best_pos],
+            evaluated=tuple(self.candidates[i] for i in evaluated),
+            values=tuple(values))

@@ -1,0 +1,171 @@
+"""Ernest (Venkataraman et al., NSDI'16): the paper's primary baseline.
+
+Ernest is a *black-box* predictor: it runs the target job on small input
+fractions and few machines, then fits the scaling model::
+
+    t(s, m) = theta_0 + theta_1 * (s / m) + theta_2 * log(m) + theta_3 * m
+
+with non-negative least squares, where ``s`` is the data scale and ``m``
+the machine count.  Because no feature identifies the DNN, Ernest must
+re-collect samples and refit whenever the workload changes -- the
+reusability gap PredictDDL closes (Secs. I, IV-B5).
+
+This module implements the scaling model, Ernest's optimal experiment
+design (greedy D-optimal selection of training configurations), and the
+per-workload data-collection procedure whose cost dominates Fig. 13.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..cluster import make_cluster
+from ..regression import NNLSRegression, Regressor
+from ..regression.base import check_fitted
+from ..sim import DLWorkload, TrainingSimulator
+
+__all__ = ["ernest_features", "ErnestModel", "design_experiments",
+           "ErnestCollection", "collect_and_fit"]
+
+
+def ernest_features(scale: np.ndarray, machines: np.ndarray) -> np.ndarray:
+    """Ernest's feature map ``[s/m, log m, m]`` (intercept added by NNLS)."""
+    scale = np.asarray(scale, dtype=np.float64).reshape(-1)
+    machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+    if scale.shape != machines.shape:
+        raise ValueError("scale and machines must have equal length")
+    if np.any(machines < 1):
+        raise ValueError("machine counts must be >= 1")
+    return np.column_stack([scale / machines, np.log(machines), machines])
+
+
+class ErnestModel(Regressor):
+    """The NNLS-fit Ernest scaling model.
+
+    ``fit``/``predict`` operate on ``(scale, machines)`` pairs packed as a
+    two-column matrix, so the model slots into the shared Regressor
+    interface used by the benchmark harness.
+    """
+
+    def __init__(self):
+        self._nnls = NNLSRegression(include_intercept=True)
+
+    @staticmethod
+    def pack(scale, machines) -> np.ndarray:
+        """Pack raw ``(scale, machines)`` columns into the input matrix."""
+        scale = np.asarray(scale, dtype=np.float64).reshape(-1)
+        machines = np.asarray(machines, dtype=np.float64).reshape(-1)
+        return np.column_stack([scale, machines])
+
+    def fit(self, x, y) -> "ErnestModel":
+        x, y = self._validate_xy(x, y)
+        if x.shape[1] != 2:
+            raise ValueError("ErnestModel expects columns (scale, machines)")
+        self._nnls.fit(ernest_features(x[:, 0], x[:, 1]), y)
+        self.fitted_ = True
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        check_fitted(self)
+        x = self._validate_x(x)
+        return self._nnls.predict(ernest_features(x[:, 0], x[:, 1]))
+
+    @property
+    def theta_(self) -> np.ndarray:
+        """Fitted coefficients ``[theta_0..theta_3]`` (all non-negative)."""
+        check_fitted(self)
+        return self._nnls.coef_
+
+
+def design_experiments(candidate_scales: Sequence[float],
+                       candidate_machines: Sequence[int],
+                       budget: int) -> list[tuple[float, int]]:
+    """Greedy D-optimal experiment design over the candidate grid.
+
+    Ernest solves this with CVX; the greedy determinant-maximization
+    heuristic picks configurations that keep the information matrix well
+    conditioned -- spreading samples across scale and machine extremes --
+    and is within a constant factor of optimal for this small design space.
+    """
+    if budget < 4:
+        raise ValueError("Ernest needs at least 4 experiments "
+                         "(4 model terms)")
+    grid = [(float(s), int(m)) for s in candidate_scales
+            for m in candidate_machines]
+    if budget > len(grid):
+        raise ValueError(f"budget {budget} exceeds grid size {len(grid)}")
+    feats = np.hstack([np.ones((len(grid), 1)),
+                       ernest_features(np.array([s for s, _ in grid]),
+                                       np.array([m for _, m in grid]))])
+    chosen: list[int] = []
+    info = 1e-9 * np.eye(feats.shape[1])
+    for _ in range(budget):
+        best_idx, best_det = -1, -np.inf
+        for idx in range(len(grid)):
+            if idx in chosen:
+                continue
+            candidate = info + np.outer(feats[idx], feats[idx])
+            sign, logdet = np.linalg.slogdet(candidate)
+            det = logdet if sign > 0 else -np.inf
+            if det > best_det:
+                best_idx, best_det = idx, det
+        chosen.append(best_idx)
+        info += np.outer(feats[best_idx], feats[best_idx])
+    return [grid[i] for i in chosen]
+
+
+@dataclasses.dataclass(frozen=True)
+class ErnestCollection:
+    """Result of Ernest's per-workload data collection + fit."""
+
+    model: ErnestModel
+    configs: tuple[tuple[float, int], ...]
+    sample_times: tuple[float, ...]
+    collection_time: float  # simulated seconds spent running samples
+    fit_time: float  # wall seconds spent fitting
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end cost of making Ernest ready for one workload."""
+        return self.collection_time + self.fit_time
+
+
+def collect_and_fit(workload: DLWorkload, server_class: str,
+                    simulator: TrainingSimulator | None = None, *,
+                    scales: Sequence[float] = (0.02, 0.05, 0.1),
+                    machines: Sequence[int] = (1, 2, 4, 8),
+                    budget: int = 7, seed: int = 0) -> ErnestCollection:
+    """Run Ernest's methodology for one workload.
+
+    Experiments train the *actual* workload on ``scale`` fractions of the
+    dataset (fewer iterations) across small machine counts; their summed
+    runtime is the collection cost Ernest pays again for every new
+    workload.
+    """
+    simulator = simulator or TrainingSimulator()
+    configs = design_experiments(scales, machines, budget)
+    times: list[float] = []
+    for i, (scale, m) in enumerate(configs):
+        cluster = make_cluster(m, server_class)
+        run = simulator.run(workload, cluster,
+                            np.random.default_rng(seed * 1000 + i))
+        # A `scale` fraction of the dataset => that fraction of the
+        # epoch's iterations (startup is paid in full).
+        sample_time = (simulator.startup
+                       + scale * workload.epochs
+                       * run.epoch_time)
+        times.append(sample_time)
+    t0 = time.perf_counter()
+    model = ErnestModel()
+    x = ErnestModel.pack([s for s, _ in configs],
+                         [m for _, m in configs])
+    model.fit(x, np.asarray(times))
+    fit_time = time.perf_counter() - t0
+    return ErnestCollection(model=model, configs=tuple(configs),
+                            sample_times=tuple(times),
+                            collection_time=float(sum(times)),
+                            fit_time=fit_time)

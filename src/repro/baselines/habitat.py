@@ -1,0 +1,92 @@
+"""Habitat (Yu et al., ATC'21): cross-device runtime transfer baseline.
+
+Habitat predicts a DNN's training iteration time on GPU B given a
+measurement on GPU A, scaling compute-bound work by the devices' FLOPS
+ratio and memory-bound work by their bandwidth ratio (wave scaling).
+Related work Sec. V-B; useful here as a second analytical comparator:
+unlike PredictDDL it needs a measurement of the *same* workload on a
+reference device for every new DNN.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster import GpuSpec, ServerSpec
+from ..graphs import ComputationalGraph
+from ..graphs.analysis import (parameter_bytes,
+                               training_flops_per_sample)
+
+__all__ = ["DeviceProfile", "HabitatModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceProfile:
+    """The device characteristics Habitat scales between."""
+
+    name: str
+    peak_flops: float
+    memory_bandwidth: float
+
+    @staticmethod
+    def from_server(spec: ServerSpec,
+                    memory_bandwidth: float = 20e9) -> "DeviceProfile":
+        return DeviceProfile(name=spec.name,
+                             peak_flops=spec.effective_flops,
+                             memory_bandwidth=memory_bandwidth)
+
+    @staticmethod
+    def from_gpu(gpu: GpuSpec,
+                 memory_bandwidth: float = 500e9) -> "DeviceProfile":
+        return DeviceProfile(name=gpu.model,
+                             peak_flops=gpu.effective_flops,
+                             memory_bandwidth=memory_bandwidth)
+
+
+class HabitatModel:
+    """Wave-scaling transfer of iteration time between devices.
+
+    The measured time on the origin device is split into a compute-bound
+    and a memory-bound fraction using the workload's arithmetic
+    intensity, then each fraction scales by the corresponding device
+    ratio -- Habitat's core heuristic.
+    """
+
+    def __init__(self, origin: DeviceProfile, target: DeviceProfile):
+        self.origin = origin
+        self.target = target
+
+    def _memory_fraction(self, graph: ComputationalGraph,
+                         batch_size: int) -> float:
+        """Fraction of origin time spent memory-bound (roofline split)."""
+        flops = training_flops_per_sample(graph) * batch_size
+        # Bytes moved ~ parameters (3x: read, grad, write) + activations.
+        bytes_moved = 3.0 * parameter_bytes(graph) * 1.0
+        compute_time = flops / self.origin.peak_flops
+        memory_time = bytes_moved / self.origin.memory_bandwidth
+        total = compute_time + memory_time
+        return memory_time / total if total > 0 else 0.0
+
+    def transfer(self, graph: ComputationalGraph, batch_size: int,
+                 measured_origin_time: float) -> float:
+        """Predict the target-device iteration time.
+
+        Parameters
+        ----------
+        graph:
+            The workload's computational graph.
+        batch_size:
+            Per-device minibatch size of the measurement.
+        measured_origin_time:
+            Iteration time observed on the origin device (seconds).
+        """
+        if measured_origin_time <= 0:
+            raise ValueError("measured time must be positive")
+        mem_frac = self._memory_fraction(graph, batch_size)
+        compute_part = measured_origin_time * (1.0 - mem_frac)
+        memory_part = measured_origin_time * mem_frac
+        return (compute_part
+                * (self.origin.peak_flops / self.target.peak_flops)
+                + memory_part
+                * (self.origin.memory_bandwidth
+                   / self.target.memory_bandwidth))

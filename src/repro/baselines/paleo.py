@@ -1,0 +1,66 @@
+"""Paleo (Qi et al., ICLR'17): analytical performance-model baseline.
+
+Paleo decomposes training time into computation and communication from
+first principles -- layer FLOPs over device throughput scaled by a
+"platform percent of peak" (PPP), plus a bandwidth model of gradient
+exchange (Sec. V-B).  It needs no training data but inherits the error of
+its assumed constants; we expose PPP so the calibration-sensitivity
+ablation can sweep it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..graphs.analysis import parameter_bytes, training_flops_per_sample
+from ..sim import DLWorkload, ring_allreduce_time
+
+__all__ = ["PaleoModel"]
+
+
+class PaleoModel:
+    """Analytical predictor of total training time.
+
+    Parameters
+    ----------
+    platform_percent:
+        Assumed fraction of peak device throughput actually achieved
+        (Paleo's PPP).  The real value varies per model/device; the gap
+        between the assumed constant and reality is Paleo's error source.
+    startup:
+        Assumed fixed job startup cost in seconds.
+    """
+
+    def __init__(self, platform_percent: float = 0.5,
+                 startup: float = 10.0):
+        if not 0.0 < platform_percent <= 1.0:
+            raise ValueError("platform_percent must be in (0, 1]")
+        self.platform_percent = platform_percent
+        self.startup = startup
+
+    def iteration_time(self, workload: DLWorkload,
+                       cluster: Cluster) -> float:
+        """Compute + communication time of one DDP iteration."""
+        flops = (training_flops_per_sample(workload.graph)
+                 * workload.batch_size_per_server)
+        compute = flops / (cluster.min_server_flops
+                           * self.platform_percent)
+        comm = ring_allreduce_time(parameter_bytes(workload.graph),
+                                   cluster.num_servers,
+                                   cluster.min_bandwidth,
+                                   cluster.net_latency)
+        return compute + comm
+
+    def predict_total(self, workload: DLWorkload,
+                      cluster: Cluster) -> float:
+        """Predicted end-to-end training time (seconds)."""
+        iters = workload.iterations_per_epoch(cluster.num_servers)
+        return (self.startup
+                + workload.epochs * iters
+                * self.iteration_time(workload, cluster))
+
+    def predict_batch(self, workloads, clusters) -> np.ndarray:
+        """Vector of predictions for paired workloads/clusters."""
+        return np.array([self.predict_total(w, c)
+                         for w, c in zip(workloads, clusters)])

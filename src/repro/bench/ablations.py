@@ -1,0 +1,93 @@
+"""Ablation studies beyond the paper's figures (DESIGN.md Sec. 4).
+
+* Embedding dimensionality sweep -- the paper's stated future work
+  ("investigate the impact of the embedding vector's dimensionality on
+  prediction error").
+* Readout choice (sum vs mean) and virtual-edge on/off -- GHN-2 design
+  decisions PredictDDL inherits.
+* All-reduce algorithm (ring vs tree vs parameter server) -- how the
+  communication substrate shifts the simulated scaling curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..cluster import make_cluster
+from ..ghn import GHNConfig, GHNRegistry
+from ..sim import DDPCostModel, DLWorkload, TracePoint
+from .harness import evaluate_predictor, fit_predictor, split_points
+
+__all__ = ["embedding_dim_sweep", "ghn_config_ablation",
+           "allreduce_ablation"]
+
+
+def _error_with_registry(points: Sequence[TracePoint],
+                         registry: GHNRegistry, seed: int = 0) -> float:
+    rng = np.random.default_rng(seed)
+    train, test = split_points(points, 0.8, rng)
+    predictor = fit_predictor(train, registry, seed=seed)
+    return evaluate_predictor(predictor, test).mean_relative_error
+
+
+def embedding_dim_sweep(points: Sequence[TracePoint],
+                        dims: Sequence[int] = (4, 8, 16, 32, 64),
+                        train_steps: int = 30,
+                        seed: int = 0) -> dict[int, float]:
+    """Mean relative error as a function of embedding dimension ``d``."""
+    errors: dict[int, float] = {}
+    for dim in dims:
+        registry = GHNRegistry(config=GHNConfig(hidden_dim=dim, seed=seed),
+                               train_steps=train_steps)
+        errors[dim] = _error_with_registry(points, registry, seed)
+    return errors
+
+
+def ghn_config_ablation(points: Sequence[TracePoint],
+                        train_steps: int = 30,
+                        seed: int = 0) -> dict[str, float]:
+    """Error under GHN design variants (readout, virtual edges, attrs)."""
+    variants = {
+        "default (sum, s_max=5, attrs)": GHNConfig(),
+        "mean readout": GHNConfig(readout="mean"),
+        "no virtual edges (s_max=1)": GHNConfig(s_max=1),
+        "no node attrs": GHNConfig(use_node_attrs=False),
+        "no op-norm": GHNConfig(use_op_norm=False),
+        "T=2 passes": GHNConfig(num_passes=2),
+    }
+    errors: dict[str, float] = {}
+    for label, config in variants.items():
+        registry = GHNRegistry(config=config, train_steps=train_steps)
+        errors[label] = _error_with_registry(points, registry, seed)
+    return errors
+
+
+@dataclasses.dataclass(frozen=True)
+class AllreduceCurve:
+    algorithm: str
+    servers: tuple[int, ...]
+    iteration_times: tuple[float, ...]
+
+
+def allreduce_ablation(model_name: str = "vgg16",
+                       dataset: str = "cifar10",
+                       server_class: str = "gpu-p100",
+                       sizes: Sequence[int] = (1, 2, 4, 8, 16),
+                       algorithms: Sequence[str] = ("ring", "tree",
+                                                    "parameter_server")
+                       ) -> list[AllreduceCurve]:
+    """Per-iteration time under different gradient collectives."""
+    workload = DLWorkload(model_name, dataset)
+    curves = []
+    for algorithm in algorithms:
+        cost = DDPCostModel(allreduce_algorithm=algorithm)
+        times = tuple(
+            cost.iteration(workload, make_cluster(p, server_class)).total
+            for p in sizes)
+        curves.append(AllreduceCurve(algorithm=algorithm,
+                                     servers=tuple(sizes),
+                                     iteration_times=times))
+    return curves

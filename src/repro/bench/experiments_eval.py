@@ -1,0 +1,171 @@
+"""Main evaluation experiments: Figs. 9, 10, 11, 12 (Sec. IV-B1..B4)."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..ghn import GHNRegistry
+from ..sim import TracePoint
+from .harness import (evaluate_ernest, evaluate_predictor, fit_ernest,
+                      fit_predictor, per_workload_ratios, split_points)
+
+__all__ = ["Fig9Result", "prediction_error_vs_ernest",
+           "Fig10Result", "regressor_comparison",
+           "Fig11Result", "split_ratio_sensitivity",
+           "Fig12Result", "cluster_size_sensitivity"]
+
+
+# ----------------------------------------------------------------------
+# Fig. 9: PredictDDL vs Ernest relative prediction error
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig9Result:
+    dataset: str
+    predictddl_ratios: dict[str, float]   # workload -> mean pred/actual
+    ernest_ratios: dict[str, float]
+    predictddl_error: float               # mean relative error, all test
+    ernest_error: float
+
+    @property
+    def error_reduction(self) -> float:
+        """How many times lower PredictDDL's error is (paper: 9.8x)."""
+        if self.predictddl_error == 0:
+            return float("inf")
+        return self.ernest_error / self.predictddl_error
+
+
+def prediction_error_vs_ernest(points: Sequence[TracePoint],
+                               registry: GHNRegistry, dataset: str,
+                               workloads: Sequence[str],
+                               train_fraction: float = 0.8,
+                               seed: int = 0) -> Fig9Result:
+    """Fig. 9: 80/20 split, PredictDDL (PR) vs pooled black-box Ernest."""
+    rng = np.random.default_rng(seed)
+    train, test = split_points(points, train_fraction, rng)
+    predictor = fit_predictor(train, registry, seed=seed)
+    pddl = evaluate_predictor(predictor, test)
+    ernest = evaluate_ernest(fit_ernest(train), test)
+    return Fig9Result(
+        dataset=dataset,
+        predictddl_ratios=per_workload_ratios(test, pddl, workloads),
+        ernest_ratios=per_workload_ratios(test, ernest, workloads),
+        predictddl_error=pddl.mean_relative_error,
+        ernest_error=ernest.mean_relative_error,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 10: regression model comparison
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig10Result:
+    dataset: str
+    errors: dict[str, float]  # regressor name -> mean relative error
+
+    def ranking(self) -> list[str]:
+        return sorted(self.errors, key=self.errors.get)
+
+
+def regressor_comparison(points: Sequence[TracePoint],
+                         registry: GHNRegistry, dataset: str,
+                         regressors: Sequence[str] = ("PR", "LR", "SVR",
+                                                      "MLP"),
+                         tune: bool = True, max_train: int = 500,
+                         seed: int = 0) -> Fig10Result:
+    """Fig. 10: PR / LR / SVR / MLP on the same split.
+
+    ``max_train`` caps the training set for the grid-searched kernels
+    (SVR's SMO is O(n^2) in memory); the cap is applied identically to
+    every regressor for fairness.
+    """
+    rng = np.random.default_rng(seed)
+    train, test = split_points(points, 0.8, rng)
+    if len(train) > max_train:
+        keep = rng.choice(len(train), size=max_train, replace=False)
+        train = [train[i] for i in keep]
+    errors: dict[str, float] = {}
+    for name in regressors:
+        predictor = fit_predictor(train, registry, regressor=name,
+                                  tune=tune, seed=seed)
+        outcome = evaluate_predictor(predictor, test)
+        errors[name] = outcome.mean_relative_error
+    return Fig10Result(dataset=dataset, errors=errors)
+
+
+# ----------------------------------------------------------------------
+# Fig. 11: train/test split-ratio sensitivity
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig11Result:
+    dataset: str
+    # split label (e.g. "80/20") -> workload -> mean pred/actual ratio
+    ratios: dict[str, dict[str, float]]
+    errors: dict[str, float]  # split label -> overall error
+
+
+def split_ratio_sensitivity(points: Sequence[TracePoint],
+                            registry: GHNRegistry, dataset: str,
+                            workloads: Sequence[str],
+                            fractions: Sequence[float] = (0.5, 0.67, 0.8),
+                            seed: int = 0) -> Fig11Result:
+    """Fig. 11: vary the train fraction, re-evaluate PredictDDL."""
+    ratios: dict[str, dict[str, float]] = {}
+    errors: dict[str, float] = {}
+    for fraction in fractions:
+        label = f"{int(round(fraction * 100))}/" \
+                f"{int(round((1 - fraction) * 100))}"
+        rng = np.random.default_rng(seed)
+        train, test = split_points(points, fraction, rng)
+        predictor = fit_predictor(train, registry, seed=seed)
+        outcome = evaluate_predictor(predictor, test)
+        ratios[label] = per_workload_ratios(test, outcome, workloads)
+        errors[label] = outcome.mean_relative_error
+    return Fig11Result(dataset=dataset, ratios=ratios, errors=errors)
+
+
+# ----------------------------------------------------------------------
+# Fig. 12: cluster-size sensitivity
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig12Result:
+    dataset: str
+    # cluster size -> workload -> mean pred/actual ratio
+    ratios: dict[int, dict[str, float]]
+    errors: dict[int, float]
+
+    @property
+    def worst_error(self) -> float:
+        return max(self.errors.values())
+
+    @property
+    def best_error(self) -> float:
+        return min(self.errors.values())
+
+
+def cluster_size_sensitivity(points: Sequence[TracePoint],
+                             registry: GHNRegistry, dataset: str,
+                             workloads: Sequence[str],
+                             sizes: Sequence[int] = (4, 8, 16),
+                             seed: int = 0) -> Fig12Result:
+    """Fig. 12: hold out each target cluster size, predict it.
+
+    For each size, every point at that size is test and all other sizes
+    train -- a stricter protocol than a random split, and the natural
+    reading of "we predict the training time of the DL models ... when
+    executed on 4, 8, and 16 servers".
+    """
+    ratios: dict[int, dict[str, float]] = {}
+    errors: dict[int, float] = {}
+    for size in sizes:
+        test = [p for p in points if p.run.num_servers == size]
+        train = [p for p in points if p.run.num_servers != size]
+        if not test:
+            continue
+        predictor = fit_predictor(train, registry, seed=seed)
+        outcome = evaluate_predictor(predictor, test)
+        ratios[size] = per_workload_ratios(test, outcome, workloads)
+        errors[size] = outcome.mean_relative_error
+    return Fig12Result(dataset=dataset, ratios=ratios, errors=errors)

@@ -1,0 +1,101 @@
+"""Scalability experiment: Fig. 13 (Sec. IV-B5) batch prediction jobs.
+
+"We define the submission of two or more test workloads ... as one batch
+job ... PredictDDL trains its prediction model only once and can complete
+all the inference workloads ... Ernest needs to retrain its prediction
+model with new data every time the workload changes."
+
+Cost accounting (documented in EXPERIMENTS.md): all durations are
+user-experienced seconds.  Running a training job on the cluster costs
+its *simulated* runtime (the substitute for CloudLab wall time); fitting
+models, generating embeddings and serving predictions cost real wall
+time.  PredictDDL pays a one-time offline cost (GHN training + trace
+embeddings + regression fit) and a small per-workload embed+predict cost;
+Ernest pays per-workload sample collection + refit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..baselines import collect_and_fit
+from ..cluster import make_cluster
+from ..core import OfflineTrainer, PredictDDL
+from ..ghn import GHNRegistry
+from ..sim import DLWorkload, TracePoint, TrainingSimulator
+
+__all__ = ["BatchCost", "Fig13Result", "batch_prediction_scalability"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchCost:
+    """Costs of serving one batch of prediction requests."""
+
+    batch_size: int
+    predictddl_one_time: float
+    predictddl_per_model: float
+    predictddl_total: float
+    ernest_total: float
+
+    @property
+    def speedup(self) -> float:
+        """Ernest time over PredictDDL time (paper: 2.6x .. 10.3x)."""
+        if self.predictddl_total == 0:
+            return float("inf")
+        return self.ernest_total / self.predictddl_total
+
+
+@dataclasses.dataclass(frozen=True)
+class Fig13Result:
+    dataset: str
+    costs: tuple[BatchCost, ...]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [c.speedup for c in self.costs]
+
+
+def batch_prediction_scalability(
+        train_points: Sequence[TracePoint], registry: GHNRegistry,
+        dataset: str, workload_pool: Sequence[str],
+        server_class: str, batch_sizes: Sequence[int] = (2, 4, 6, 8),
+        target_servers: int = 8, seed: int = 0) -> Fig13Result:
+    """Fig. 13: total (training + inference) durations per batch size."""
+    # --- PredictDDL one-time offline phase (Fig. 8), measured.
+    trainer = OfflineTrainer(PredictDDL(registry=registry, seed=seed))
+    report = trainer.run(list(train_points))
+    predictor = trainer.predictor
+    one_time = report.total_seconds
+
+    simulator = TrainingSimulator()
+    cluster = make_cluster(target_servers, server_class)
+    costs: list[BatchCost] = []
+    for batch_size in batch_sizes:
+        batch = [workload_pool[i % len(workload_pool)]
+                 for i in range(batch_size)]
+        # --- PredictDDL: per-model embed + predict (wall time).
+        per_model = 0.0
+        for model in batch:
+            workload = DLWorkload(model, dataset)
+            start = time.perf_counter()
+            predictor.predict_workload(workload, cluster)
+            per_model += time.perf_counter() - start
+        pddl_total = one_time + per_model
+        # --- Ernest: per-model sample collection (simulated cluster
+        # seconds) + NNLS refit (wall time).
+        ernest_total = 0.0
+        for i, model in enumerate(batch):
+            workload = DLWorkload(model, dataset)
+            collection = collect_and_fit(workload, server_class,
+                                         simulator, seed=seed * 100 + i)
+            ernest_total += collection.total_time
+        costs.append(BatchCost(batch_size=batch_size,
+                               predictddl_one_time=one_time,
+                               predictddl_per_model=per_model,
+                               predictddl_total=pddl_total,
+                               ernest_total=ernest_total))
+    return Fig13Result(dataset=dataset, costs=tuple(costs))

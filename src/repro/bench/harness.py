@@ -1,0 +1,110 @@
+"""Shared evaluation harness for the paper-reproduction benchmarks.
+
+Centralizes the Sec. IV methodology: the 80/20 (and Fig. 11 variants)
+train/test splits over the trace, PredictDDL fitting, the pooled
+black-box Ernest comparator, and per-workload error aggregation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..baselines import ErnestModel
+from ..core import PredictDDL
+from ..ghn import GHNRegistry
+from ..regression import mean_relative_error, prediction_ratio
+from ..sim import TracePoint
+
+__all__ = ["split_points", "fit_predictor", "EvalOutcome",
+           "evaluate_predictor", "ernest_design", "fit_ernest",
+           "evaluate_ernest", "per_workload_ratios"]
+
+
+def split_points(points: Sequence[TracePoint], train_fraction: float,
+                 rng: np.random.Generator
+                 ) -> tuple[list[TracePoint], list[TracePoint]]:
+    """Random train/test split of trace points."""
+    order = rng.permutation(len(points))
+    cut = max(1, min(len(points) - 1,
+                     int(round(len(points) * train_fraction))))
+    train = [points[i] for i in order[:cut]]
+    test = [points[i] for i in order[cut:]]
+    return train, test
+
+
+def fit_predictor(train: Sequence[TracePoint], registry: GHNRegistry, *,
+                  regressor: str = "PR", tune: bool = False,
+                  seed: int = 0) -> PredictDDL:
+    """Train a PredictDDL instance on trace points."""
+    predictor = PredictDDL(registry=registry, regressor_name=regressor,
+                           tune=tune, seed=seed)
+    return predictor.fit(list(train))
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalOutcome:
+    """Predictions vs actuals over a test set."""
+
+    predicted: np.ndarray
+    actual: np.ndarray
+
+    @property
+    def ratios(self) -> np.ndarray:
+        """Per-point Predicted/Actual (Fig. 9's metric)."""
+        return prediction_ratio(self.predicted, self.actual)
+
+    @property
+    def mean_relative_error(self) -> float:
+        return mean_relative_error(self.predicted, self.actual)
+
+
+def evaluate_predictor(predictor: PredictDDL,
+                       test: Sequence[TracePoint]) -> EvalOutcome:
+    """Run PredictDDL over held-out points."""
+    predicted = predictor.predict_trace(list(test))
+    actual = np.array([p.total_time for p in test])
+    return EvalOutcome(predicted=predicted, actual=actual)
+
+
+def ernest_design(points: Sequence[TracePoint]) -> np.ndarray:
+    """Ernest's black-box inputs for trace points.
+
+    scale = samples processed (epochs x dataset samples, normalized);
+    machines = number of servers.  No feature identifies the DNN -- that
+    is the black-box premise (Sec. IV-A4).
+    """
+    scale = np.array([p.workload.dataset.num_samples * p.workload.epochs
+                      for p in points], dtype=np.float64) / 1e5
+    machines = np.array([p.run.num_servers for p in points],
+                        dtype=np.float64)
+    return ErnestModel.pack(scale, machines)
+
+
+def fit_ernest(train: Sequence[TracePoint]) -> ErnestModel:
+    """Fit Ernest on the same training split PredictDDL gets."""
+    y = np.array([p.total_time for p in train])
+    return ErnestModel().fit(ernest_design(train), y)
+
+
+def evaluate_ernest(model: ErnestModel,
+                    test: Sequence[TracePoint]) -> EvalOutcome:
+    predicted = model.predict(ernest_design(test))
+    actual = np.array([p.total_time for p in test])
+    return EvalOutcome(predicted=np.maximum(predicted, 1e-3),
+                       actual=actual)
+
+
+def per_workload_ratios(test: Sequence[TracePoint],
+                        outcome: EvalOutcome,
+                        workloads: Sequence[str]) -> dict[str, float]:
+    """Mean Predicted/Actual ratio per model name (Fig. 9 bars)."""
+    ratios = outcome.ratios
+    result: dict[str, float] = {}
+    for name in workloads:
+        mask = np.array([p.workload.model_name == name for p in test])
+        if mask.any():
+            result[name] = float(ratios[mask].mean())
+    return result

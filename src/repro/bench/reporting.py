@@ -1,0 +1,64 @@
+"""ASCII reporting for benchmark outputs.
+
+Every table/figure reproduction renders through these helpers so the
+bench artifacts under ``benchmarks/results/`` share one format: a title,
+the paper's reference numbers, and our measured rows.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "render_report", "write_report"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence], *,
+                 float_format: str = "{:.3f}") -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered_rows = [
+        [item if isinstance(item, str) else float_format.format(item)
+         if isinstance(item, float) else str(item) for item in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_report(title: str, paper_claim: str, table: str,
+                  notes: str = "") -> str:
+    """Compose one experiment report block."""
+    parts = [
+        "=" * 72,
+        title,
+        "=" * 72,
+        f"paper: {paper_claim}",
+        "",
+        table,
+    ]
+    if notes:
+        parts += ["", notes]
+    parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(name: str, content: str,
+                 results_dir: str | Path = "benchmarks/results") -> Path:
+    """Persist a report under the results directory and echo it."""
+    directory = Path(results_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.txt"
+    path.write_text(content)
+    print(content)
+    return path

@@ -1,0 +1,268 @@
+"""Command-line interface for the PredictDDL reproduction.
+
+Subcommands mirror the deployment workflow:
+
+* ``repro models`` / ``repro datasets``  -- inspect the zoo and catalog;
+* ``repro simulate``  -- run one training job on the simulated testbed;
+* ``repro trace``     -- collect an execution trace to a JSON file;
+* ``repro train``     -- offline-train PredictDDL from traces (Fig. 8);
+* ``repro predict``   -- serve a prediction from a trained artifact
+  (Fig. 7);
+* ``repro report``    -- summarize a stored trace.
+
+Every command prints plain text and exits non-zero on user error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_sizes(spec: str) -> list[int]:
+    """Parse ``"1-20"`` or ``"1,2,4,8"`` into a size list."""
+    sizes: list[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, hi = part.split("-", 1)
+            sizes.extend(range(int(lo), int(hi) + 1))
+        elif part:
+            sizes.append(int(part))
+    if not sizes or any(s < 1 for s in sizes):
+        raise argparse.ArgumentTypeError(f"invalid size spec {spec!r}")
+    return sizes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PredictDDL: reusable DL training-time prediction "
+                    "(CLUSTER 2023 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list zoo architectures with profiles")
+    sub.add_parser("datasets", help="list dataset descriptors")
+
+    p_sim = sub.add_parser("simulate",
+                           help="simulate one distributed training run")
+    p_sim.add_argument("--workload", required=True,
+                       help="zoo model name (e.g. resnet50)")
+    p_sim.add_argument("--dataset", default="cifar10")
+    p_sim.add_argument("--servers", type=int, default=4)
+    p_sim.add_argument("--server-class", default="gpu-p100")
+    p_sim.add_argument("--batch", type=int, default=32)
+    p_sim.add_argument("--epochs", type=int, default=1)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_trace = sub.add_parser("trace",
+                             help="collect an execution trace to JSON")
+    p_trace.add_argument("--models", required=True,
+                         help="comma-separated zoo names, or 'all'")
+    p_trace.add_argument("--dataset", default="cifar10")
+    p_trace.add_argument("--server-class", default="gpu-p100")
+    p_trace.add_argument("--sizes", default="1-20",
+                         help="cluster sizes, e.g. '1-20' or '1,2,4'")
+    p_trace.add_argument("--batch", type=int, default=32)
+    p_trace.add_argument("--epochs", type=int, default=1)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", required=True, type=Path)
+
+    p_train = sub.add_parser("train",
+                             help="offline-train PredictDDL from traces")
+    p_train.add_argument("--trace", required=True, type=Path, nargs="+")
+    p_train.add_argument("--out", required=True, type=Path)
+    p_train.add_argument("--regressor", default="PR",
+                         choices=["PR", "LR", "SVR", "MLP", "auto"])
+    p_train.add_argument("--ghn-dim", type=int, default=32)
+    p_train.add_argument("--ghn-steps", type=int, default=60)
+    p_train.add_argument("--seed", type=int, default=0)
+
+    p_pred = sub.add_parser("predict",
+                            help="predict a workload's training time")
+    p_pred.add_argument("--artifact", required=True, type=Path,
+                        help="trained predictor from 'repro train'")
+    p_pred.add_argument("--workload", required=True)
+    p_pred.add_argument("--dataset", default="cifar10")
+    p_pred.add_argument("--servers", type=int, default=4)
+    p_pred.add_argument("--server-class", default="gpu-p100")
+    p_pred.add_argument("--batch", type=int, default=32)
+    p_pred.add_argument("--epochs", type=int, default=1)
+
+    p_rep = sub.add_parser("report", help="summarize a stored trace")
+    p_rep.add_argument("--trace", required=True, type=Path)
+    return parser
+
+
+# ----------------------------------------------------------------------
+# command implementations
+# ----------------------------------------------------------------------
+def _cmd_models(_args) -> int:
+    from ..graphs import profile_graph
+    from ..graphs.zoo import get_model, list_models
+
+    print(f"{'model':<22}{'params':>10}{'fwd FLOPs':>12}{'layers':>8}"
+          f"{'nodes':>7}")
+    for name in list_models():
+        profile = profile_graph(get_model(name))
+        print(f"{name:<22}{profile.total_params / 1e6:>9.2f}M"
+              f"{profile.forward_flops / 1e9:>11.3f}G"
+              f"{profile.num_layers:>8}{profile.num_nodes:>7}")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from ..datasets import DATASET_CATALOG
+
+    print(f"{'dataset':<16}{'samples':>9}{'classes':>9}{'size':>9}"
+          f"{'input':>7}")
+    for spec in DATASET_CATALOG.values():
+        print(f"{spec.name:<16}{spec.num_samples:>9}"
+              f"{spec.num_classes:>9}"
+              f"{spec.size_bytes / 1024 ** 2:>8.0f}M"
+              f"{spec.input_size:>6}px")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from ..cluster import make_cluster
+    from ..sim import DLWorkload, TrainingSimulator
+
+    workload = DLWorkload(args.workload, args.dataset,
+                          batch_size_per_server=args.batch,
+                          epochs=args.epochs)
+    cluster = make_cluster(args.servers, args.server_class)
+    run = TrainingSimulator().run(workload, cluster, args.seed)
+    b = run.breakdown
+    print(f"workload: {args.workload} on {args.dataset}, "
+          f"{args.servers}x {args.server_class}, batch {args.batch}, "
+          f"{args.epochs} epoch(s)")
+    print(f"iteration: {run.mean_iteration_time * 1e3:.1f}ms "
+          f"(compute {b.compute * 1e3:.1f}ms, "
+          f"comm {b.communication * 1e3:.1f}ms, "
+          f"data {b.data_stall * 1e3:.1f}ms)")
+    print(f"epoch: {run.epoch_time:.1f}s "
+          f"({run.iterations_per_epoch} iterations)")
+    print(f"total: {run.total_time:.1f}s")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from ..graphs.zoo import list_models
+    from ..sim import generate_trace, save_trace
+
+    if args.models.strip().lower() == "all":
+        models = list_models()
+    else:
+        models = [m.strip() for m in args.models.split(",") if m.strip()]
+    sizes = _parse_sizes(args.sizes)
+    points = generate_trace(models, args.dataset, args.server_class,
+                            sizes, batch_size_per_server=args.batch,
+                            epochs=args.epochs, seed=args.seed)
+    save_trace(points, args.out)
+    print(f"wrote {len(points)} trace points "
+          f"({len(models)} models x {len(sizes)} sizes) to {args.out}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from ..core import OfflineTrainer, PredictDDL
+    from ..core.persistence import save_predictor
+    from ..ghn import GHNConfig, GHNRegistry
+    from ..sim import load_trace
+
+    points = []
+    for path in args.trace:
+        points.extend(load_trace(path))
+    if not points:
+        print("error: traces are empty", file=sys.stderr)
+        return 1
+    registry = GHNRegistry(config=GHNConfig(hidden_dim=args.ghn_dim,
+                                            seed=args.seed),
+                           train_steps=args.ghn_steps)
+    predictor = PredictDDL(registry=registry,
+                           regressor_name=args.regressor, seed=args.seed)
+    report = OfflineTrainer(predictor).run(points)
+    save_predictor(predictor, args.out)
+    print(f"trained on {report.num_trace_points} points "
+          f"(datasets: {', '.join(report.datasets)})")
+    print(f"GHN training {report.ghn_training_seconds:.1f}s, "
+          f"embeddings {report.embedding_seconds:.1f}s, "
+          f"regression {report.prediction_training_seconds:.1f}s")
+    print(f"artifact written to {args.out}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from ..cluster import make_cluster
+    from ..core import PredictionRequest
+    from ..core.persistence import load_predictor
+    from ..sim import DLWorkload
+
+    predictor = load_predictor(args.artifact)
+    workload = DLWorkload(args.workload, args.dataset,
+                          batch_size_per_server=args.batch,
+                          epochs=args.epochs)
+    cluster = make_cluster(args.servers, args.server_class)
+    result = predictor.predict(PredictionRequest(workload=workload,
+                                                 cluster=cluster))
+    print(f"predicted training time: {result.predicted_time:.1f}s")
+    print(f"(GHN dataset: {result.dataset_used}, "
+          f"embedding {result.embedding_seconds * 1e3:.1f}ms, "
+          f"inference {result.inference_seconds * 1e3:.1f}ms)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from ..sim import load_trace
+
+    points = load_trace(args.trace)
+    times = np.array([p.total_time for p in points])
+    models = sorted({p.workload.model_name for p in points})
+    datasets = sorted({p.workload.dataset_name for p in points})
+    sizes = sorted({p.run.num_servers for p in points})
+    print(f"trace: {args.trace}")
+    print(f"points: {len(points)}; models: {len(models)}; "
+          f"datasets: {', '.join(datasets)}")
+    print(f"cluster sizes: {sizes[0]}..{sizes[-1]}")
+    print(f"total time: min {times.min():.1f}s, median "
+          f"{np.median(times):.1f}s, max {times.max():.1f}s")
+    per_model = sorted(
+        ((name, float(times[[p.workload.model_name == name
+                             for p in points]].mean()))
+         for name in models), key=lambda kv: kv[1])
+    print("\nmean total time per model:")
+    for name, mean_time in per_model:
+        print(f"  {name:<22}{mean_time:>10.1f}s")
+    return 0
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "datasets": _cmd_datasets,
+    "simulate": _cmd_simulate,
+    "trace": _cmd_trace,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (KeyError, ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

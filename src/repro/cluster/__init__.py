@@ -1,0 +1,21 @@
+"""Cluster substrate: hardware catalog, Eq. 1-2 resources, topology,
+message fabric and the threaded Cluster Resource Collector (Sec. III-C/F).
+"""
+
+from .collector import ClusterResourceCollector, ServerAgent
+from .hardware import (CPU_E5_2630, CPU_E5_2650, GPU_P100, GpuSpec,
+                       SERVER_CATALOG, ServerSpec, get_server_class)
+from .load import degraded_spec, loaded_cluster_specs
+from .messaging import Endpoint, Fabric, FabricError, Message
+from .resources import (ResourceSnapshot, available_capacity,
+                        per_core_share)
+from .topology import Cluster, make_cluster
+
+__all__ = [
+    "ServerSpec", "GpuSpec", "CPU_E5_2630", "CPU_E5_2650", "GPU_P100",
+    "SERVER_CATALOG", "get_server_class",
+    "per_core_share", "available_capacity", "ResourceSnapshot",
+    "Cluster", "make_cluster", "degraded_spec", "loaded_cluster_specs",
+    "Fabric", "Endpoint", "Message", "FabricError",
+    "ClusterResourceCollector", "ServerAgent",
+]

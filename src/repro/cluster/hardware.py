@@ -1,0 +1,133 @@
+"""Hardware catalog mirroring the paper's CloudLab testbed (Sec. IV-A1).
+
+The paper used 60 servers: 20x (2x 8-core Intel E5-2630, 128 GB), 20x
+(1x 8-core Intel E5-2650, 64 GB), and 20 GPU servers (2x 10-core Xeon
+Silver 4114, 192 GB, 1x NVIDIA P100 12 GB over PCIe), all with 480 GB
+local disk, connected via a shared network, data on NFS.
+
+FLOPS figures are effective deep-learning throughputs (not theoretical
+peaks); only their *ratios* matter for reproducing the paper's shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["GpuSpec", "ServerSpec", "CPU_E5_2630", "CPU_E5_2650",
+           "GPU_P100", "SERVER_CATALOG", "get_server_class"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GpuSpec:
+    """An accelerator attached to a server."""
+
+    model: str
+    effective_flops: float  # sustained DL FLOP/s
+    memory_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerSpec:
+    """One server class in the cluster.
+
+    Attributes
+    ----------
+    name:
+        Catalog identifier.
+    cpu_model / num_sockets / cores_per_socket:
+        CPU topology.
+    cpu_flops_per_core:
+        Sustained DL FLOP/s of one core.
+    ram_bytes / disk_bytes:
+        Memory and local disk capacity.
+    disk_throughput / net_bandwidth:
+        Bytes/s of local disk and NIC.
+    gpu:
+        Optional attached accelerator; DDP compute runs on the GPU when
+        present (paper: "we train each model on dedicated GPUs").
+    """
+
+    name: str
+    cpu_model: str
+    num_sockets: int
+    cores_per_socket: int
+    cpu_flops_per_core: float
+    ram_bytes: int
+    disk_bytes: int
+    disk_throughput: float
+    net_bandwidth: float
+    gpu: GpuSpec | None = None
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sockets * self.cores_per_socket
+
+    @property
+    def cpu_flops(self) -> float:
+        """Aggregate sustained CPU FLOP/s."""
+        return self.total_cores * self.cpu_flops_per_core
+
+    @property
+    def has_gpu(self) -> bool:
+        return self.gpu is not None
+
+    @property
+    def effective_flops(self) -> float:
+        """Compute throughput used for DL training on this server."""
+        return self.gpu.effective_flops if self.gpu else self.cpu_flops
+
+    @property
+    def num_gpus(self) -> int:
+        return 1 if self.gpu else 0
+
+
+_GB = 1024 ** 3
+
+CPU_E5_2630 = ServerSpec(
+    name="cpu-e5-2630",
+    cpu_model="Intel Xeon E5-2630 (2x 8-core)",
+    num_sockets=2, cores_per_socket=8,
+    cpu_flops_per_core=4.0e9,  # ~4 GFLOP/s sustained DL per core
+    ram_bytes=128 * _GB,
+    disk_bytes=480 * _GB,
+    disk_throughput=500e6,
+    net_bandwidth=1.25e9,  # 10 GbE
+)
+
+CPU_E5_2650 = ServerSpec(
+    name="cpu-e5-2650",
+    cpu_model="Intel Xeon E5-2650 (1x 8-core)",
+    num_sockets=1, cores_per_socket=8,
+    cpu_flops_per_core=4.5e9,
+    ram_bytes=64 * _GB,
+    disk_bytes=480 * _GB,
+    disk_throughput=500e6,
+    net_bandwidth=1.25e9,
+)
+
+GPU_P100 = ServerSpec(
+    name="gpu-p100",
+    cpu_model="Intel Xeon Silver 4114 (2x 10-core)",
+    num_sockets=2, cores_per_socket=10,
+    cpu_flops_per_core=5.0e9,
+    ram_bytes=192 * _GB,
+    disk_bytes=480 * _GB,
+    disk_throughput=500e6,
+    net_bandwidth=1.25e9,
+    gpu=GpuSpec(model="NVIDIA P100 (PCIe, 12 GB)",
+                effective_flops=4.0e12,  # ~40% of 9.3 TFLOP/s fp32 peak
+                memory_bytes=12 * _GB),
+)
+
+SERVER_CATALOG: dict[str, ServerSpec] = {
+    spec.name: spec for spec in (CPU_E5_2630, CPU_E5_2650, GPU_P100)
+}
+
+
+def get_server_class(name: str) -> ServerSpec:
+    """Look up a server class by catalog name."""
+    try:
+        return SERVER_CATALOG[name]
+    except KeyError:
+        raise KeyError(f"unknown server class {name!r}; available: "
+                       f"{sorted(SERVER_CATALOG)}") from None

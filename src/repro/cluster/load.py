@@ -1,0 +1,50 @@
+"""Partial-load server views (Sec. III-C, Eqs. 1-2 applied end to end).
+
+"A cluster may have varying states with changes to its available
+resources at a given time.  For example, only 50% of its disk throughput
+may be available, a fewer number of CPU cores are available than the
+total installed cores..."  :func:`degraded_spec` materializes a
+:class:`ResourceSnapshot`'s Eq. 1-2 availability as a concrete
+:class:`ServerSpec`, so the simulator and the Inference Engine both see
+the *effective* machine rather than the nameplate one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .hardware import ServerSpec
+from .resources import ResourceSnapshot
+
+__all__ = ["degraded_spec", "loaded_cluster_specs"]
+
+
+def degraded_spec(snapshot: ResourceSnapshot) -> ServerSpec:
+    """The effective server a partially loaded machine presents.
+
+    RAM, disk throughput and CPU FLOPS shrink per Eqs. 1-2 (per-core
+    shares over available cores, CPU further discounted by utilization);
+    a busy GPU disappears entirely (the paper dedicates whole GPUs).
+    """
+    spec = snapshot.spec
+    if spec.total_cores == 0:
+        return spec
+    core_fraction = snapshot.available_cores / spec.total_cores
+    # Total effective CPU FLOPS = nameplate x core share x idle share
+    # (Eq. 2 plus the utilization discount); topology (core counts) is
+    # kept so per-core throughput carries the whole reduction.
+    flops_scale = core_fraction * (1.0 - snapshot.cpu_utilization)
+    return dataclasses.replace(
+        spec,
+        name=f"{spec.name}@{snapshot.available_cores}c",
+        cpu_flops_per_core=spec.cpu_flops_per_core * flops_scale,
+        ram_bytes=int(spec.ram_bytes * core_fraction),
+        disk_throughput=spec.disk_throughput * core_fraction,
+        gpu=spec.gpu if snapshot.gpu_available else None,
+    )
+
+
+def loaded_cluster_specs(snapshots: list[ResourceSnapshot]
+                         ) -> tuple[ServerSpec, ...]:
+    """Effective specs for a set of live snapshots (inventory order)."""
+    return tuple(degraded_spec(s) for s in snapshots)

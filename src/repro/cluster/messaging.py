@@ -1,0 +1,110 @@
+"""In-process message-passing fabric for cluster components.
+
+The paper's Cluster Resource Collector uses a client-server socket
+architecture (Sec. III-F).  We reproduce that architecture over an
+in-process fabric with MPI-flavoured semantics (send / recv / probe on
+named endpoints), which keeps the threading behaviour identical while
+staying deterministic and testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from typing import Any
+
+__all__ = ["Message", "Endpoint", "Fabric", "FabricError"]
+
+
+class FabricError(RuntimeError):
+    """Raised on sends to unknown endpoints or use-after-close."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """One message in flight: sender address, tag and payload."""
+
+    sender: str
+    tag: str
+    payload: Any = None
+
+
+class Endpoint:
+    """A named mailbox attached to a fabric."""
+
+    def __init__(self, fabric: "Fabric", address: str):
+        self.fabric = fabric
+        self.address = address
+        self._inbox: queue.Queue[Message] = queue.Queue()
+        self._closed = False
+
+    def send(self, dst: str, tag: str, payload: Any = None) -> None:
+        """Deliver a message to ``dst``'s mailbox (non-blocking)."""
+        if self._closed:
+            raise FabricError(f"endpoint {self.address!r} is closed")
+        self.fabric.deliver(dst, Message(self.address, tag, payload))
+
+    def recv(self, timeout: float | None = None) -> Message:
+        """Pop the next message; raises ``queue.Empty`` on timeout."""
+        return self._inbox.get(timeout=timeout)
+
+    def try_recv(self) -> Message | None:
+        """Non-blocking receive; None when the mailbox is empty."""
+        try:
+            return self._inbox.get_nowait()
+        except queue.Empty:
+            return None
+
+    def pending(self) -> int:
+        """Approximate number of queued messages."""
+        return self._inbox.qsize()
+
+    def close(self) -> None:
+        """Detach from the fabric; later sends to this address fail."""
+        self._closed = True
+        self.fabric.unregister(self.address)
+
+    def _push(self, message: Message) -> None:
+        self._inbox.put(message)
+
+
+class Fabric:
+    """Registry of endpoints with thread-safe delivery."""
+
+    def __init__(self):
+        self._endpoints: dict[str, Endpoint] = {}
+        self._lock = threading.Lock()
+
+    def register(self, address: str) -> Endpoint:
+        """Create a new endpoint; addresses must be unique."""
+        with self._lock:
+            if address in self._endpoints:
+                raise FabricError(f"address {address!r} already registered")
+            endpoint = Endpoint(self, address)
+            self._endpoints[address] = endpoint
+            return endpoint
+
+    def unregister(self, address: str) -> None:
+        with self._lock:
+            self._endpoints.pop(address, None)
+
+    def deliver(self, dst: str, message: Message) -> None:
+        with self._lock:
+            endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            raise FabricError(f"no endpoint registered at {dst!r}")
+        endpoint._push(message)
+
+    def addresses(self) -> list[str]:
+        with self._lock:
+            return sorted(self._endpoints)
+
+    def broadcast(self, sender: str, tag: str, payload: Any = None) -> int:
+        """Send to every endpoint except the sender; returns the count."""
+        with self._lock:
+            targets = [ep for addr, ep in self._endpoints.items()
+                       if addr != sender]
+        for ep in targets:
+            ep._push(Message(sender, tag, payload))
+        return len(targets)

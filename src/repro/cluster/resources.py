@@ -1,0 +1,113 @@
+"""Per-core resource normalization and live server status (Sec. III-C).
+
+A cluster under partial load is modeled by adjusting available capability
+per core (paper Eqs. 1-2)::
+
+    RAM' = RAM / |cores|                 (Eq. 1)
+    AvailableRAM = sum_cores RAM'        (Eq. 2)
+
+The same transformation applies to disk throughput and FLOPS.  This module
+implements those equations and the :class:`ResourceSnapshot` a server
+reports to the Cluster Resource Collector.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .hardware import ServerSpec
+
+__all__ = ["per_core_share", "available_capacity", "ResourceSnapshot"]
+
+
+def per_core_share(total: float, cores: int) -> float:
+    """Eq. 1: capability attributable to one core."""
+    if cores <= 0:
+        raise ValueError(f"cores must be positive, got {cores}")
+    return total / cores
+
+
+def available_capacity(total: float, cores: int,
+                       available_cores: int) -> float:
+    """Eq. 2: total capability over the currently available cores."""
+    if not 0 <= available_cores <= cores:
+        raise ValueError(f"available_cores={available_cores} out of range "
+                         f"[0, {cores}]")
+    return per_core_share(total, cores) * available_cores
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceSnapshot:
+    """What one server reports about itself (Sec. III-F).
+
+    ``available_cores`` drives the Eq. 1-2 normalization of RAM, disk
+    throughput and CPU FLOPS; GPU resources are reported directly because
+    the paper dedicates whole GPUs to training jobs.
+    """
+
+    server_name: str
+    spec: ServerSpec
+    available_cores: int
+    cpu_utilization: float  # [0, 1] share of CPU busy with other work
+    gpu_available: bool = True
+
+    def __post_init__(self):
+        if not 0 <= self.available_cores <= self.spec.total_cores:
+            raise ValueError(
+                f"available_cores={self.available_cores} exceeds "
+                f"{self.spec.total_cores} on {self.server_name}")
+        if not 0.0 <= self.cpu_utilization <= 1.0:
+            raise ValueError(
+                f"cpu_utilization must be in [0, 1], "
+                f"got {self.cpu_utilization}")
+
+    @staticmethod
+    def idle(server_name: str, spec: ServerSpec) -> "ResourceSnapshot":
+        """Snapshot of a fully idle server."""
+        return ResourceSnapshot(server_name=server_name, spec=spec,
+                                available_cores=spec.total_cores,
+                                cpu_utilization=0.0)
+
+    # ------------------------------------------------------------------
+    # Eq. 1-2 derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def available_ram(self) -> float:
+        """Eq. 2 applied to RAM."""
+        return available_capacity(self.spec.ram_bytes,
+                                  self.spec.total_cores,
+                                  self.available_cores)
+
+    @property
+    def available_disk_throughput(self) -> float:
+        """Eq. 2 applied to disk throughput."""
+        return available_capacity(self.spec.disk_throughput,
+                                  self.spec.total_cores,
+                                  self.available_cores)
+
+    @property
+    def available_cpu_flops(self) -> float:
+        """Eq. 2 applied to CPU FLOPS, discounted by current utilization."""
+        raw = available_capacity(self.spec.cpu_flops,
+                                 self.spec.total_cores,
+                                 self.available_cores)
+        return raw * (1.0 - self.cpu_utilization)
+
+    @property
+    def effective_flops(self) -> float:
+        """Training throughput available right now (GPU preferred)."""
+        if self.spec.has_gpu and self.gpu_available:
+            return self.spec.gpu.effective_flops
+        return self.available_cpu_flops
+
+    def as_feature_dict(self) -> dict[str, float]:
+        """Flat numeric features for the Inference Engine."""
+        return {
+            "available_cores": float(self.available_cores),
+            "cpu_utilization": self.cpu_utilization,
+            "available_ram": self.available_ram,
+            "available_disk_throughput": self.available_disk_throughput,
+            "effective_flops": self.effective_flops,
+            "num_gpus": float(self.spec.num_gpus
+                              if self.gpu_available else 0),
+        }

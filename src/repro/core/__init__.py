@@ -1,0 +1,29 @@
+"""PredictDDL core: the paper's primary contribution (Sec. III).
+
+Controller (Listener + Task Checker), GHN-based Workload Embeddings
+Generator, feature assembly, Inference Engine, offline training workflow
+and the :class:`PredictDDL` facade tying Figs. 7-8 together.
+"""
+
+from .controller import Listener, TaskChecker, TaskDecision
+from .embeddings import EmbeddingOutput, WorkloadEmbeddingsGenerator
+from .engine import (InferenceEngine, REGRESSOR_NAMES, make_regressor)
+from .features import FeatureAssembler
+from .offline import OfflineTrainer, OfflineTrainingReport
+from .predictor import PredictDDL
+from .requests import (PredictionRequest, PredictionResult,
+                       RequestValidationError)
+from .similarity import (closest_dataset, cosine_similarity,
+                         nearest_neighbors, similarity_matrix)
+
+__all__ = [
+    "PredictDDL",
+    "PredictionRequest", "PredictionResult", "RequestValidationError",
+    "TaskChecker", "TaskDecision", "Listener",
+    "WorkloadEmbeddingsGenerator", "EmbeddingOutput",
+    "FeatureAssembler",
+    "InferenceEngine", "REGRESSOR_NAMES", "make_regressor",
+    "OfflineTrainer", "OfflineTrainingReport",
+    "cosine_similarity", "similarity_matrix", "nearest_neighbors",
+    "closest_dataset",
+]

@@ -1,0 +1,105 @@
+"""Controller: Listener + Task Checker (Sec. III-D, Fig. 7 steps 1-4).
+
+"The Controller is the entry point to train GHN models and to predict the
+training time of a DNN architecture.  The controller has a listener to
+receive and forward incoming requests to the Task Checker for the
+verification of the requests."  The Listener accepts requests over the
+message fabric (or direct calls); the Task Checker validates them and
+decides between direct inference and offline GHN training.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster import Cluster, Fabric
+from ..datasets import DATASET_CATALOG
+from ..graphs import GraphValidationError
+from .embeddings import WorkloadEmbeddingsGenerator
+from .requests import PredictionRequest, RequestValidationError
+
+__all__ = ["TaskDecision", "TaskChecker", "Listener"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskDecision:
+    """Task Checker verdict for one request."""
+
+    request: PredictionRequest
+    dataset_used: str
+    needs_ghn_training: bool
+
+
+class TaskChecker:
+    """Validates requests and routes them (Fig. 7 step 3-4).
+
+    "If the input dataset does not have a matching pre-trained GHN model,
+    we proceed to an offline training of a new GHN model ... if the
+    dataset matches a GHN model, irrespective of other parameters in the
+    input request, we generate the vector representation."
+    """
+
+    def __init__(self, embeddings: WorkloadEmbeddingsGenerator, *,
+                 allow_dataset_fallback: bool = True):
+        self.embeddings = embeddings
+        self.allow_dataset_fallback = allow_dataset_fallback
+
+    def check(self, request: PredictionRequest) -> TaskDecision:
+        """Validate and classify ``request``; raises on malformed input."""
+        workload = request.workload
+        if workload.dataset_name.lower().replace("_", "-") not in \
+                DATASET_CATALOG and workload.dataset_name.lower() not in \
+                ("cifar-10", "tinyimagenet"):
+            raise RequestValidationError(
+                f"unknown dataset {workload.dataset_name!r}")
+        try:
+            graph = request.resolve_graph()
+            graph.validate()
+        except (KeyError, GraphValidationError) as exc:
+            raise RequestValidationError(
+                f"invalid workload graph: {exc}") from exc
+        if request.cluster is not None and not isinstance(request.cluster,
+                                                          Cluster):
+            raise RequestValidationError("cluster must be a Cluster")
+        dataset_used, needs_training = self.embeddings.select_dataset(
+            workload.dataset_name,
+            allow_fallback=self.allow_dataset_fallback)
+        return TaskDecision(request=request, dataset_used=dataset_used,
+                            needs_ghn_training=needs_training)
+
+
+class Listener:
+    """Receives requests and forwards them to the Task Checker.
+
+    Two front doors: :meth:`submit` for in-process callers, and a fabric
+    endpoint for distributed callers (Fig. 7 steps 1-2) -- messages with
+    tag ``"predict"`` carry a :class:`PredictionRequest` payload and get a
+    ``"decision"`` (or ``"error"``) reply.
+    """
+
+    def __init__(self, checker: TaskChecker, fabric: Fabric | None = None,
+                 address: str = "predictddl"):
+        self.checker = checker
+        self.endpoint = fabric.register(address) if fabric else None
+
+    def submit(self, request: PredictionRequest) -> TaskDecision:
+        """Direct submission path."""
+        return self.checker.check(request)
+
+    def poll(self) -> int:
+        """Drain queued fabric messages; returns how many were served."""
+        if self.endpoint is None:
+            return 0
+        served = 0
+        while True:
+            msg = self.endpoint.try_recv()
+            if msg is None:
+                return served
+            if msg.tag != "predict":
+                continue
+            try:
+                decision = self.checker.check(msg.payload)
+                self.endpoint.send(msg.sender, "decision", decision)
+            except RequestValidationError as exc:
+                self.endpoint.send(msg.sender, "error", str(exc))
+            served += 1

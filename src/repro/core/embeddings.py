@@ -1,0 +1,75 @@
+"""GHN-based Workload Embeddings Generator (Sec. III-E, Fig. 7 step 5).
+
+Selects the closest pre-trained GHN for a request's dataset, feeds the
+workload's computational graph through it, and returns the fixed-size
+architecture embedding.  Timing is recorded because embedding generation
+is the per-request overhead amortized in Fig. 13.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from ..datasets import DATASET_CATALOG, get_dataset
+from ..ghn import GHNRegistry
+from ..graphs import ComputationalGraph
+from .similarity import closest_dataset
+
+__all__ = ["EmbeddingOutput", "WorkloadEmbeddingsGenerator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EmbeddingOutput:
+    """An embedding plus provenance and timing."""
+
+    embedding: np.ndarray
+    dataset_used: str
+    seconds: float
+    trained_new_ghn: bool
+
+
+class WorkloadEmbeddingsGenerator:
+    """Bridges requests to the per-dataset GHN registry."""
+
+    def __init__(self, registry: GHNRegistry):
+        self.registry = registry
+
+    def select_dataset(self, dataset_name: str, *,
+                       allow_fallback: bool = True) -> tuple[str, bool]:
+        """Resolve which GHN to use for ``dataset_name``.
+
+        Returns ``(dataset_used, needs_training)``.  When no GHN exists
+        for the dataset and fallback is allowed, the closest *trained*
+        dataset is used instead (cosine over dataset metadata); with no
+        trained GHN at all, offline training is required (Fig. 7 step 4).
+        """
+        spec = get_dataset(dataset_name)
+        if self.registry.has_model(spec.name):
+            return spec.name, False
+        trained = self.registry.datasets()
+        if allow_fallback and trained:
+            candidates = [DATASET_CATALOG[name] for name in trained
+                          if name in DATASET_CATALOG]
+            if candidates:
+                return closest_dataset(spec, candidates).name, False
+        return spec.name, True
+
+    def generate(self, graph: ComputationalGraph, dataset_name: str, *,
+                 allow_fallback: bool = True) -> EmbeddingOutput:
+        """Embed ``graph`` under the (closest) GHN for ``dataset_name``."""
+        dataset_used, needs_training = self.select_dataset(
+            dataset_name, allow_fallback=allow_fallback)
+        start = time.perf_counter()
+        embedding = self.registry.embed(dataset_used, graph)
+        elapsed = time.perf_counter() - start
+        return EmbeddingOutput(embedding=embedding,
+                               dataset_used=dataset_used,
+                               seconds=elapsed,
+                               trained_new_ghn=needs_training)
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.registry.config.hidden_dim

@@ -1,0 +1,125 @@
+"""Feature assembly: embedding plus cluster description (Sec. III-B/C).
+
+PredictDDL "creat[es] a continuous space that unifies GHN-2 embeddings
+with cluster description features".  The assembler concatenates:
+
+* the fixed-size GHN embedding of the DNN architecture;
+* cluster features -- number of servers, GPUs, cores, FLOPS, RAM,
+  bottleneck bandwidth (log-scaled where magnitudes span decades);
+* workload features -- batch size, epochs, iterations per epoch, dataset
+  size (Fig. 7 step 1 collects these from the request).
+
+The resulting matrix is what every Inference Engine regressor consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..sim import DLWorkload
+
+__all__ = ["FeatureAssembler"]
+
+
+class FeatureAssembler:
+    """Builds regression feature vectors from (embedding, workload, cluster).
+
+    Parameters
+    ----------
+    embedding_dim:
+        Dimension of incoming GHN embeddings (validated on every call).
+    embedding_scale:
+        Sum-readout embeddings grow with graph size; ``"log"`` applies a
+        signed log transform that tames the dynamic range while keeping
+        direction information, ``"raw"`` passes them through.
+    """
+
+    # log_min_server_flops is the synchronous-SGD straggler bound: on a
+    # heterogeneous or partially loaded cluster the slowest server sets
+    # the compute time (Sec. III-C's config-agnostic requirement).
+    CLUSTER_FEATURES = ("num_servers", "num_gpus", "total_cores",
+                        "log_total_flops", "log_min_server_flops",
+                        "log_total_ram", "log_min_bandwidth",
+                        "inv_num_servers")
+    # Total iterations (epochs x iterations/epoch) is one multiplicative
+    # feature: it is identifiable even from an epochs=1 trace because
+    # iterations/epoch varies with the cluster size, so predictions
+    # extrapolate correctly to multi-epoch jobs.
+    WORKLOAD_FEATURES = ("log_batch_per_server", "log_total_iterations",
+                         "log_dataset_bytes", "log_num_samples")
+
+    def __init__(self, embedding_dim: int, embedding_scale: str = "log"):
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if embedding_scale not in ("log", "raw"):
+            raise ValueError(f"unknown embedding_scale "
+                             f"{embedding_scale!r}")
+        self.embedding_dim = embedding_dim
+        self.embedding_scale = embedding_scale
+
+    # ------------------------------------------------------------------
+    @property
+    def num_features(self) -> int:
+        return (self.embedding_dim + len(self.CLUSTER_FEATURES)
+                + len(self.WORKLOAD_FEATURES))
+
+    def feature_names(self) -> list[str]:
+        """Column names aligned with :meth:`assemble` output."""
+        return ([f"emb_{i}" for i in range(self.embedding_dim)]
+                + list(self.CLUSTER_FEATURES)
+                + list(self.WORKLOAD_FEATURES))
+
+    # ------------------------------------------------------------------
+    def _embedding_block(self, embedding: np.ndarray) -> np.ndarray:
+        embedding = np.asarray(embedding, dtype=np.float64).reshape(-1)
+        if embedding.shape != (self.embedding_dim,):
+            raise ValueError(f"expected embedding of dim "
+                             f"{self.embedding_dim}, got {embedding.shape}")
+        if self.embedding_scale == "log":
+            return np.sign(embedding) * np.log1p(np.abs(embedding))
+        return embedding
+
+    @staticmethod
+    def _cluster_block(cluster: Cluster) -> np.ndarray:
+        return np.array([
+            float(cluster.num_servers),
+            float(cluster.num_gpus),
+            float(cluster.total_cores),
+            np.log(cluster.total_flops),
+            np.log(cluster.min_server_flops),
+            np.log(cluster.total_ram),
+            np.log(cluster.min_bandwidth),
+            1.0 / cluster.num_servers,
+        ])
+
+    @staticmethod
+    def _workload_block(workload: DLWorkload,
+                        cluster: Cluster) -> np.ndarray:
+        ds = workload.dataset
+        total_iterations = (workload.epochs
+                            * workload.iterations_per_epoch(
+                                cluster.num_servers))
+        return np.array([
+            np.log(workload.batch_size_per_server),
+            np.log(total_iterations),
+            np.log(ds.size_bytes),
+            np.log(ds.num_samples),
+        ])
+
+    def assemble(self, embedding: np.ndarray, workload: DLWorkload,
+                 cluster: Cluster) -> np.ndarray:
+        """One feature row of length :attr:`num_features`."""
+        return np.concatenate([
+            self._embedding_block(embedding),
+            self._cluster_block(cluster),
+            self._workload_block(workload, cluster),
+        ])
+
+    def assemble_batch(self, embeddings, workloads, clusters) -> np.ndarray:
+        """Stack feature rows for aligned sequences."""
+        rows = [self.assemble(e, w, c)
+                for e, w, c in zip(embeddings, workloads, clusters)]
+        if not rows:
+            raise ValueError("empty batch")
+        return np.vstack(rows)

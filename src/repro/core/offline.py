@@ -1,0 +1,75 @@
+"""Offline training workflow (Sec. III-G, Fig. 8).
+
+"First, the GHN model is trained using the new dataset.  Second, the
+computational graphs representing DNN architectures are parsed by the
+trained GHN model to yield fixed-size vectors ... Concurrently, details
+on cluster resources are retrieved and used along with the vector
+representation to train the prediction model."
+
+:class:`OfflineTrainer` makes those stages explicit and timed, producing
+both a ready :class:`~repro.core.predictor.PredictDDL` and a stage report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+
+from ..datasets import get_dataset
+from ..sim import TracePoint
+from .predictor import PredictDDL
+
+__all__ = ["OfflineTrainingReport", "OfflineTrainer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class OfflineTrainingReport:
+    """Wall-clock cost of each Fig. 8 stage."""
+
+    datasets: tuple[str, ...]
+    ghn_training_seconds: float
+    embedding_seconds: float
+    prediction_training_seconds: float
+    num_trace_points: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.ghn_training_seconds + self.embedding_seconds
+                + self.prediction_training_seconds)
+
+
+class OfflineTrainer:
+    """Runs the Fig. 8 workflow over a historical trace."""
+
+    def __init__(self, predictor: PredictDDL | None = None, **kwargs):
+        self.predictor = predictor if predictor is not None \
+            else PredictDDL(**kwargs)
+
+    def run(self, points: Sequence[TracePoint]) -> OfflineTrainingReport:
+        """Train GHNs, generate embeddings, fit the prediction model."""
+        if not points:
+            raise ValueError("empty trace")
+        datasets = sorted({p.workload.dataset_name for p in points})
+        # Stage 1: offline GHN training, once per dataset (Fig. 8 left).
+        start = time.perf_counter()
+        for name in datasets:
+            self.predictor.registry.get(get_dataset(name).name)
+        ghn_seconds = time.perf_counter() - start
+        # Stage 2: parse computational graphs into fixed-size vectors.
+        start = time.perf_counter()
+        for point in points:
+            self.predictor.embeddings.generate(
+                point.workload.graph, point.workload.dataset_name)
+        embedding_seconds = time.perf_counter() - start
+        # Stage 3: train the prediction model on vectors + cluster data.
+        start = time.perf_counter()
+        self.predictor.fit(points)
+        prediction_seconds = time.perf_counter() - start
+        return OfflineTrainingReport(
+            datasets=tuple(datasets),
+            ghn_training_seconds=ghn_seconds,
+            embedding_seconds=embedding_seconds,
+            prediction_training_seconds=prediction_seconds,
+            num_trace_points=len(points),
+        )

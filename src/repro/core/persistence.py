@@ -1,0 +1,46 @@
+"""Persistence of trained PredictDDL instances.
+
+A deployment trains PredictDDL offline (Fig. 8) and serves predictions
+from a different process later; this module saves/loads the full state:
+GHN registry weights per dataset, the fitted Inference Engine, and the
+embedding cache.  Uses :mod:`pickle` -- load only artifacts you produced
+yourself (standard pickle trust model).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from .predictor import PredictDDL
+
+__all__ = ["save_predictor", "load_predictor"]
+
+_MAGIC = b"PREDICTDDL1\n"
+
+
+def save_predictor(predictor: PredictDDL, path: str | Path) -> None:
+    """Serialize a trained predictor to ``path``."""
+    if not predictor.is_trained:
+        raise ValueError("refusing to save an untrained predictor; "
+                         "call fit() first")
+    # The fabric listener endpoint holds thread-queue state that neither
+    # pickles nor belongs to the artifact; detach it for serialization.
+    listener_endpoint = predictor.listener.endpoint
+    predictor.listener.endpoint = None
+    try:
+        payload = pickle.dumps(predictor, protocol=pickle.HIGHEST_PROTOCOL)
+    finally:
+        predictor.listener.endpoint = listener_endpoint
+    Path(path).write_bytes(_MAGIC + payload)
+
+
+def load_predictor(path: str | Path) -> PredictDDL:
+    """Load a predictor previously written by :func:`save_predictor`."""
+    blob = Path(path).read_bytes()
+    if not blob.startswith(_MAGIC):
+        raise ValueError(f"{path}: not a PredictDDL artifact")
+    predictor = pickle.loads(blob[len(_MAGIC):])
+    if not isinstance(predictor, PredictDDL):
+        raise ValueError(f"{path}: artifact is not a PredictDDL instance")
+    return predictor

@@ -1,0 +1,167 @@
+"""The PredictDDL facade: the end-to-end system of Figs. 7-8.
+
+Wires every component together: Controller (Listener + Task Checker),
+GHN-based Workload Embeddings Generator, feature assembly and the
+Inference Engine.  Train once on a historical trace, then predict the
+training time of *new* DNN architectures without retraining -- the
+system's headline property.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..cluster import Cluster, Fabric
+from ..ghn import GHNConfig, GHNRegistry
+from ..sim import DLWorkload, TracePoint
+from .controller import Listener, TaskChecker
+from .embeddings import WorkloadEmbeddingsGenerator
+from .engine import InferenceEngine
+from .features import FeatureAssembler
+from .requests import PredictionRequest, PredictionResult
+
+__all__ = ["PredictDDL"]
+
+
+class PredictDDL:
+    """Reusable training-time predictor for distributed DL workloads.
+
+    Parameters
+    ----------
+    registry:
+        Per-dataset GHN store; a fresh in-memory registry by default.
+    regressor_name:
+        Inference Engine regressor (``"PR"`` default, per Sec. IV-B2);
+        ``"auto"`` selects the best on a validation split.
+    tune:
+        Grid-search SVR/MLP hyperparameters when those regressors are
+        used.
+    fabric:
+        Optional message fabric on which the Listener serves remote
+        requests.
+    """
+
+    def __init__(self, registry: GHNRegistry | None = None, *,
+                 regressor_name: str = "PR", tune: bool = False,
+                 seed: int = 0, fabric: Fabric | None = None,
+                 ghn_config: GHNConfig = GHNConfig()):
+        self.registry = registry if registry is not None else GHNRegistry(
+            config=ghn_config)
+        self.embeddings = WorkloadEmbeddingsGenerator(self.registry)
+        self.assembler = FeatureAssembler(self.embeddings.embedding_dim)
+        self.engine = InferenceEngine(regressor_name, tune=tune, seed=seed)
+        self.checker = TaskChecker(self.embeddings)
+        self.listener = Listener(self.checker, fabric)
+        self._trained = False
+        self._collector = None
+
+    # ------------------------------------------------------------------
+    # live cluster state (Fig. 7 step 6)
+    # ------------------------------------------------------------------
+    def attach_collector(self, collector) -> None:
+        """Use a Cluster Resource Collector for requests without an
+        explicit cluster: "we update the information about the
+        characteristics of cluster resources using the Cluster Resource
+        Collector before triggering the prediction"."""
+        self._collector = collector
+
+    def cluster_from_inventory(self) -> Cluster:
+        """Snapshot the collector's live inventory as a Cluster."""
+        if self._collector is None:
+            raise RuntimeError("no Cluster Resource Collector attached")
+        inventory = self._collector.inventory()
+        if not inventory:
+            raise RuntimeError("cluster inventory is empty (no servers "
+                               "have joined)")
+        specs = tuple(snapshot.spec
+                      for _, snapshot in sorted(inventory.items()))
+        return Cluster(servers=specs)
+
+    # ------------------------------------------------------------------
+    # training (Fig. 8)
+    # ------------------------------------------------------------------
+    def features_for(self, workload: DLWorkload, cluster: Cluster,
+                     dataset_used: str | None = None) -> np.ndarray:
+        """Assemble one feature row for a workload/cluster pair."""
+        output = self.embeddings.generate(
+            workload.graph, dataset_used or workload.dataset_name)
+        return self.assembler.assemble(output.embedding, workload, cluster)
+
+    def feature_matrix(self, points: Sequence[TracePoint]) -> np.ndarray:
+        """Feature rows for a trace (embeddings memoized per model)."""
+        rows = [self.features_for(p.workload, p.cluster) for p in points]
+        if not rows:
+            raise ValueError("empty trace")
+        return np.vstack(rows)
+
+    def fit(self, points: Sequence[TracePoint]) -> "PredictDDL":
+        """Train the prediction model on historical trace points.
+
+        GHNs for any datasets appearing in the trace are trained on
+        demand by the registry (offline, once per dataset).
+        """
+        x = self.feature_matrix(points)
+        y = np.array([p.total_time for p in points])
+        self.engine.fit(x, y)
+        self._trained = True
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        return self._trained
+
+    @property
+    def training_seconds(self) -> float:
+        """Wall time of the last Inference Engine fit."""
+        return self.engine.fit_seconds
+
+    # ------------------------------------------------------------------
+    # inference (Fig. 7)
+    # ------------------------------------------------------------------
+    def predict(self, request: PredictionRequest) -> PredictionResult:
+        """Serve one request through the full Fig. 7 pipeline."""
+        if not self._trained:
+            raise RuntimeError("PredictDDL.fit must run before predict")
+        cluster = request.cluster
+        if cluster is None:
+            if self._collector is None:
+                raise ValueError("request carries no cluster and no "
+                                 "Cluster Resource Collector is attached")
+            cluster = self.cluster_from_inventory()
+            request = PredictionRequest(workload=request.workload,
+                                        cluster=cluster,
+                                        graph=request.graph,
+                                        task=request.task)
+        decision = self.listener.submit(request)
+        graph = request.resolve_graph()
+        output = self.embeddings.generate(graph, decision.dataset_used)
+        row = self.assembler.assemble(output.embedding, request.workload,
+                                      cluster)
+        start = time.perf_counter()
+        predicted = float(self.engine.predict(row.reshape(1, -1))[0])
+        inference_seconds = time.perf_counter() - start
+        return PredictionResult(
+            request=request,
+            predicted_time=predicted,
+            dataset_used=output.dataset_used,
+            ghn_trained=output.trained_new_ghn,
+            embedding_seconds=output.seconds,
+            inference_seconds=inference_seconds,
+        )
+
+    def predict_workload(self, workload: DLWorkload,
+                         cluster: Cluster) -> float:
+        """Convenience: predicted training time in seconds."""
+        result = self.predict(PredictionRequest(workload=workload,
+                                                cluster=cluster))
+        return result.predicted_time
+
+    def predict_trace(self, points: Sequence[TracePoint]) -> np.ndarray:
+        """Vectorized prediction over trace points (evaluation path)."""
+        if not self._trained:
+            raise RuntimeError("PredictDDL.fit must run before predict")
+        x = self.feature_matrix(points)
+        return self.engine.predict(x)

@@ -1,0 +1,70 @@
+"""Prediction requests: the user input of Fig. 7 step 1.
+
+"First, we collect the user's input to PredictDDL, i.e., parameters to
+describe the DL workload, e.g., size of the input training dataset,
+dataset type, tasks, and the path to the user's training code."  The
+training code resolves to a computational graph (modern DL libraries
+generate the DAG automatically; here the zoo plays that role, and callers
+may also hand over an explicit graph).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster import Cluster
+from ..graphs import ComputationalGraph
+from ..sim import DLWorkload
+
+__all__ = ["PredictionRequest", "RequestValidationError",
+           "PredictionResult"]
+
+
+class RequestValidationError(ValueError):
+    """Raised by the Task Checker on malformed requests."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictionRequest:
+    """One training-time prediction request.
+
+    Attributes
+    ----------
+    workload:
+        The DL workload (model, dataset, batch size, epochs).
+    cluster:
+        Target cluster configuration; when omitted the Controller fills it
+        from the Cluster Resource Collector's live inventory.
+    graph:
+        Optional explicit computational graph overriding the zoo lookup
+        (e.g. a user-supplied custom architecture).
+    task:
+        Task description used for GHN selection (e.g.
+        ``"image-classification"``).
+    """
+
+    workload: DLWorkload
+    cluster: Cluster | None = None
+    graph: ComputationalGraph | None = None
+    task: str = "image-classification"
+
+    def resolve_graph(self) -> ComputationalGraph:
+        """The computational graph this request is about."""
+        return self.graph if self.graph is not None else self.workload.graph
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictionResult:
+    """Outcome of one inference (Fig. 7 step 6)."""
+
+    request: PredictionRequest
+    predicted_time: float
+    dataset_used: str  # which GHN produced the embedding
+    ghn_trained: bool  # True when the request triggered offline training
+    embedding_seconds: float
+    inference_seconds: float
+
+    @property
+    def total_latency(self) -> float:
+        """Wall time PredictDDL spent serving this request."""
+        return self.embedding_seconds + self.inference_seconds

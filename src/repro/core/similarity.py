@@ -1,0 +1,79 @@
+"""Cosine-similarity search over embeddings (Fig. 5, Sec. III-B).
+
+"PredictDDL ... uses the distance between a pair of vectors to indicate
+the similarity of the corresponding DNN architectures.  Intuitively, in
+the vector space, similar DNN architectures are closer than distinct
+ones, i.e., using cosine similarity."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import DatasetSpec
+
+__all__ = ["cosine_similarity", "similarity_matrix", "nearest_neighbors",
+           "closest_dataset"]
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine of the angle between two vectors (0 for a zero vector)."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(f"dimension mismatch: {a.shape} vs {b.shape}")
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0.0:
+        return 0.0
+    return float(a @ b / denom)
+
+
+def similarity_matrix(embeddings: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarities of embedding rows (vectorized)."""
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    unit = embeddings / norms
+    return unit @ unit.T
+
+
+def nearest_neighbors(query: np.ndarray, embeddings: dict[str, np.ndarray],
+                      k: int = 1) -> list[tuple[str, float]]:
+    """The ``k`` most cosine-similar named embeddings to ``query``."""
+    if not embeddings:
+        raise ValueError("empty embedding set")
+    scored = [(name, cosine_similarity(query, emb))
+              for name, emb in embeddings.items()]
+    scored.sort(key=lambda item: -item[1])
+    return scored[:max(1, k)]
+
+
+def _dataset_signature(spec: DatasetSpec) -> np.ndarray:
+    """Log-scaled metadata vector used to compare datasets."""
+    return np.array([
+        np.log1p(spec.num_samples),
+        np.log1p(spec.num_classes),
+        np.log1p(spec.size_bytes),
+        np.log1p(spec.input_size),
+    ])
+
+
+def closest_dataset(target: DatasetSpec,
+                    candidates: list[DatasetSpec]) -> DatasetSpec:
+    """Pick the candidate dataset most similar to ``target``.
+
+    Used by the Workload Embeddings Generator when no GHN exists for the
+    exact dataset (Sec. III-E: "selects the closest GHN model out of a set
+    of pre-trained GHN models").  Exact name matches win outright.
+    """
+    if not candidates:
+        raise ValueError("no candidate datasets")
+    for spec in candidates:
+        if spec.name == target.name:
+            return spec
+    target_sig = _dataset_signature(target)
+    # Metadata vectors are all nearly parallel (log magnitudes), so
+    # Euclidean distance separates datasets better than cosine here.
+    return min(candidates,
+               key=lambda s: float(np.linalg.norm(
+                   target_sig - _dataset_signature(s))))

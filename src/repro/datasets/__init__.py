@@ -1,0 +1,8 @@
+"""Dataset descriptors and synthetic stand-in tasks (see DESIGN.md)."""
+
+from .catalog import (CIFAR10, DATASET_CATALOG, TINY_IMAGENET, DatasetSpec,
+                      get_dataset)
+from .synthetic import SyntheticTask, make_task
+
+__all__ = ["DatasetSpec", "CIFAR10", "TINY_IMAGENET", "DATASET_CATALOG",
+           "get_dataset", "SyntheticTask", "make_task"]

@@ -1,0 +1,85 @@
+"""Dataset descriptors for the paper's training datasets (Sec. IV-A3).
+
+The paper trains on CIFAR-10 (~163 MB, 60,000 images, 10 classes) and
+Tiny-ImageNet (~250 MB, 100,000 images, 200 classes), stored on NFS.
+
+Substitution note (see DESIGN.md): PredictDDL itself never looks at pixel
+values -- only dataset *metadata* (sample count drives iterations/epoch,
+size drives NFS load) and, for GHN meta-training, a classification task on
+that dataset.  We therefore pair each descriptor with a procedurally
+generated synthetic classification task of matching class count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["DatasetSpec", "CIFAR10", "TINY_IMAGENET", "DATASET_CATALOG",
+           "get_dataset"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata of a training dataset.
+
+    Attributes
+    ----------
+    name:
+        Canonical dataset identifier (lowercase).
+    num_samples:
+        Training images available for one epoch.
+    num_classes:
+        Label cardinality (sets the classifier head width).
+    size_bytes:
+        On-disk dataset size; drives the NFS data-loading model.
+    input_size:
+        Square input resolution fed to the models.  torchvision models
+        require >= 63 px, so CIFAR-10's 32 px images are upscaled to 64
+        (the standard practice when training torchvision models on CIFAR).
+    channels:
+        Input channels (3 for RGB).
+    """
+
+    name: str
+    num_samples: int
+    num_classes: int
+    size_bytes: int
+    input_size: int
+    channels: int = 3
+
+    @property
+    def bytes_per_sample(self) -> float:
+        """Average stored bytes per training sample."""
+        return self.size_bytes / self.num_samples
+
+    def iterations_per_epoch(self, global_batch_size: int) -> int:
+        """Number of optimizer steps per epoch at the given global batch."""
+        if global_batch_size <= 0:
+            raise ValueError(f"batch size must be positive, "
+                             f"got {global_batch_size}")
+        return max(1, -(-self.num_samples // global_batch_size))
+
+
+CIFAR10 = DatasetSpec(name="cifar10", num_samples=50_000, num_classes=10,
+                      size_bytes=163 * 1024 ** 2, input_size=64)
+
+TINY_IMAGENET = DatasetSpec(name="tiny-imagenet", num_samples=100_000,
+                            num_classes=200, size_bytes=250 * 1024 ** 2,
+                            input_size=64)
+
+DATASET_CATALOG: dict[str, DatasetSpec] = {
+    CIFAR10.name: CIFAR10,
+    TINY_IMAGENET.name: TINY_IMAGENET,
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset descriptor by (case-insensitive) name."""
+    key = name.lower().replace("_", "-")
+    aliases = {"cifar-10": "cifar10", "tinyimagenet": "tiny-imagenet"}
+    key = aliases.get(key, key)
+    try:
+        return DATASET_CATALOG[key]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; available: "
+                       f"{sorted(DATASET_CATALOG)}") from None

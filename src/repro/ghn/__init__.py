@@ -1,0 +1,28 @@
+"""GHN-2: Graph HyperNetworks for architecture embeddings (Secs. II-B, III-E).
+
+Implements the full GHN-2 pipeline from scratch -- op-embedding encoder,
+GatedGNN with forward/backward traversals and virtual shortest-path edges
+(Eqs. 3-4), operation-dependent normalization, parameter decoder -- plus
+the offline meta-training workflow (Fig. 8) and the per-dataset registry
+PredictDDL's Workload Embeddings Generator queries.
+"""
+
+from .darts_space import sample_architecture, sample_space
+from .decoder import ParameterDecoder
+from .encoder import NodeEncoder, node_attribute_matrix
+from .executor import EXECUTABLE_OPS, execute_graph, random_parameters
+from .gated_gnn import GatedGNN, GraphStructure
+from .model import GHN2, GHNConfig
+from .multidataset import MultiDatasetGHNTrainer
+from .normalization import OperationNormalization
+from .registry import GHNRegistry
+from .trainer import GHNTrainer, GHNTrainingResult
+
+__all__ = [
+    "GHN2", "GHNConfig", "GHNRegistry", "GHNTrainer", "GHNTrainingResult",
+    "MultiDatasetGHNTrainer",
+    "NodeEncoder", "node_attribute_matrix", "GatedGNN", "GraphStructure",
+    "OperationNormalization", "ParameterDecoder",
+    "sample_architecture", "sample_space",
+    "execute_graph", "random_parameters", "EXECUTABLE_OPS",
+]

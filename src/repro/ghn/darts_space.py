@@ -1,0 +1,67 @@
+"""Synthetic architecture space for GHN meta-training.
+
+GHN-2 was trained on ~10^6 architectures generated from DARTS primitives
+(paper Sec. III-E).  Our meta-training space mirrors that idea at
+executable scale: randomly sampled multi-layer perceptron DAGs with varied
+depth, width, activation functions, residual connections and parallel
+branches -- every topology pattern (chain / skip / branch-merge) that
+distinguishes the zoo families, expressed over ops our executor runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import ComputationalGraph, GraphBuilder
+
+__all__ = ["sample_architecture", "sample_space"]
+
+_ACTIVATIONS = ("relu", "tanh", "sigmoid")
+
+
+def sample_architecture(rng: np.random.Generator, num_features: int,
+                        num_classes: int, *, max_depth: int = 4,
+                        max_width: int = 32,
+                        name: str | None = None) -> ComputationalGraph:
+    """Sample one random executable architecture.
+
+    The generator chooses a depth in ``[1, max_depth]``; each position is
+    a plain layer, a residual block (width-preserving) or a two-branch
+    block merged by concatenation, each followed by a random activation.
+    """
+    depth = int(rng.integers(1, max_depth + 1))
+    arch_name = name or f"arch_{rng.integers(0, 2**31)}"
+    g = GraphBuilder(arch_name, (num_features,))
+    x = g.input_id
+    for layer in range(depth):
+        width = int(rng.integers(4, max_width + 1))
+        kind = rng.choice(["plain", "residual", "branch"])
+        act = str(rng.choice(_ACTIVATIONS))
+        activation = getattr(g, act)
+        if kind == "residual":
+            # Width-preserving transform added back to its input.
+            in_width = g.shape(x)[0]
+            h = g.linear(x, in_width, name=f"l{layer}.res")
+            h = activation(h, name=f"l{layer}.act")
+            x = g.add([x, h], name=f"l{layer}.add")
+        elif kind == "branch":
+            half = max(2, width // 2)
+            a = g.linear(x, half, name=f"l{layer}.a")
+            a = activation(a, name=f"l{layer}.a_act")
+            b = g.linear(x, half, name=f"l{layer}.b")
+            b = activation(b, name=f"l{layer}.b_act")
+            x = g.concat([a, b], name=f"l{layer}.cat")
+        else:
+            x = g.linear(x, width, name=f"l{layer}.fc")
+            x = activation(x, name=f"l{layer}.act")
+    x = g.linear(x, num_classes, name="classifier")
+    g.output(x)
+    return g.build()
+
+
+def sample_space(rng: np.random.Generator, count: int, num_features: int,
+                 num_classes: int, **kwargs) -> list[ComputationalGraph]:
+    """Sample ``count`` distinct architectures."""
+    return [sample_architecture(rng, num_features, num_classes,
+                                name=f"arch_{i}", **kwargs)
+            for i in range(count)]

@@ -1,0 +1,57 @@
+"""GHN third module: the parameter decoder.
+
+Conditions on final node states ``h_v^T`` to produce weight tensors for
+weighted nodes, following the GHN tiling scheme: a fixed-size chunk is
+decoded per node and tiled/truncated to the target parameter shape.
+
+PredictDDL itself *skips* this module at inference time (paper Sec. III-E:
+"we skip the last module in the original GHN and use the intermediate
+complexity vector representation") -- but the decoder is what gives the
+meta-training objective its teeth, so it is fully implemented here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor, concatenate
+
+__all__ = ["ParameterDecoder"]
+
+
+class ParameterDecoder(Module):
+    """Decode node states into parameter tensors of arbitrary shape.
+
+    Parameters
+    ----------
+    hidden_dim:
+        Dimension of incoming node states.
+    chunk_size:
+        Elements produced per decode; larger targets are tiled.
+    """
+
+    def __init__(self, hidden_dim: int, chunk_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.chunk_size = chunk_size
+        self.net = MLP(hidden_dim, (2 * hidden_dim,), chunk_size, rng,
+                       activation="relu")
+
+    def decode(self, state: Tensor, shape: tuple[int, ...]) -> Tensor:
+        """Produce a parameter tensor of ``shape`` from one node state.
+
+        ``state`` has shape ``(hidden_dim,)``; the decoded chunk is tiled
+        (with gradient flow through every repetition) and truncated.
+        """
+        numel = int(np.prod(shape))
+        chunk = self.net(state.reshape(1, -1)).reshape(self.chunk_size)
+        repeats = -(-numel // self.chunk_size)
+        if repeats == 1:
+            flat = chunk[np.arange(numel)]
+        else:
+            tiled = concatenate([chunk] * repeats, axis=0)
+            flat = tiled[np.arange(numel)]
+        # Scale down tiled parameters so fan-in growth does not blow up
+        # activations (the role GHN-2's normalization plays for decoding).
+        fan_in = shape[-1] if len(shape) > 1 else shape[0]
+        return (flat * (1.0 / np.sqrt(max(fan_in, 1)))).reshape(*shape)

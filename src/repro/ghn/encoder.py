@@ -1,0 +1,73 @@
+"""GHN first module: the node embedding layer (paper Sec. III-E).
+
+Transforms the one-hot initial node features ``H_0`` into d-dimensional
+node features ``H_1``.  Following GHN-2 (which conditions on primitive
+specs such as shapes), the encoder optionally appends per-node structural
+scalars -- log-scaled parameter count, FLOPs and output elements -- so that
+two convolutions of different widths receive different embeddings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import ComputationalGraph
+from ..graphs.ops import OP_VOCABULARY
+from ..nn import Linear, Module, Tensor
+
+__all__ = ["NodeEncoder", "node_attribute_matrix", "NUM_NODE_ATTRS"]
+
+#: Structural attributes appended to the one-hot op encoding.
+NUM_NODE_ATTRS = 3
+
+#: Scale applied to log1p attributes so they land in roughly [0, 2].
+_LOG_SCALE = 1.0 / 10.0
+
+
+def node_attribute_matrix(graph: ComputationalGraph) -> np.ndarray:
+    """Per-node structural scalars ``(|V|, NUM_NODE_ATTRS)``.
+
+    Columns: log1p(params), log1p(flops), log1p(output elements), each
+    multiplied by ``_LOG_SCALE``.  Log scaling keeps VGG-sized layers and
+    1x1 squeeze convolutions on comparable footing.
+    """
+    attrs = np.empty((graph.num_nodes, NUM_NODE_ATTRS), dtype=np.float64)
+    for nd in graph.nodes:
+        attrs[nd.node_id, 0] = np.log1p(nd.params)
+        attrs[nd.node_id, 1] = np.log1p(nd.flops)
+        attrs[nd.node_id, 2] = np.log1p(nd.out_elements)
+    attrs *= _LOG_SCALE
+    return attrs
+
+
+class NodeEncoder(Module):
+    """Embedding layer: ``H_0 -> H_1 in R^{|V| x d}``.
+
+    Parameters
+    ----------
+    hidden_dim:
+        Output embedding dimension ``d`` (the paper suggests e.g. 32).
+    use_node_attrs:
+        Whether to append the structural scalars of
+        :func:`node_attribute_matrix` to the one-hot encoding.
+    """
+
+    def __init__(self, hidden_dim: int, rng: np.random.Generator,
+                 use_node_attrs: bool = True):
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.use_node_attrs = use_node_attrs
+        in_features = len(OP_VOCABULARY) + (NUM_NODE_ATTRS
+                                            if use_node_attrs else 0)
+        self.proj = Linear(in_features, hidden_dim, rng)
+
+    def input_features(self, graph: ComputationalGraph) -> np.ndarray:
+        """Raw (pre-projection) feature matrix for ``graph``."""
+        h0 = graph.initial_node_features()
+        if self.use_node_attrs:
+            h0 = np.concatenate([h0, node_attribute_matrix(graph)], axis=1)
+        return h0
+
+    def forward(self, graph: ComputationalGraph) -> Tensor:
+        """Return ``H_1`` of shape ``(|V|, hidden_dim)``."""
+        return self.proj(Tensor(self.input_features(graph)))

@@ -1,0 +1,108 @@
+"""Execute a computational graph with externally supplied parameters.
+
+Used by the GHN meta-trainer: the GHN decodes parameters for a candidate
+architecture, this executor runs the architecture forward on task data,
+and the classification loss backpropagates *through the decoded
+parameters into the GHN itself* -- the parameter-prediction objective of
+Knyazev et al. (2021).
+
+Supports the MLP-style op subset produced by :mod:`repro.ghn.darts_space`
+(the synthetic meta-training space); convolutional zoo graphs are used
+only for embedding extraction, never execution, matching PredictDDL.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import ComputationalGraph, OpType
+from ..nn import Tensor, concatenate
+
+__all__ = ["execute_graph", "EXECUTABLE_OPS"]
+
+#: Ops the executor understands.
+EXECUTABLE_OPS = frozenset({
+    OpType.INPUT, OpType.OUTPUT, OpType.LINEAR, OpType.RELU, OpType.TANH,
+    OpType.SIGMOID, OpType.SUM, OpType.CONCAT, OpType.IDENTITY,
+    OpType.DROPOUT, OpType.FLATTEN, OpType.SOFTMAX, OpType.LAYER_NORM,
+})
+
+
+def execute_graph(graph: ComputationalGraph,
+                  params: dict[int, dict[str, Tensor]],
+                  x: Tensor) -> Tensor:
+    """Run ``graph`` forward on a batch ``x`` of shape ``(batch, features)``.
+
+    ``params`` maps weighted node ids to their tensors (``{"weight": W}``
+    with optional ``"bias"``); for LINEAR, ``W`` has shape
+    ``(out_features, in_features)``.
+    """
+    outputs: dict[int, Tensor] = {}
+    for node_id in graph.topological_order():
+        node = graph.node(node_id)
+        preds = graph.predecessors(node_id)
+        if node.op is OpType.INPUT:
+            outputs[node_id] = x
+            continue
+        if node.op not in EXECUTABLE_OPS:
+            raise ValueError(f"op {node.op} is not executable "
+                             f"(node {node.name!r})")
+        inputs = [outputs[p] for p in preds]
+        if node.op is OpType.LINEAR:
+            tensors = params.get(node_id)
+            if tensors is None:
+                raise KeyError(f"missing parameters for linear node "
+                               f"{node.name!r} (id {node_id})")
+            out = inputs[0] @ tensors["weight"].T
+            if "bias" in tensors:
+                out = out + tensors["bias"]
+        elif node.op is OpType.RELU:
+            out = inputs[0].relu()
+        elif node.op is OpType.TANH:
+            out = inputs[0].tanh()
+        elif node.op is OpType.SIGMOID:
+            out = inputs[0].sigmoid()
+        elif node.op is OpType.SUM:
+            out = inputs[0]
+            for extra in inputs[1:]:
+                out = out + extra
+        elif node.op is OpType.CONCAT:
+            out = concatenate(inputs, axis=-1)
+        elif node.op is OpType.SOFTMAX:
+            from ..nn.functional import softmax
+
+            out = softmax(inputs[0], axis=-1)
+        elif node.op is OpType.LAYER_NORM:
+            data = inputs[0]
+            mean = data.mean(axis=-1, keepdims=True)
+            centered = data - mean
+            var = (centered * centered).mean(axis=-1, keepdims=True)
+            out = centered * (var + 1e-5) ** -0.5
+        else:  # IDENTITY, DROPOUT (inference), FLATTEN, OUTPUT
+            out = inputs[0]
+        outputs[node_id] = out
+    sink = next(nd.node_id for nd in graph.nodes
+                if nd.op is OpType.OUTPUT)
+    return outputs[sink]
+
+
+def random_parameters(graph: ComputationalGraph,
+                      rng: np.random.Generator) -> dict[int, dict[str, Tensor]]:
+    """Kaiming-style random parameters for every LINEAR node.
+
+    The meta-training baseline: GHN-decoded parameters should beat these
+    (paper Sec. III-E: "the GHN model predicts weight parameters better
+    than random initialization").
+    """
+    params: dict[int, dict[str, Tensor]] = {}
+    for node in graph.nodes:
+        if node.op is OpType.LINEAR:
+            out_f = node.attrs["out_features"]
+            in_f = node.attrs["in_features"]
+            bound = np.sqrt(6.0 / in_f)
+            entry = {"weight": Tensor(rng.uniform(-bound, bound,
+                                                  (out_f, in_f)))}
+            if node.attrs.get("bias", True):
+                entry["bias"] = Tensor(np.zeros(out_f))
+            params[node.node_id] = entry
+    return params

@@ -1,0 +1,139 @@
+"""The GHN-2 model: encoder -> GatedGNN (+op-norm) -> decoder / readout.
+
+PredictDDL uses the *intermediate* node states as a fixed-size embedding of
+the DNN architecture (Fig. 4: "the output of the k-deep graph neural
+network component of a trained GHN-2 model") and skips the decoder at
+inference time; the decoder exists to give meta-training the
+parameter-prediction objective.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..graphs import ComputationalGraph, OpType
+from ..nn import Module, Tensor, no_grad
+from .decoder import ParameterDecoder
+from .encoder import NodeEncoder
+from .gated_gnn import GatedGNN, GraphStructure
+from .normalization import OperationNormalization
+
+__all__ = ["GHNConfig", "GHN2"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GHNConfig:
+    """Hyperparameters of a GHN-2 instance.
+
+    Attributes
+    ----------
+    hidden_dim:
+        Node-state and embedding dimension ``d`` (paper: e.g. 32).
+    num_passes:
+        ``T`` forward+backward traversal rounds.
+    s_max:
+        Maximum shortest-path length for virtual edges (Eq. 4);
+        ``s_max <= 1`` disables virtual edges (GHN-1 ablation).
+    use_node_attrs:
+        Append structural scalars to one-hot node features.
+    use_op_norm:
+        Apply operation-dependent normalization between passes.
+    readout:
+        ``"sum"`` (default; embedding norm scales with graph complexity)
+        or ``"mean"`` (ablation).
+    chunk_size:
+        Decoder chunk size.
+    seed:
+        Weight-initialization seed.
+    """
+
+    hidden_dim: int = 32
+    num_passes: int = 1
+    s_max: int = 5
+    use_node_attrs: bool = True
+    use_op_norm: bool = True
+    readout: str = "sum"
+    chunk_size: int = 64
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.readout not in ("sum", "mean"):
+            raise ValueError(f"readout must be 'sum' or 'mean', "
+                             f"got {self.readout!r}")
+        if self.hidden_dim <= 0 or self.num_passes <= 0:
+            raise ValueError("hidden_dim and num_passes must be positive")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "GHNConfig":
+        return GHNConfig(**payload)
+
+
+class GHN2(Module):
+    """Graph HyperNetwork 2 over computational graphs."""
+
+    def __init__(self, config: GHNConfig = GHNConfig()):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.encoder = NodeEncoder(config.hidden_dim, rng,
+                                   use_node_attrs=config.use_node_attrs)
+        self.gnn = GatedGNN(config.hidden_dim, rng,
+                            num_passes=config.num_passes)
+        self.op_norm = (OperationNormalization()
+                        if config.use_op_norm else None)
+        self.decoder = ParameterDecoder(config.hidden_dim,
+                                        config.chunk_size, rng)
+        self._structure_cache: dict[str, GraphStructure] = {}
+
+    # ------------------------------------------------------------------
+    def structure(self, graph: ComputationalGraph) -> GraphStructure:
+        """Cached numpy structure matrices for ``graph``."""
+        cached = self._structure_cache.get(graph.name)
+        if cached is None or cached.receive_fw.shape[0] != graph.num_nodes:
+            cached = GraphStructure.build(graph, self.config.s_max)
+            self._structure_cache[graph.name] = cached
+        return cached
+
+    def node_states(self, graph: ComputationalGraph) -> Tensor:
+        """Final node states ``h_v^T`` of shape ``(|V|, d)``."""
+        states = self.encoder(graph)
+        normalize = self.op_norm if self.op_norm is not None else None
+        return self.gnn(states, self.structure(graph),
+                        normalize=normalize, graph=graph)
+
+    def embed(self, graph: ComputationalGraph) -> np.ndarray:
+        """Fixed-size architecture embedding (inference path, Fig. 4).
+
+        Runs without gradient tracking and returns a ``(hidden_dim,)``
+        float array: the sum (or mean) readout of final node states.
+        """
+        with no_grad():
+            states = self.node_states(graph).data
+        if self.config.readout == "sum":
+            return states.sum(axis=0)
+        return states.mean(axis=0)
+
+    def predict_parameters(self, graph: ComputationalGraph) -> dict:
+        """Decode parameters for every weighted (LINEAR) node.
+
+        Returns ``{node_id: {"weight": Tensor, "bias": Tensor}}`` with
+        gradients flowing back into the whole GHN (meta-training path).
+        """
+        states = self.node_states(graph)
+        params: dict[int, dict[str, Tensor]] = {}
+        for node in graph.nodes:
+            if node.op is not OpType.LINEAR:
+                continue
+            out_f = node.attrs["out_features"]
+            in_f = node.attrs["in_features"]
+            state = states[node.node_id]
+            entry = {"weight": self.decoder.decode(state, (out_f, in_f))}
+            if node.attrs.get("bias", True):
+                entry["bias"] = Tensor(np.zeros(out_f))
+            params[node.node_id] = entry
+        return params

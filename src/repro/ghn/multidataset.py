@@ -1,0 +1,79 @@
+"""Multi-dataset GHN meta-training (paper future work, Sec. VI).
+
+"[We plan to] improve PredictDDL's GHN-based embeddings generator to
+generalize for multiple datasets."  This trainer interleaves
+parameter-prediction meta-steps across several datasets' tasks, with a
+dataset-conditioning vector appended to the GHN input so one model serves
+every dataset (replacing the one-GHN-per-dataset registry for deployments
+that want a single artifact).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..datasets import DatasetSpec, make_task
+from ..nn import Adam, Tensor, clip_grad_norm
+from ..nn.functional import cross_entropy
+from .darts_space import sample_architecture
+from .executor import execute_graph
+from .model import GHN2, GHNConfig
+from .trainer import GHNTrainingResult
+
+__all__ = ["MultiDatasetGHNTrainer"]
+
+
+class MultiDatasetGHNTrainer:
+    """Meta-trains one GHN across several datasets' tasks.
+
+    All datasets' synthetic tasks must share the feature dimension so one
+    executable architecture space serves them all; class counts may
+    differ (each task caps at 10 classes, see
+    :func:`repro.datasets.make_task`).
+    """
+
+    def __init__(self, datasets: Sequence[DatasetSpec],
+                 config: GHNConfig = GHNConfig(), *, seed: int = 0,
+                 num_features: int = 16, batch_size: int = 64,
+                 lr: float = 3e-3, grad_clip: float = 5.0):
+        if not datasets:
+            raise ValueError("need at least one dataset")
+        self.datasets = list(datasets)
+        self.rng = np.random.default_rng(seed)
+        self.tasks = [make_task(ds, num_features=num_features)
+                      for ds in self.datasets]
+        classes = {t.num_classes for t in self.tasks}
+        if len(classes) != 1:
+            raise ValueError(f"tasks must share the class count after "
+                             f"capping, got {sorted(classes)}")
+        self.batch_size = batch_size
+        self.ghn = GHN2(config)
+        self.optimizer = Adam(self.ghn.parameters(), lr=lr)
+        self.grad_clip = grad_clip
+
+    def train_step(self, dataset_index: int) -> float:
+        """One meta-step against the chosen dataset's task."""
+        task = self.tasks[dataset_index]
+        arch = sample_architecture(self.rng, task.num_features,
+                                   task.num_classes)
+        idx = self.rng.integers(0, len(task.y), size=self.batch_size)
+        params = self.ghn.predict_parameters(arch)
+        logits = execute_graph(arch, params, Tensor(task.x[idx]))
+        loss = cross_entropy(logits, task.y[idx])
+        self.optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(self.ghn.parameters(), self.grad_clip)
+        self.optimizer.step()
+        return loss.item()
+
+    def train(self, steps: int) -> GHNTrainingResult:
+        """Round-robin over datasets for ``steps`` total meta-steps."""
+        history = [self.train_step(i % len(self.tasks))
+                   for i in range(steps)]
+        name = "+".join(ds.name for ds in self.datasets)
+        return GHNTrainingResult(dataset=name, steps=steps,
+                                 loss_history=tuple(history),
+                                 final_loss=history[-1] if history
+                                 else float("nan"))

@@ -1,0 +1,108 @@
+"""Aggregate analyses over computational graphs.
+
+These are the quantities PredictDDL's motivation experiments compare against
+GHN embeddings (Figs. 1, 2 and 6): number of weighted layers, number of
+learnable parameters -- plus the exact FLOP accounting the DDP simulator
+uses to cost one training iteration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .graph import ComputationalGraph
+from .ops import OpType, is_activation, is_pooling
+
+__all__ = ["GraphProfile", "profile_graph", "training_flops_per_sample",
+           "activation_memory_bytes", "parameter_bytes"]
+
+#: Empirical multiplier mapping forward FLOPs to full training-step FLOPs
+#: (forward + backward).  The backward pass costs roughly twice the forward
+#: pass for convolutional networks (gradients w.r.t. inputs and weights).
+BACKWARD_FLOP_MULTIPLIER = 2.0
+
+#: Bytes per parameter / activation scalar in single precision.
+BYTES_PER_SCALAR = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphProfile:
+    """Summary statistics of one computational graph."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    num_layers: int
+    total_params: int
+    forward_flops: int
+    training_flops: float
+    depth: int
+    num_branches: int
+    activation_bytes: int
+    parameter_bytes: int
+
+    def as_feature_dict(self) -> dict[str, float]:
+        """Gray-box features used by the Fig. 1/2 comparison."""
+        return {
+            "num_layers": float(self.num_layers),
+            "total_params": float(self.total_params),
+            "forward_flops": float(self.forward_flops),
+            "depth": float(self.depth),
+        }
+
+
+def training_flops_per_sample(graph: ComputationalGraph) -> float:
+    """FLOPs of one forward+backward pass on a single sample."""
+    return graph.total_flops * (1.0 + BACKWARD_FLOP_MULTIPLIER)
+
+
+def activation_memory_bytes(graph: ComputationalGraph) -> int:
+    """Bytes of activation storage for one sample (all node outputs).
+
+    Training keeps every intermediate activation alive for the backward
+    pass, so this approximates per-sample activation memory.
+    """
+    return BYTES_PER_SCALAR * sum(nd.out_elements for nd in graph.nodes)
+
+
+def parameter_bytes(graph: ComputationalGraph) -> int:
+    """Bytes of model parameters (the all-reduce payload under DDP)."""
+    return BYTES_PER_SCALAR * graph.total_params
+
+
+def profile_graph(graph: ComputationalGraph) -> GraphProfile:
+    """Compute the full :class:`GraphProfile` for ``graph``."""
+    num_branches = sum(
+        1 for nd in graph.nodes if len(graph.predecessors(nd.node_id)) > 1)
+    return GraphProfile(
+        name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_layers=graph.num_layers,
+        total_params=graph.total_params,
+        forward_flops=graph.total_flops,
+        training_flops=training_flops_per_sample(graph),
+        depth=graph.depth(),
+        num_branches=num_branches,
+        activation_bytes=activation_memory_bytes(graph),
+        parameter_bytes=parameter_bytes(graph),
+    )
+
+
+def op_type_counts(graph: ComputationalGraph) -> dict[str, int]:
+    """Histogram of op categories (weighted / activation / pooling / merge)."""
+    counts = {"weighted": 0, "activation": 0, "pooling": 0, "merge": 0,
+              "other": 0}
+    for nd in graph.nodes:
+        if nd.op in (OpType.CONV, OpType.DWCONV, OpType.GROUP_CONV,
+                     OpType.LINEAR, OpType.BATCH_NORM, OpType.LAYER_NORM):
+            counts["weighted"] += 1
+        elif is_activation(nd.op):
+            counts["activation"] += 1
+        elif is_pooling(nd.op):
+            counts["pooling"] += 1
+        elif nd.op in (OpType.SUM, OpType.MUL, OpType.CONCAT):
+            counts["merge"] += 1
+        else:
+            counts["other"] += 1
+    return counts

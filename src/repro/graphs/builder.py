@@ -1,0 +1,380 @@
+"""Fluent builder for computational graphs with automatic shape inference.
+
+Every method appends one primitive node, infers its output shape from its
+inputs, computes learnable-parameter and FLOP counts, wires edges, and
+returns the new node id.  The zoo modules (:mod:`repro.graphs.zoo`) are
+written entirely against this API, mirroring how PyTorch/TensorFlow would
+trace a model into a DAG (paper Sec. III-B, step 1).
+
+FLOPs convention: one multiply-accumulate = 2 FLOPs; purely elementwise ops
+cost 1 FLOP per output element (a few cost more, documented inline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .graph import ComputationalGraph, GraphValidationError, Node
+from .ops import OpType
+
+__all__ = ["GraphBuilder", "conv_out_size"]
+
+
+def conv_out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise GraphValidationError(
+            f"non-positive spatial output: size={size} kernel={kernel} "
+            f"stride={stride} padding={padding}")
+    return out
+
+
+class GraphBuilder:
+    """Incrementally constructs a :class:`ComputationalGraph`.
+
+    Parameters
+    ----------
+    name:
+        Graph name (typically the model name).
+    input_shape:
+        Shape of one input sample, ``(C, H, W)`` for images.
+    """
+
+    def __init__(self, name: str, input_shape: tuple[int, ...]):
+        self.name = name
+        self._nodes: list[Node] = []
+        self._edges: list[tuple[int, int]] = []
+        self._name_counts: dict[str, int] = {}
+        self.input_id = self._add_node(OpType.INPUT, "input",
+                                       tuple(input_shape), [], 0, 0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _unique(self, base: str) -> str:
+        count = self._name_counts.get(base, 0)
+        self._name_counts[base] = count + 1
+        return base if count == 0 else f"{base}_{count}"
+
+    def _add_node(self, op: OpType, name: str, out_shape: tuple[int, ...],
+                  inputs: Sequence[int], params: int, flops: int,
+                  **attrs) -> int:
+        node_id = len(self._nodes)
+        self._nodes.append(Node(node_id=node_id, op=op,
+                                name=self._unique(name),
+                                out_shape=out_shape, params=int(params),
+                                flops=int(flops), attrs=dict(attrs)))
+        for src in inputs:
+            self._edges.append((src, node_id))
+        return node_id
+
+    def shape(self, node_id: int) -> tuple[int, ...]:
+        """Output shape of an already-added node."""
+        return self._nodes[node_id].out_shape
+
+    def _chw(self, node_id: int) -> tuple[int, int, int]:
+        shp = self.shape(node_id)
+        if len(shp) != 3:
+            raise GraphValidationError(
+                f"node {node_id} ({self._nodes[node_id].name}) is not a "
+                f"feature map: shape={shp}")
+        return shp  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # convolutions and linear layers
+    # ------------------------------------------------------------------
+    def conv(self, src: int, out_channels: int, kernel_size: int,
+             stride: int = 1, padding: int = 0, groups: int = 1,
+             bias: bool = True, name: str = "conv") -> int:
+        """2-D convolution. ``groups == in_channels`` => depthwise node."""
+        c_in, h, w = self._chw(src)
+        if c_in % groups or out_channels % groups:
+            raise GraphValidationError(
+                f"groups={groups} does not divide channels "
+                f"({c_in} -> {out_channels})")
+        h_out = conv_out_size(h, kernel_size, stride, padding)
+        w_out = conv_out_size(w, kernel_size, stride, padding)
+        weight = kernel_size * kernel_size * (c_in // groups) * out_channels
+        params = weight + (out_channels if bias else 0)
+        macs = weight * h_out * w_out
+        flops = 2 * macs + (out_channels * h_out * w_out if bias else 0)
+        if groups == 1:
+            op = OpType.CONV
+        elif groups == c_in and c_in == out_channels:
+            op = OpType.DWCONV
+        else:
+            op = OpType.GROUP_CONV
+        return self._add_node(op, name, (out_channels, h_out, w_out), [src],
+                              params, flops, kernel_size=kernel_size,
+                              stride=stride, padding=padding, groups=groups,
+                              in_channels=c_in, out_channels=out_channels,
+                              bias=bias)
+
+    def linear(self, src: int, out_features: int, bias: bool = True,
+               name: str = "fc") -> int:
+        """Fully connected layer; expects a flattened ``(F,)`` input."""
+        shp = self.shape(src)
+        if len(shp) != 1:
+            raise GraphValidationError(
+                f"linear expects flattened input, got shape {shp}; "
+                f"call flatten() first")
+        in_features = shp[0]
+        params = in_features * out_features + (out_features if bias else 0)
+        flops = 2 * in_features * out_features + (out_features if bias else 0)
+        return self._add_node(OpType.LINEAR, name, (out_features,), [src],
+                              params, flops, in_features=in_features,
+                              out_features=out_features, bias=bias)
+
+    # ------------------------------------------------------------------
+    # normalization
+    # ------------------------------------------------------------------
+    def batch_norm(self, src: int, name: str = "bn") -> int:
+        """Batch normalization: 2C learnable params, ~4 FLOPs/element."""
+        shp = self.shape(src)
+        c = shp[0]
+        elements = 1
+        for s in shp:
+            elements *= s
+        return self._add_node(OpType.BATCH_NORM, name, shp, [src], 2 * c,
+                              4 * elements, channels=c)
+
+    def layer_norm(self, src: int, name: str = "ln") -> int:
+        shp = self.shape(src)
+        elements = 1
+        for s in shp:
+            elements *= s
+        return self._add_node(OpType.LAYER_NORM, name, shp, [src],
+                              2 * elements, 5 * elements)
+
+    def lrn(self, src: int, size: int = 5, name: str = "lrn") -> int:
+        """Local response normalization (AlexNet)."""
+        shp = self.shape(src)
+        elements = 1
+        for s in shp:
+            elements *= s
+        return self._add_node(OpType.LRN, name, shp, [src], 0,
+                              (2 * size + 3) * elements, size=size)
+
+    # ------------------------------------------------------------------
+    # activations (all pointwise, shape preserving)
+    # ------------------------------------------------------------------
+    def _pointwise(self, op: OpType, src: int, name: str,
+                   flops_per_elem: int = 1) -> int:
+        shp = self.shape(src)
+        elements = 1
+        for s in shp:
+            elements *= s
+        return self._add_node(op, name, shp, [src], 0,
+                              flops_per_elem * elements)
+
+    def relu(self, src: int, name: str = "relu") -> int:
+        return self._pointwise(OpType.RELU, src, name)
+
+    def relu6(self, src: int, name: str = "relu6") -> int:
+        return self._pointwise(OpType.RELU6, src, name)
+
+    def sigmoid(self, src: int, name: str = "sigmoid") -> int:
+        return self._pointwise(OpType.SIGMOID, src, name, 4)
+
+    def hard_sigmoid(self, src: int, name: str = "hsigmoid") -> int:
+        return self._pointwise(OpType.HARD_SIGMOID, src, name, 2)
+
+    def tanh(self, src: int, name: str = "tanh") -> int:
+        return self._pointwise(OpType.TANH, src, name, 4)
+
+    def silu(self, src: int, name: str = "silu") -> int:
+        return self._pointwise(OpType.SILU, src, name, 5)
+
+    def hard_swish(self, src: int, name: str = "hswish") -> int:
+        return self._pointwise(OpType.HARD_SWISH, src, name, 3)
+
+    def gelu(self, src: int, name: str = "gelu") -> int:
+        return self._pointwise(OpType.GELU, src, name, 8)
+
+    def softmax(self, src: int, name: str = "softmax") -> int:
+        return self._pointwise(OpType.SOFTMAX, src, name, 5)
+
+    def dropout(self, src: int, p: float = 0.5, name: str = "dropout") -> int:
+        shp = self.shape(src)
+        elements = 1
+        for s in shp:
+            elements *= s
+        return self._add_node(OpType.DROPOUT, name, shp, [src], 0, elements,
+                              p=p)
+
+    def identity(self, src: int, name: str = "identity") -> int:
+        return self._add_node(OpType.IDENTITY, name, self.shape(src), [src],
+                              0, 0)
+
+    # ------------------------------------------------------------------
+    # pooling and spatial reshaping
+    # ------------------------------------------------------------------
+    def max_pool(self, src: int, kernel_size: int, stride: int | None = None,
+                 padding: int = 0, name: str = "maxpool") -> int:
+        c, h, w = self._chw(src)
+        stride = kernel_size if stride is None else stride
+        h_out = conv_out_size(h, kernel_size, stride, padding)
+        w_out = conv_out_size(w, kernel_size, stride, padding)
+        flops = kernel_size * kernel_size * c * h_out * w_out
+        return self._add_node(OpType.MAX_POOL, name, (c, h_out, w_out),
+                              [src], 0, flops, kernel_size=kernel_size,
+                              stride=stride, padding=padding)
+
+    def avg_pool(self, src: int, kernel_size: int, stride: int | None = None,
+                 padding: int = 0, name: str = "avgpool") -> int:
+        c, h, w = self._chw(src)
+        stride = kernel_size if stride is None else stride
+        h_out = conv_out_size(h, kernel_size, stride, padding)
+        w_out = conv_out_size(w, kernel_size, stride, padding)
+        flops = kernel_size * kernel_size * c * h_out * w_out
+        return self._add_node(OpType.AVG_POOL, name, (c, h_out, w_out),
+                              [src], 0, flops, kernel_size=kernel_size,
+                              stride=stride, padding=padding)
+
+    def global_avg_pool(self, src: int, name: str = "gap") -> int:
+        """Global average pooling to ``(C, 1, 1)``."""
+        c, h, w = self._chw(src)
+        return self._add_node(OpType.GLOBAL_AVG_POOL, name, (c, 1, 1), [src],
+                              0, c * h * w)
+
+    def adaptive_avg_pool(self, src: int, output_size: int,
+                          name: str = "adaptive_avgpool") -> int:
+        c, h, w = self._chw(src)
+        return self._add_node(OpType.ADAPTIVE_AVG_POOL, name,
+                              (c, output_size, output_size), [src], 0,
+                              c * h * w, output_size=output_size)
+
+    def flatten(self, src: int, name: str = "flatten") -> int:
+        shp = self.shape(src)
+        features = 1
+        for s in shp:
+            features *= s
+        return self._add_node(OpType.FLATTEN, name, (features,), [src], 0, 0)
+
+    def channel_shuffle(self, src: int, groups: int,
+                        name: str = "shuffle") -> int:
+        shp = self.shape(src)
+        return self._add_node(OpType.CHANNEL_SHUFFLE, name, shp, [src], 0, 0,
+                              groups=groups)
+
+    def channel_split(self, src: int, name: str = "split") -> tuple[int, int]:
+        """Split a feature map into two channel halves (ShuffleNet-V2).
+
+        Modeled as two IDENTITY nodes each carrying half the channels; the
+        split itself moves no data and costs no FLOPs.
+        """
+        c, h, w = self._chw(src)
+        if c % 2:
+            raise GraphValidationError(f"channel_split needs even channels, "
+                                       f"got {c}")
+        left = self._add_node(OpType.IDENTITY, f"{name}.left",
+                              (c // 2, h, w), [src], 0, 0, split="left")
+        right = self._add_node(OpType.IDENTITY, f"{name}.right",
+                               (c // 2, h, w), [src], 0, 0, split="right")
+        return left, right
+
+    def zero_pad(self, src: int, padding: int, name: str = "pad") -> int:
+        c, h, w = self._chw(src)
+        return self._add_node(OpType.ZERO_PAD, name,
+                              (c, h + 2 * padding, w + 2 * padding), [src],
+                              0, 0, padding=padding)
+
+    def upsample(self, src: int, scale: int, name: str = "upsample") -> int:
+        c, h, w = self._chw(src)
+        return self._add_node(OpType.UPSAMPLE, name, (c, h * scale, w * scale),
+                              [src], 0, c * h * w * scale * scale,
+                              scale=scale)
+
+    # ------------------------------------------------------------------
+    # branch merging
+    # ------------------------------------------------------------------
+    def add(self, srcs: Sequence[int], name: str = "add") -> int:
+        """Elementwise sum of branches (residual connection)."""
+        shapes = {self.shape(s) for s in srcs}
+        if len(shapes) != 1:
+            raise GraphValidationError(
+                f"add: mismatched branch shapes {sorted(shapes)}")
+        shp = shapes.pop()
+        elements = 1
+        for s in shp:
+            elements *= s
+        return self._add_node(OpType.SUM, name, shp, list(srcs), 0,
+                              (len(srcs) - 1) * elements)
+
+    def mul(self, srcs: Sequence[int], name: str = "mul") -> int:
+        """Elementwise product; broadcast ``(C,1,1)`` scales onto ``(C,H,W)``.
+
+        Used for squeeze-and-excite channel scaling.
+        """
+        shapes = [self.shape(s) for s in srcs]
+        full = max(shapes, key=lambda s: len(s) * 10**9 + sum(s))
+        for shp in shapes:
+            if shp != full and not (len(shp) == len(full) == 3
+                                    and shp[0] == full[0]
+                                    and shp[1] == shp[2] == 1):
+                raise GraphValidationError(
+                    f"mul: shape {shp} cannot broadcast to {full}")
+        elements = 1
+        for s in full:
+            elements *= s
+        return self._add_node(OpType.MUL, name, full, list(srcs), 0,
+                              (len(srcs) - 1) * elements)
+
+    def concat(self, srcs: Sequence[int], name: str = "concat") -> int:
+        """Channel-wise concatenation of feature maps (or 1-D features)."""
+        raw_shapes = [self.shape(s) for s in srcs]
+        if all(len(shp) == 1 for shp in raw_shapes):
+            total = sum(shp[0] for shp in raw_shapes)
+            return self._add_node(OpType.CONCAT, name, (total,), list(srcs),
+                                  0, 0)
+        shapes = [self._chw(s) for s in srcs]
+        spatial = {(h, w) for _, h, w in shapes}
+        if len(spatial) != 1:
+            raise GraphValidationError(
+                f"concat: mismatched spatial dims {sorted(spatial)}")
+        h, w = spatial.pop()
+        c_total = sum(c for c, _, _ in shapes)
+        return self._add_node(OpType.CONCAT, name, (c_total, h, w),
+                              list(srcs), 0, 0)
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+    def output(self, src: int) -> int:
+        """Mark ``src`` as the graph output (appends the OUTPUT sink)."""
+        return self._add_node(OpType.OUTPUT, "output", self.shape(src),
+                              [src], 0, 0)
+
+    def build(self) -> ComputationalGraph:
+        """Validate and return the immutable graph."""
+        return ComputationalGraph(self.name, self._nodes, self._edges)
+
+    # ------------------------------------------------------------------
+    # common composite blocks
+    # ------------------------------------------------------------------
+    def conv_bn_act(self, src: int, out_channels: int, kernel_size: int,
+                    stride: int = 1, padding: int = 0, groups: int = 1,
+                    act: str = "relu", name: str = "convbn") -> int:
+        """conv -> batch norm -> activation, the ubiquitous CNN block."""
+        x = self.conv(src, out_channels, kernel_size, stride=stride,
+                      padding=padding, groups=groups, bias=False,
+                      name=f"{name}.conv")
+        x = self.batch_norm(x, name=f"{name}.bn")
+        if act is None or act == "none":
+            return x
+        activation = getattr(self, act)
+        return activation(x, name=f"{name}.{act}")
+
+    def squeeze_excite(self, src: int, reduction: int = 4,
+                       gate: str = "sigmoid", name: str = "se") -> int:
+        """Squeeze-and-excitation block returning the rescaled feature map."""
+        c, _, _ = self._chw(src)
+        squeezed = max(1, c // reduction)
+        s = self.global_avg_pool(src, name=f"{name}.squeeze")
+        s = self.conv(s, squeezed, 1, name=f"{name}.fc1")
+        s = self.relu(s, name=f"{name}.relu")
+        s = self.conv(s, c, 1, name=f"{name}.fc2")
+        gate_fn = getattr(self, gate)
+        s = gate_fn(s, name=f"{name}.gate")
+        return self.mul([src, s], name=f"{name}.scale")

@@ -1,0 +1,141 @@
+"""Primitive operation vocabulary for DNN computational graphs.
+
+PredictDDL (Sec. II-B) represents a DNN as a DAG whose nodes are primitive
+computation operations -- convolution, group convolution, concatenation,
+summation, averaging, pooling, bias addition, batch normalization, etc.
+This module defines that vocabulary together with the one-hot encoding used
+as the initial node features ``H_0`` consumed by the GHN (Sec. III-E).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "OpType",
+    "OP_VOCABULARY",
+    "one_hot",
+    "one_hot_matrix",
+    "is_weighted_op",
+    "is_activation",
+    "is_pooling",
+    "is_merge",
+]
+
+
+class OpType(enum.Enum):
+    """Primitive operations appearing in computational graphs.
+
+    The vocabulary covers every primitive needed to express the 31+
+    torchvision-style image classification models in :mod:`repro.graphs.zoo`
+    plus the DARTS-style primitives used to meta-train the GHN
+    (:mod:`repro.ghn.darts_space`).
+    """
+
+    INPUT = "input"
+    OUTPUT = "output"
+    CONV = "conv"
+    DWCONV = "dwconv"  # depthwise convolution (groups == channels)
+    GROUP_CONV = "group_conv"  # grouped convolution, 1 < groups < channels
+    LINEAR = "linear"
+    BIAS_ADD = "bias_add"
+    BATCH_NORM = "batch_norm"
+    LAYER_NORM = "layer_norm"
+    LRN = "lrn"  # local response normalization (AlexNet)
+    RELU = "relu"
+    RELU6 = "relu6"
+    SIGMOID = "sigmoid"
+    HARD_SIGMOID = "hard_sigmoid"
+    TANH = "tanh"
+    SILU = "silu"  # a.k.a. swish (EfficientNet)
+    HARD_SWISH = "hard_swish"  # MobileNet-V3
+    GELU = "gelu"
+    SOFTMAX = "softmax"
+    MAX_POOL = "max_pool"
+    AVG_POOL = "avg_pool"
+    GLOBAL_AVG_POOL = "global_avg_pool"
+    ADAPTIVE_AVG_POOL = "adaptive_avg_pool"
+    SUM = "sum"  # elementwise addition of branches (residual add)
+    MUL = "mul"  # elementwise multiply (squeeze-excite scaling)
+    CONCAT = "concat"
+    FLATTEN = "flatten"
+    DROPOUT = "dropout"
+    CHANNEL_SHUFFLE = "channel_shuffle"
+    ZERO_PAD = "zero_pad"
+    IDENTITY = "identity"
+    UPSAMPLE = "upsample"
+
+
+#: Stable, ordered vocabulary used for one-hot encodings.  The order is part
+#: of the serialized format of trained GHNs -- do not reorder existing
+#: entries, only append.
+OP_VOCABULARY: tuple[OpType, ...] = tuple(OpType)
+
+_OP_INDEX: dict[OpType, int] = {op: i for i, op in enumerate(OP_VOCABULARY)}
+
+_WEIGHTED = frozenset(
+    {OpType.CONV, OpType.DWCONV, OpType.GROUP_CONV, OpType.LINEAR,
+     OpType.BATCH_NORM, OpType.LAYER_NORM}
+)
+_ACTIVATIONS = frozenset(
+    {OpType.RELU, OpType.RELU6, OpType.SIGMOID, OpType.HARD_SIGMOID,
+     OpType.TANH, OpType.SILU, OpType.HARD_SWISH, OpType.GELU,
+     OpType.SOFTMAX}
+)
+_POOLING = frozenset(
+    {OpType.MAX_POOL, OpType.AVG_POOL, OpType.GLOBAL_AVG_POOL,
+     OpType.ADAPTIVE_AVG_POOL}
+)
+_MERGE = frozenset({OpType.SUM, OpType.MUL, OpType.CONCAT})
+
+
+def vocabulary_size() -> int:
+    """Number of primitive op types in the vocabulary."""
+    return len(OP_VOCABULARY)
+
+
+def op_index(op: OpType) -> int:
+    """Stable integer index of ``op`` within :data:`OP_VOCABULARY`."""
+    return _OP_INDEX[op]
+
+
+def one_hot(op: OpType) -> np.ndarray:
+    """Return the one-hot row vector encoding ``op`` (float64)."""
+    vec = np.zeros(len(OP_VOCABULARY), dtype=np.float64)
+    vec[_OP_INDEX[op]] = 1.0
+    return vec
+
+
+def one_hot_matrix(ops: list[OpType]) -> np.ndarray:
+    """Vectorized one-hot encoding of a node op sequence.
+
+    Returns the ``H_0`` matrix of shape ``(len(ops), |vocab|)`` described in
+    Sec. III-E of the paper.
+    """
+    idx = np.fromiter((_OP_INDEX[op] for op in ops), dtype=np.intp,
+                      count=len(ops))
+    mat = np.zeros((len(ops), len(OP_VOCABULARY)), dtype=np.float64)
+    mat[np.arange(len(ops)), idx] = 1.0
+    return mat
+
+
+def is_weighted_op(op: OpType) -> bool:
+    """True if the op carries learnable parameters."""
+    return op in _WEIGHTED
+
+
+def is_activation(op: OpType) -> bool:
+    """True if the op is a pointwise nonlinearity."""
+    return op in _ACTIVATIONS
+
+
+def is_pooling(op: OpType) -> bool:
+    """True if the op is a spatial pooling operation."""
+    return op in _POOLING
+
+
+def is_merge(op: OpType) -> bool:
+    """True if the op merges multiple input branches."""
+    return op in _MERGE

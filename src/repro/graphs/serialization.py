@@ -1,0 +1,64 @@
+"""JSON (de)serialization of computational graphs.
+
+PredictDDL's Controller receives workload descriptions over its Listener;
+graphs therefore need a stable wire format.  The format is intentionally
+simple and versioned so stored traces remain readable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .graph import ComputationalGraph, Node
+from .ops import OpType
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: ComputationalGraph) -> dict:
+    """Convert a graph to a JSON-serializable dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "id": nd.node_id,
+                "op": nd.op.value,
+                "name": nd.name,
+                "out_shape": list(nd.out_shape),
+                "params": nd.params,
+                "flops": nd.flops,
+                "attrs": nd.attrs,
+            }
+            for nd in graph.nodes
+        ],
+        "edges": [list(e) for e in graph.edges],
+    }
+
+
+def graph_from_dict(payload: dict) -> ComputationalGraph:
+    """Reconstruct a graph from :func:`graph_to_dict` output."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version: {version!r}")
+    nodes = [
+        Node(node_id=nd["id"], op=OpType(nd["op"]), name=nd["name"],
+             out_shape=tuple(nd["out_shape"]), params=nd["params"],
+             flops=nd["flops"], attrs=dict(nd.get("attrs", {})))
+        for nd in payload["nodes"]
+    ]
+    edges = [tuple(e) for e in payload["edges"]]
+    return ComputationalGraph(payload["name"], nodes, edges)
+
+
+def save_graph(graph: ComputationalGraph, path: str | Path) -> None:
+    """Write the graph as JSON to ``path``."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph)))
+
+
+def load_graph(path: str | Path) -> ComputationalGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    return graph_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,116 @@
+"""Model zoo: 31+ image-classification DNNs as computational graphs.
+
+The registry mirrors the paper's experimental pool (Sec. IV-A2): 31 models
+from the PyTorch Vision library spanning the ResNet, VGG, EfficientNet,
+DenseNet, MobileNet, SqueezeNet, ResNeXt, Wide-ResNet, ShuffleNet,
+GoogLeNet and MNASNet families.
+
+Use :func:`get_model` / :func:`list_models` for name-based access.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..graph import ComputationalGraph
+from .alexnet import alexnet
+from .densenet import densenet121, densenet161, densenet169, densenet201
+from .efficientnet import (efficientnet_b0, efficientnet_b1,
+                           efficientnet_b2, efficientnet_b3,
+                           efficientnet_b4, efficientnet_b5,
+                           efficientnet_b6, efficientnet_b7)
+from .googlenet import googlenet
+from .inception import inception_v3
+from .mnasnet import mnasnet1_0
+from .mobilenet import mobilenet_v2, mobilenet_v3_large, mobilenet_v3_small
+from .regnet import (regnet_x_1_6gf, regnet_x_400mf, regnet_y_1_6gf,
+                     regnet_y_400mf)
+from .resnet import (resnet18, resnet34, resnet50, resnet101, resnet152,
+                     resnext50_32x4d, resnext101_32x8d, wide_resnet50_2,
+                     wide_resnet101_2)
+from .shufflenet import shufflenet_v2_x1_0
+from .squeezenet import squeezenet1_0, squeezenet1_1
+from .vgg import vgg11, vgg13, vgg16, vgg19
+
+ModelBuilder = Callable[..., ComputationalGraph]
+
+#: All models available to the trace generator (paper: "31 image
+#: classification DL models from the PyTorch Vision libraries").
+MODEL_REGISTRY: dict[str, ModelBuilder] = {
+    "alexnet": alexnet,
+    "vgg11": vgg11,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "resnet101": resnet101,
+    "resnet152": resnet152,
+    "resnext50_32x4d": resnext50_32x4d,
+    "resnext101_32x8d": resnext101_32x8d,
+    "wide_resnet50_2": wide_resnet50_2,
+    "wide_resnet101_2": wide_resnet101_2,
+    "densenet121": densenet121,
+    "densenet161": densenet161,
+    "densenet169": densenet169,
+    "densenet201": densenet201,
+    "squeezenet1_0": squeezenet1_0,
+    "squeezenet1_1": squeezenet1_1,
+    "mobilenet_v2": mobilenet_v2,
+    "mobilenet_v3_large": mobilenet_v3_large,
+    "mobilenet_v3_small": mobilenet_v3_small,
+    "efficientnet_b0": efficientnet_b0,
+    "efficientnet_b1": efficientnet_b1,
+    "efficientnet_b2": efficientnet_b2,
+    "efficientnet_b3": efficientnet_b3,
+    "efficientnet_b4": efficientnet_b4,
+    "efficientnet_b5": efficientnet_b5,
+    "efficientnet_b6": efficientnet_b6,
+    "efficientnet_b7": efficientnet_b7,
+    "shufflenet_v2_x1_0": shufflenet_v2_x1_0,
+    "googlenet": googlenet,
+    "mnasnet1_0": mnasnet1_0,
+    "inception_v3": inception_v3,
+    "regnet_x_400mf": regnet_x_400mf,
+    "regnet_x_1_6gf": regnet_x_1_6gf,
+    "regnet_y_400mf": regnet_y_400mf,
+    "regnet_y_1_6gf": regnet_y_1_6gf,
+}
+
+#: Per-model minimum input resolution (torchvision-enforced minimums).
+MIN_INPUT_SIZES: dict[str, int] = {
+    "inception_v3": 75,
+}
+
+#: The eight CIFAR-10 + three Tiny-ImageNet test workloads of Table II.
+TABLE2_CIFAR10_WORKLOADS: tuple[str, ...] = (
+    "efficientnet_b0", "resnext50_32x4d", "vgg16", "alexnet", "resnet18",
+    "densenet161", "mobilenet_v3_large", "squeezenet1_0",
+)
+TABLE2_TINY_IMAGENET_WORKLOADS: tuple[str, ...] = (
+    "alexnet", "resnet18", "squeezenet1_0",
+)
+
+
+def list_models() -> list[str]:
+    """Sorted names of every model in the registry."""
+    return sorted(MODEL_REGISTRY)
+
+
+def get_model(name: str, input_size: int = 64, num_classes: int = 10,
+              channels: int = 3) -> ComputationalGraph:
+    """Build the computational graph of a registered model by name."""
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {list_models()}") from None
+    input_size = max(input_size, MIN_INPUT_SIZES.get(name, 0))
+    return builder(input_size=input_size, num_classes=num_classes,
+                   channels=channels)
+
+
+__all__ = ["MODEL_REGISTRY", "ModelBuilder", "get_model", "list_models",
+           "MIN_INPUT_SIZES",
+           "TABLE2_CIFAR10_WORKLOADS", "TABLE2_TINY_IMAGENET_WORKLOADS"]

@@ -1,0 +1,53 @@
+"""AlexNet (Krizhevsky et al., 2012) as a computational graph.
+
+Mirrors ``torchvision.models.alexnet``: five convolutional layers with
+local response normalization after the first two, adaptive average pooling
+to 6x6, and a three-layer classifier with dropout.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["alexnet"]
+
+
+def alexnet(input_size: int = 64, num_classes: int = 10,
+            channels: int = 3) -> ComputationalGraph:
+    """Build the AlexNet computational graph.
+
+    Parameters
+    ----------
+    input_size:
+        Input resolution (square); torchvision requires >= 63.
+    num_classes:
+        Output classes of the final classifier.
+    """
+    g = GraphBuilder("alexnet", (channels, input_size, input_size))
+    x = g.conv(g.input_id, 64, 11, stride=4, padding=2, name="features.0")
+    x = g.relu(x)
+    x = g.lrn(x)
+    x = g.max_pool(x, 3, stride=2)
+    x = g.conv(x, 192, 5, padding=2, name="features.3")
+    x = g.relu(x)
+    x = g.lrn(x)
+    x = g.max_pool(x, 3, stride=2)
+    x = g.conv(x, 384, 3, padding=1, name="features.6")
+    x = g.relu(x)
+    x = g.conv(x, 256, 3, padding=1, name="features.8")
+    x = g.relu(x)
+    x = g.conv(x, 256, 3, padding=1, name="features.10")
+    x = g.relu(x)
+    x = g.max_pool(x, 3, stride=2)
+    x = g.adaptive_avg_pool(x, 6)
+    x = g.flatten(x)
+    x = g.dropout(x)
+    x = g.linear(x, 4096, name="classifier.1")
+    x = g.relu(x)
+    x = g.dropout(x)
+    x = g.linear(x, 4096, name="classifier.4")
+    x = g.relu(x)
+    x = g.linear(x, num_classes, name="classifier.6")
+    g.output(x)
+    return g.build()

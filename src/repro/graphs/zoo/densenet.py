@@ -1,0 +1,94 @@
+"""DenseNet family (Huang et al., 2017) as computational graphs.
+
+Mirrors ``torchvision.models.densenet121/161/169/201``: dense blocks whose
+layers concatenate all preceding feature maps, separated by 1x1 + avg-pool
+transition layers that halve channels and resolution.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["densenet121", "densenet161", "densenet169", "densenet201"]
+
+_CONFIGS: dict[str, tuple[int, int, tuple[int, int, int, int]]] = {
+    # name -> (init_features, growth_rate, block layers)
+    "densenet121": (64, 32, (6, 12, 24, 16)),
+    "densenet161": (96, 48, (6, 12, 36, 24)),
+    "densenet169": (64, 32, (6, 12, 32, 32)),
+    "densenet201": (64, 32, (6, 12, 48, 32)),
+}
+
+_BN_SIZE = 4  # bottleneck width multiplier of the 1x1 conv
+
+
+def _dense_layer(g: GraphBuilder, x: int, growth_rate: int,
+                 name: str) -> int:
+    out = g.batch_norm(x, name=f"{name}.norm1")
+    out = g.relu(out, name=f"{name}.relu1")
+    out = g.conv(out, _BN_SIZE * growth_rate, 1, bias=False,
+                 name=f"{name}.conv1")
+    out = g.batch_norm(out, name=f"{name}.norm2")
+    out = g.relu(out, name=f"{name}.relu2")
+    out = g.conv(out, growth_rate, 3, padding=1, bias=False,
+                 name=f"{name}.conv2")
+    return g.concat([x, out], name=f"{name}.concat")
+
+
+def _transition(g: GraphBuilder, x: int, out_channels: int,
+                name: str) -> int:
+    out = g.batch_norm(x, name=f"{name}.norm")
+    out = g.relu(out, name=f"{name}.relu")
+    out = g.conv(out, out_channels, 1, bias=False, name=f"{name}.conv")
+    return g.avg_pool(out, 2, stride=2, name=f"{name}.pool")
+
+
+def _densenet(name: str, input_size: int, num_classes: int,
+              channels: int) -> ComputationalGraph:
+    init_features, growth_rate, block_config = _CONFIGS[name]
+    g = GraphBuilder(name, (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, init_features, 7, stride=2, padding=3,
+                      name="stem")
+    x = g.max_pool(x, 3, stride=2, padding=1, name="stem.pool")
+    num_features = init_features
+    for block_idx, num_layers in enumerate(block_config):
+        for layer_idx in range(num_layers):
+            x = _dense_layer(g, x, growth_rate,
+                             f"denseblock{block_idx + 1}.{layer_idx}")
+            num_features += growth_rate
+        if block_idx != len(block_config) - 1:
+            num_features //= 2
+            x = _transition(g, x, num_features,
+                            f"transition{block_idx + 1}")
+    x = g.batch_norm(x, name="final.norm")
+    x = g.relu(x, name="final.relu")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.linear(x, num_classes, name="classifier")
+    g.output(x)
+    return g.build()
+
+
+def densenet121(input_size: int = 64, num_classes: int = 10,
+                channels: int = 3) -> ComputationalGraph:
+    """DenseNet-121 (growth 32, blocks 6-12-24-16)."""
+    return _densenet("densenet121", input_size, num_classes, channels)
+
+
+def densenet161(input_size: int = 64, num_classes: int = 10,
+                channels: int = 3) -> ComputationalGraph:
+    """DenseNet-161 -- the paper's Table II CIFAR-10 workload."""
+    return _densenet("densenet161", input_size, num_classes, channels)
+
+
+def densenet169(input_size: int = 64, num_classes: int = 10,
+                channels: int = 3) -> ComputationalGraph:
+    """DenseNet-169 (growth 32, blocks 6-12-32-32)."""
+    return _densenet("densenet169", input_size, num_classes, channels)
+
+
+def densenet201(input_size: int = 64, num_classes: int = 10,
+                channels: int = 3) -> ComputationalGraph:
+    """DenseNet-201 (growth 32, blocks 6-12-48-32)."""
+    return _densenet("densenet201", input_size, num_classes, channels)

@@ -1,0 +1,120 @@
+"""EfficientNet family B0-B7 (Tan & Le, 2019) as computational graphs.
+
+Mirrors ``torchvision.models.efficientnet_b*``: MBConv inverted residual
+blocks with squeeze-excite and SiLU activations; the B1-B7 variants apply
+compound width/depth scaling to the B0 base configuration.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = [f"efficientnet_b{i}" for i in range(8)]
+
+# (expand_ratio, kernel, stride, base_channels, base_layers)
+_B0_STAGES = [
+    (1, 3, 1, 16, 1),
+    (6, 3, 2, 24, 2),
+    (6, 5, 2, 40, 2),
+    (6, 3, 2, 80, 3),
+    (6, 5, 1, 112, 3),
+    (6, 5, 2, 192, 4),
+    (6, 3, 1, 320, 1),
+]
+
+# name -> (width_mult, depth_mult)
+_SCALING = {
+    "efficientnet_b0": (1.0, 1.0),
+    "efficientnet_b1": (1.0, 1.1),
+    "efficientnet_b2": (1.1, 1.2),
+    "efficientnet_b3": (1.2, 1.4),
+    "efficientnet_b4": (1.4, 1.8),
+    "efficientnet_b5": (1.6, 2.2),
+    "efficientnet_b6": (1.8, 2.6),
+    "efficientnet_b7": (2.0, 3.1),
+}
+
+
+def _round_channels(channels: float, width_mult: float,
+                    divisor: int = 8) -> int:
+    channels *= width_mult
+    new_channels = max(divisor,
+                       int(channels + divisor / 2) // divisor * divisor)
+    if new_channels < 0.9 * channels:
+        new_channels += divisor
+    return new_channels
+
+
+def _round_repeats(repeats: int, depth_mult: float) -> int:
+    return int(math.ceil(depth_mult * repeats))
+
+
+def _mbconv(g: GraphBuilder, x: int, expand_ratio: int, kernel: int,
+            stride: int, out_channels: int, name: str) -> int:
+    in_channels = g.shape(x)[0]
+    hidden = in_channels * expand_ratio
+    identity = x
+    out = x
+    if expand_ratio != 1:
+        out = g.conv_bn_act(out, hidden, 1, act="silu",
+                            name=f"{name}.expand")
+    out = g.conv_bn_act(out, hidden, kernel, stride=stride,
+                        padding=kernel // 2, groups=hidden, act="silu",
+                        name=f"{name}.dw")
+    # EfficientNet squeezes relative to the block *input* channels.
+    out = g.squeeze_excite(out, reduction=4 * expand_ratio, gate="sigmoid",
+                           name=f"{name}.se")
+    out = g.conv(out, out_channels, 1, bias=False, name=f"{name}.project")
+    out = g.batch_norm(out, name=f"{name}.project_bn")
+    if stride == 1 and in_channels == out_channels:
+        out = g.add([out, identity], name=f"{name}.add")
+    return out
+
+
+def _efficientnet(name: str, input_size: int, num_classes: int,
+                  channels: int) -> ComputationalGraph:
+    width_mult, depth_mult = _SCALING[name]
+    g = GraphBuilder(name, (channels, input_size, input_size))
+    stem_channels = _round_channels(32, width_mult)
+    x = g.conv_bn_act(g.input_id, stem_channels, 3, stride=2, padding=1,
+                      act="silu", name="stem")
+    for stage_idx, (t, k, s, c, n) in enumerate(_B0_STAGES):
+        out_channels = _round_channels(c, width_mult)
+        repeats = _round_repeats(n, depth_mult)
+        for i in range(repeats):
+            x = _mbconv(g, x, t, k, s if i == 0 else 1, out_channels,
+                        f"stage{stage_idx}.{i}")
+    head_channels = _round_channels(1280, width_mult)
+    x = g.conv_bn_act(x, head_channels, 1, act="silu", name="head")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.dropout(x, p=0.2)
+    x = g.linear(x, num_classes, name="classifier")
+    g.output(x)
+    return g.build()
+
+
+def _make_variant(name: str):
+    def build(input_size: int = 64, num_classes: int = 10,
+              channels: int = 3) -> ComputationalGraph:
+        return _efficientnet(name, input_size, num_classes, channels)
+
+    build.__name__ = name
+    build.__qualname__ = name
+    build.__doc__ = (f"EfficientNet-{name[-2:].upper()} "
+                     f"(width x{_SCALING[name][0]}, "
+                     f"depth x{_SCALING[name][1]}).")
+    return build
+
+
+efficientnet_b0 = _make_variant("efficientnet_b0")
+efficientnet_b1 = _make_variant("efficientnet_b1")
+efficientnet_b2 = _make_variant("efficientnet_b2")
+efficientnet_b3 = _make_variant("efficientnet_b3")
+efficientnet_b4 = _make_variant("efficientnet_b4")
+efficientnet_b5 = _make_variant("efficientnet_b5")
+efficientnet_b6 = _make_variant("efficientnet_b6")
+efficientnet_b7 = _make_variant("efficientnet_b7")

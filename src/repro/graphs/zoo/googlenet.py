@@ -1,0 +1,53 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., 2015) as a computational graph.
+
+Mirrors ``torchvision.models.googlenet`` (without auxiliary classifiers,
+matching inference-mode torchvision): nine inception modules with four
+parallel branches concatenated channel-wise.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["googlenet"]
+
+
+def _inception(g: GraphBuilder, x: int, ch1: int, ch3red: int, ch3: int,
+               ch5red: int, ch5: int, pool_proj: int, name: str) -> int:
+    b1 = g.conv_bn_act(x, ch1, 1, name=f"{name}.branch1")
+    b2 = g.conv_bn_act(x, ch3red, 1, name=f"{name}.branch2a")
+    b2 = g.conv_bn_act(b2, ch3, 3, padding=1, name=f"{name}.branch2b")
+    b3 = g.conv_bn_act(x, ch5red, 1, name=f"{name}.branch3a")
+    b3 = g.conv_bn_act(b3, ch5, 3, padding=1, name=f"{name}.branch3b")
+    b4 = g.max_pool(x, 3, stride=1, padding=1, name=f"{name}.branch4pool")
+    b4 = g.conv_bn_act(b4, pool_proj, 1, name=f"{name}.branch4proj")
+    return g.concat([b1, b2, b3, b4], name=f"{name}.concat")
+
+
+def googlenet(input_size: int = 64, num_classes: int = 10,
+              channels: int = 3) -> ComputationalGraph:
+    """GoogLeNet (Inception-v1) with BN, no auxiliary heads."""
+    g = GraphBuilder("googlenet", (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, 64, 7, stride=2, padding=3, name="conv1")
+    x = g.max_pool(x, 3, stride=2, padding=1, name="maxpool1")
+    x = g.conv_bn_act(x, 64, 1, name="conv2")
+    x = g.conv_bn_act(x, 192, 3, padding=1, name="conv3")
+    x = g.max_pool(x, 3, stride=2, padding=1, name="maxpool2")
+    x = _inception(g, x, 64, 96, 128, 16, 32, 32, "inception3a")
+    x = _inception(g, x, 128, 128, 192, 32, 96, 64, "inception3b")
+    x = g.max_pool(x, 3, stride=2, padding=1, name="maxpool3")
+    x = _inception(g, x, 192, 96, 208, 16, 48, 64, "inception4a")
+    x = _inception(g, x, 160, 112, 224, 24, 64, 64, "inception4b")
+    x = _inception(g, x, 128, 128, 256, 24, 64, 64, "inception4c")
+    x = _inception(g, x, 112, 144, 288, 32, 64, 64, "inception4d")
+    x = _inception(g, x, 256, 160, 320, 32, 128, 128, "inception4e")
+    x = g.max_pool(x, 3, stride=2, padding=1, name="maxpool4")
+    x = _inception(g, x, 256, 160, 320, 32, 128, 128, "inception5a")
+    x = _inception(g, x, 384, 192, 384, 48, 128, 128, "inception5b")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.dropout(x, p=0.2)
+    x = g.linear(x, num_classes, name="fc")
+    g.output(x)
+    return g.build()

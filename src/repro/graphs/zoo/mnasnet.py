@@ -1,0 +1,61 @@
+"""MNASNet 1.0 (Tan et al., 2019) as a computational graph.
+
+Mirrors ``torchvision.models.mnasnet1_0``: a depthwise-separable stem block
+followed by six stages of inverted residual blocks discovered by neural
+architecture search.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["mnasnet1_0"]
+
+# (expand_ratio, kernel, stride, out_channels, repeats)
+_STAGES = [
+    (3, 3, 2, 24, 3),
+    (3, 5, 2, 40, 3),
+    (6, 5, 2, 80, 3),
+    (6, 3, 1, 96, 2),
+    (6, 5, 2, 192, 4),
+    (6, 3, 1, 320, 1),
+]
+
+
+def _inverted_residual(g: GraphBuilder, x: int, expand: int, kernel: int,
+                       stride: int, out_channels: int, name: str) -> int:
+    in_channels = g.shape(x)[0]
+    hidden = in_channels * expand
+    identity = x
+    out = g.conv_bn_act(x, hidden, 1, name=f"{name}.expand")
+    out = g.conv_bn_act(out, hidden, kernel, stride=stride,
+                        padding=kernel // 2, groups=hidden,
+                        name=f"{name}.dw")
+    out = g.conv(out, out_channels, 1, bias=False, name=f"{name}.project")
+    out = g.batch_norm(out, name=f"{name}.project_bn")
+    if stride == 1 and in_channels == out_channels:
+        out = g.add([out, identity], name=f"{name}.add")
+    return out
+
+
+def mnasnet1_0(input_size: int = 64, num_classes: int = 10,
+               channels: int = 3) -> ComputationalGraph:
+    """MNASNet at depth multiplier 1.0."""
+    g = GraphBuilder("mnasnet1_0", (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, 32, 3, stride=2, padding=1, name="stem")
+    # Depthwise-separable first block (16 output channels).
+    x = g.conv_bn_act(x, 32, 3, padding=1, groups=32, name="sep.dw")
+    x = g.conv(x, 16, 1, bias=False, name="sep.pw")
+    x = g.batch_norm(x, name="sep.pw_bn")
+    for stage_idx, (t, k, s, c, n) in enumerate(_STAGES):
+        for i in range(n):
+            x = _inverted_residual(g, x, t, k, s if i == 0 else 1, c,
+                                   f"stage{stage_idx}.{i}")
+    x = g.conv_bn_act(x, 1280, 1, name="head")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.dropout(x, p=0.2)
+    x = g.linear(x, num_classes, name="classifier")
+    g.output(x)
+    return g.build()

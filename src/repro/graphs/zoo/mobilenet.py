@@ -1,0 +1,151 @@
+"""MobileNet-V2 / V3 families (Sandler et al. 2018; Howard et al. 2019).
+
+Mirrors the torchvision implementations: inverted residual blocks with
+depthwise convolutions; V3 adds squeeze-excite and hard-swish activations
+(V3 is the Fig. 2 / Table II "MobileNet-V3" workload -- we use the Large
+variant as the canonical one and also provide Small).
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["mobilenet_v2", "mobilenet_v3_large", "mobilenet_v3_small"]
+
+
+def _make_divisible(value: float, divisor: int = 8) -> int:
+    """Round channel counts per the MobileNet reference implementation."""
+    new_value = max(divisor, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+def _inverted_residual_v2(g: GraphBuilder, x: int, out_channels: int,
+                          stride: int, expand_ratio: int, name: str) -> int:
+    in_channels = g.shape(x)[0]
+    hidden = in_channels * expand_ratio
+    identity = x
+    out = x
+    if expand_ratio != 1:
+        out = g.conv_bn_act(out, hidden, 1, act="relu6",
+                            name=f"{name}.expand")
+    out = g.conv_bn_act(out, hidden, 3, stride=stride, padding=1,
+                        groups=hidden, act="relu6", name=f"{name}.dw")
+    out = g.conv(out, out_channels, 1, bias=False, name=f"{name}.project")
+    out = g.batch_norm(out, name=f"{name}.project_bn")
+    if stride == 1 and in_channels == out_channels:
+        out = g.add([out, identity], name=f"{name}.add")
+    return out
+
+
+def mobilenet_v2(input_size: int = 64, num_classes: int = 10,
+                 channels: int = 3) -> ComputationalGraph:
+    """MobileNet-V2 (width 1.0)."""
+    # (expand_ratio, out_channels, repeats, stride)
+    config = [(1, 16, 1, 1), (6, 24, 2, 2), (6, 32, 3, 2), (6, 64, 4, 2),
+              (6, 96, 3, 1), (6, 160, 3, 2), (6, 320, 1, 1)]
+    g = GraphBuilder("mobilenet_v2", (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, 32, 3, stride=2, padding=1, act="relu6",
+                      name="stem")
+    for block_idx, (t, c, n, s) in enumerate(config):
+        for i in range(n):
+            x = _inverted_residual_v2(g, x, c, s if i == 0 else 1, t,
+                                      f"block{block_idx}.{i}")
+    x = g.conv_bn_act(x, 1280, 1, act="relu6", name="head")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.dropout(x, p=0.2)
+    x = g.linear(x, num_classes, name="classifier")
+    g.output(x)
+    return g.build()
+
+
+def _inverted_residual_v3(g: GraphBuilder, x: int, kernel: int, hidden: int,
+                          out_channels: int, use_se: bool, act: str,
+                          stride: int, name: str) -> int:
+    in_channels = g.shape(x)[0]
+    identity = x
+    out = x
+    if hidden != in_channels:
+        out = g.conv_bn_act(out, hidden, 1, act=act, name=f"{name}.expand")
+    out = g.conv_bn_act(out, hidden, kernel, stride=stride,
+                        padding=kernel // 2, groups=hidden, act=act,
+                        name=f"{name}.dw")
+    if use_se:
+        out = g.squeeze_excite(out, reduction=4, gate="hard_sigmoid",
+                               name=f"{name}.se")
+    out = g.conv(out, out_channels, 1, bias=False, name=f"{name}.project")
+    out = g.batch_norm(out, name=f"{name}.project_bn")
+    if stride == 1 and in_channels == out_channels:
+        out = g.add([out, identity], name=f"{name}.add")
+    return out
+
+
+# (kernel, hidden, out, use_se, activation, stride)
+_V3_LARGE = [
+    (3, 16, 16, False, "relu", 1),
+    (3, 64, 24, False, "relu", 2),
+    (3, 72, 24, False, "relu", 1),
+    (5, 72, 40, True, "relu", 2),
+    (5, 120, 40, True, "relu", 1),
+    (5, 120, 40, True, "relu", 1),
+    (3, 240, 80, False, "hard_swish", 2),
+    (3, 200, 80, False, "hard_swish", 1),
+    (3, 184, 80, False, "hard_swish", 1),
+    (3, 184, 80, False, "hard_swish", 1),
+    (3, 480, 112, True, "hard_swish", 1),
+    (3, 672, 112, True, "hard_swish", 1),
+    (5, 672, 160, True, "hard_swish", 2),
+    (5, 960, 160, True, "hard_swish", 1),
+    (5, 960, 160, True, "hard_swish", 1),
+]
+
+_V3_SMALL = [
+    (3, 16, 16, True, "relu", 2),
+    (3, 72, 24, False, "relu", 2),
+    (3, 88, 24, False, "relu", 1),
+    (5, 96, 40, True, "hard_swish", 2),
+    (5, 240, 40, True, "hard_swish", 1),
+    (5, 240, 40, True, "hard_swish", 1),
+    (5, 120, 48, True, "hard_swish", 1),
+    (5, 144, 48, True, "hard_swish", 1),
+    (5, 288, 96, True, "hard_swish", 2),
+    (5, 576, 96, True, "hard_swish", 1),
+    (5, 576, 96, True, "hard_swish", 1),
+]
+
+
+def _mobilenet_v3(name: str, config: list, last_conv: int, last_linear: int,
+                  input_size: int, num_classes: int,
+                  channels: int) -> ComputationalGraph:
+    g = GraphBuilder(name, (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, 16, 3, stride=2, padding=1,
+                      act="hard_swish", name="stem")
+    for idx, (k, hidden, out, se, act, stride) in enumerate(config):
+        x = _inverted_residual_v3(g, x, k, hidden, out, se, act, stride,
+                                  f"block{idx}")
+    x = g.conv_bn_act(x, last_conv, 1, act="hard_swish", name="head.conv")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.linear(x, last_linear, name="head.fc1")
+    x = g.hard_swish(x, name="head.hswish")
+    x = g.dropout(x, p=0.2)
+    x = g.linear(x, num_classes, name="classifier")
+    g.output(x)
+    return g.build()
+
+
+def mobilenet_v3_large(input_size: int = 64, num_classes: int = 10,
+                       channels: int = 3) -> ComputationalGraph:
+    """MobileNet-V3 Large -- the paper's MobileNet-V3 workload."""
+    return _mobilenet_v3("mobilenet_v3_large", _V3_LARGE, 960, 1280,
+                         input_size, num_classes, channels)
+
+
+def mobilenet_v3_small(input_size: int = 64, num_classes: int = 10,
+                       channels: int = 3) -> ComputationalGraph:
+    """MobileNet-V3 Small."""
+    return _mobilenet_v3("mobilenet_v3_small", _V3_SMALL, 576, 1024,
+                         input_size, num_classes, channels)

@@ -1,0 +1,76 @@
+"""RegNet family (Radosavovic et al., 2020) as computational graphs.
+
+Mirrors ``torchvision.models.regnet_x_*``/``regnet_y_*``: a simple stem,
+four stages of X-blocks (1x1 -> grouped 3x3 -> 1x1 bottlenecks with
+residuals); the Y variants add squeeze-excitation.  Stage widths/depths
+follow the published per-variant configurations.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["regnet_x_400mf", "regnet_x_1_6gf", "regnet_y_400mf",
+           "regnet_y_1_6gf"]
+
+# name -> (depths, widths, group_width, use_se)
+_CONFIGS: dict[str, tuple[tuple[int, ...], tuple[int, ...], int, bool]] = {
+    "regnet_x_400mf": ((1, 2, 7, 12), (32, 64, 160, 384), 16, False),
+    "regnet_x_1_6gf": ((2, 4, 10, 2), (72, 168, 408, 912), 24, False),
+    "regnet_y_400mf": ((1, 3, 6, 6), (48, 104, 208, 440), 8, True),
+    "regnet_y_1_6gf": ((2, 6, 17, 2), (48, 120, 336, 888), 24, True),
+}
+
+
+def _x_block(g: GraphBuilder, x: int, width: int, stride: int,
+             group_width: int, use_se: bool, name: str) -> int:
+    identity = x
+    groups = max(1, width // group_width)
+    out = g.conv_bn_act(x, width, 1, name=f"{name}.a")
+    out = g.conv_bn_act(out, width, 3, stride=stride, padding=1,
+                        groups=groups, name=f"{name}.b")
+    if use_se:
+        out = g.squeeze_excite(out, reduction=4, name=f"{name}.se")
+    out = g.conv(out, width, 1, bias=False, name=f"{name}.c")
+    out = g.batch_norm(out, name=f"{name}.c_bn")
+    if stride != 1 or g.shape(identity)[0] != width:
+        identity = g.conv(identity, width, 1, stride=stride, bias=False,
+                          name=f"{name}.proj")
+        identity = g.batch_norm(identity, name=f"{name}.proj_bn")
+    out = g.add([out, identity], name=f"{name}.add")
+    return g.relu(out, name=f"{name}.relu")
+
+
+def _regnet(name: str, input_size: int, num_classes: int,
+            channels: int) -> ComputationalGraph:
+    depths, widths, group_width, use_se = _CONFIGS[name]
+    g = GraphBuilder(name, (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, 32, 3, stride=2, padding=1, name="stem")
+    for stage, (depth, width) in enumerate(zip(depths, widths)):
+        for block in range(depth):
+            x = _x_block(g, x, width, 2 if block == 0 else 1, group_width,
+                         use_se, f"stage{stage + 1}.{block}")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.linear(x, num_classes, name="fc")
+    g.output(x)
+    return g.build()
+
+
+def _make_variant(name: str):
+    def build(input_size: int = 64, num_classes: int = 10,
+              channels: int = 3) -> ComputationalGraph:
+        return _regnet(name, input_size, num_classes, channels)
+
+    build.__name__ = name
+    build.__qualname__ = name
+    kind = "Y (with SE)" if _CONFIGS[name][3] else "X"
+    build.__doc__ = f"RegNet-{kind} variant {name!r}."
+    return build
+
+
+regnet_x_400mf = _make_variant("regnet_x_400mf")
+regnet_x_1_6gf = _make_variant("regnet_x_1_6gf")
+regnet_y_400mf = _make_variant("regnet_y_400mf")
+regnet_y_1_6gf = _make_variant("regnet_y_1_6gf")

@@ -1,0 +1,148 @@
+"""ResNet / ResNeXt / Wide-ResNet families (He et al. 2016; Xie et al. 2017;
+Zagoruyko & Komodakis 2016) as computational graphs.
+
+Mirrors the torchvision implementations: a 7x7 stem, four stages of basic
+or bottleneck residual blocks, and a linear classifier.  ResNeXt uses
+grouped 3x3 convolutions; Wide-ResNet doubles the bottleneck width.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["resnet18", "resnet34", "resnet50", "resnet101", "resnet152",
+           "resnext50_32x4d", "resnext101_32x8d", "wide_resnet50_2",
+           "wide_resnet101_2"]
+
+
+def _basic_block(g: GraphBuilder, x: int, planes: int, stride: int,
+                 name: str) -> int:
+    identity = x
+    out = g.conv_bn_act(x, planes, 3, stride=stride, padding=1,
+                        name=f"{name}.1")
+    out = g.conv(out, planes, 3, padding=1, bias=False, name=f"{name}.conv2")
+    out = g.batch_norm(out, name=f"{name}.bn2")
+    if stride != 1 or g.shape(identity)[0] != planes:
+        identity = g.conv(identity, planes, 1, stride=stride, bias=False,
+                          name=f"{name}.downsample.conv")
+        identity = g.batch_norm(identity, name=f"{name}.downsample.bn")
+    out = g.add([out, identity], name=f"{name}.add")
+    return g.relu(out, name=f"{name}.relu_out")
+
+
+def _bottleneck(g: GraphBuilder, x: int, planes: int, stride: int,
+                groups: int, base_width: int, name: str) -> int:
+    expansion = 4
+    width = int(planes * (base_width / 64.0)) * groups
+    identity = x
+    out = g.conv_bn_act(x, width, 1, name=f"{name}.1")
+    out = g.conv_bn_act(out, width, 3, stride=stride, padding=1,
+                        groups=groups, name=f"{name}.2")
+    out = g.conv(out, planes * expansion, 1, bias=False,
+                 name=f"{name}.conv3")
+    out = g.batch_norm(out, name=f"{name}.bn3")
+    if stride != 1 or g.shape(identity)[0] != planes * expansion:
+        identity = g.conv(identity, planes * expansion, 1, stride=stride,
+                          bias=False, name=f"{name}.downsample.conv")
+        identity = g.batch_norm(identity, name=f"{name}.downsample.bn")
+    out = g.add([out, identity], name=f"{name}.add")
+    return g.relu(out, name=f"{name}.relu_out")
+
+
+def _resnet(name: str, layers: tuple[int, int, int, int], *,
+            bottleneck: bool, input_size: int, num_classes: int,
+            channels: int, groups: int = 1,
+            base_width: int = 64) -> ComputationalGraph:
+    g = GraphBuilder(name, (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, 64, 7, stride=2, padding=3, name="stem")
+    x = g.max_pool(x, 3, stride=2, padding=1, name="stem.maxpool")
+    planes = 64
+    for stage, blocks in enumerate(layers):
+        stride = 1 if stage == 0 else 2
+        for block in range(blocks):
+            blk_name = f"layer{stage + 1}.{block}"
+            if bottleneck:
+                x = _bottleneck(g, x, planes, stride if block == 0 else 1,
+                                groups, base_width, blk_name)
+            else:
+                x = _basic_block(g, x, planes, stride if block == 0 else 1,
+                                 blk_name)
+        planes *= 2
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.linear(x, num_classes, name="fc")
+    g.output(x)
+    return g.build()
+
+
+def resnet18(input_size: int = 64, num_classes: int = 10,
+             channels: int = 3) -> ComputationalGraph:
+    """ResNet-18 (basic blocks, 2-2-2-2)."""
+    return _resnet("resnet18", (2, 2, 2, 2), bottleneck=False,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels)
+
+
+def resnet34(input_size: int = 64, num_classes: int = 10,
+             channels: int = 3) -> ComputationalGraph:
+    """ResNet-34 (basic blocks, 3-4-6-3)."""
+    return _resnet("resnet34", (3, 4, 6, 3), bottleneck=False,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels)
+
+
+def resnet50(input_size: int = 64, num_classes: int = 10,
+             channels: int = 3) -> ComputationalGraph:
+    """ResNet-50 (bottleneck blocks, 3-4-6-3)."""
+    return _resnet("resnet50", (3, 4, 6, 3), bottleneck=True,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels)
+
+
+def resnet101(input_size: int = 64, num_classes: int = 10,
+              channels: int = 3) -> ComputationalGraph:
+    """ResNet-101 (bottleneck blocks, 3-4-23-3)."""
+    return _resnet("resnet101", (3, 4, 23, 3), bottleneck=True,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels)
+
+
+def resnet152(input_size: int = 64, num_classes: int = 10,
+              channels: int = 3) -> ComputationalGraph:
+    """ResNet-152 (bottleneck blocks, 3-8-36-3)."""
+    return _resnet("resnet152", (3, 8, 36, 3), bottleneck=True,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels)
+
+
+def resnext50_32x4d(input_size: int = 64, num_classes: int = 10,
+                    channels: int = 3) -> ComputationalGraph:
+    """ResNeXt-50 32x4d -- the paper's Table II CIFAR-10 workload."""
+    return _resnet("resnext50_32x4d", (3, 4, 6, 3), bottleneck=True,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels, groups=32, base_width=4)
+
+
+def resnext101_32x8d(input_size: int = 64, num_classes: int = 10,
+                     channels: int = 3) -> ComputationalGraph:
+    """ResNeXt-101 32x8d."""
+    return _resnet("resnext101_32x8d", (3, 4, 23, 3), bottleneck=True,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels, groups=32, base_width=8)
+
+
+def wide_resnet50_2(input_size: int = 64, num_classes: int = 10,
+                    channels: int = 3) -> ComputationalGraph:
+    """Wide ResNet-50-2 (double bottleneck width)."""
+    return _resnet("wide_resnet50_2", (3, 4, 6, 3), bottleneck=True,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels, base_width=128)
+
+
+def wide_resnet101_2(input_size: int = 64, num_classes: int = 10,
+                     channels: int = 3) -> ComputationalGraph:
+    """Wide ResNet-101-2 (double bottleneck width)."""
+    return _resnet("wide_resnet101_2", (3, 4, 23, 3), bottleneck=True,
+                   input_size=input_size, num_classes=num_classes,
+                   channels=channels, base_width=128)

@@ -1,0 +1,64 @@
+"""ShuffleNet-V2 (Ma et al., 2018) as a computational graph.
+
+Mirrors ``torchvision.models.shufflenet_v2_x1_0``: channel-split units with
+depthwise convolutions and channel shuffle; downsampling units process both
+halves.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["shufflenet_v2_x1_0"]
+
+
+def _unit(g: GraphBuilder, x: int, name: str) -> int:
+    """Stride-1 unit: split, transform right half, concat, shuffle."""
+    left, right = g.channel_split(x, name=f"{name}.split")
+    c = g.shape(right)[0]
+    out = g.conv_bn_act(right, c, 1, name=f"{name}.pw1")
+    out = g.conv_bn_act(out, c, 3, padding=1, groups=c, act="none",
+                        name=f"{name}.dw")
+    out = g.conv_bn_act(out, c, 1, name=f"{name}.pw2")
+    merged = g.concat([left, out], name=f"{name}.concat")
+    return g.channel_shuffle(merged, groups=2, name=f"{name}.shuffle")
+
+
+def _down_unit(g: GraphBuilder, x: int, out_channels: int, name: str) -> int:
+    """Stride-2 unit: both branches transform, spatial halved."""
+    c_in = g.shape(x)[0]
+    branch_channels = out_channels // 2
+    left = g.conv_bn_act(x, c_in, 3, stride=2, padding=1, groups=c_in,
+                         act="none", name=f"{name}.left.dw")
+    left = g.conv_bn_act(left, branch_channels, 1, name=f"{name}.left.pw")
+    right = g.conv_bn_act(x, branch_channels, 1, name=f"{name}.right.pw1")
+    right = g.conv_bn_act(right, branch_channels, 3, stride=2, padding=1,
+                          groups=branch_channels, act="none",
+                          name=f"{name}.right.dw")
+    right = g.conv_bn_act(right, branch_channels, 1,
+                          name=f"{name}.right.pw2")
+    merged = g.concat([left, right], name=f"{name}.concat")
+    return g.channel_shuffle(merged, groups=2, name=f"{name}.shuffle")
+
+
+def shufflenet_v2_x1_0(input_size: int = 64, num_classes: int = 10,
+                       channels: int = 3) -> ComputationalGraph:
+    """ShuffleNet-V2 at 1.0x width (stages 4-8-4)."""
+    stage_channels = (116, 232, 464)
+    stage_repeats = (4, 8, 4)
+    g = GraphBuilder("shufflenet_v2_x1_0",
+                     (channels, input_size, input_size))
+    x = g.conv_bn_act(g.input_id, 24, 3, stride=2, padding=1, name="stem")
+    x = g.max_pool(x, 3, stride=2, padding=1, name="stem.pool")
+    for stage_idx, (out_c, repeats) in enumerate(
+            zip(stage_channels, stage_repeats)):
+        x = _down_unit(g, x, out_c, f"stage{stage_idx + 2}.0")
+        for i in range(1, repeats):
+            x = _unit(g, x, f"stage{stage_idx + 2}.{i}")
+    x = g.conv_bn_act(x, 1024, 1, name="head")
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.linear(x, num_classes, name="fc")
+    g.output(x)
+    return g.build()

@@ -1,0 +1,76 @@
+"""SqueezeNet family (Iandola et al., 2016) as computational graphs.
+
+Mirrors ``torchvision.models.squeezenet1_0/1_1``: fire modules (squeeze
+1x1 conv feeding parallel 1x1/3x3 expand branches concatenated channel-
+wise) and a fully-convolutional classifier head.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["squeezenet1_0", "squeezenet1_1"]
+
+
+def _fire(g: GraphBuilder, x: int, squeeze: int, expand1: int, expand3: int,
+          name: str) -> int:
+    s = g.conv(x, squeeze, 1, name=f"{name}.squeeze")
+    s = g.relu(s, name=f"{name}.squeeze_relu")
+    e1 = g.conv(s, expand1, 1, name=f"{name}.expand1x1")
+    e1 = g.relu(e1, name=f"{name}.expand1x1_relu")
+    e3 = g.conv(s, expand3, 3, padding=1, name=f"{name}.expand3x3")
+    e3 = g.relu(e3, name=f"{name}.expand3x3_relu")
+    return g.concat([e1, e3], name=f"{name}.concat")
+
+
+def squeezenet1_0(input_size: int = 64, num_classes: int = 10,
+                  channels: int = 3) -> ComputationalGraph:
+    """SqueezeNet 1.0 -- the paper's Table II "SqueezeNet-1" workload."""
+    g = GraphBuilder("squeezenet1_0", (channels, input_size, input_size))
+    x = g.conv(g.input_id, 96, 7, stride=2, name="features.0")
+    x = g.relu(x)
+    x = g.max_pool(x, 3, stride=2)
+    x = _fire(g, x, 16, 64, 64, "fire2")
+    x = _fire(g, x, 16, 64, 64, "fire3")
+    x = _fire(g, x, 32, 128, 128, "fire4")
+    x = g.max_pool(x, 3, stride=2)
+    x = _fire(g, x, 32, 128, 128, "fire5")
+    x = _fire(g, x, 48, 192, 192, "fire6")
+    x = _fire(g, x, 48, 192, 192, "fire7")
+    x = _fire(g, x, 64, 256, 256, "fire8")
+    x = g.max_pool(x, 3, stride=2)
+    x = _fire(g, x, 64, 256, 256, "fire9")
+    x = g.dropout(x)
+    x = g.conv(x, num_classes, 1, name="classifier.conv")
+    x = g.relu(x)
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    g.output(x)
+    return g.build()
+
+
+def squeezenet1_1(input_size: int = 64, num_classes: int = 10,
+                  channels: int = 3) -> ComputationalGraph:
+    """SqueezeNet 1.1 (2.4x fewer FLOPs than 1.0 at equal accuracy)."""
+    g = GraphBuilder("squeezenet1_1", (channels, input_size, input_size))
+    x = g.conv(g.input_id, 64, 3, stride=2, name="features.0")
+    x = g.relu(x)
+    x = g.max_pool(x, 3, stride=2)
+    x = _fire(g, x, 16, 64, 64, "fire2")
+    x = _fire(g, x, 16, 64, 64, "fire3")
+    x = g.max_pool(x, 3, stride=2)
+    x = _fire(g, x, 32, 128, 128, "fire4")
+    x = _fire(g, x, 32, 128, 128, "fire5")
+    x = g.max_pool(x, 3, stride=2)
+    x = _fire(g, x, 48, 192, 192, "fire6")
+    x = _fire(g, x, 48, 192, 192, "fire7")
+    x = _fire(g, x, 64, 256, 256, "fire8")
+    x = _fire(g, x, 64, 256, 256, "fire9")
+    x = g.dropout(x)
+    x = g.conv(x, num_classes, 1, name="classifier.conv")
+    x = g.relu(x)
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    g.output(x)
+    return g.build()

@@ -1,0 +1,71 @@
+"""VGG family (Simonyan & Zisserman, 2014) as computational graphs.
+
+Mirrors ``torchvision.models.vgg11/13/16/19`` (plain, non-BN variants, as
+used by the paper's evaluation): stacked 3x3 convolutions with max pooling,
+adaptive average pooling to 7x7, and the 4096-4096-classes classifier.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..graph import ComputationalGraph
+
+__all__ = ["vgg11", "vgg13", "vgg16", "vgg19"]
+
+_CONFIGS: dict[str, list[int | str]] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512,
+              "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M",
+              512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512,
+              512, "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M", 512,
+              512, 512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+def _vgg(name: str, input_size: int, num_classes: int,
+         channels: int) -> ComputationalGraph:
+    g = GraphBuilder(name, (channels, input_size, input_size))
+    x = g.input_id
+    for item in _CONFIGS[name]:
+        if item == "M":
+            x = g.max_pool(x, 2, stride=2)
+        else:
+            x = g.conv(x, int(item), 3, padding=1)
+            x = g.relu(x)
+    x = g.adaptive_avg_pool(x, 7)
+    x = g.flatten(x)
+    x = g.linear(x, 4096, name="classifier.0")
+    x = g.relu(x)
+    x = g.dropout(x)
+    x = g.linear(x, 4096, name="classifier.3")
+    x = g.relu(x)
+    x = g.dropout(x)
+    x = g.linear(x, num_classes, name="classifier.6")
+    g.output(x)
+    return g.build()
+
+
+def vgg11(input_size: int = 64, num_classes: int = 10,
+          channels: int = 3) -> ComputationalGraph:
+    """VGG-11 (configuration A)."""
+    return _vgg("vgg11", input_size, num_classes, channels)
+
+
+def vgg13(input_size: int = 64, num_classes: int = 10,
+          channels: int = 3) -> ComputationalGraph:
+    """VGG-13 (configuration B)."""
+    return _vgg("vgg13", input_size, num_classes, channels)
+
+
+def vgg16(input_size: int = 64, num_classes: int = 10,
+          channels: int = 3) -> ComputationalGraph:
+    """VGG-16 (configuration D) -- the Fig. 1 motivating workload."""
+    return _vgg("vgg16", input_size, num_classes, channels)
+
+
+def vgg19(input_size: int = 64, num_classes: int = 10,
+          channels: int = 3) -> ComputationalGraph:
+    """VGG-19 (configuration E)."""
+    return _vgg("vgg19", input_size, num_classes, channels)

@@ -1,0 +1,13 @@
+"""Downstream integrations (paper Sec. III-A / VI): deadline-aware
+cluster scheduling and predictor-guided neural architecture search."""
+
+from .nas import (Candidate, PredictorGuidedSearch, SearchOutcome,
+                  train_and_score)
+from .scheduler import (DeadlineScheduler, Placement, Schedule,
+                        SchedulerJob)
+
+__all__ = [
+    "SchedulerJob", "Placement", "Schedule", "DeadlineScheduler",
+    "PredictorGuidedSearch", "Candidate", "SearchOutcome",
+    "train_and_score",
+]

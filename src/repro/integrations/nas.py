@@ -1,0 +1,150 @@
+"""Predictor-guided neural architecture search.
+
+Sec. II-A motivates PredictDDL for NAS, "where performance prediction
+accelerates the search for the ideal neural network architecture", and
+the Design Objectives require the framework to "be extended for neural
+architecture search algorithms".  This module closes that loop over the
+executable DARTS-style space: candidates are screened by *predicted*
+training cost, and only the survivors are actually trained (on this
+repository's own autograd substrate) to pick the most accurate one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..core import PredictDDL, PredictionRequest
+from ..datasets import SyntheticTask
+from ..ghn import random_parameters, sample_architecture
+from ..ghn.executor import execute_graph
+from ..graphs import ComputationalGraph
+from ..nn import Adam, Tensor
+from ..nn.functional import cross_entropy
+from ..sim import DLWorkload
+
+__all__ = ["Candidate", "SearchOutcome", "PredictorGuidedSearch",
+           "train_and_score"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Candidate:
+    """One sampled architecture with its screening verdict."""
+
+    graph: ComputationalGraph
+    predicted_cost: float
+    within_budget: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchOutcome:
+    """Result of one guided search."""
+
+    candidates: tuple[Candidate, ...]
+    trained: tuple[str, ...]         # names of candidates actually trained
+    best_name: str | None
+    best_accuracy: float
+    screened_out: int
+
+    @property
+    def training_runs_saved(self) -> int:
+        """Runs avoided thanks to cost screening."""
+        return self.screened_out
+
+
+def train_and_score(graph: ComputationalGraph, task: SyntheticTask,
+                    rng: np.random.Generator, *, steps: int = 60,
+                    lr: float = 0.02) -> float:
+    """Train a candidate from random init; return held-out accuracy."""
+    train, test = task.split(0.75, rng)
+    params = random_parameters(graph, rng)
+    tensors = [t for entry in params.values() for t in entry.values()]
+    for t in tensors:
+        t.requires_grad = True
+    optimizer = Adam(tensors, lr=lr)
+    for _ in range(steps):
+        idx = rng.integers(0, len(train.y), size=min(64, len(train.y)))
+        optimizer.zero_grad()
+        logits = execute_graph(graph, params, Tensor(train.x[idx]))
+        loss = cross_entropy(logits, train.y[idx])
+        loss.backward()
+        optimizer.step()
+    logits = execute_graph(graph, params, Tensor(test.x))
+    pred = logits.data.argmax(axis=1)
+    return float((pred == test.y).mean())
+
+
+class PredictorGuidedSearch:
+    """Screen-by-cost, train-the-survivors architecture search.
+
+    Parameters
+    ----------
+    predictor:
+        Trained PredictDDL used for cost screening.
+    task:
+        The target classification task candidates train on.
+    reference_workload:
+        Dataset/batch/epoch context for cost predictions; the candidate's
+        graph replaces the workload's DNN in each request.
+    cluster:
+        Target cluster for the cost estimate.
+    budget_seconds:
+        Maximum acceptable predicted training time per candidate.
+    """
+
+    def __init__(self, predictor: PredictDDL, task: SyntheticTask,
+                 reference_workload: DLWorkload, cluster: Cluster,
+                 budget_seconds: float, *, train_steps: int = 60):
+        if not predictor.is_trained:
+            raise ValueError("search needs a trained predictor")
+        if budget_seconds <= 0:
+            raise ValueError("budget_seconds must be positive")
+        self.predictor = predictor
+        self.task = task
+        self.reference_workload = reference_workload
+        self.cluster = cluster
+        self.budget_seconds = budget_seconds
+        self.train_steps = train_steps
+
+    def screen(self, graph: ComputationalGraph) -> Candidate:
+        """Predict a candidate's training cost against the budget."""
+        request = PredictionRequest(workload=self.reference_workload,
+                                    cluster=self.cluster, graph=graph)
+        result = self.predictor.predict(request)
+        return Candidate(graph=graph,
+                         predicted_cost=result.predicted_time,
+                         within_budget=result.predicted_time
+                         <= self.budget_seconds)
+
+    def search(self, num_candidates: int, *, seed: int = 0,
+               max_trained: int | None = None) -> SearchOutcome:
+        """Sample, screen and train candidates; return the best survivor."""
+        rng = np.random.default_rng(seed)
+        candidates = [
+            self.screen(sample_architecture(
+                rng, self.task.num_features, self.task.num_classes,
+                name=f"nas_{i}"))
+            for i in range(num_candidates)
+        ]
+        survivors = [c for c in candidates if c.within_budget]
+        # Cheapest-first: spend the training budget on affordable models.
+        survivors.sort(key=lambda c: c.predicted_cost)
+        if max_trained is not None:
+            survivors = survivors[:max_trained]
+        best_name, best_accuracy = None, -1.0
+        trained = []
+        for candidate in survivors:
+            accuracy = train_and_score(candidate.graph, self.task, rng,
+                                       steps=self.train_steps)
+            trained.append(candidate.graph.name)
+            if accuracy > best_accuracy:
+                best_name, best_accuracy = candidate.graph.name, accuracy
+        return SearchOutcome(candidates=tuple(candidates),
+                             trained=tuple(trained),
+                             best_name=best_name,
+                             best_accuracy=best_accuracy,
+                             screened_out=len(candidates)
+                             - len(survivors))

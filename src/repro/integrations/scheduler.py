@@ -1,0 +1,191 @@
+"""Deadline-aware cluster scheduler driven by PredictDDL.
+
+The paper's introduction motivates prediction so "workload managers and
+schedulers, e.g., SLURM, [can] optimize cluster resource utilization",
+and Sec. VI lists scheduler integration as future work.  This module
+implements it: a queue of DL jobs with deadlines is packed onto a fixed
+server pool, each job sized to the *smallest* allocation whose predicted
+runtime (with headroom) meets its deadline, placed first-fit on a
+resource timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections.abc import Sequence
+
+from ..cluster import make_cluster
+from ..core import PredictDDL
+from ..sim import DLWorkload
+
+__all__ = ["SchedulerJob", "Placement", "Schedule", "DeadlineScheduler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerJob:
+    """One queued training job."""
+
+    name: str
+    workload: DLWorkload
+    deadline: float  # seconds after submission
+    submit_time: float = 0.0
+
+    def __post_init__(self):
+        if self.deadline <= 0:
+            raise ValueError(f"job {self.name!r}: deadline must be "
+                             f"positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class Placement:
+    """Where and when one job runs."""
+
+    job: SchedulerJob
+    servers: int
+    start_time: float
+    predicted_runtime: float
+
+    @property
+    def end_time(self) -> float:
+        return self.start_time + self.predicted_runtime
+
+    @property
+    def meets_deadline(self) -> bool:
+        return self.end_time <= self.job.submit_time + self.job.deadline
+
+
+@dataclasses.dataclass(frozen=True)
+class Schedule:
+    """The scheduler's plan for a job queue."""
+
+    placements: tuple[Placement, ...]
+    rejected: tuple[SchedulerJob, ...]
+    pool_size: int
+
+    @property
+    def deadline_hits(self) -> int:
+        return sum(p.meets_deadline for p in self.placements)
+
+    @property
+    def makespan(self) -> float:
+        return max((p.end_time for p in self.placements), default=0.0)
+
+    @property
+    def server_seconds(self) -> float:
+        """Total allocated capacity (the pool-efficiency metric)."""
+        return sum(p.servers * p.predicted_runtime
+                   for p in self.placements)
+
+
+class DeadlineScheduler:
+    """Sizes and places jobs using PredictDDL's runtime predictions.
+
+    Parameters
+    ----------
+    predictor:
+        A trained PredictDDL instance.
+    pool_size:
+        Number of identical servers available.
+    server_class:
+        Hardware class of the pool.
+    headroom:
+        Multiplier applied to predictions before deadline checks,
+        absorbing prediction error (an SLO knob).
+    """
+
+    def __init__(self, predictor: PredictDDL, pool_size: int,
+                 server_class: str, headroom: float = 1.2):
+        if not predictor.is_trained:
+            raise ValueError("scheduler needs a trained predictor")
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        self.predictor = predictor
+        self.pool_size = pool_size
+        self.server_class = server_class
+        self.headroom = headroom
+        self._prediction_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def predicted_runtime(self, workload: DLWorkload,
+                          servers: int) -> float:
+        """Headroom-inflated prediction (memoized per configuration)."""
+        key = (workload.key(), servers)
+        cached = self._prediction_cache.get(key)
+        if cached is None:
+            raw = self.predictor.predict_workload(
+                workload, make_cluster(servers, self.server_class))
+            cached = raw * self.headroom
+            self._prediction_cache[key] = cached
+        return cached
+
+    def minimal_allocation(self, job: SchedulerJob) -> int | None:
+        """Smallest server count meeting the deadline (None if none)."""
+        for servers in range(1, self.pool_size + 1):
+            if self.predicted_runtime(job.workload, servers) <= \
+                    job.deadline:
+                return servers
+        return None
+
+    # ------------------------------------------------------------------
+    def plan(self, jobs: Sequence[SchedulerJob]) -> Schedule:
+        """Pack jobs (earliest deadline first) onto the server timeline.
+
+        The timeline is tracked as a heap of ``(free_time, server_id)``;
+        a job needing ``k`` servers starts when the ``k``-th earliest
+        server frees up (gang scheduling, as DDP requires).
+        """
+        free: list[tuple[float, int]] = [(0.0, i)
+                                         for i in range(self.pool_size)]
+        heapq.heapify(free)
+        placements: list[Placement] = []
+        rejected: list[SchedulerJob] = []
+        ordered = sorted(jobs,
+                         key=lambda j: j.submit_time + j.deadline)
+        for job in ordered:
+            servers = self.minimal_allocation(job)
+            if servers is None:
+                rejected.append(job)
+                continue
+            runtime = self.predicted_runtime(job.workload, servers)
+            # Gang-allocate: take the `servers` earliest-free servers.
+            taken = [heapq.heappop(free) for _ in range(servers)]
+            start = max(job.submit_time,
+                        max(free_time for free_time, _ in taken))
+            end = start + runtime
+            for _, server_id in taken:
+                heapq.heappush(free, (end, server_id))
+            placements.append(Placement(job=job, servers=servers,
+                                        start_time=start,
+                                        predicted_runtime=runtime))
+        return Schedule(placements=tuple(placements),
+                        rejected=tuple(rejected),
+                        pool_size=self.pool_size)
+
+    def plan_fixed(self, jobs: Sequence[SchedulerJob],
+                   servers_per_job: int) -> Schedule:
+        """Baseline policy: every job gets the same allocation."""
+        if not 1 <= servers_per_job <= self.pool_size:
+            raise ValueError("servers_per_job out of range")
+        free: list[tuple[float, int]] = [(0.0, i)
+                                         for i in range(self.pool_size)]
+        heapq.heapify(free)
+        placements: list[Placement] = []
+        for job in sorted(jobs,
+                          key=lambda j: j.submit_time + j.deadline):
+            runtime = self.predicted_runtime(job.workload,
+                                             servers_per_job)
+            taken = [heapq.heappop(free)
+                     for _ in range(servers_per_job)]
+            start = max(job.submit_time,
+                        max(t for t, _ in taken))
+            end = start + runtime
+            for _, server_id in taken:
+                heapq.heappush(free, (end, server_id))
+            placements.append(Placement(job=job, servers=servers_per_job,
+                                        start_time=start,
+                                        predicted_runtime=runtime))
+        return Schedule(placements=tuple(placements), rejected=(),
+                        pool_size=self.pool_size)

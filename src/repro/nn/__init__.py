@@ -1,0 +1,23 @@
+"""Minimal NumPy deep-learning substrate (reverse-mode autograd).
+
+Provides everything PredictDDL's GHN-2 and MLP regressor need -- tensors
+with gradients, Linear/MLP/LayerNorm/Embedding layers, a GRU cell, SGD and
+Adam -- with zero external framework dependencies.
+"""
+
+from . import functional, init
+from .layers import (MLP, Embedding, LayerNorm, Linear, Module, Parameter,
+                     ReLU, Sequential, Sigmoid, Tanh)
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .rnn import GRUCell
+from .serialization import load_module, save_module
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack",
+    "Module", "Parameter", "Linear", "Sequential", "ReLU", "Tanh",
+    "Sigmoid", "MLP", "LayerNorm", "Embedding", "GRUCell",
+    "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    "save_module", "load_module",
+    "functional", "init",
+]

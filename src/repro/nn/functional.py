@@ -1,0 +1,93 @@
+"""Functional neural-network operations over autograd tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["relu", "sigmoid", "tanh", "softmax", "log_softmax",
+           "cross_entropy", "mse_loss", "l1_loss", "huber_loss", "dropout"]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        Shape ``(batch, classes)``.
+    targets:
+        Integer array of shape ``(batch,)``.
+    """
+    targets = np.asarray(targets)
+    if logits.ndim != 2:
+        raise ValueError(f"expected 2-d logits, got shape {logits.shape}")
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean absolute error (via sqrt of squared diff for differentiability
+    away from zero)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return ((diff * diff + 1e-12) ** 0.5).mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor | np.ndarray,
+               delta: float = 1.0) -> Tensor:
+    """Huber loss, quadratic near zero and linear in the tails."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    abs_diff = (diff * diff + 1e-12) ** 0.5
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - 0.5 * delta * delta
+    mask = (abs_diff.data <= delta).astype(np.float64)
+    return (quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)).mean()
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout with explicit RNG (reproducibility idiom)."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,57 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator`, never a
+global seed -- the HPC-guide reproducibility idiom used throughout this
+repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "uniform", "zeros",
+           "orthogonal"]
+
+
+def uniform(rng: np.random.Generator, shape: tuple[int, ...],
+            low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Uniform initialization on ``[low, high)``."""
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (biases)."""
+    return np.zeros(shape)
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def xavier_uniform(rng: np.random.Generator,
+                   shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform: bound = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(rng: np.random.Generator,
+                    shape: tuple[int, ...]) -> np.ndarray:
+    """He/Kaiming uniform for ReLU networks: bound = sqrt(6 / fan_in)."""
+    fan_in, _ = _fan_in_out(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(rng: np.random.Generator,
+               shape: tuple[int, int]) -> np.ndarray:
+    """Orthogonal initialization (recommended for recurrent weights)."""
+    a = rng.standard_normal(shape)
+    q, r = np.linalg.qr(a if shape[0] >= shape[1] else a.T)
+    q *= np.sign(np.diag(r))
+    return q if shape[0] >= shape[1] else q.T

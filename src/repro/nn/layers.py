@@ -1,0 +1,234 @@
+"""Neural-network layers (modules) built on the autograd tensor."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from . import init
+from .tensor import Tensor
+
+__all__ = ["Module", "Parameter", "Linear", "Sequential", "ReLU", "Tanh",
+           "Sigmoid", "MLP", "LayerNorm", "Embedding"]
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable and enumerable by modules."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with recursive parameter discovery.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` walks them recursively (insertion
+    order), mirroring the familiar torch.nn API at a fraction of the size.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its children."""
+        seen: set[int] = set()
+        yield from self._parameters(seen)
+
+    def _parameters(self, seen: set[int]) -> Iterator[Parameter]:
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter) and id(value) not in seen:
+                seen.add(id(value))
+                yield value
+            elif isinstance(value, Module):
+                yield from value._parameters(seen)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Parameter) and id(item) not in seen:
+                        seen.add(id(item))
+                        yield item
+                    elif isinstance(item, Module):
+                        yield from item._parameters(seen)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs."""
+        for key, value in self.__dict__.items():
+            path = f"{prefix}{key}"
+            if isinstance(value, Parameter):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{path}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(f"{path}.{i}.")
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        self.training = True
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value.eval()
+        return self
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters in place; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)} "
+                           f"unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            param = params[name]
+            value = np.asarray(value, dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(f"shape mismatch for {name!r}: "
+                                 f"{value.shape} vs {param.shape}")
+            param.data[...] = value
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.kaiming_uniform(rng, (out_features, in_features)),
+            name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") \
+            if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.children = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.children:
+            x = module(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.children)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.children[idx]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes.
+
+    The GHN message function ``MLP(.)`` of Eq. 3 and the Inference Engine's
+    MLP regressor (Sec. IV-B2: one hidden layer, 1-5 neurons) are both
+    instances of this class.
+    """
+
+    def __init__(self, in_features: int, hidden: tuple[int, ...],
+                 out_features: int, rng: np.random.Generator,
+                 activation: str = "relu"):
+        super().__init__()
+        act_cls = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}[activation]
+        dims = (in_features, *hidden, out_features)
+        modules: list[Module] = []
+        for i in range(len(dims) - 1):
+            modules.append(Linear(dims[i], dims[i + 1], rng))
+            if i < len(dims) - 2:
+                modules.append(act_cls())
+        self.net = Sequential(*modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, features: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.gamma = Parameter(np.ones(features), name="gamma")
+        self.beta = Parameter(np.zeros(features), name="beta")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered * (var + self.eps) ** -0.5
+        return normed * self.gamma + self.beta
+
+
+class Embedding(Module):
+    """Lookup table mapping integer indices to dense vectors.
+
+    The GHN's first module ("embedding layer", Sec. III-E) maps one-hot op
+    encodings to d-dimensional node features; with integer inputs that is
+    exactly a table lookup.
+    """
+
+    def __init__(self, num_embeddings: int, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.weight = Parameter(
+            init.xavier_uniform(rng, (num_embeddings, dim)), name="weight")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.intp)
+        return self.weight[indices]

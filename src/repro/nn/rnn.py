@@ -1,0 +1,58 @@
+"""Recurrent cells.
+
+The GHN's node-state update (Eqs. 3-4) is a Gated Recurrent Unit applied to
+(message, hidden) pairs: ``h_v^{t+1} = GRU(h_v^t, m_v^t)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .layers import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["GRUCell"]
+
+
+class GRUCell(Module):
+    """Gated Recurrent Unit cell (Cho et al., 2014).
+
+    Implements the standard gate equations::
+
+        r = sigmoid(x W_ir^T + h W_hr^T + b_r)
+        z = sigmoid(x W_iz^T + h W_hz^T + b_z)
+        n = tanh(x W_in^T + r * (h W_hn^T) + b_n)
+        h' = (1 - z) * n + z * h
+
+    Batched over the leading dimension; used by the GatedGNN to update all
+    node states of a traversal step at once (vectorized per the HPC guide).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Fused gate weights: rows ordered (reset, update, new).
+        self.weight_ih = Parameter(
+            init.xavier_uniform(rng, (3 * hidden_size, input_size)),
+            name="weight_ih")
+        self.weight_hh = Parameter(
+            np.concatenate([init.orthogonal(rng, (hidden_size, hidden_size))
+                            for _ in range(3)], axis=0),
+            name="weight_hh")
+        self.bias_ih = Parameter(np.zeros(3 * hidden_size), name="bias_ih")
+        self.bias_hh = Parameter(np.zeros(3 * hidden_size), name="bias_hh")
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is ``(batch, input)``, ``h`` is ``(batch, hidden)``."""
+        hs = self.hidden_size
+        gi = x @ self.weight_ih.T + self.bias_ih
+        gh = h @ self.weight_hh.T + self.bias_hh
+        i_r, i_z, i_n = (gi[:, :hs], gi[:, hs:2 * hs], gi[:, 2 * hs:])
+        h_r, h_z, h_n = (gh[:, :hs], gh[:, hs:2 * hs], gh[:, 2 * hs:])
+        reset = (i_r + h_r).sigmoid()
+        update = (i_z + h_z).sigmoid()
+        new = (i_n + reset * h_n).tanh()
+        return (1.0 - update) * new + update * h

@@ -1,0 +1,29 @@
+"""Persistence of module parameters to ``.npz`` archives.
+
+Used by the GHN registry (Sec. III-E) to store one trained GHN per dataset
+so PredictDDL never retrains when only the DNN changes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | Path) -> None:
+    """Write the module's state dict to ``path`` (npz)."""
+    state = module.state_dict()
+    np.savez(Path(path), **state)
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module``."""
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,82 @@
+"""Regressor interface and feature standardization.
+
+The Inference Engine (Sec. III-C) "enables different regression algorithms
+to be used easily ... by creating a continuous space".  Every regressor
+implements ``fit(X, y) -> self`` / ``predict(X) -> y`` over plain float
+matrices so they are interchangeable inside PredictDDL and in the Fig. 10
+comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Regressor", "StandardScaler", "check_fitted"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predicting before fitting."""
+
+
+def check_fitted(regressor: "Regressor") -> None:
+    if not getattr(regressor, "fitted_", False):
+        raise NotFittedError(
+            f"{type(regressor).__name__} must be fit before predict")
+
+
+class Regressor:
+    """Abstract regressor over ``(n_samples, n_features)`` matrices."""
+
+    fitted_: bool = False
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Regressor":
+        raise NotImplementedError
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate_xy(x, y) -> tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.ndim != 2:
+            raise ValueError(f"X must be 2-d, got shape {x.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {x.shape[0]} rows but y has "
+                             f"{y.shape[0]}")
+        if x.shape[0] == 0:
+            raise ValueError("empty training set")
+        if not np.isfinite(x).all() or not np.isfinite(y).all():
+            raise ValueError("non-finite values in training data")
+        return x, y
+
+    @staticmethod
+    def _validate_x(x) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"X must be 2-d, got shape {x.shape}")
+        return x
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance feature scaling (constant-safe)."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0.0] = 1.0  # constant columns pass through
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler must be fit first")
+        return (np.asarray(x, dtype=np.float64) - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)

@@ -1,0 +1,103 @@
+"""Linear regression variants: OLS, ridge, and non-negative least squares.
+
+Generalized linear regression is one of the four Inference Engine
+candidates (Sec. IV-B2); NNLS is the solver Ernest uses for its black-box
+scaling model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.optimize
+
+from .base import Regressor, StandardScaler, check_fitted
+
+__all__ = ["LinearRegression", "NNLSRegression", "LogTargetRegressor"]
+
+
+class LinearRegression(Regressor):
+    """Ordinary least squares with optional L2 (ridge) regularization.
+
+    Features are standardized internally; the intercept is unpenalized.
+    """
+
+    def __init__(self, alpha: float = 0.0):
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._scaler = StandardScaler()
+
+    def fit(self, x, y) -> "LinearRegression":
+        x, y = self._validate_xy(x, y)
+        xs = self._scaler.fit_transform(x)
+        y_mean = y.mean()
+        yc = y - y_mean
+        if self.alpha == 0.0:
+            self.coef_, *_ = np.linalg.lstsq(xs, yc, rcond=None)
+        else:
+            n_features = xs.shape[1]
+            gram = xs.T @ xs + self.alpha * np.eye(n_features)
+            self.coef_ = np.linalg.solve(gram, xs.T @ yc)
+        self.intercept_ = float(y_mean)
+        self.fitted_ = True
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        check_fitted(self)
+        xs = self._scaler.transform(self._validate_x(x))
+        return xs @ self.coef_ + self.intercept_
+
+
+class NNLSRegression(Regressor):
+    """Least squares with non-negative coefficients (Lawson-Hanson).
+
+    Ernest fits its model with NNLS so every term contributes a
+    non-negative amount of time; an explicit all-ones column provides the
+    (non-negative) intercept.
+    """
+
+    def __init__(self, include_intercept: bool = True):
+        self.include_intercept = include_intercept
+        self.coef_: np.ndarray | None = None
+
+    def _design(self, x: np.ndarray) -> np.ndarray:
+        if self.include_intercept:
+            return np.hstack([np.ones((x.shape[0], 1)), x])
+        return x
+
+    def fit(self, x, y) -> "NNLSRegression":
+        x, y = self._validate_xy(x, y)
+        design = self._design(x)
+        self.coef_, _ = scipy.optimize.nnls(design, y)
+        self.fitted_ = True
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        check_fitted(self)
+        return self._design(self._validate_x(x)) @ self.coef_
+
+
+class LogTargetRegressor(Regressor):
+    """Wrapper fitting any regressor on ``log(y)`` and exponentiating back.
+
+    Training times span orders of magnitude across models and cluster
+    sizes; log-space fitting is what keeps *relative* error (the paper's
+    metric) uniformly small.
+    """
+
+    def __init__(self, inner: Regressor):
+        self.inner = inner
+
+    def fit(self, x, y) -> "LogTargetRegressor":
+        x, y = self._validate_xy(x, y)
+        if np.any(y <= 0):
+            raise ValueError("log-target regression requires positive y")
+        self.inner.fit(x, np.log(y))
+        self.fitted_ = True
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        check_fitted(self)
+        return np.exp(self.inner.predict(x))

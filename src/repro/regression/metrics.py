@@ -1,0 +1,64 @@
+"""Prediction-quality metrics used throughout the evaluation (Sec. IV).
+
+The paper reports two primary quantities:
+
+* the **relative error ratio** ``Predicted / Actual`` (Figs. 9-12 plot
+  this; "closer to 1 is better");
+* **RMSE** for the black-box/gray-box motivation study (Figs. 1-2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "prediction_ratio", "relative_error",
+           "mean_relative_error", "mape", "r_squared"]
+
+
+def _validate(pred, actual) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if pred.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {actual.shape}")
+    if pred.size == 0:
+        raise ValueError("empty prediction arrays")
+    return pred, actual
+
+
+def rmse(pred, actual) -> float:
+    """Root mean squared error."""
+    pred, actual = _validate(pred, actual)
+    return float(np.sqrt(np.mean((pred - actual) ** 2)))
+
+
+def prediction_ratio(pred, actual) -> np.ndarray:
+    """Per-point ``Predicted / Actual`` ratio (the paper's Fig. 9 metric)."""
+    pred, actual = _validate(pred, actual)
+    if np.any(actual <= 0):
+        raise ValueError("actual values must be positive for ratios")
+    return pred / actual
+
+
+def relative_error(pred, actual) -> np.ndarray:
+    """Per-point ``|Predicted - Actual| / Actual``."""
+    return np.abs(prediction_ratio(pred, actual) - 1.0)
+
+
+def mean_relative_error(pred, actual) -> float:
+    """Mean of :func:`relative_error` (the paper's headline 8%)."""
+    return float(np.mean(relative_error(pred, actual)))
+
+
+def mape(pred, actual) -> float:
+    """Mean absolute percentage error (== mean relative error x 100)."""
+    return 100.0 * mean_relative_error(pred, actual)
+
+
+def r_squared(pred, actual) -> float:
+    """Coefficient of determination."""
+    pred, actual = _validate(pred, actual)
+    ss_res = float(np.sum((actual - pred) ** 2))
+    ss_tot = float(np.sum((actual - actual.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,67 @@
+"""Multi-layer perceptron regressor on the :mod:`repro.nn` substrate.
+
+Sec. IV-B2: "For MLP, we use a single hidden layer with 1 to 5 neurons ...
+we limit the number of neurons to avoid over-fitting."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Adam, Tensor
+from ..nn.functional import mse_loss
+from .base import Regressor, StandardScaler, check_fitted
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor(Regressor):
+    """One-hidden-layer MLP trained with Adam on standardized data."""
+
+    def __init__(self, hidden_neurons: int = 3, epochs: int = 300,
+                 lr: float = 0.01, batch_size: int = 64, seed: int = 0,
+                 activation: str = "tanh"):
+        if not 1 <= hidden_neurons:
+            raise ValueError("hidden_neurons must be >= 1")
+        self.hidden_neurons = hidden_neurons
+        self.epochs = epochs
+        self.lr = lr
+        self.batch_size = batch_size
+        self.seed = seed
+        self.activation = activation
+        self._scaler = StandardScaler()
+        self._net: MLP | None = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    def fit(self, x, y) -> "MLPRegressor":
+        x, y = self._validate_xy(x, y)
+        xs = self._scaler.fit_transform(x)
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_scale
+        rng = np.random.default_rng(self.seed)
+        self._net = MLP(xs.shape[1], (self.hidden_neurons,), 1, rng,
+                        activation=self.activation)
+        optimizer = Adam(self._net.parameters(), lr=self.lr)
+        n = xs.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                optimizer.zero_grad()
+                pred = self._net(Tensor(xs[idx])).reshape(len(idx))
+                loss = mse_loss(pred, ys[idx])
+                loss.backward()
+                optimizer.step()
+        self.fitted_ = True
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        check_fitted(self)
+        xs = self._scaler.transform(self._validate_x(x))
+        from ..nn import no_grad
+
+        with no_grad():
+            out = self._net(Tensor(xs)).data.reshape(-1)
+        return out * self._y_scale + self._y_mean

@@ -1,0 +1,111 @@
+"""Train/test splitting, grid search and model selection (Sec. III-C).
+
+"We train a representative number of regression algorithms ... and choose
+the one that performs best ... we divide the data into training and test
+splits and use the test part to estimate the real-world performance."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .base import Regressor
+from .metrics import rmse
+
+__all__ = ["train_test_split", "GridSearchResult", "grid_search",
+           "SelectionResult", "select_best_model"]
+
+
+def train_test_split(x: np.ndarray, y: np.ndarray, train_fraction: float,
+                     rng: np.random.Generator
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                np.ndarray]:
+    """Random split; returns ``(x_train, x_test, y_train, y_test)``.
+
+    ``train_fraction`` is e.g. 0.8 for the paper's default 80/20 ratio
+    (Fig. 11 also evaluates 0.5 and 0.67).
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), "
+                         f"got {train_fraction}")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n = x.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to split")
+    order = rng.permutation(n)
+    cut = max(1, min(n - 1, int(round(n * train_fraction))))
+    train_idx, test_idx = order[:cut], order[cut:]
+    return x[train_idx], x[test_idx], y[train_idx], y[test_idx]
+
+
+@dataclasses.dataclass(frozen=True)
+class GridSearchResult:
+    """Best hyperparameters found by :func:`grid_search`."""
+
+    best_params: dict
+    best_score: float
+    all_scores: tuple[tuple[dict, float], ...]
+
+
+def grid_search(factory: Callable[..., Regressor],
+                grid: Mapping[str, Sequence], x: np.ndarray, y: np.ndarray,
+                rng: np.random.Generator, *, validation_fraction: float = 0.25,
+                metric=rmse) -> GridSearchResult:
+    """Exhaustive grid search with a held-out validation split.
+
+    ``factory(**params)`` builds a fresh regressor per grid point; the
+    score is ``metric`` (lower is better) on the validation split.
+    """
+    keys = list(grid)
+    x_tr, x_val, y_tr, y_val = train_test_split(
+        x, y, 1.0 - validation_fraction, rng)
+    scored: list[tuple[dict, float]] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        model = factory(**params).fit(x_tr, y_tr)
+        score = float(metric(model.predict(x_val), y_val))
+        scored.append((params, score))
+    best_params, best_score = min(scored, key=lambda item: item[1])
+    return GridSearchResult(best_params=best_params, best_score=best_score,
+                            all_scores=tuple(scored))
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectionResult:
+    """Winner of a multi-algorithm comparison."""
+
+    best_name: str
+    best_model: Regressor
+    scores: dict[str, float]
+
+
+def select_best_model(candidates: Mapping[str, Callable[[], Regressor]],
+                      x: np.ndarray, y: np.ndarray,
+                      rng: np.random.Generator, *,
+                      validation_fraction: float = 0.25,
+                      metric=rmse) -> SelectionResult:
+    """Fit every candidate and keep the best on a validation split.
+
+    This is the Inference Engine's automatic regressor selection; users
+    may instead pin their preferred model (Sec. III-C).
+    """
+    if not candidates:
+        raise ValueError("no candidate models supplied")
+    x_tr, x_val, y_tr, y_val = train_test_split(
+        x, y, 1.0 - validation_fraction, rng)
+    scores: dict[str, float] = {}
+    fitted: dict[str, Regressor] = {}
+    for name, make in candidates.items():
+        model = make().fit(x_tr, y_tr)
+        fitted[name] = model
+        scores[name] = float(metric(model.predict(x_val), y_val))
+    best_name = min(scores, key=scores.get)
+    # Refit the winner on all data.
+    best_model = candidates[best_name]().fit(x, y)
+    return SelectionResult(best_name=best_name, best_model=best_model,
+                           scores=scores)

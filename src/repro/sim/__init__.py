@@ -1,0 +1,33 @@
+"""Distributed-training simulator: the CloudLab-testbed substitute.
+
+A discrete-event simulation of PyTorch-DDP data-parallel training --
+compute from exact FLOP accounting, ring all-reduce communication, NFS
+data loading, log-normal noise -- used to generate the 2,000-point
+execution trace of Sec. IV-A (see DESIGN.md for the substitution
+rationale).
+"""
+
+from .allreduce import (ALLREDUCE_MODELS, allreduce_time,
+                        parameter_server_time, ring_allreduce_time,
+                        tree_allreduce_time)
+from .dataloader import iteration_stall, per_worker_load_time
+from .ddp import DDPCostModel, IterationBreakdown
+from .events import ProcessHandle, SimulationError, Simulator
+from .noise import NoiseModel
+from .runner import TrainingRun, TrainingSimulator
+from .tracegen import (STANDARD_CLUSTER_SIZES, TracePoint, generate_trace,
+                       standard_trace)
+from .tracestore import load_trace, save_trace
+from .workload import DLWorkload
+
+__all__ = [
+    "Simulator", "ProcessHandle", "SimulationError",
+    "ring_allreduce_time", "tree_allreduce_time", "parameter_server_time",
+    "allreduce_time", "ALLREDUCE_MODELS",
+    "per_worker_load_time", "iteration_stall",
+    "DDPCostModel", "IterationBreakdown",
+    "NoiseModel", "DLWorkload",
+    "TrainingRun", "TrainingSimulator",
+    "TracePoint", "generate_trace", "standard_trace",
+    "STANDARD_CLUSTER_SIZES", "save_trace", "load_trace",
+]

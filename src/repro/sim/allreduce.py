@@ -1,0 +1,80 @@
+"""Gradient-synchronization cost models for data-parallel training.
+
+PyTorch DDP (the paper's training backend, Sec. IV-A2) synchronizes
+gradients with ring all-reduce.  We provide the standard alpha-beta cost
+models for ring and tree all-reduce plus a central parameter-server
+variant, so ablations can swap the collective.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ring_allreduce_time", "tree_allreduce_time",
+           "parameter_server_time", "ALLREDUCE_MODELS", "allreduce_time"]
+
+
+def _check(payload_bytes: float, num_workers: int, bandwidth: float) -> None:
+    if payload_bytes < 0:
+        raise ValueError(f"negative payload: {payload_bytes}")
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+
+
+def ring_allreduce_time(payload_bytes: float, num_workers: int,
+                        bandwidth: float, latency: float = 0.0) -> float:
+    """Ring all-reduce: ``2 (p-1)/p * bytes / bw + 2 (p-1) * alpha``.
+
+    The bandwidth-optimal collective used by NCCL/Gloo; each of ``2(p-1)``
+    steps moves ``bytes/p`` over the bottleneck link.
+    """
+    _check(payload_bytes, num_workers, bandwidth)
+    if num_workers == 1:
+        return 0.0
+    p = num_workers
+    return (2.0 * (p - 1) / p * payload_bytes / bandwidth
+            + 2.0 * (p - 1) * latency)
+
+
+def tree_allreduce_time(payload_bytes: float, num_workers: int,
+                        bandwidth: float, latency: float = 0.0) -> float:
+    """Binary-tree reduce+broadcast: ``2 ceil(log2 p) (alpha + bytes/bw)``.
+
+    Latency-optimal for small payloads; bandwidth-suboptimal for large
+    gradients (moves the full payload at every level).
+    """
+    _check(payload_bytes, num_workers, bandwidth)
+    if num_workers == 1:
+        return 0.0
+    levels = math.ceil(math.log2(num_workers))
+    return 2.0 * levels * (latency + payload_bytes / bandwidth)
+
+
+def parameter_server_time(payload_bytes: float, num_workers: int,
+                          bandwidth: float, latency: float = 0.0) -> float:
+    """Central parameter server: the server link carries ``p`` full
+    payloads in each direction."""
+    _check(payload_bytes, num_workers, bandwidth)
+    if num_workers == 1:
+        return 0.0
+    return 2.0 * num_workers * payload_bytes / bandwidth + 2.0 * latency
+
+
+ALLREDUCE_MODELS = {
+    "ring": ring_allreduce_time,
+    "tree": tree_allreduce_time,
+    "parameter_server": parameter_server_time,
+}
+
+
+def allreduce_time(algorithm: str, payload_bytes: float, num_workers: int,
+                   bandwidth: float, latency: float = 0.0) -> float:
+    """Dispatch on collective name (``ring``/``tree``/``parameter_server``)."""
+    try:
+        model = ALLREDUCE_MODELS[algorithm]
+    except KeyError:
+        raise KeyError(f"unknown all-reduce algorithm {algorithm!r}; "
+                       f"available: {sorted(ALLREDUCE_MODELS)}") from None
+    return model(payload_bytes, num_workers, bandwidth, latency)

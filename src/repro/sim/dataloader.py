@@ -1,0 +1,44 @@
+"""NFS data-loading model (paper Sec. IV-A3).
+
+"All the datasets are stored in an external storage device and accessed by
+the training nodes via the Network File System."  Every worker streams its
+shard of each global batch from a shared NFS server whose aggregate read
+throughput is divided among concurrent clients; each client is further
+capped by its own NIC.  Loading overlaps with compute (PyTorch DataLoader
+prefetching), so only the *excess* of load time over compute time stalls
+the iteration.
+"""
+
+from __future__ import annotations
+
+__all__ = ["per_worker_load_time", "iteration_stall"]
+
+
+def per_worker_load_time(batch_bytes_per_worker: float, num_workers: int,
+                         nfs_throughput: float,
+                         worker_bandwidth: float) -> float:
+    """Seconds one worker needs to read its shard of a global batch.
+
+    The effective rate is the NFS fair share ``nfs/p`` capped by the
+    worker's NIC.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if nfs_throughput <= 0 or worker_bandwidth <= 0:
+        raise ValueError("throughputs must be positive")
+    rate = min(nfs_throughput / num_workers, worker_bandwidth)
+    return batch_bytes_per_worker / rate
+
+
+def iteration_stall(load_time: float, compute_time: float,
+                    prefetch_depth: int = 2) -> float:
+    """Stall added to an iteration by data loading.
+
+    With a prefetch pipeline of depth ``prefetch_depth``, loading hides
+    behind compute as long as ``load <= depth * compute``; beyond that the
+    pipeline drains and the iteration waits for the difference.
+    """
+    if prefetch_depth < 1:
+        raise ValueError(f"prefetch_depth must be >= 1, got {prefetch_depth}")
+    hidden = prefetch_depth * compute_time
+    return max(0.0, load_time - hidden) if load_time > compute_time else 0.0

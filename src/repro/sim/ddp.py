@@ -1,0 +1,134 @@
+"""Per-iteration cost model of PyTorch-DDP data-parallel training.
+
+One DDP iteration on ``p`` servers decomposes into:
+
+* **compute** -- forward+backward of the local minibatch; bounded by the
+  *slowest* server (synchronous SGD barrier);
+* **gradient all-reduce** -- ring all-reduce of all gradients (partially
+  overlapped with the backward pass, as DDP buckets do);
+* **optimizer step** -- parameter update, memory-bandwidth bound;
+* **data-loading stall** -- NFS shard reads beyond what prefetch hides;
+* **framework overhead** -- Python/dispatch cost per step.
+
+The structure (not the constants) is what the prediction experiments need:
+compute shrinks like 1/p, communication grows like (p-1)/p, so speedup
+saturates and communication-heavy models (VGG) saturate earlier -- the
+shapes Ernest's black-box features must fit and PredictDDL predicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster import Cluster
+from ..graphs.analysis import (parameter_bytes, profile_graph,
+                               training_flops_per_sample)
+from .allreduce import allreduce_time
+from .dataloader import iteration_stall, per_worker_load_time
+from .workload import DLWorkload
+
+__all__ = ["IterationBreakdown", "DDPCostModel"]
+
+#: Fraction of the all-reduce DDP overlaps with the backward pass.
+DEFAULT_COMM_OVERLAP = 0.5
+
+#: Fixed per-iteration framework overhead (kernel launches, Python).
+DEFAULT_STEP_OVERHEAD = 0.004
+
+#: Effective memory bandwidth for the optimizer update (bytes/s).
+OPTIMIZER_BANDWIDTH = 20e9
+
+#: Hardware-utilization floor/ceiling: small kernels underutilize wide
+#: devices, so efficiency grows with per-server work.
+MIN_EFFICIENCY = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class IterationBreakdown:
+    """Component times (seconds) of one DDP iteration."""
+
+    compute: float
+    communication: float
+    optimizer: float
+    data_stall: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        return (self.compute + self.communication + self.optimizer
+                + self.data_stall + self.overhead)
+
+
+class DDPCostModel:
+    """Analytic per-iteration cost of a workload on a cluster."""
+
+    def __init__(self, comm_overlap: float = DEFAULT_COMM_OVERLAP,
+                 step_overhead: float = DEFAULT_STEP_OVERHEAD,
+                 allreduce_algorithm: str = "ring",
+                 prefetch_depth: int = 2):
+        if not 0.0 <= comm_overlap < 1.0:
+            raise ValueError("comm_overlap must be in [0, 1)")
+        self.comm_overlap = comm_overlap
+        self.step_overhead = step_overhead
+        self.allreduce_algorithm = allreduce_algorithm
+        self.prefetch_depth = prefetch_depth
+
+    # ------------------------------------------------------------------
+    def _efficiency(self, flops_per_step: float,
+                    device_flops: float) -> float:
+        """Utilization of a device given per-step work.
+
+        Steps shorter than ~20 ms of peak-rate work cannot saturate the
+        device (kernel-launch bound); efficiency ramps from
+        ``MIN_EFFICIENCY`` toward 1 as work grows.
+        """
+        saturation_work = device_flops * 0.02
+        ratio = flops_per_step / max(saturation_work, 1.0)
+        return MIN_EFFICIENCY + (1.0 - MIN_EFFICIENCY) * (
+            ratio / (1.0 + ratio))
+
+    def iteration(self, workload: DLWorkload,
+                  cluster: Cluster) -> IterationBreakdown:
+        """Cost of one synchronous DDP iteration."""
+        graph = workload.graph
+        flops_sample = training_flops_per_sample(graph)
+        local_batch = workload.batch_size_per_server
+        work = flops_sample * local_batch
+        # Synchronous SGD: the barrier waits for the slowest server.
+        compute = max(
+            work / (spec.effective_flops
+                    * self._efficiency(work, spec.effective_flops))
+            for spec in cluster.servers)
+        payload = parameter_bytes(graph)
+        comm_raw = allreduce_time(self.allreduce_algorithm, payload,
+                                  cluster.num_servers,
+                                  cluster.min_bandwidth,
+                                  cluster.net_latency)
+        communication = comm_raw * (1.0 - self.comm_overlap)
+        optimizer = 3.0 * payload / OPTIMIZER_BANDWIDTH  # read grad+param, write
+        batch_bytes = (workload.dataset.bytes_per_sample * local_batch)
+        load = per_worker_load_time(batch_bytes, cluster.num_servers,
+                                    cluster.nfs_throughput,
+                                    min(s.net_bandwidth
+                                        for s in cluster.servers))
+        data_stall = iteration_stall(load, compute, self.prefetch_depth)
+        return IterationBreakdown(compute=compute,
+                                  communication=communication,
+                                  optimizer=optimizer,
+                                  data_stall=data_stall,
+                                  overhead=self.step_overhead)
+
+    def epoch_time(self, workload: DLWorkload, cluster: Cluster) -> float:
+        """Noiseless duration of one epoch."""
+        iters = workload.iterations_per_epoch(cluster.num_servers)
+        return iters * self.iteration(workload, cluster).total
+
+    def total_time(self, workload: DLWorkload, cluster: Cluster,
+                   startup: float = 10.0) -> float:
+        """Noiseless duration of the whole training job.
+
+        ``startup`` covers process-group init, dataset indexing and CUDA
+        context creation -- a fixed cost the paper's measurements include.
+        """
+        return startup + workload.epochs * self.epoch_time(workload,
+                                                           cluster)

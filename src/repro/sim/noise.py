@@ -1,0 +1,76 @@
+"""Stochastic perturbation of simulated iteration times.
+
+Real clusters jitter: OS scheduling, network contention, occasional
+stragglers.  The noise model is multiplicative log-normal per iteration
+with a small probability of a straggler slowdown, matching the heavy right
+tail observed in production DDP traces.  Deterministic given a
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["NoiseModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative noise: lognormal jitter plus rare stragglers.
+
+    Attributes
+    ----------
+    sigma:
+        Log-space standard deviation of the per-iteration jitter
+        (0.03 corresponds to roughly +-3% variation).
+    straggler_probability:
+        Chance an iteration is hit by a straggler.
+    straggler_slowdown:
+        Multiplier applied to straggler iterations.
+    run_sigma:
+        Log-space standard deviation of a *per-run* systematic factor --
+        cluster-state differences (co-located load, thermal state, NFS
+        pressure) that shift a whole run rather than single iterations.
+        Unlike per-iteration jitter this does not average out, and it sets
+        the irreducible floor of any predictor's error (the paper's
+        PredictDDL still shows 1-30% residual error for the same reason).
+    """
+
+    sigma: float = 0.03
+    straggler_probability: float = 0.01
+    straggler_slowdown: float = 1.5
+    run_sigma: float = 0.08
+
+    def __post_init__(self):
+        if self.sigma < 0 or self.run_sigma < 0:
+            raise ValueError("sigma and run_sigma must be >= 0")
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise ValueError("straggler_probability must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+
+    def sample(self, rng: np.random.Generator,
+               size: int | None = None) -> np.ndarray | float:
+        """Multiplicative factors (mean ~1) for ``size`` iterations."""
+        n = 1 if size is None else size
+        factors = np.exp(rng.normal(-0.5 * self.sigma ** 2, self.sigma,
+                                    size=n))
+        stragglers = rng.random(n) < self.straggler_probability
+        factors = np.where(stragglers,
+                           factors * self.straggler_slowdown, factors)
+        return float(factors[0]) if size is None else factors
+
+    def sample_run_factor(self, rng: np.random.Generator) -> float:
+        """One systematic multiplicative factor for a whole training run."""
+        if self.run_sigma == 0.0:
+            return 1.0
+        return float(np.exp(rng.normal(-0.5 * self.run_sigma ** 2,
+                                       self.run_sigma)))
+
+    @staticmethod
+    def none() -> "NoiseModel":
+        """A noiseless model (exact cost-model output)."""
+        return NoiseModel(sigma=0.0, straggler_probability=0.0,
+                          run_sigma=0.0)

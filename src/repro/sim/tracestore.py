@@ -1,0 +1,105 @@
+"""Persistence of execution traces (JSON).
+
+Real deployments accumulate execution history over months; PredictDDL's
+offline trainer consumes it later and elsewhere.  The store serializes
+trace points -- workload, cluster composition, measured times -- to a
+versioned JSON file and reconstructs full :class:`TracePoint` objects,
+including heterogeneous clusters.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from ..cluster import Cluster, get_server_class
+from .ddp import IterationBreakdown
+from .runner import TrainingRun
+from .tracegen import TracePoint
+from .workload import DLWorkload
+
+__all__ = ["save_trace", "load_trace", "TRACE_FORMAT_VERSION"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+def _point_to_dict(point: TracePoint) -> dict:
+    run = point.run
+    wl = run.workload
+    return {
+        "workload": {
+            "model_name": wl.model_name,
+            "dataset_name": wl.dataset_name,
+            "batch_size_per_server": wl.batch_size_per_server,
+            "epochs": wl.epochs,
+        },
+        "cluster": {
+            "servers": [s.name for s in point.cluster.servers],
+            "net_latency": point.cluster.net_latency,
+            "nfs_throughput": point.cluster.nfs_throughput,
+        },
+        "run": {
+            "num_servers": run.num_servers,
+            "server_class": run.server_class,
+            "iterations_per_epoch": run.iterations_per_epoch,
+            "mean_iteration_time": run.mean_iteration_time,
+            "epoch_time": run.epoch_time,
+            "total_time": run.total_time,
+            "simulated_iterations": run.simulated_iterations,
+            "breakdown": {
+                "compute": run.breakdown.compute,
+                "communication": run.breakdown.communication,
+                "optimizer": run.breakdown.optimizer,
+                "data_stall": run.breakdown.data_stall,
+                "overhead": run.breakdown.overhead,
+            },
+        },
+    }
+
+
+def _point_from_dict(payload: dict) -> TracePoint:
+    wl = DLWorkload(**payload["workload"])
+    cluster_info = payload["cluster"]
+    cluster = Cluster(
+        servers=tuple(get_server_class(name)
+                      for name in cluster_info["servers"]),
+        net_latency=cluster_info["net_latency"],
+        nfs_throughput=cluster_info["nfs_throughput"],
+    )
+    run_info = payload["run"]
+    breakdown = IterationBreakdown(**run_info["breakdown"])
+    run = TrainingRun(
+        workload=wl,
+        num_servers=run_info["num_servers"],
+        server_class=run_info["server_class"],
+        iterations_per_epoch=run_info["iterations_per_epoch"],
+        mean_iteration_time=run_info["mean_iteration_time"],
+        epoch_time=run_info["epoch_time"],
+        total_time=run_info["total_time"],
+        breakdown=breakdown,
+        simulated_iterations=run_info["simulated_iterations"],
+    )
+    return TracePoint(run=run, cluster=cluster)
+
+
+def save_trace(points: Sequence[TracePoint], path: str | Path) -> None:
+    """Write trace points as versioned JSON."""
+    payload = {
+        "format_version": TRACE_FORMAT_VERSION,
+        "num_points": len(points),
+        "points": [_point_to_dict(p) for p in points],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trace(path: str | Path) -> list[TracePoint]:
+    """Read trace points written by :func:`save_trace`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != TRACE_FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version: {version!r}")
+    points = [_point_from_dict(p) for p in payload["points"]]
+    if len(points) != payload.get("num_points"):
+        raise ValueError("trace file corrupt: point count mismatch")
+    return points

@@ -1,0 +1,78 @@
+"""DL workload descriptor.
+
+The paper defines a DL workload as "the training of any DNN model in any
+computing cluster using any dataset".  :class:`DLWorkload` captures the
+DNN (by zoo name, resolving to a computational graph), the dataset and the
+training hyperparameters; pairing it with a :class:`~repro.cluster.Cluster`
+fully specifies one trace point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+from ..datasets import DatasetSpec, get_dataset
+from ..graphs import ComputationalGraph
+from ..graphs.zoo import get_model
+
+__all__ = ["DLWorkload"]
+
+
+@functools.lru_cache(maxsize=256)
+def _cached_graph(model_name: str, input_size: int,
+                  num_classes: int) -> ComputationalGraph:
+    return get_model(model_name, input_size=input_size,
+                     num_classes=num_classes)
+
+
+@dataclasses.dataclass(frozen=True)
+class DLWorkload:
+    """One distributed training job description.
+
+    Attributes
+    ----------
+    model_name:
+        Zoo model identifier (e.g. ``"resnet18"``).
+    dataset_name:
+        Dataset identifier (e.g. ``"cifar10"``).
+    batch_size_per_server:
+        Local minibatch size; the global batch is this times the number
+        of servers (standard DDP weak scaling, as in the paper).
+    epochs:
+        Number of passes over the dataset.
+    """
+
+    model_name: str
+    dataset_name: str
+    batch_size_per_server: int = 32
+    epochs: int = 1
+
+    def __post_init__(self):
+        if self.batch_size_per_server <= 0:
+            raise ValueError("batch_size_per_server must be positive")
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+
+    @property
+    def dataset(self) -> DatasetSpec:
+        return get_dataset(self.dataset_name)
+
+    @property
+    def graph(self) -> ComputationalGraph:
+        """The DNN's computational graph (cached per configuration)."""
+        ds = self.dataset
+        return _cached_graph(self.model_name, ds.input_size,
+                             ds.num_classes)
+
+    def global_batch_size(self, num_servers: int) -> int:
+        return self.batch_size_per_server * num_servers
+
+    def iterations_per_epoch(self, num_servers: int) -> int:
+        return self.dataset.iterations_per_epoch(
+            self.global_batch_size(num_servers))
+
+    def key(self) -> tuple[str, str, int, int]:
+        """Hashable identity used for grouping trace records."""
+        return (self.model_name, self.dataset_name,
+                self.batch_size_per_server, self.epochs)

@@ -1,0 +1,209 @@
+"""Tests for the Ernest, CherryPick (GP) and Paleo baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (CherryPick, ErnestModel, GaussianProcess,
+                             PaleoModel, collect_and_fit,
+                             design_experiments, ernest_features,
+                             expected_improvement)
+from repro.cluster import make_cluster
+from repro.sim import DLWorkload, NoiseModel, TrainingSimulator
+
+
+class TestErnestFeatures:
+    def test_feature_map(self):
+        feats = ernest_features([10.0], [4])
+        np.testing.assert_allclose(feats, [[2.5, np.log(4), 4.0]])
+
+    def test_rejects_bad_machines(self):
+        with pytest.raises(ValueError):
+            ernest_features([1.0], [0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ernest_features([1.0, 2.0], [1])
+
+
+class TestErnestModel:
+    def _synthetic(self, rng, n=60):
+        machines = rng.integers(1, 17, size=n)
+        scale = rng.uniform(0.1, 1.0, size=n)
+        # Ground truth follows Ernest's own functional form.
+        y = 5.0 + 100.0 * scale / machines + 2.0 * np.log(machines) \
+            + 0.5 * machines
+        return ErnestModel.pack(scale, machines), y
+
+    def test_recovers_own_functional_form(self):
+        rng = np.random.default_rng(0)
+        x, y = self._synthetic(rng)
+        model = ErnestModel().fit(x, y)
+        np.testing.assert_allclose(model.predict(x), y, rtol=1e-6)
+        np.testing.assert_allclose(model.theta_, [5.0, 100.0, 2.0, 0.5],
+                                   rtol=1e-4)
+
+    def test_coefficients_nonnegative(self):
+        rng = np.random.default_rng(0)
+        x, _ = self._synthetic(rng)
+        y = -np.ones(len(x))  # adversarial target
+        model = ErnestModel().fit(x, y)
+        assert np.all(model.theta_ >= 0)
+
+    def test_rejects_wrong_columns(self):
+        with pytest.raises(ValueError, match="columns"):
+            ErnestModel().fit(np.zeros((5, 3)), np.zeros(5))
+
+
+class TestExperimentDesign:
+    def test_selects_budget_configs(self):
+        configs = design_experiments([0.05, 0.1], [1, 2, 4, 8], budget=5)
+        assert len(configs) == 5
+        assert len(set(configs)) == 5
+
+    def test_spreads_over_machines(self):
+        configs = design_experiments([0.05, 0.125], [1, 2, 4, 8, 16],
+                                     budget=6)
+        machines = {m for _, m in configs}
+        assert 1 in machines and 16 in machines  # covers the extremes
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            design_experiments([0.1], [1, 2], budget=3)
+        with pytest.raises(ValueError):
+            design_experiments([0.1], [1, 2], budget=10)
+
+
+class TestErnestCollection:
+    def test_collect_and_fit(self):
+        sim = TrainingSimulator(noise=NoiseModel.none())
+        workload = DLWorkload("resnet18", "cifar10")
+        collection = collect_and_fit(workload, "gpu-p100", sim, budget=6)
+        assert collection.model.fitted_
+        assert collection.collection_time == pytest.approx(
+            sum(collection.sample_times))
+        assert collection.collection_time > 0
+        assert collection.fit_time >= 0
+
+    def test_prediction_interpolates_scaling(self):
+        """Ernest trained on small fractions predicts full-scale time of
+        its own workload reasonably (its home-turf scenario)."""
+        sim = TrainingSimulator(noise=NoiseModel.none())
+        workload = DLWorkload("resnet18", "tiny-imagenet")
+        collection = collect_and_fit(
+            workload, "cpu-e5-2630", sim,
+            scales=(0.1, 0.3, 1.0), machines=(1, 2, 4, 8), budget=9,
+        )
+        actual = sim.run(workload, make_cluster(8, "cpu-e5-2630"),
+                         0).total_time
+        x = ErnestModel.pack([1.0], [8])
+        pred = collection.model.predict(x)[0]
+        assert pred == pytest.approx(actual, rel=0.35)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(20, 1))
+        y = np.sin(x[:, 0])
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        np.testing.assert_allclose(gp.predict(x), y, atol=1e-2)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        gp = GaussianProcess().fit(x, y)
+        _, std_near = gp.predict(np.array([[0.5]]), return_std=True)
+        _, std_far = gp.predict(np.array([[10.0]]), return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise=0.0)
+
+
+class TestExpectedImprovement:
+    def test_zero_when_certain_and_worse(self):
+        ei = expected_improvement(np.array([5.0]), np.array([1e-12]),
+                                  best=1.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_when_mean_better(self):
+        ei = expected_improvement(np.array([0.0]), np.array([0.1]),
+                                  best=1.0)
+        assert ei[0] > 0.9
+
+    def test_uncertainty_adds_value(self):
+        ei_low = expected_improvement(np.array([1.0]), np.array([0.01]),
+                                      best=1.0)
+        ei_high = expected_improvement(np.array([1.0]), np.array([1.0]),
+                                       best=1.0)
+        assert ei_high[0] > ei_low[0]
+
+
+class TestCherryPick:
+    def test_finds_optimum_on_smooth_objective(self):
+        candidates = [(p,) for p in range(1, 21)]
+
+        def objective(config):
+            p = config[0]
+            return 100.0 / p + 3.0 * p  # minimized near p ~ 5.8
+
+        cp = CherryPick(candidates, encoder=lambda c: np.array(
+            [float(c[0])]), max_evaluations=10, ei_threshold=0.01, seed=0)
+        result = cp.search(objective)
+        best_possible = min(objective(c) for c in candidates)
+        # BO is a heuristic: within 25% of optimal on a small budget.
+        assert result.best_value <= best_possible * 1.25
+        assert result.num_evaluations <= 10
+
+    def test_evaluates_fewer_than_exhaustive(self):
+        candidates = [(p,) for p in range(1, 41)]
+        cp = CherryPick(candidates, encoder=lambda c: np.array(
+            [float(c[0])]), max_evaluations=12, seed=1)
+        result = cp.search(lambda c: 50.0 / c[0] + c[0])
+        assert result.num_evaluations < len(candidates)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            CherryPick([], encoder=lambda c: np.zeros(1))
+
+
+class TestPaleo:
+    def test_prediction_positive_and_monotone_in_flops(self):
+        paleo = PaleoModel()
+        cluster = make_cluster(4, "gpu-p100")
+        small = paleo.predict_total(DLWorkload("squeezenet1_1", "cifar10"),
+                                    cluster)
+        large = paleo.predict_total(DLWorkload("vgg16", "cifar10"),
+                                    cluster)
+        assert 0 < small < large
+
+    def test_ppp_scales_compute(self):
+        cluster = make_cluster(1, "gpu-p100")
+        wl = DLWorkload("resnet18", "cifar10")
+        fast = PaleoModel(platform_percent=1.0, startup=0.0)
+        slow = PaleoModel(platform_percent=0.25, startup=0.0)
+        assert slow.predict_total(wl, cluster) == pytest.approx(
+            4.0 * fast.predict_total(wl, cluster))
+
+    def test_correlates_with_simulator(self):
+        """Analytical Paleo should rank workloads like the simulator."""
+        sim = TrainingSimulator(noise=NoiseModel.none())
+        paleo = PaleoModel()
+        cluster = make_cluster(4, "gpu-p100")
+        models = ["squeezenet1_1", "mobilenet_v3_large", "resnet18",
+                  "resnet50", "vgg16"]
+        sim_times = [sim.run(DLWorkload(m, "cifar10"), cluster, 0).total_time
+                     for m in models]
+        paleo_times = [paleo.predict_total(DLWorkload(m, "cifar10"),
+                                           cluster) for m in models]
+        assert np.argsort(sim_times).tolist() == \
+            np.argsort(paleo_times).tolist()
+
+    def test_invalid_ppp(self):
+        with pytest.raises(ValueError):
+            PaleoModel(platform_percent=0.0)

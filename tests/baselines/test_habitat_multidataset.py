@@ -1,0 +1,83 @@
+"""Tests for the Habitat transfer baseline and the multi-dataset GHN."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DeviceProfile, HabitatModel
+from repro.cluster import CPU_E5_2630, GPU_P100
+from repro.datasets import CIFAR10, TINY_IMAGENET
+from repro.ghn import GHNConfig, MultiDatasetGHNTrainer
+from repro.graphs.zoo import get_model
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+class TestHabitat:
+    @pytest.fixture
+    def devices(self):
+        origin = DeviceProfile("slow-gpu", peak_flops=1e12,
+                               memory_bandwidth=250e9)
+        target = DeviceProfile("fast-gpu", peak_flops=4e12,
+                               memory_bandwidth=500e9)
+        return origin, target
+
+    def test_identity_transfer(self):
+        device = DeviceProfile("same", 1e12, 500e9)
+        model = HabitatModel(device, device)
+        graph = get_model("resnet18")
+        assert model.transfer(graph, 32, 0.1) == pytest.approx(0.1)
+
+    def test_faster_target_predicts_shorter(self, devices):
+        origin, target = devices
+        model = HabitatModel(origin, target)
+        graph = get_model("resnet18")
+        predicted = model.transfer(graph, 32, 0.1)
+        assert predicted < 0.1
+        # Bounded below by the best-case speedup (4x on both axes
+        # would give exactly 0.1 * max ratio share).
+        assert predicted >= 0.1 / 4.0 - 1e-12
+
+    def test_compute_bound_model_scales_by_flops(self, devices):
+        """A high-arithmetic-intensity model follows the FLOPS ratio."""
+        origin, target = devices
+        model = HabitatModel(origin, target)
+        vgg = get_model("vgg16")  # compute heavy at batch 128
+        predicted = model.transfer(vgg, 128, 1.0)
+        assert predicted == pytest.approx(0.25, rel=0.25)
+
+    def test_profiles_from_catalog(self):
+        gpu = DeviceProfile.from_gpu(GPU_P100.gpu)
+        cpu = DeviceProfile.from_server(CPU_E5_2630)
+        assert gpu.peak_flops > cpu.peak_flops
+
+    def test_invalid_measurement(self, devices):
+        model = HabitatModel(*devices)
+        with pytest.raises(ValueError):
+            model.transfer(get_model("alexnet"), 32, 0.0)
+
+
+class TestMultiDatasetGHN:
+    def test_trains_across_datasets(self):
+        trainer = MultiDatasetGHNTrainer([CIFAR10, TINY_IMAGENET],
+                                         FAST, seed=0)
+        result = trainer.train(20)
+        assert result.dataset == "cifar10+tiny-imagenet"
+        assert len(result.loss_history) == 20
+        assert np.isfinite(result.loss_history).all()
+
+    def test_loss_improves_with_training(self):
+        trainer = MultiDatasetGHNTrainer([CIFAR10, TINY_IMAGENET],
+                                         FAST, seed=1)
+        result = trainer.train(60)
+        assert result.improved
+
+    def test_single_ghn_embeds_for_both_datasets(self):
+        trainer = MultiDatasetGHNTrainer([CIFAR10, TINY_IMAGENET],
+                                         FAST, seed=0)
+        trainer.train(5)
+        emb = trainer.ghn.embed(get_model("resnet18"))
+        assert emb.shape == (FAST.hidden_dim,)
+
+    def test_requires_datasets(self):
+        with pytest.raises(ValueError):
+            MultiDatasetGHNTrainer([], FAST)

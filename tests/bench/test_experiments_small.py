@@ -1,0 +1,112 @@
+"""Small-scale tests of the per-figure experiment functions.
+
+The benchmarks exercise these at full scale; here they run on tiny traces
+so `pytest tests/` alone validates their logic and result shapes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (batch_prediction_scalability,
+                         blackbox_vs_graybox, cluster_size_sensitivity,
+                         embedding_dim_sweep, embedding_similarity,
+                         feature_ablation, ghn_config_ablation,
+                         prediction_error_vs_ernest,
+                         regressor_comparison, split_ratio_sensitivity)
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.sim import generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+MODELS = ["resnet18", "alexnet", "vgg16", "squeezenet1_0"]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(MODELS, "cifar10", "gpu-p100",
+                          [1, 2, 4, 8, 16], seed=0)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    reg = GHNRegistry(config=FAST, train_steps=10)
+    reg.get("cifar10")
+    return reg
+
+
+def test_blackbox_vs_graybox_shapes(trace):
+    result = blackbox_vs_graybox(trace, "vgg16", seed=0)
+    assert result.model == "vgg16"
+    assert result.black_box_rmse > 0
+    assert result.gray_box_rmse > 0
+    assert -2.0 < result.improvement <= 1.0
+
+
+def test_feature_ablation_keys(trace, registry):
+    result = feature_ablation(trace, registry, "cifar10",
+                              feature_sets=("ghn", "params"), seed=0)
+    assert set(result.errors) == {"ghn", "params"}
+    assert result.best() in ("ghn", "params")
+
+
+def test_embedding_similarity_matrix(registry):
+    names, sim = embedding_similarity(registry, "cifar10",
+                                      ["resnet18", "resnet34",
+                                       "alexnet"])
+    assert len(names) == 3
+    assert sim.shape == (3, 3)
+    np.testing.assert_allclose(np.diag(sim), 1.0)
+
+
+def test_fig9_result_structure(trace, registry):
+    result = prediction_error_vs_ernest(trace, registry, "cifar10",
+                                        MODELS, seed=0)
+    assert result.dataset == "cifar10"
+    assert result.predictddl_error > 0
+    assert result.ernest_error > 0
+    assert result.error_reduction == pytest.approx(
+        result.ernest_error / result.predictddl_error)
+    assert set(result.predictddl_ratios) <= set(MODELS)
+
+
+def test_fig10_untuned_fast_path(trace, registry):
+    result = regressor_comparison(trace, registry, "cifar10",
+                                  regressors=("PR", "LR"), tune=False,
+                                  seed=0)
+    assert set(result.errors) == {"PR", "LR"}
+    assert result.ranking()[0] in ("PR", "LR")
+
+
+def test_fig11_labels(trace, registry):
+    result = split_ratio_sensitivity(trace, registry, "cifar10",
+                                     ["resnet18"],
+                                     fractions=(0.5, 0.8), seed=0)
+    assert set(result.errors) == {"50/50", "80/20"}
+    assert all(e > 0 for e in result.errors.values())
+
+
+def test_fig12_held_out_protocol(trace, registry):
+    result = cluster_size_sensitivity(trace, registry, "cifar10",
+                                      ["resnet18"], sizes=(4, 16),
+                                      seed=0)
+    assert set(result.errors) == {4, 16}
+    assert result.worst_error >= result.best_error
+
+
+def test_fig13_costs_monotone_in_batch(trace):
+    registry = GHNRegistry(config=FAST, train_steps=5)
+    result = batch_prediction_scalability(trace[:12], registry, "cifar10",
+                                          MODELS, "gpu-p100",
+                                          batch_sizes=(2, 4), seed=0)
+    assert [c.batch_size for c in result.costs] == [2, 4]
+    # Ernest's total grows with the batch; PredictDDL's one-time cost is
+    # constant across batches.
+    assert result.costs[1].ernest_total > result.costs[0].ernest_total
+    assert result.costs[0].predictddl_one_time == \
+        result.costs[1].predictddl_one_time
+
+
+def test_ablation_sweeps_small(trace):
+    errors = embedding_dim_sweep(trace, dims=(4, 8), train_steps=5)
+    assert set(errors) == {4, 8}
+    variants = ghn_config_ablation(trace[:30], train_steps=3)
+    assert "default (sum, s_max=5, attrs)" in variants

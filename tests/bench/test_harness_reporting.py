@@ -1,0 +1,90 @@
+"""Tests for the benchmark harness and reporting utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (ernest_design, evaluate_ernest,
+                         evaluate_predictor, fit_ernest, fit_predictor,
+                         format_table, per_workload_ratios, render_report,
+                         split_points, write_report)
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.sim import generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(["resnet18", "alexnet", "vgg16"], "cifar10",
+                          "gpu-p100", range(1, 9), seed=0)
+
+
+class TestSplitPoints:
+    def test_partition(self, trace):
+        rng = np.random.default_rng(0)
+        train, test = split_points(trace, 0.75, rng)
+        assert len(train) + len(test) == len(trace)
+        assert len(train) == 18
+
+    def test_deterministic(self, trace):
+        a = split_points(trace, 0.8, np.random.default_rng(1))
+        b = split_points(trace, 0.8, np.random.default_rng(1))
+        assert [p.total_time for p in a[0]] == \
+            [p.total_time for p in b[0]]
+
+
+class TestHarnessEndToEnd:
+    def test_predictor_pipeline(self, trace):
+        rng = np.random.default_rng(0)
+        train, test = split_points(trace, 0.8, rng)
+        registry = GHNRegistry(config=FAST, train_steps=5)
+        predictor = fit_predictor(train, registry, seed=0)
+        outcome = evaluate_predictor(predictor, test)
+        assert outcome.predicted.shape == outcome.actual.shape
+        assert outcome.mean_relative_error < 0.5
+        assert np.all(outcome.ratios > 0)
+
+    def test_ernest_pipeline(self, trace):
+        rng = np.random.default_rng(0)
+        train, test = split_points(trace, 0.8, rng)
+        model = fit_ernest(train)
+        outcome = evaluate_ernest(model, test)
+        assert outcome.predicted.shape == outcome.actual.shape
+        assert np.all(outcome.predicted > 0)
+
+    def test_ernest_design_columns(self, trace):
+        design = ernest_design(trace[:5])
+        assert design.shape == (5, 2)
+        assert np.all(design[:, 1] >= 1)  # machines
+
+    def test_per_workload_ratios(self, trace):
+        rng = np.random.default_rng(0)
+        train, test = split_points(trace, 0.6, rng)
+        registry = GHNRegistry(config=FAST, train_steps=5)
+        predictor = fit_predictor(train, registry, seed=0)
+        outcome = evaluate_predictor(predictor, test)
+        ratios = per_workload_ratios(test, outcome,
+                                     ["resnet18", "alexnet", "ghost"])
+        assert "ghost" not in ratios
+        assert all(r > 0 for r in ratios.values())
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(("name", "value"),
+                             [("a", 1.5), ("long-name", "x")])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.500" in lines[2]
+
+    def test_render_report_sections(self):
+        report = render_report("Title", "claim", "table", notes="note")
+        assert "Title" in report
+        assert "paper: claim" in report
+        assert "note" in report
+
+    def test_write_report_creates_file(self, tmp_path, capsys):
+        path = write_report("unit", "content\n", tmp_path)
+        assert path.read_text() == "content\n"
+        assert "content" in capsys.readouterr().out

@@ -1,0 +1,115 @@
+"""End-to-end tests of the ``repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_size_spec_range(self):
+        from repro.cli.main import _parse_sizes
+
+        assert _parse_sizes("1-4") == [1, 2, 3, 4]
+        assert _parse_sizes("1,2,8") == [1, 2, 8]
+        assert _parse_sizes("1-2,8") == [1, 2, 8]
+
+    def test_size_spec_invalid(self):
+        import argparse
+
+        from repro.cli.main import _parse_sizes
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_sizes("0")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_sizes("")
+
+
+class TestInfoCommands:
+    def test_models_lists_zoo(self, capsys):
+        code, out, _ = run_cli(["models"], capsys)
+        assert code == 0
+        assert "resnet18" in out
+        assert "vgg16" in out
+        assert out.count("\n") >= 32  # header + >=31 models
+
+    def test_datasets(self, capsys):
+        code, out, _ = run_cli(["datasets"], capsys)
+        assert code == 0
+        assert "cifar10" in out
+        assert "tiny-imagenet" in out
+
+
+class TestSimulate:
+    def test_simulate_prints_breakdown(self, capsys):
+        code, out, _ = run_cli(
+            ["simulate", "--workload", "resnet18", "--servers", "4"],
+            capsys)
+        assert code == 0
+        assert "iteration:" in out
+        assert "total:" in out
+
+    def test_simulate_unknown_model_fails(self, capsys):
+        code, _, err = run_cli(
+            ["simulate", "--workload", "resnet9000"], capsys)
+        assert code == 1
+        assert "error" in err
+
+
+class TestFullWorkflow:
+    def test_trace_train_predict_report(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        model_path = tmp_path / "model.pkl"
+        code, out, _ = run_cli(
+            ["trace", "--models", "resnet18,alexnet", "--sizes", "1,2,4",
+             "--out", str(trace_path)], capsys)
+        assert code == 0
+        assert "6 trace points" in out
+        assert trace_path.exists()
+
+        code, out, _ = run_cli(
+            ["train", "--trace", str(trace_path), "--out",
+             str(model_path), "--ghn-steps", "5", "--ghn-dim", "8"],
+            capsys)
+        assert code == 0
+        assert "trained on 6 points" in out
+        assert model_path.exists()
+
+        code, out, _ = run_cli(
+            ["predict", "--artifact", str(model_path), "--workload",
+             "resnet18", "--servers", "2"], capsys)
+        assert code == 0
+        assert "predicted training time:" in out
+
+        code, out, _ = run_cli(
+            ["report", "--trace", str(trace_path)], capsys)
+        assert code == 0
+        assert "points: 6" in out
+        assert "resnet18" in out
+
+    def test_predict_missing_artifact(self, tmp_path, capsys):
+        code, _, err = run_cli(
+            ["predict", "--artifact", str(tmp_path / "nope.pkl"),
+             "--workload", "resnet18"], capsys)
+        assert code == 1
+        assert "error" in err
+
+    def test_train_rejects_unknown_trace(self, tmp_path, capsys):
+        code, _, err = run_cli(
+            ["train", "--trace", str(tmp_path / "nope.json"), "--out",
+             str(tmp_path / "m.pkl")], capsys)
+        assert code == 1
+        assert "error" in err

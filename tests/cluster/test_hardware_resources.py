@@ -1,0 +1,107 @@
+"""Tests for the hardware catalog and Eq. 1-2 resource normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import (CPU_E5_2630, CPU_E5_2650, GPU_P100,
+                           ResourceSnapshot, SERVER_CATALOG,
+                           available_capacity, get_server_class,
+                           per_core_share)
+
+
+class TestCatalog:
+    def test_paper_testbed_classes(self):
+        # Sec. IV-A1 server classes.
+        assert CPU_E5_2630.total_cores == 16
+        assert CPU_E5_2630.ram_bytes == 128 * 1024 ** 3
+        assert CPU_E5_2650.total_cores == 8
+        assert CPU_E5_2650.ram_bytes == 64 * 1024 ** 3
+        assert GPU_P100.total_cores == 20
+        assert GPU_P100.ram_bytes == 192 * 1024 ** 3
+        assert GPU_P100.gpu.memory_bytes == 12 * 1024 ** 3
+
+    def test_gpu_dominates_effective_flops(self):
+        assert GPU_P100.effective_flops == GPU_P100.gpu.effective_flops
+        assert GPU_P100.effective_flops > 50 * CPU_E5_2630.effective_flops
+
+    def test_cpu_effective_is_aggregate(self):
+        assert CPU_E5_2630.effective_flops == pytest.approx(
+            16 * CPU_E5_2630.cpu_flops_per_core)
+
+    def test_lookup(self):
+        assert get_server_class("gpu-p100") is GPU_P100
+        with pytest.raises(KeyError):
+            get_server_class("tpu-v9000")
+
+    def test_catalog_consistency(self):
+        for name, spec in SERVER_CATALOG.items():
+            assert spec.name == name
+            assert spec.num_gpus == (1 if spec.has_gpu else 0)
+
+
+class TestEquations:
+    def test_eq1_ram_per_core(self):
+        # Eq. 1: RAM' = RAM / |cores|
+        assert per_core_share(128.0, 16) == 8.0
+
+    def test_eq2_available_ram(self):
+        # Eq. 2: AvailableRAM = sum over available cores of RAM'
+        assert available_capacity(128.0, 16, 8) == 64.0
+        assert available_capacity(128.0, 16, 16) == 128.0
+        assert available_capacity(128.0, 16, 0) == 0.0
+
+    @given(total=st.floats(1.0, 1e12), cores=st.integers(1, 128))
+    def test_full_availability_recovers_total(self, total, cores):
+        np.testing.assert_allclose(
+            available_capacity(total, cores, cores), total, rtol=1e-12)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            per_core_share(10.0, 0)
+        with pytest.raises(ValueError):
+            available_capacity(10.0, 4, 5)
+
+
+class TestResourceSnapshot:
+    def test_idle_snapshot(self):
+        snap = ResourceSnapshot.idle("s0", CPU_E5_2630)
+        assert snap.available_cores == 16
+        assert snap.cpu_utilization == 0.0
+        assert snap.available_ram == CPU_E5_2630.ram_bytes
+        assert snap.effective_flops == CPU_E5_2630.cpu_flops
+
+    def test_partial_load_halves_resources(self):
+        snap = ResourceSnapshot("s0", CPU_E5_2630, available_cores=8,
+                                cpu_utilization=0.0)
+        assert snap.available_ram == CPU_E5_2630.ram_bytes / 2
+        assert snap.available_disk_throughput == pytest.approx(
+            CPU_E5_2630.disk_throughput / 2)
+
+    def test_utilization_discounts_flops(self):
+        snap = ResourceSnapshot("s0", CPU_E5_2630, available_cores=16,
+                                cpu_utilization=0.5)
+        assert snap.available_cpu_flops == pytest.approx(
+            CPU_E5_2630.cpu_flops * 0.5)
+
+    def test_gpu_unavailable_falls_back_to_cpu(self):
+        snap = ResourceSnapshot("g0", GPU_P100,
+                                available_cores=20, cpu_utilization=0.0,
+                                gpu_available=False)
+        assert snap.effective_flops == GPU_P100.cpu_flops
+
+    def test_invalid_cores_rejected(self):
+        with pytest.raises(ValueError, match="available_cores"):
+            ResourceSnapshot("s0", CPU_E5_2650, available_cores=99,
+                             cpu_utilization=0.0)
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(ValueError, match="utilization"):
+            ResourceSnapshot("s0", CPU_E5_2650, available_cores=4,
+                             cpu_utilization=1.5)
+
+    def test_feature_dict_keys(self):
+        features = ResourceSnapshot.idle("s0", GPU_P100).as_feature_dict()
+        assert features["num_gpus"] == 1.0
+        assert features["effective_flops"] > 0

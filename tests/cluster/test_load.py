@@ -1,0 +1,77 @@
+"""Tests for partial-load server views (Eqs. 1-2 end to end)."""
+
+import pytest
+
+from repro.cluster import (CPU_E5_2630, Cluster, GPU_P100,
+                           ResourceSnapshot, degraded_spec,
+                           loaded_cluster_specs, make_cluster)
+from repro.sim import DDPCostModel, DLWorkload
+
+
+class TestDegradedSpec:
+    def test_idle_server_unchanged_capacity(self):
+        snap = ResourceSnapshot.idle("s0", CPU_E5_2630)
+        spec = degraded_spec(snap)
+        assert spec.cpu_flops == pytest.approx(CPU_E5_2630.cpu_flops)
+        assert spec.ram_bytes == CPU_E5_2630.ram_bytes
+
+    def test_half_cores_halves_everything(self):
+        snap = ResourceSnapshot("s0", CPU_E5_2630, available_cores=8,
+                                cpu_utilization=0.0)
+        spec = degraded_spec(snap)
+        assert spec.cpu_flops == pytest.approx(
+            CPU_E5_2630.cpu_flops / 2)
+        assert spec.ram_bytes == CPU_E5_2630.ram_bytes // 2
+        assert spec.disk_throughput == pytest.approx(
+            CPU_E5_2630.disk_throughput / 2)
+
+    def test_utilization_compounds_with_cores(self):
+        snap = ResourceSnapshot("s0", CPU_E5_2630, available_cores=8,
+                                cpu_utilization=0.5)
+        spec = degraded_spec(snap)
+        assert spec.cpu_flops == pytest.approx(
+            CPU_E5_2630.cpu_flops * 0.25)
+        # Matches the snapshot's own Eq. 1-2 accounting.
+        assert spec.cpu_flops == pytest.approx(snap.available_cpu_flops)
+
+    def test_busy_gpu_removed(self):
+        snap = ResourceSnapshot("g0", GPU_P100, available_cores=20,
+                                cpu_utilization=0.0, gpu_available=False)
+        spec = degraded_spec(snap)
+        assert not spec.has_gpu
+        assert spec.effective_flops == pytest.approx(GPU_P100.cpu_flops)
+
+    def test_available_gpu_kept(self):
+        snap = ResourceSnapshot.idle("g0", GPU_P100)
+        assert degraded_spec(snap).has_gpu
+
+
+class TestLoadedClusterEndToEnd:
+    def test_loaded_cluster_slower_than_idle(self):
+        """The cost model sees partial load through the degraded specs."""
+        idle = make_cluster(4, "cpu-e5-2630")
+        snapshots = [ResourceSnapshot(f"s{i}", CPU_E5_2630,
+                                      available_cores=8,
+                                      cpu_utilization=0.25)
+                     for i in range(4)]
+        loaded = Cluster(servers=loaded_cluster_specs(snapshots))
+        cost = DDPCostModel()
+        wl = DLWorkload("resnet18", "tiny-imagenet")
+        assert cost.iteration(wl, loaded).compute > \
+            cost.iteration(wl, idle).compute
+
+    def test_one_loaded_server_straggles_the_cluster(self):
+        """Synchronous DDP is bound by the slowest (loaded) server."""
+        snapshots = [ResourceSnapshot.idle(f"s{i}", CPU_E5_2630)
+                     for i in range(3)]
+        snapshots.append(ResourceSnapshot("s3", CPU_E5_2630,
+                                          available_cores=4,
+                                          cpu_utilization=0.0))
+        mixed = Cluster(servers=loaded_cluster_specs(snapshots))
+        idle = make_cluster(4, "cpu-e5-2630")
+        cost = DDPCostModel()
+        wl = DLWorkload("resnet18", "tiny-imagenet")
+        mixed_compute = cost.iteration(wl, mixed).compute
+        idle_compute = cost.iteration(wl, idle).compute
+        # The straggler has 1/4 of the cores => ~4x slower compute bound.
+        assert mixed_compute > 3.0 * idle_compute

@@ -1,0 +1,152 @@
+"""Tests for feature assembly and cosine-similarity search."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core import (FeatureAssembler, closest_dataset,
+                        cosine_similarity, nearest_neighbors,
+                        similarity_matrix)
+from repro.datasets import CIFAR10, TINY_IMAGENET, DatasetSpec
+from repro.sim import DLWorkload
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity([1.0, 0.0], [0.0, 1.0]) == pytest.approx(
+            0.0)
+
+    def test_opposite_vectors(self):
+        assert cosine_similarity([1.0, 1.0], [-1.0, -1.0]) == \
+            pytest.approx(-1.0)
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 2.0])
+        assert cosine_similarity(a, 100.0 * a) == pytest.approx(1.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity([0.0, 0.0], [1.0, 1.0]) == 0.0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity([1.0], [1.0, 2.0])
+
+
+class TestSimilarityMatrix:
+    def test_diagonal_is_one(self):
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((5, 8))
+        sim = similarity_matrix(emb)
+        np.testing.assert_allclose(np.diag(sim), 1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        sim = similarity_matrix(rng.standard_normal((5, 8)))
+        np.testing.assert_allclose(sim, sim.T)
+
+    def test_matches_pairwise(self):
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((4, 8))
+        sim = similarity_matrix(emb)
+        assert sim[1, 2] == pytest.approx(
+            cosine_similarity(emb[1], emb[2]))
+
+
+class TestNearestNeighbors:
+    def test_finds_most_similar(self):
+        embeddings = {
+            "a": np.array([1.0, 0.0]),
+            "b": np.array([0.9, 0.1]),
+            "c": np.array([0.0, 1.0]),
+        }
+        result = nearest_neighbors(np.array([1.0, 0.05]), embeddings, k=2)
+        assert result[0][0] in ("a", "b")
+        assert result[1][0] in ("a", "b")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_neighbors(np.zeros(2), {})
+
+
+class TestClosestDataset:
+    def test_exact_match_wins(self):
+        assert closest_dataset(CIFAR10, [TINY_IMAGENET, CIFAR10]) is CIFAR10
+
+    def test_metadata_similarity_fallback(self):
+        # A CIFAR-10.1-like dataset (10 classes, similar size) maps to
+        # CIFAR-10; a 150-class/100k-image dataset maps to Tiny-ImageNet.
+        cifar_like = DatasetSpec(name="cifar10.1", num_samples=60_000,
+                                 num_classes=10,
+                                 size_bytes=180 * 1024 ** 2, input_size=64)
+        assert closest_dataset(cifar_like,
+                               [CIFAR10, TINY_IMAGENET]) is CIFAR10
+        imagenet_like = DatasetSpec(name="downsampled-imagenet",
+                                    num_samples=120_000, num_classes=150,
+                                    size_bytes=300 * 1024 ** 2,
+                                    input_size=64)
+        assert closest_dataset(imagenet_like,
+                               [CIFAR10, TINY_IMAGENET]) is TINY_IMAGENET
+
+    def test_empty_candidates(self):
+        with pytest.raises(ValueError):
+            closest_dataset(CIFAR10, [])
+
+
+class TestFeatureAssembler:
+    @pytest.fixture
+    def assembler(self):
+        return FeatureAssembler(embedding_dim=8)
+
+    def test_row_length_matches_names(self, assembler):
+        row = assembler.assemble(np.ones(8),
+                                 DLWorkload("resnet18", "cifar10"),
+                                 make_cluster(4, "gpu-p100"))
+        assert row.shape == (assembler.num_features,)
+        assert len(assembler.feature_names()) == assembler.num_features
+
+    def test_rejects_wrong_embedding_dim(self, assembler):
+        with pytest.raises(ValueError, match="dim"):
+            assembler.assemble(np.ones(16),
+                               DLWorkload("resnet18", "cifar10"),
+                               make_cluster(4, "gpu-p100"))
+
+    def test_cluster_features_vary_with_size(self, assembler):
+        wl = DLWorkload("resnet18", "cifar10")
+        r4 = assembler.assemble(np.ones(8), wl, make_cluster(4, "gpu-p100"))
+        r8 = assembler.assemble(np.ones(8), wl, make_cluster(8, "gpu-p100"))
+        names = assembler.feature_names()
+        ns = names.index("num_servers")
+        inv = names.index("inv_num_servers")
+        assert r4[ns] == 4.0 and r8[ns] == 8.0
+        assert r4[inv] == pytest.approx(0.25)
+        assert r8[inv] == pytest.approx(0.125)
+
+    def test_log_embedding_scale(self):
+        asm = FeatureAssembler(embedding_dim=2, embedding_scale="log")
+        row = asm.assemble(np.array([np.e - 1, -(np.e - 1)]),
+                           DLWorkload("resnet18", "cifar10"),
+                           make_cluster(1, "gpu-p100"))
+        np.testing.assert_allclose(row[:2], [1.0, -1.0])
+
+    def test_raw_embedding_scale(self):
+        asm = FeatureAssembler(embedding_dim=2, embedding_scale="raw")
+        row = asm.assemble(np.array([5.0, -3.0]),
+                           DLWorkload("resnet18", "cifar10"),
+                           make_cluster(1, "gpu-p100"))
+        np.testing.assert_allclose(row[:2], [5.0, -3.0])
+
+    def test_batch_stacks_rows(self, assembler):
+        wl = DLWorkload("resnet18", "cifar10")
+        clusters = [make_cluster(p, "gpu-p100") for p in (1, 2)]
+        x = assembler.assemble_batch([np.ones(8)] * 2, [wl] * 2, clusters)
+        assert x.shape == (2, assembler.num_features)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FeatureAssembler(embedding_dim=0)
+        with pytest.raises(ValueError):
+            FeatureAssembler(embedding_dim=4, embedding_scale="sqrt")

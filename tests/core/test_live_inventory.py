@@ -1,0 +1,79 @@
+"""Tests for predictions against live Cluster Resource Collector state
+(Fig. 7 step 6)."""
+
+import pytest
+
+from repro.cluster import (ClusterResourceCollector, Fabric, GPU_P100,
+                           ResourceSnapshot)
+from repro.core import PredictDDL, PredictionRequest
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.sim import DLWorkload, generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    trace = generate_trace(["resnet18", "alexnet"], "cifar10", "gpu-p100",
+                           range(1, 9), seed=0)
+    registry = GHNRegistry(config=FAST, train_steps=5)
+    return PredictDDL(registry=registry, seed=0).fit(trace)
+
+
+@pytest.fixture
+def live_collector():
+    from repro.cluster import ServerAgent
+
+    fabric = Fabric()
+    collector = ClusterResourceCollector(fabric, poll_interval=0.005)
+    collector.start()
+    agents = []
+    for i in range(4):
+        snap = ResourceSnapshot.idle(f"gpu{i}", GPU_P100)
+        agent = ServerAgent(fabric, f"gpu{i}", collector.address,
+                            lambda s=snap: s)
+        agent.start()
+        agents.append(agent)
+    assert collector.wait_for_members(4)
+    yield collector
+    for agent in agents:
+        agent.stop()
+    collector.stop()
+
+
+def test_cluster_from_inventory(predictor, live_collector):
+    predictor.attach_collector(live_collector)
+    cluster = predictor.cluster_from_inventory()
+    assert cluster.num_servers == 4
+    assert cluster.num_gpus == 4
+
+
+def test_predict_without_explicit_cluster(predictor, live_collector):
+    predictor.attach_collector(live_collector)
+    result = predictor.predict(PredictionRequest(
+        workload=DLWorkload("resnet18", "cifar10")))
+    assert result.predicted_time > 0
+    # The filled-in cluster reflects the live inventory.
+    assert result.request.cluster.num_servers == 4
+
+
+def test_no_collector_attached_raises(predictor):
+    predictor._collector = None
+    with pytest.raises(ValueError, match="no Cluster Resource Collector"):
+        predictor.predict(PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10")))
+    with pytest.raises(RuntimeError, match="no Cluster Resource"):
+        predictor.cluster_from_inventory()
+
+
+def test_empty_inventory_raises(predictor):
+    fabric = Fabric()
+    collector = ClusterResourceCollector(fabric, poll_interval=0.01)
+    collector.start()
+    try:
+        predictor.attach_collector(collector)
+        with pytest.raises(RuntimeError, match="empty"):
+            predictor.cluster_from_inventory()
+    finally:
+        collector.stop()
+        predictor._collector = None

@@ -1,0 +1,60 @@
+"""Tests for PredictDDL artifact persistence."""
+
+import pytest
+
+from repro.cluster import Fabric, make_cluster
+from repro.core import PredictDDL
+from repro.core.persistence import load_predictor, save_predictor
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.sim import DLWorkload, generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    trace = generate_trace(["resnet18", "alexnet"], "cifar10", "gpu-p100",
+                           [1, 2, 4], seed=0)
+    registry = GHNRegistry(config=FAST, train_steps=5)
+    return PredictDDL(registry=registry, seed=0).fit(trace)
+
+
+def test_round_trip_predictions_identical(tmp_path, trained):
+    path = tmp_path / "model.pkl"
+    save_predictor(trained, path)
+    restored = load_predictor(path)
+    workload = DLWorkload("resnet18", "cifar10")
+    cluster = make_cluster(2, "gpu-p100")
+    assert restored.predict_workload(workload, cluster) == pytest.approx(
+        trained.predict_workload(workload, cluster))
+
+
+def test_untrained_refused(tmp_path):
+    fresh = PredictDDL(registry=GHNRegistry(config=FAST, train_steps=5))
+    with pytest.raises(ValueError, match="untrained"):
+        save_predictor(fresh, tmp_path / "x.pkl")
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.pkl"
+    path.write_bytes(b"not a predictor")
+    with pytest.raises(ValueError, match="not a PredictDDL artifact"):
+        load_predictor(path)
+
+
+def test_fabric_backed_predictor_survives_save(tmp_path, trained):
+    """Saving must not break a live fabric listener."""
+    fabric = Fabric()
+    trace = generate_trace(["alexnet"], "cifar10", "gpu-p100", [1, 2],
+                           seed=0)
+    registry = GHNRegistry(config=FAST, train_steps=5)
+    predictor = PredictDDL(registry=registry, fabric=fabric,
+                           seed=0).fit(trace)
+    path = tmp_path / "model.pkl"
+    save_predictor(predictor, path)
+    # The live instance keeps its endpoint after saving.
+    assert predictor.listener.endpoint is not None
+    restored = load_predictor(path)
+    # The restored instance has no fabric attachment (by design).
+    assert restored.listener.endpoint is None
+    assert restored.is_trained

@@ -1,0 +1,227 @@
+"""End-to-end tests of the PredictDDL system (controller, embeddings
+generator, inference engine, offline trainer, facade)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Fabric, make_cluster
+from repro.core import (InferenceEngine, OfflineTrainer, PredictDDL,
+                        PredictionRequest, RequestValidationError,
+                        WorkloadEmbeddingsGenerator, make_regressor)
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.graphs import GraphBuilder
+from repro.regression import mean_relative_error
+from repro.sim import DLWorkload, generate_trace
+
+FAST_GHN = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+MODELS = ["resnet18", "resnet50", "vgg16", "alexnet", "mobilenet_v2",
+          "squeezenet1_0"]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(MODELS, "cifar10", "gpu-p100", range(1, 13),
+                          seed=0)
+
+
+@pytest.fixture(scope="module")
+def predictor(trace):
+    reg = GHNRegistry(config=FAST_GHN, train_steps=10)
+    return PredictDDL(registry=reg, seed=0).fit(trace)
+
+
+class TestPredictDDLFacade:
+    def test_fit_marks_trained(self, predictor):
+        assert predictor.is_trained
+        assert predictor.training_seconds > 0
+
+    def test_predict_before_fit_raises(self):
+        fresh = PredictDDL(registry=GHNRegistry(config=FAST_GHN,
+                                                train_steps=5))
+        with pytest.raises(RuntimeError, match="fit"):
+            fresh.predict_workload(DLWorkload("resnet18", "cifar10"),
+                                   make_cluster(2, "gpu-p100"))
+
+    def test_heldout_accuracy(self, predictor):
+        """The headline property: accurate on unseen configurations."""
+        test = generate_trace(MODELS, "cifar10", "gpu-p100", [14, 16],
+                              seed=99)
+        pred = predictor.predict_trace(test)
+        actual = np.array([p.total_time for p in test])
+        assert mean_relative_error(pred, actual) < 0.25
+
+    def test_reusability_on_unseen_architecture(self, predictor):
+        """A model absent from training still predicts sensibly -- the
+        no-retraining claim of the paper."""
+        unseen = generate_trace(["resnet34"], "cifar10", "gpu-p100",
+                                [4, 8], seed=7)
+        pred = predictor.predict_trace(unseen)
+        actual = np.array([p.total_time for p in unseen])
+        # Within 2x on a never-seen architecture (interpolated via
+        # embedding similarity to resnet18/resnet50).
+        assert np.all(pred / actual < 2.0)
+        assert np.all(pred / actual > 0.5)
+
+    def test_predict_returns_result_metadata(self, predictor):
+        request = PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"),
+            cluster=make_cluster(4, "gpu-p100"))
+        result = predictor.predict(request)
+        assert result.predicted_time > 0
+        assert result.dataset_used == "cifar10"
+        assert not result.ghn_trained
+        assert result.total_latency >= result.inference_seconds
+
+    def test_predict_requires_cluster(self, predictor):
+        request = PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"))
+        with pytest.raises(ValueError, match="cluster"):
+            predictor.predict(request)
+
+    def test_more_servers_predicts_faster_for_compute_bound(self,
+                                                            predictor):
+        wl = DLWorkload("resnet50", "cifar10")
+        t2 = predictor.predict_workload(wl, make_cluster(2, "gpu-p100"))
+        t12 = predictor.predict_workload(wl, make_cluster(12, "gpu-p100"))
+        assert t12 < t2
+
+    def test_custom_graph_request(self, predictor):
+        g = GraphBuilder("custom", (8,))
+        x = g.linear(g.input_id, 16)
+        x = g.relu(x)
+        x = g.linear(x, 10)
+        g.output(x)
+        request = PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"),
+            cluster=make_cluster(2, "gpu-p100"), graph=g.build())
+        result = predictor.predict(request)
+        assert result.predicted_time > 0
+
+
+class TestTaskChecker:
+    def test_rejects_unknown_dataset(self, predictor):
+        request = PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"))
+        bad = PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"),
+            cluster=make_cluster(1, "gpu-p100"))
+        # Valid request passes.
+        predictor.checker.check(bad)
+        # Unknown dataset fails at workload resolution.
+        with pytest.raises((RequestValidationError, KeyError)):
+            predictor.checker.check(PredictionRequest(
+                workload=DLWorkload("resnet18", "imagenet-21k")))
+
+    def test_rejects_unknown_model(self, predictor):
+        with pytest.raises(RequestValidationError, match="graph"):
+            predictor.checker.check(PredictionRequest(
+                workload=DLWorkload("resnet9000", "cifar10")))
+
+    def test_decision_reports_ghn_state(self, predictor):
+        decision = predictor.checker.check(PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"),
+            cluster=make_cluster(1, "gpu-p100")))
+        assert decision.dataset_used == "cifar10"
+        assert not decision.needs_ghn_training
+
+
+class TestListenerOverFabric:
+    def test_fabric_round_trip(self, trace):
+        fabric = Fabric()
+        reg = GHNRegistry(config=FAST_GHN, train_steps=5)
+        predictor = PredictDDL(registry=reg, fabric=fabric, seed=0)
+        predictor.fit(trace[:30])
+        client = fabric.register("client")
+        request = PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"),
+            cluster=make_cluster(2, "gpu-p100"))
+        client.send("predictddl", "predict", request)
+        served = predictor.listener.poll()
+        assert served == 1
+        reply = client.recv(timeout=1.0)
+        assert reply.tag == "decision"
+        assert reply.payload.dataset_used == "cifar10"
+
+    def test_fabric_error_reply(self, trace):
+        fabric = Fabric()
+        reg = GHNRegistry(config=FAST_GHN, train_steps=5)
+        predictor = PredictDDL(registry=reg, fabric=fabric, seed=0)
+        client = fabric.register("client2")
+        bad = PredictionRequest(
+            workload=DLWorkload("not_a_model", "cifar10"))
+        client.send("predictddl", "predict", bad)
+        predictor.listener.poll()
+        reply = client.recv(timeout=1.0)
+        assert reply.tag == "error"
+
+
+class TestEmbeddingsGenerator:
+    def test_fallback_to_closest_trained_dataset(self):
+        reg = GHNRegistry(config=FAST_GHN, train_steps=5)
+        reg.get("cifar10")  # only cifar10 trained
+        gen = WorkloadEmbeddingsGenerator(reg)
+        used, needs = gen.select_dataset("tiny-imagenet")
+        assert used == "cifar10"
+        assert not needs
+
+    def test_no_fallback_requires_training(self):
+        reg = GHNRegistry(config=FAST_GHN, train_steps=5)
+        reg.get("cifar10")
+        gen = WorkloadEmbeddingsGenerator(reg)
+        used, needs = gen.select_dataset("tiny-imagenet",
+                                         allow_fallback=False)
+        assert used == "tiny-imagenet"
+        assert needs
+
+
+class TestInferenceEngine:
+    def _data(self, n=150):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 2.0, size=(n, 3))
+        y = 50.0 * x[:, 0] / x[:, 1] + 10.0 * x[:, 2]
+        return x, y
+
+    @pytest.mark.parametrize("name", ["PR", "LR", "SVR", "MLP"])
+    def test_each_regressor_fits(self, name):
+        x, y = self._data()
+        engine = InferenceEngine(name).fit(x, y)
+        pred = engine.predict(x)
+        assert pred.shape == (len(y),)
+        assert np.all(pred > 0)
+        assert engine.selected_name == name
+
+    def test_auto_selection(self):
+        x, y = self._data()
+        engine = InferenceEngine("auto").fit(x, y)
+        assert engine.selected_name in ("PR", "LR", "SVR", "MLP")
+
+    def test_unknown_regressor(self):
+        with pytest.raises(KeyError):
+            InferenceEngine("XGB")
+        with pytest.raises(KeyError):
+            make_regressor("XGB")
+
+    def test_predictions_clamped_positive(self):
+        x = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([10.0, 5.0, 1.0])
+        engine = InferenceEngine("LR").fit(x, y)
+        pred = engine.predict(np.array([[100.0]]))
+        assert pred[0] >= 1e-3
+
+
+class TestOfflineTrainer:
+    def test_report_stages(self, trace):
+        reg = GHNRegistry(config=FAST_GHN, train_steps=5)
+        trainer = OfflineTrainer(PredictDDL(registry=reg, seed=0))
+        report = trainer.run(trace[:40])
+        assert report.datasets == ("cifar10",)
+        assert report.num_trace_points == 40
+        assert report.total_seconds == pytest.approx(
+            report.ghn_training_seconds + report.embedding_seconds
+            + report.prediction_training_seconds)
+        assert trainer.predictor.is_trained
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            OfflineTrainer(PredictDDL(registry=GHNRegistry(
+                config=FAST_GHN, train_steps=5))).run([])

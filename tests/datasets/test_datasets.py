@@ -1,0 +1,104 @@
+"""Tests for dataset descriptors and synthetic tasks."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets import (CIFAR10, DATASET_CATALOG, TINY_IMAGENET,
+                            get_dataset, make_task)
+from repro.datasets.synthetic import hash_name
+
+
+class TestCatalog:
+    def test_paper_metadata(self):
+        # Sec. IV-A3: CIFAR-10 ~163 MB / 60k images / 10 classes (50k train);
+        # Tiny-ImageNet ~250 MB / 100k images / 200 classes.
+        assert CIFAR10.num_classes == 10
+        assert CIFAR10.size_bytes == 163 * 1024 ** 2
+        assert TINY_IMAGENET.num_samples == 100_000
+        assert TINY_IMAGENET.num_classes == 200
+
+    def test_lookup_aliases(self):
+        assert get_dataset("CIFAR-10") is CIFAR10
+        assert get_dataset("cifar10") is CIFAR10
+        assert get_dataset("Tiny_ImageNet") is TINY_IMAGENET
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("mnist")
+
+    def test_catalog_keys_match_names(self):
+        for name, spec in DATASET_CATALOG.items():
+            assert spec.name == name
+
+    @given(st.integers(1, 4096))
+    def test_iterations_per_epoch_ceil(self, batch):
+        iters = CIFAR10.iterations_per_epoch(batch)
+        assert iters == -(-CIFAR10.num_samples // batch)
+
+    def test_iterations_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            CIFAR10.iterations_per_epoch(0)
+
+    def test_bytes_per_sample(self):
+        assert CIFAR10.bytes_per_sample == pytest.approx(
+            CIFAR10.size_bytes / 50_000)
+
+
+class TestSyntheticTask:
+    def test_deterministic_per_dataset(self):
+        t1 = make_task(CIFAR10, num_samples=64)
+        t2 = make_task(CIFAR10, num_samples=64)
+        np.testing.assert_array_equal(t1.x, t2.x)
+        np.testing.assert_array_equal(t1.y, t2.y)
+
+    def test_datasets_differ(self):
+        t1 = make_task(CIFAR10, num_samples=64)
+        t2 = make_task(TINY_IMAGENET, num_samples=64)
+        assert not np.array_equal(t1.x, t2.x)
+
+    def test_standardized(self):
+        task = make_task(CIFAR10, num_samples=512)
+        np.testing.assert_allclose(task.x.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(task.x.std(axis=0), 1.0, atol=1e-6)
+
+    def test_class_cap(self):
+        task = make_task(TINY_IMAGENET, num_samples=64)
+        assert task.num_classes == 10  # capped for meta-training
+        assert task.y.max() < 10
+
+    def test_batches_cover_epoch(self):
+        task = make_task(CIFAR10, num_samples=100)
+        rng = np.random.default_rng(0)
+        seen = sum(len(y) for _, y in task.batches(32, rng))
+        assert seen == 100
+
+    def test_split_partitions(self):
+        task = make_task(CIFAR10, num_samples=100)
+        train, test = task.split(0.8, np.random.default_rng(0))
+        assert len(train.y) == 80
+        assert len(test.y) == 20
+
+    def test_task_is_learnable(self):
+        """A small trained MLP must beat chance on the synthetic task."""
+        from repro.nn import MLP, Adam, Tensor
+        from repro.nn.functional import cross_entropy
+
+        task = make_task(CIFAR10, num_samples=256, num_features=8)
+        rng = np.random.default_rng(0)
+        train, test = task.split(0.75, rng)
+        mlp = MLP(8, (32,), task.num_classes, rng)
+        opt = Adam(mlp.parameters(), lr=0.01)
+        for _ in range(150):
+            opt.zero_grad()
+            loss = cross_entropy(mlp(Tensor(train.x)), train.y)
+            loss.backward()
+            opt.step()
+        pred = mlp(Tensor(test.x)).data.argmax(axis=1)
+        accuracy = (pred == test.y).mean()
+        assert accuracy > 0.5  # chance is ~0.1
+
+    def test_hash_name_stable(self):
+        assert hash_name("cifar10") == hash_name("cifar10")
+        assert hash_name("cifar10") != hash_name("tiny-imagenet")

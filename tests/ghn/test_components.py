@@ -1,0 +1,195 @@
+"""Tests for GHN encoder, normalization, GatedGNN and decoder."""
+
+import numpy as np
+import pytest
+
+from repro.ghn import (GatedGNN, GraphStructure, NodeEncoder,
+                       OperationNormalization, ParameterDecoder,
+                       node_attribute_matrix)
+from repro.graphs import GraphBuilder
+from repro.graphs.ops import OP_VOCABULARY
+from repro.graphs.zoo import get_model
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return get_model("resnet18")
+
+
+def small_graph():
+    g = GraphBuilder("small", (8,))
+    a = g.linear(g.input_id, 4, name="fc1")
+    b = g.relu(a)
+    c = g.linear(g.input_id, 4, name="fc2")
+    d = g.add([b, c])
+    e = g.linear(d, 2, name="fc3")
+    g.output(e)
+    return g.build()
+
+
+class TestNodeEncoder:
+    def test_output_shape(self, rng, resnet):
+        enc = NodeEncoder(16, rng)
+        out = enc(resnet)
+        assert out.shape == (resnet.num_nodes, 16)
+
+    def test_attrs_distinguish_same_op_different_width(self, rng):
+        g = GraphBuilder("w", (8,))
+        a = g.linear(g.input_id, 4, name="narrow")
+        b = g.linear(a, 64, name="wide")
+        g.output(b)
+        graph = g.build()
+        enc = NodeEncoder(16, rng, use_node_attrs=True)
+        feats = enc(graph).data
+        assert not np.allclose(feats[1], feats[2])
+
+    def test_without_attrs_same_op_identical(self, rng):
+        g = GraphBuilder("w", (8,))
+        a = g.linear(g.input_id, 4, name="narrow")
+        b = g.linear(a, 64, name="wide")
+        g.output(b)
+        graph = g.build()
+        enc = NodeEncoder(16, rng, use_node_attrs=False)
+        feats = enc(graph).data
+        np.testing.assert_allclose(feats[1], feats[2])
+
+    def test_attribute_matrix_values(self):
+        graph = small_graph()
+        attrs = node_attribute_matrix(graph)
+        assert attrs.shape == (graph.num_nodes, 3)
+        fc1 = graph.node(1)
+        np.testing.assert_allclose(attrs[1, 0],
+                                   np.log1p(fc1.params) / 10.0)
+
+
+class TestOperationNormalization:
+    def test_unit_rms_at_init(self, rng):
+        graph = small_graph()
+        norm = OperationNormalization()
+        states = Tensor(rng.standard_normal((graph.num_nodes, 8)) * 100)
+        out = norm(states, graph).data
+        rms = np.sqrt((out ** 2).mean(axis=-1))
+        np.testing.assert_allclose(rms, 1.0, rtol=1e-5)
+
+    def test_gain_is_per_op(self, rng):
+        graph = small_graph()
+        norm = OperationNormalization()
+        norm.gain.data[:] = 2.0
+        states = Tensor(rng.standard_normal((graph.num_nodes, 8)))
+        out = norm(states, graph).data
+        rms = np.sqrt((out ** 2).mean(axis=-1))
+        np.testing.assert_allclose(rms, 2.0, rtol=1e-5)
+
+    def test_has_one_gain_per_op_type(self):
+        norm = OperationNormalization()
+        assert norm.gain.shape == (len(OP_VOCABULARY),)
+
+
+class TestGraphStructure:
+    def test_receive_matrices_are_transposes(self, resnet):
+        s = GraphStructure.build(resnet, s_max=3)
+        np.testing.assert_array_equal(s.receive_fw, s.receive_bw.T)
+
+    def test_levels_partition_nodes(self, resnet):
+        s = GraphStructure.build(resnet, s_max=3)
+        for levels in (s.levels_fw, s.levels_bw):
+            ids = np.concatenate(levels)
+            assert sorted(ids) == list(range(resnet.num_nodes))
+
+    def test_levels_respect_edges(self, resnet):
+        s = GraphStructure.build(resnet, s_max=3)
+        level_of = {}
+        for lvl, nodes in enumerate(s.levels_fw):
+            for nid in nodes:
+                level_of[nid] = lvl
+        for u, v in resnet.edges:
+            assert level_of[u] < level_of[v]
+
+    def test_s_max_one_disables_virtual(self, resnet):
+        s = GraphStructure.build(resnet, s_max=1)
+        assert not s.virtual_fw.any()
+        assert not s.virtual_bw.any()
+
+
+class TestGatedGNN:
+    def test_output_shape(self, rng):
+        graph = small_graph()
+        gnn = GatedGNN(8, rng)
+        structure = GraphStructure.build(graph, s_max=3)
+        states = Tensor(rng.standard_normal((graph.num_nodes, 8)))
+        out = gnn(states, structure)
+        assert out.shape == (graph.num_nodes, 8)
+
+    def test_changes_states(self, rng):
+        graph = small_graph()
+        gnn = GatedGNN(8, rng)
+        structure = GraphStructure.build(graph, s_max=3)
+        states = Tensor(rng.standard_normal((graph.num_nodes, 8)))
+        out = gnn(states, structure)
+        assert not np.allclose(out.data, states.data)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        graph = small_graph()
+        gnn = GatedGNN(8, rng)
+        structure = GraphStructure.build(graph, s_max=3)
+        states = Tensor(rng.standard_normal((graph.num_nodes, 8)),
+                        requires_grad=True)
+        gnn(states, structure).sum().backward()
+        for p in gnn.parameters():
+            assert p.grad is not None
+
+    def test_information_propagates_along_chain(self, rng):
+        """Perturbing the input node's feature must reach the sink."""
+        g = GraphBuilder("chain", (4,))
+        x = g.linear(g.input_id, 4)
+        x = g.relu(x)
+        x = g.linear(x, 4)
+        g.output(x)
+        graph = g.build()
+        gnn = GatedGNN(8, rng)
+        structure = GraphStructure.build(graph, s_max=1)
+        base = rng.standard_normal((graph.num_nodes, 8))
+        out1 = gnn(Tensor(base), structure).data
+        perturbed = base.copy()
+        perturbed[0] += 1.0
+        out2 = gnn(Tensor(perturbed), structure).data
+        sink = graph.num_nodes - 1
+        assert not np.allclose(out1[sink], out2[sink])
+
+    def test_num_passes_changes_result(self, rng):
+        graph = small_graph()
+        structure = GraphStructure.build(graph, s_max=3)
+        states = rng.standard_normal((graph.num_nodes, 8))
+        gnn1 = GatedGNN(8, np.random.default_rng(7), num_passes=1)
+        gnn2 = GatedGNN(8, np.random.default_rng(7), num_passes=2)
+        out1 = gnn1(Tensor(states), structure).data
+        out2 = gnn2(Tensor(states), structure).data
+        assert not np.allclose(out1, out2)
+
+
+class TestParameterDecoder:
+    def test_decode_shapes(self, rng):
+        dec = ParameterDecoder(8, 16, rng)
+        state = Tensor(rng.standard_normal(8))
+        for shape in [(4, 8), (16,), (3, 3), (40, 7)]:
+            out = dec.decode(state, shape)
+            assert out.shape == shape
+
+    def test_decode_tiles_beyond_chunk(self, rng):
+        dec = ParameterDecoder(8, 4, rng)
+        state = Tensor(rng.standard_normal(8))
+        out = dec.decode(state, (2, 6)).data  # 12 elems from chunk of 4
+        flat = out.reshape(-1) * np.sqrt(6)
+        np.testing.assert_allclose(flat[:4], flat[4:8], rtol=1e-9)
+
+    def test_gradients_flow(self, rng):
+        dec = ParameterDecoder(8, 4, rng)
+        state = Tensor(rng.standard_normal(8), requires_grad=True)
+        dec.decode(state, (3, 5)).sum().backward()
+        assert state.grad is not None

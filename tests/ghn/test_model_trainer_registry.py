@@ -1,0 +1,218 @@
+"""Tests for the GHN2 model, executor, DARTS space, trainer and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CIFAR10, TINY_IMAGENET
+from repro.ghn import (EXECUTABLE_OPS, GHN2, GHNConfig, GHNRegistry,
+                       GHNTrainer, execute_graph, random_parameters,
+                       sample_architecture, sample_space)
+from repro.graphs import GraphBuilder, OpType
+from repro.graphs.zoo import get_model
+from repro.nn import Tensor
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def ghn():
+    return GHN2(FAST)
+
+
+class TestGHNConfig:
+    def test_round_trip(self):
+        cfg = GHNConfig(hidden_dim=16, readout="mean")
+        assert GHNConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_invalid_readout(self):
+        with pytest.raises(ValueError):
+            GHNConfig(readout="max")
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            GHNConfig(hidden_dim=0)
+
+
+class TestGHN2:
+    def test_embed_shape_and_determinism(self, ghn):
+        g = get_model("alexnet")
+        e1 = ghn.embed(g)
+        e2 = ghn.embed(g)
+        assert e1.shape == (FAST.hidden_dim,)
+        np.testing.assert_array_equal(e1, e2)
+
+    def test_embeddings_distinguish_models(self, ghn):
+        e_alex = ghn.embed(get_model("alexnet"))
+        e_vgg = ghn.embed(get_model("vgg16"))
+        assert not np.allclose(e_alex, e_vgg)
+
+    def test_sum_readout_scales_with_graph_size(self, ghn):
+        small = ghn.embed(get_model("alexnet"))
+        large = ghn.embed(get_model("resnet152"))
+        assert np.linalg.norm(large) > np.linalg.norm(small)
+
+    def test_similar_architectures_are_closer(self, ghn):
+        """Cosine structure (Fig. 5): ResNet-18 nearer ResNet-34 than VGG."""
+
+        def cos(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+        e18 = ghn.embed(get_model("resnet18"))
+        e34 = ghn.embed(get_model("resnet34"))
+        evgg = ghn.embed(get_model("vgg16"))
+        assert cos(e18, e34) > cos(e18, evgg)
+
+    def test_mean_readout(self):
+        ghn = GHN2(GHNConfig(hidden_dim=8, readout="mean", s_max=3))
+        e = ghn.embed(get_model("alexnet"))
+        assert e.shape == (8,)
+
+    def test_predict_parameters_covers_linear_nodes(self, ghn):
+        arch = sample_architecture(np.random.default_rng(0), 8, 4)
+        params = ghn.predict_parameters(arch)
+        linear_ids = {nd.node_id for nd in arch.nodes
+                      if nd.op is OpType.LINEAR}
+        assert set(params) == linear_ids
+        for nd_id, entry in params.items():
+            node = arch.node(nd_id)
+            assert entry["weight"].shape == (node.attrs["out_features"],
+                                             node.attrs["in_features"])
+
+    def test_structure_cache_reused(self, ghn):
+        g = get_model("alexnet")
+        s1 = ghn.structure(g)
+        s2 = ghn.structure(g)
+        assert s1 is s2
+
+
+class TestExecutor:
+    def test_executes_sampled_architectures(self):
+        rng = np.random.default_rng(0)
+        for i in range(5):
+            arch = sample_architecture(rng, 8, 4)
+            params = random_parameters(arch, rng)
+            out = execute_graph(arch, params, Tensor(rng.standard_normal(
+                (6, 8))))
+            assert out.shape == (6, 4)
+            assert np.isfinite(out.data).all()
+
+    def test_missing_params_raise(self):
+        rng = np.random.default_rng(0)
+        arch = sample_architecture(rng, 8, 4)
+        with pytest.raises(KeyError, match="missing parameters"):
+            execute_graph(arch, {}, Tensor(np.zeros((2, 8))))
+
+    def test_unsupported_op_raises(self):
+        g = GraphBuilder("conv", (3, 8, 8))
+        x = g.conv(g.input_id, 4, 3, padding=1)
+        g.output(x)
+        graph = g.build()
+        with pytest.raises(ValueError, match="not executable"):
+            execute_graph(graph, {}, Tensor(np.zeros((2, 3, 8, 8))))
+
+    def test_residual_sum_exec(self):
+        g = GraphBuilder("res", (4,))
+        a = g.linear(g.input_id, 4, bias=False, name="fc")
+        s = g.add([g.input_id, a])
+        g.output(s)
+        graph = g.build()
+        fc_id = next(nd.node_id for nd in graph.nodes
+                     if nd.op is OpType.LINEAR)
+        params = {fc_id: {"weight": Tensor(np.eye(4))}}
+        x = np.ones((2, 4))
+        out = execute_graph(graph, params, Tensor(x))
+        np.testing.assert_allclose(out.data, 2 * x)
+
+
+class TestDartsSpace:
+    def test_sampled_graphs_are_valid_and_executable(self):
+        rng = np.random.default_rng(1)
+        for arch in sample_space(rng, 20, 8, 4):
+            arch.validate()
+            assert {nd.op for nd in arch.nodes} <= EXECUTABLE_OPS
+
+    def test_classifier_head_width(self):
+        rng = np.random.default_rng(2)
+        arch = sample_architecture(rng, 8, 7)
+        out = [nd for nd in arch.nodes if nd.op is OpType.OUTPUT][0]
+        assert out.out_shape == (7,)
+
+    def test_space_has_topological_variety(self):
+        rng = np.random.default_rng(3)
+        archs = sample_space(rng, 30, 8, 4)
+        has_sum = any(OpType.SUM in a.op_histogram() for a in archs)
+        has_concat = any(OpType.CONCAT in a.op_histogram() for a in archs)
+        assert has_sum and has_concat
+
+    def test_deterministic_given_rng(self):
+        a1 = sample_architecture(np.random.default_rng(5), 8, 4)
+        a2 = sample_architecture(np.random.default_rng(5), 8, 4)
+        assert [n.op for n in a1.nodes] == [n.op for n in a2.nodes]
+
+
+class TestTrainer:
+    def test_loss_decreases(self):
+        trainer = GHNTrainer(CIFAR10, FAST, seed=1)
+        result = trainer.train(40)
+        assert result.improved
+        assert len(result.loss_history) == 40
+
+    def test_different_datasets_different_ghns(self):
+        t1 = GHNTrainer(CIFAR10, FAST, seed=1)
+        t2 = GHNTrainer(TINY_IMAGENET, FAST, seed=1)
+        t1.train(5)
+        t2.train(5)
+        g = get_model("alexnet")
+        assert not np.allclose(t1.ghn.embed(g), t2.ghn.embed(g))
+
+    def test_evaluate_architecture_finite(self):
+        trainer = GHNTrainer(CIFAR10, FAST, seed=1)
+        trainer.train(5)
+        arch = sample_architecture(np.random.default_rng(0), 16, 10)
+        loss = trainer.evaluate_architecture(arch, batches=2)
+        assert np.isfinite(loss)
+
+
+class TestRegistry:
+    def test_get_trains_on_demand(self):
+        reg = GHNRegistry(config=FAST, train_steps=5)
+        assert not reg.has_model("cifar10")
+        ghn = reg.get("cifar10")
+        assert isinstance(ghn, GHN2)
+        assert reg.has_model("cifar10")
+        assert reg.training_result("cifar10") is not None
+
+    def test_get_is_memoized(self):
+        reg = GHNRegistry(config=FAST, train_steps=5)
+        assert reg.get("cifar10") is reg.get("cifar10")
+
+    def test_embedding_cache(self):
+        reg = GHNRegistry(config=FAST, train_steps=5)
+        g = get_model("alexnet")
+        e1 = reg.embed("cifar10", g)
+        e2 = reg.embed("cifar10", g)
+        assert e1 is e2  # cached object identity
+
+    def test_retrain_invalidates_cache(self):
+        reg = GHNRegistry(config=FAST, train_steps=5)
+        g = get_model("alexnet")
+        e1 = reg.embed("cifar10", g)
+        reg.train(CIFAR10, steps=5, seed=9)
+        e2 = reg.embed("cifar10", g)
+        assert e1 is not e2
+
+    def test_disk_persistence(self, tmp_path):
+        reg1 = GHNRegistry(tmp_path, config=FAST, train_steps=5)
+        ghn1 = reg1.get("cifar10")
+        g = get_model("alexnet")
+        e1 = ghn1.embed(g)
+        # A fresh registry must load, not retrain.
+        reg2 = GHNRegistry(tmp_path, config=FAST, train_steps=5)
+        assert reg2.has_model("cifar10")
+        e2 = reg2.get("cifar10").embed(g)
+        np.testing.assert_allclose(e1, e2)
+
+    def test_dataset_aliases(self):
+        reg = GHNRegistry(config=FAST, train_steps=5)
+        reg.get("CIFAR-10")
+        assert reg.datasets() == ["cifar10"]

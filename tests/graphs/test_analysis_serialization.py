@@ -1,0 +1,69 @@
+"""Tests for graph profiling and JSON serialization round-trips."""
+
+import pytest
+
+from repro.graphs import (graph_from_dict, graph_to_dict, load_graph,
+                          profile_graph, save_graph,
+                          training_flops_per_sample)
+from repro.graphs.analysis import (BACKWARD_FLOP_MULTIPLIER,
+                                   BYTES_PER_SCALAR, op_type_counts)
+from repro.graphs.zoo import get_model
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return get_model("resnet18")
+
+
+def test_profile_consistency(resnet):
+    p = profile_graph(resnet)
+    assert p.num_nodes == resnet.num_nodes
+    assert p.total_params == resnet.total_params
+    assert p.forward_flops == resnet.total_flops
+    assert p.parameter_bytes == BYTES_PER_SCALAR * resnet.total_params
+
+
+def test_training_flops_multiplier(resnet):
+    expected = resnet.total_flops * (1 + BACKWARD_FLOP_MULTIPLIER)
+    assert training_flops_per_sample(resnet) == expected
+
+
+def test_profile_feature_dict(resnet):
+    features = profile_graph(resnet).as_feature_dict()
+    assert set(features) == {"num_layers", "total_params", "forward_flops",
+                             "depth"}
+    assert all(v > 0 for v in features.values())
+
+
+def test_op_type_counts_sum_to_nodes(resnet):
+    counts = op_type_counts(resnet)
+    assert sum(counts.values()) == resnet.num_nodes
+
+
+def test_branch_count_positive_for_residual(resnet):
+    assert profile_graph(resnet).num_branches > 0
+
+
+def test_round_trip_dict(resnet):
+    payload = graph_to_dict(resnet)
+    rebuilt = graph_from_dict(payload)
+    assert rebuilt.name == resnet.name
+    assert rebuilt.num_nodes == resnet.num_nodes
+    assert rebuilt.edges == resnet.edges
+    assert rebuilt.total_params == resnet.total_params
+    assert rebuilt.total_flops == resnet.total_flops
+    assert [nd.op for nd in rebuilt.nodes] == [nd.op for nd in resnet.nodes]
+
+
+def test_round_trip_file(tmp_path, resnet):
+    path = tmp_path / "resnet18.json"
+    save_graph(resnet, path)
+    rebuilt = load_graph(path)
+    assert graph_to_dict(rebuilt) == graph_to_dict(resnet)
+
+
+def test_bad_version_rejected(resnet):
+    payload = graph_to_dict(resnet)
+    payload["format_version"] = 999
+    with pytest.raises(ValueError, match="version"):
+        graph_from_dict(payload)

@@ -1,0 +1,130 @@
+"""Tests for the ComputationalGraph DAG invariants and matrices."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (ComputationalGraph, GraphBuilder,
+                          GraphValidationError, Node, OpType)
+
+
+def tiny_graph():
+    g = GraphBuilder("tiny", (3, 8, 8))
+    a = g.conv(g.input_id, 4, 3, padding=1)
+    b = g.relu(a)
+    c = g.conv(g.input_id, 4, 1)
+    d = g.add([b, c])
+    out = g.global_avg_pool(d)
+    out = g.flatten(out)
+    out = g.linear(out, 2)
+    g.output(out)
+    return g.build()
+
+
+def test_topological_order_respects_edges():
+    graph = tiny_graph()
+    order = graph.topological_order()
+    position = {nid: i for i, nid in enumerate(order)}
+    for u, v in graph.edges:
+        assert position[u] < position[v]
+
+
+def test_adjacency_matches_edges():
+    graph = tiny_graph()
+    adj = graph.adjacency_matrix()
+    assert adj.shape == (graph.num_nodes, graph.num_nodes)
+    for u, v in graph.edges:
+        assert adj[u, v] == 1.0
+    assert adj.sum() == graph.num_edges
+
+
+def test_initial_features_shape():
+    graph = tiny_graph()
+    h0 = graph.initial_node_features()
+    assert h0.shape[0] == graph.num_nodes
+    assert np.array_equal(h0.sum(axis=1), np.ones(graph.num_nodes))
+
+
+def test_predecessors_successors_consistent():
+    graph = tiny_graph()
+    for u, v in graph.edges:
+        assert v in graph.successors(u)
+        assert u in graph.predecessors(v)
+
+
+def test_merge_node_has_multiple_predecessors():
+    graph = tiny_graph()
+    merge_nodes = [nd for nd in graph.nodes if nd.op is OpType.SUM]
+    assert len(merge_nodes) == 1
+    assert len(graph.predecessors(merge_nodes[0].node_id)) == 2
+
+
+def test_cycle_detection():
+    nodes = [
+        Node(0, OpType.INPUT, "input", (3, 4, 4)),
+        Node(1, OpType.RELU, "a", (3, 4, 4)),
+        Node(2, OpType.RELU, "b", (3, 4, 4)),
+        Node(3, OpType.OUTPUT, "output", (3, 4, 4)),
+    ]
+    with pytest.raises(GraphValidationError, match="cycle"):
+        ComputationalGraph("cyclic", nodes,
+                           [(0, 1), (1, 2), (2, 1), (2, 3)])
+
+
+def test_requires_single_input():
+    nodes = [
+        Node(0, OpType.INPUT, "input", (3, 4, 4)),
+        Node(1, OpType.INPUT, "input2", (3, 4, 4)),
+        Node(2, OpType.SUM, "add", (3, 4, 4)),
+        Node(3, OpType.OUTPUT, "output", (3, 4, 4)),
+    ]
+    with pytest.raises(GraphValidationError, match="INPUT"):
+        ComputationalGraph("two_inputs", nodes, [(0, 2), (1, 2), (2, 3)])
+
+
+def test_requires_single_sink():
+    nodes = [
+        Node(0, OpType.INPUT, "input", (3, 4, 4)),
+        Node(1, OpType.RELU, "a", (3, 4, 4)),
+        Node(2, OpType.RELU, "dangling", (3, 4, 4)),
+        Node(3, OpType.OUTPUT, "output", (3, 4, 4)),
+    ]
+    with pytest.raises(GraphValidationError, match="sink"):
+        ComputationalGraph("dangling", nodes, [(0, 1), (0, 2), (1, 3)])
+
+
+def test_duplicate_names_rejected():
+    nodes = [
+        Node(0, OpType.INPUT, "input", (3, 4, 4)),
+        Node(1, OpType.RELU, "x", (3, 4, 4)),
+        Node(2, OpType.RELU, "x", (3, 4, 4)),
+        Node(3, OpType.OUTPUT, "output", (3, 4, 4)),
+    ]
+    with pytest.raises(GraphValidationError, match="duplicate"):
+        ComputationalGraph("dupes", nodes, [(0, 1), (1, 2), (2, 3)])
+
+
+def test_self_loop_rejected():
+    nodes = [
+        Node(0, OpType.INPUT, "input", (3, 4, 4)),
+        Node(1, OpType.OUTPUT, "output", (3, 4, 4)),
+    ]
+    with pytest.raises(GraphValidationError, match="self-loop"):
+        ComputationalGraph("loopy", nodes, [(0, 1), (1, 1)])
+
+
+def test_depth_of_chain():
+    g = GraphBuilder("chain", (1, 4, 4))
+    x = g.relu(g.input_id)
+    x = g.relu(x)
+    x = g.relu(x)
+    g.output(x)
+    graph = g.build()
+    assert graph.depth() == 4  # input -> 3 relus -> output
+
+
+def test_op_histogram():
+    graph = tiny_graph()
+    hist = graph.op_histogram()
+    assert hist[OpType.CONV] == 2
+    assert hist[OpType.SUM] == 1
+    assert hist[OpType.INPUT] == 1

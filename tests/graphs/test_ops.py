@@ -1,0 +1,71 @@
+"""Tests for the primitive op vocabulary and one-hot encodings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.ops import (OP_VOCABULARY, OpType, is_activation,
+                              is_merge, is_pooling, is_weighted_op,
+                              one_hot, one_hot_matrix, op_index,
+                              vocabulary_size)
+
+
+def test_vocabulary_covers_all_op_types():
+    assert set(OP_VOCABULARY) == set(OpType)
+    assert vocabulary_size() == len(OpType)
+
+
+def test_vocabulary_order_is_stable():
+    # The first entries are part of the serialized GHN format.
+    assert OP_VOCABULARY[0] is OpType.INPUT
+    assert OP_VOCABULARY[1] is OpType.OUTPUT
+    assert OP_VOCABULARY[2] is OpType.CONV
+
+
+@pytest.mark.parametrize("op", list(OpType))
+def test_one_hot_is_unit_vector(op):
+    vec = one_hot(op)
+    assert vec.shape == (len(OP_VOCABULARY),)
+    assert vec.sum() == 1.0
+    assert vec[op_index(op)] == 1.0
+
+
+def test_one_hot_matrix_matches_rows():
+    ops = [OpType.CONV, OpType.RELU, OpType.SUM, OpType.CONV]
+    mat = one_hot_matrix(ops)
+    assert mat.shape == (4, len(OP_VOCABULARY))
+    for row, op in zip(mat, ops):
+        assert np.array_equal(row, one_hot(op))
+
+
+def test_one_hot_matrix_empty():
+    mat = one_hot_matrix([])
+    assert mat.shape == (0, len(OP_VOCABULARY))
+
+
+@given(st.lists(st.sampled_from(list(OpType)), max_size=50))
+def test_one_hot_matrix_row_sums(ops):
+    mat = one_hot_matrix(ops)
+    assert np.array_equal(mat.sum(axis=1), np.ones(len(ops)))
+
+
+def test_category_predicates_are_disjoint():
+    for op in OpType:
+        categories = [is_activation(op), is_pooling(op), is_merge(op)]
+        assert sum(categories) <= 1
+
+
+def test_weighted_ops():
+    assert is_weighted_op(OpType.CONV)
+    assert is_weighted_op(OpType.LINEAR)
+    assert is_weighted_op(OpType.BATCH_NORM)
+    assert not is_weighted_op(OpType.RELU)
+    assert not is_weighted_op(OpType.SUM)
+
+
+def test_merge_ops():
+    assert is_merge(OpType.SUM)
+    assert is_merge(OpType.CONCAT)
+    assert is_merge(OpType.MUL)
+    assert not is_merge(OpType.CONV)

@@ -1,0 +1,89 @@
+"""Tests for shortest-path virtual edges (GHN-2 Eq. 4)."""
+
+import numpy as np
+
+from repro.graphs import (GraphBuilder, shortest_path_lengths,
+                          virtual_edge_weights)
+from repro.graphs.zoo import get_model
+
+
+def chain_graph(n_relu=4):
+    g = GraphBuilder("chain", (1, 4, 4))
+    x = g.input_id
+    for _ in range(n_relu):
+        x = g.relu(x)
+    g.output(x)
+    return g.build()
+
+
+def test_chain_distances_forward():
+    graph = chain_graph(4)
+    dist = shortest_path_lengths(graph)
+    # Node ids are 0..5 along the chain.
+    for i in range(graph.num_nodes):
+        for j in range(graph.num_nodes):
+            expected = j - i if j >= i else np.inf
+            assert dist[i, j] == expected
+
+
+def test_chain_distances_reverse():
+    graph = chain_graph(4)
+    fwd = shortest_path_lengths(graph)
+    bwd = shortest_path_lengths(graph, reverse=True)
+    assert np.array_equal(bwd, fwd.T)
+
+
+def test_virtual_weights_exclude_direct_edges():
+    graph = chain_graph(4)
+    w = virtual_edge_weights(graph, s_max=3)
+    # Direct edges (distance 1) carry no virtual weight.
+    for u, v in graph.edges:
+        assert w[v, u] == 0.0
+
+
+def test_virtual_weights_values():
+    graph = chain_graph(4)
+    w = virtual_edge_weights(graph, s_max=3)
+    # Node 3 receives virtual messages from node 1 (distance 2) and
+    # node 0 (distance 3).
+    assert w[3, 1] == 0.5
+    assert w[3, 0] == 1.0 / 3.0
+    # Distance 4 exceeds s_max=3.
+    assert w[4, 0] == 0.0
+
+
+def test_virtual_weights_respect_direction():
+    graph = chain_graph(4)
+    fwd = virtual_edge_weights(graph, s_max=3)
+    bwd = virtual_edge_weights(graph, s_max=3, reverse=True)
+    assert np.array_equal(bwd, fwd.T)
+
+
+def test_max_distance_pruning_matches_full_bfs():
+    graph = get_model("resnet18")
+    full = shortest_path_lengths(graph)
+    pruned = shortest_path_lengths(graph, max_distance=5)
+    mask = full <= 5
+    assert np.array_equal(full[mask], pruned[mask])
+    assert np.all(np.isinf(pruned[~mask]))
+
+
+def test_weights_bounded_and_nonnegative():
+    graph = get_model("squeezenet1_0")
+    w = virtual_edge_weights(graph, s_max=5)
+    assert np.all(w >= 0.0)
+    assert np.all(w <= 0.5)  # 1/s with s >= 2
+
+
+def test_s_max_one_gives_empty_weights():
+    graph = chain_graph(3)
+    w = virtual_edge_weights(graph, s_max=1)
+    assert not w.any()
+
+
+def test_invalid_s_max_raises():
+    import pytest
+
+    graph = chain_graph(2)
+    with pytest.raises(ValueError):
+        virtual_edge_weights(graph, s_max=0)

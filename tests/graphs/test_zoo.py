@@ -1,0 +1,121 @@
+"""Tests for the model zoo: every registered architecture must build into a
+valid DAG with plausible parameter counts (checked against torchvision's
+published numbers where the classifier head matches at 1000 classes)."""
+
+import pytest
+
+from repro.graphs import OpType, profile_graph
+from repro.graphs.zoo import (MODEL_REGISTRY, TABLE2_CIFAR10_WORKLOADS,
+                              TABLE2_TINY_IMAGENET_WORKLOADS, get_model,
+                              list_models)
+
+ALL_MODELS = list_models()
+
+
+def test_registry_has_at_least_31_models():
+    # Paper Sec. IV-A2: 31 models from the PyTorch Vision libraries.
+    assert len(ALL_MODELS) >= 31
+
+
+def test_table2_workloads_are_registered():
+    for name in TABLE2_CIFAR10_WORKLOADS + TABLE2_TINY_IMAGENET_WORKLOADS:
+        assert name in MODEL_REGISTRY
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_model_builds_and_validates(name):
+    graph = get_model(name)
+    graph.validate()
+    assert graph.num_nodes > 5
+    assert graph.total_params > 0
+    assert graph.total_flops > 0
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_model_ends_in_classifier(name):
+    graph = get_model(name, num_classes=10)
+    output = [nd for nd in graph.nodes if nd.op is OpType.OUTPUT][0]
+    assert output.out_shape == (10,)
+
+
+@pytest.mark.parametrize("name,expected_m,tol", [
+    # torchvision reference parameter counts at 1000 classes (millions).
+    ("alexnet", 61.10, 0.02),
+    ("vgg16", 138.36, 0.02),
+    ("resnet18", 11.69, 0.02),
+    ("resnet50", 25.56, 0.02),
+    ("resnet152", 60.19, 0.02),
+    ("resnext50_32x4d", 25.03, 0.02),
+    ("wide_resnet50_2", 68.88, 0.02),
+    ("densenet121", 7.98, 0.02),
+    ("densenet161", 28.68, 0.02),
+    ("squeezenet1_0", 1.25, 0.02),
+    ("mobilenet_v2", 3.50, 0.03),
+    ("mobilenet_v3_large", 5.48, 0.06),
+    ("efficientnet_b0", 5.29, 0.06),
+    ("shufflenet_v2_x1_0", 2.28, 0.03),
+    ("mnasnet1_0", 4.38, 0.05),
+])
+def test_parameter_counts_match_torchvision(name, expected_m, tol):
+    graph = get_model(name, num_classes=1000)
+    params_m = graph.total_params / 1e6
+    assert params_m == pytest.approx(expected_m, rel=tol)
+
+
+def test_scaling_families_are_ordered():
+    """Bigger family members must have more parameters and FLOPs."""
+    for family in (["resnet18", "resnet34", "resnet50", "resnet101",
+                    "resnet152"],
+                   ["vgg11", "vgg13", "vgg16", "vgg19"],
+                   [f"efficientnet_b{i}" for i in range(8)],
+                   ["densenet121", "densenet169", "densenet201"]):
+        profiles = [profile_graph(get_model(n)) for n in family]
+        flops = [p.forward_flops for p in profiles]
+        assert flops == sorted(flops), family
+
+
+def test_input_size_scales_flops_not_params():
+    small = get_model("resnet18", input_size=64)
+    large = get_model("resnet18", input_size=128)
+    assert large.total_params == small.total_params
+    assert large.total_flops > 3 * small.total_flops
+
+
+def test_num_classes_changes_head_only():
+    g10 = get_model("resnet18", num_classes=10)
+    g100 = get_model("resnet18", num_classes=100)
+    # 512-d feature going into the classifier.
+    assert g100.total_params - g10.total_params == 90 * 512 + 90
+
+
+def test_residual_models_have_sum_nodes():
+    for name in ("resnet18", "resnet50", "mobilenet_v2",
+                 "efficientnet_b0"):
+        hist = get_model(name).op_histogram()
+        assert hist.get(OpType.SUM, 0) > 0, name
+
+
+def test_concat_models_have_concat_nodes():
+    for name in ("densenet121", "googlenet", "squeezenet1_0",
+                 "shufflenet_v2_x1_0"):
+        hist = get_model(name).op_histogram()
+        assert hist.get(OpType.CONCAT, 0) > 0, name
+
+
+def test_se_models_have_mul_nodes():
+    for name in ("efficientnet_b0", "mobilenet_v3_large"):
+        hist = get_model(name).op_histogram()
+        assert hist.get(OpType.MUL, 0) > 0, name
+
+
+def test_unknown_model_raises_keyerror():
+    with pytest.raises(KeyError, match="unknown model"):
+        get_model("resnet1001")
+
+
+def test_densenet_layer_counts():
+    # DenseNet-121's "121" = 120 convs + 1 linear classifier.
+    graph = get_model("densenet121")
+    assert graph.num_layers == 121
+    graph = get_model("densenet161")
+    assert graph.num_layers == 161

@@ -1,0 +1,51 @@
+"""Tests for the extended zoo families (RegNet, Inception-v3)."""
+
+import pytest
+
+from repro.graphs import OpType, profile_graph
+from repro.graphs.zoo import MIN_INPUT_SIZES, get_model
+
+
+class TestRegNet:
+    @pytest.mark.parametrize("name", ["regnet_x_400mf", "regnet_x_1_6gf",
+                                      "regnet_y_400mf",
+                                      "regnet_y_1_6gf"])
+    def test_builds(self, name):
+        graph = get_model(name)
+        graph.validate()
+        assert graph.total_params > 1e6
+
+    def test_y_variants_have_se(self):
+        y = get_model("regnet_y_400mf").op_histogram()
+        x = get_model("regnet_x_400mf").op_histogram()
+        assert y.get(OpType.MUL, 0) > 0
+        assert x.get(OpType.MUL, 0) == 0
+
+    def test_bigger_variant_more_flops(self):
+        small = profile_graph(get_model("regnet_x_400mf"))
+        large = profile_graph(get_model("regnet_x_1_6gf"))
+        assert large.forward_flops > 2 * small.forward_flops
+
+    def test_grouped_convolutions_present(self):
+        hist = get_model("regnet_x_400mf").op_histogram()
+        assert hist.get(OpType.GROUP_CONV, 0) > 0
+
+
+class TestInceptionV3:
+    def test_builds_and_validates(self):
+        graph = get_model("inception_v3")
+        graph.validate()
+        # torchvision inception_v3 has ~27.2M params at 1000 classes
+        # (~25.1M without the aux head); ours models the factorized 7x7
+        # convolutions as 3x3 pairs, shifting the count slightly.
+        assert 20e6 < graph.total_params < 40e6
+
+    def test_min_input_size_enforced(self):
+        assert MIN_INPUT_SIZES["inception_v3"] == 75
+        # Requesting 64 px silently bumps to the minimum: no crash.
+        graph = get_model("inception_v3", input_size=64)
+        graph.validate()
+
+    def test_has_many_concats(self):
+        hist = get_model("inception_v3").op_histogram()
+        assert hist.get(OpType.CONCAT, 0) >= 11  # one per mixed block

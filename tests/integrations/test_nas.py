@@ -1,0 +1,105 @@
+"""Tests for predictor-guided neural architecture search."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core import PredictDDL
+from repro.datasets import CIFAR10, make_task
+from repro.ghn import GHNConfig, GHNRegistry, sample_architecture
+from repro.integrations import PredictorGuidedSearch, train_and_score
+from repro.sim import DLWorkload, generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    trace = generate_trace(["resnet18", "alexnet", "mobilenet_v2",
+                            "squeezenet1_0"], "cifar10", "gpu-p100",
+                           range(1, 9), seed=0)
+    registry = GHNRegistry(config=FAST, train_steps=10)
+    return PredictDDL(registry=registry, seed=0).fit(trace)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_task(CIFAR10, num_samples=200, num_features=8)
+
+
+def make_search(predictor, task, budget):
+    return PredictorGuidedSearch(
+        predictor, task, DLWorkload("resnet18", "cifar10"),
+        make_cluster(4, "gpu-p100"), budget_seconds=budget,
+        train_steps=30)
+
+
+class TestTrainAndScore:
+    def test_accuracy_in_unit_interval(self, task):
+        rng = np.random.default_rng(0)
+        arch = sample_architecture(rng, task.num_features,
+                                   task.num_classes)
+        accuracy = train_and_score(arch, task, rng, steps=30)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_training_beats_chance(self, task):
+        rng = np.random.default_rng(1)
+        arch = sample_architecture(rng, task.num_features,
+                                   task.num_classes, max_depth=2)
+        accuracy = train_and_score(arch, task, rng, steps=80)
+        assert accuracy > 1.5 / task.num_classes
+
+
+class TestScreening:
+    def test_screen_returns_candidate(self, predictor, task):
+        search = make_search(predictor, task, budget=100.0)
+        rng = np.random.default_rng(0)
+        arch = sample_architecture(rng, task.num_features,
+                                   task.num_classes)
+        candidate = search.screen(arch)
+        assert candidate.predicted_cost > 0
+        assert candidate.within_budget == (
+            candidate.predicted_cost <= 100.0)
+
+    def test_zero_budget_screens_everything_out(self, predictor, task):
+        search = make_search(predictor, task, budget=1e-3)
+        outcome = search.search(5, seed=0)
+        assert outcome.screened_out == 5
+        assert outcome.best_name is None
+
+    def test_generous_budget_trains_everything(self, predictor, task):
+        search = make_search(predictor, task, budget=1e9)
+        outcome = search.search(4, seed=0, max_trained=None)
+        assert outcome.screened_out == 0
+        assert len(outcome.trained) == 4
+        assert outcome.best_name in outcome.trained
+
+
+class TestSearch:
+    def test_best_has_highest_accuracy(self, predictor, task):
+        search = make_search(predictor, task, budget=1e9)
+        outcome = search.search(4, seed=0)
+        assert outcome.best_accuracy >= 0.0
+        assert outcome.best_name is not None
+
+    def test_max_trained_caps_runs(self, predictor, task):
+        search = make_search(predictor, task, budget=1e9)
+        outcome = search.search(6, seed=0, max_trained=2)
+        assert len(outcome.trained) == 2
+        assert outcome.training_runs_saved == 4
+
+    def test_deterministic_given_seed(self, predictor, task):
+        search = make_search(predictor, task, budget=1e9)
+        a = search.search(3, seed=5, max_trained=1)
+        b = search.search(3, seed=5, max_trained=1)
+        assert a.best_name == b.best_name
+
+    def test_validation(self, predictor, task):
+        with pytest.raises(ValueError):
+            make_search(predictor, task, budget=0.0)
+        fresh = PredictDDL(registry=GHNRegistry(config=FAST,
+                                                train_steps=5))
+        with pytest.raises(ValueError, match="trained"):
+            PredictorGuidedSearch(fresh, task,
+                                  DLWorkload("resnet18", "cifar10"),
+                                  make_cluster(2, "gpu-p100"), 10.0)

@@ -1,0 +1,128 @@
+"""Tests for the PredictDDL-driven deadline scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core import PredictDDL
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.integrations import DeadlineScheduler, SchedulerJob
+from repro.sim import DLWorkload, generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+MODELS = ["resnet18", "resnet50", "alexnet", "vgg16", "squeezenet1_0"]
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    trace = generate_trace(MODELS, "cifar10", "gpu-p100", range(1, 17),
+                           seed=0)
+    registry = GHNRegistry(config=FAST, train_steps=10)
+    return PredictDDL(registry=registry, seed=0).fit(trace)
+
+
+@pytest.fixture
+def scheduler(predictor):
+    return DeadlineScheduler(predictor, pool_size=16,
+                             server_class="gpu-p100", headroom=1.2)
+
+
+def jobs():
+    return [
+        SchedulerJob("a", DLWorkload("resnet18", "cifar10"), 200.0),
+        SchedulerJob("b", DLWorkload("vgg16", "cifar10"), 400.0),
+        SchedulerJob("c", DLWorkload("squeezenet1_0", "cifar10"), 100.0),
+    ]
+
+
+class TestAllocation:
+    def test_minimal_allocation_monotone(self, scheduler):
+        """Tighter deadlines need at least as many servers."""
+        workload = DLWorkload("vgg16", "cifar10")
+        tight = SchedulerJob("tight", workload, 120.0)
+        loose = SchedulerJob("loose", workload, 1000.0)
+        alloc_tight = scheduler.minimal_allocation(tight)
+        alloc_loose = scheduler.minimal_allocation(loose)
+        assert alloc_loose is not None
+        if alloc_tight is not None:
+            assert alloc_tight >= alloc_loose
+
+    def test_impossible_deadline_rejected(self, scheduler):
+        impossible = SchedulerJob(
+            "no", DLWorkload("vgg16", "cifar10", epochs=1), 0.5)
+        assert scheduler.minimal_allocation(impossible) is None
+
+    def test_prediction_cache(self, scheduler):
+        workload = DLWorkload("resnet18", "cifar10")
+        a = scheduler.predicted_runtime(workload, 4)
+        b = scheduler.predicted_runtime(workload, 4)
+        assert a == b
+        assert len(scheduler._prediction_cache) >= 1
+
+
+class TestPlan:
+    def test_plan_covers_all_feasible_jobs(self, scheduler):
+        schedule = scheduler.plan(jobs())
+        assert len(schedule.placements) + len(schedule.rejected) == 3
+
+    def test_gang_allocation_within_pool(self, scheduler):
+        schedule = scheduler.plan(jobs())
+        for placement in schedule.placements:
+            assert 1 <= placement.servers <= 16
+
+    def test_placements_meet_deadlines_by_prediction(self, scheduler):
+        schedule = scheduler.plan(jobs())
+        # With an empty pool and minimal sizing, jobs starting at t=0
+        # meet their (headroom-checked) deadlines.
+        for placement in schedule.placements:
+            if placement.start_time == 0.0:
+                assert placement.meets_deadline
+
+    def test_sized_plan_uses_fewer_server_seconds_than_fixed(self,
+                                                             scheduler):
+        queue = jobs()
+        sized = scheduler.plan(queue)
+        fixed = scheduler.plan_fixed(queue, servers_per_job=8)
+        assert sized.server_seconds < fixed.server_seconds
+
+    def test_makespan_positive(self, scheduler):
+        schedule = scheduler.plan(jobs())
+        assert schedule.makespan > 0
+
+    def test_timeline_no_server_oversubscription(self, scheduler):
+        """At any placement start, allocated servers <= pool size."""
+        many = [SchedulerJob(f"j{i}", DLWorkload("resnet18", "cifar10"),
+                             500.0) for i in range(10)]
+        schedule = scheduler.plan(many)
+        events = []
+        for p in schedule.placements:
+            events.append((p.start_time, p.servers))
+            events.append((p.end_time, -p.servers))
+        events.sort()
+        active = 0
+        for _, delta in events:
+            active += delta
+            assert active <= schedule.pool_size
+
+
+class TestValidation:
+    def test_untrained_predictor_rejected(self):
+        fresh = PredictDDL(registry=GHNRegistry(config=FAST,
+                                                train_steps=5))
+        with pytest.raises(ValueError, match="trained"):
+            DeadlineScheduler(fresh, 4, "gpu-p100")
+
+    def test_invalid_pool(self, predictor):
+        with pytest.raises(ValueError):
+            DeadlineScheduler(predictor, 0, "gpu-p100")
+
+    def test_invalid_headroom(self, predictor):
+        with pytest.raises(ValueError):
+            DeadlineScheduler(predictor, 4, "gpu-p100", headroom=0.5)
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            SchedulerJob("bad", DLWorkload("resnet18", "cifar10"), 0.0)
+
+    def test_plan_fixed_range_check(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.plan_fixed(jobs(), servers_per_job=99)

@@ -1,0 +1,199 @@
+"""Tests for functional ops, optimizers, GRU cell and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (SGD, Adam, GRUCell, Linear, MLP, Tensor,
+                      clip_grad_norm, load_module, save_module)
+from repro.nn.functional import (cross_entropy, dropout, huber_loss,
+                                 l1_loss, log_softmax, mse_loss, softmax)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestFunctional:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 5)))
+        probs = softmax(x).data
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0)
+        assert np.all(probs > 0)
+
+    def test_softmax_stable_with_large_logits(self):
+        x = Tensor(np.array([[1000.0, 1000.0, -1000.0]]))
+        probs = softmax(x).data
+        assert np.isfinite(probs).all()
+        np.testing.assert_allclose(probs[0, :2], 0.5, atol=1e-9)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)))
+        np.testing.assert_allclose(log_softmax(x).data,
+                                   np.log(softmax(x).data), atol=1e-9)
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = cross_entropy(logits, np.array([0, 3]))
+        np.testing.assert_allclose(loss.item(), np.log(4.0))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(4)), np.array([0]))
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = Tensor(np.zeros((1, 3)), requires_grad=True)
+        cross_entropy(logits, np.array([1])).backward()
+        # Gradient should push class-1 logit up (negative grad) and others
+        # down (positive grad).
+        assert logits.grad[0, 1] < 0
+        assert logits.grad[0, 0] > 0
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(
+            mse_loss(pred, np.array([0.0, 0.0])).item(), 2.5)
+
+    def test_l1_loss(self):
+        pred = Tensor(np.array([3.0, -1.0]))
+        np.testing.assert_allclose(
+            l1_loss(pred, np.array([0.0, 0.0])).item(), 2.0, rtol=1e-5)
+
+    def test_huber_matches_mse_for_small_errors(self):
+        pred = Tensor(np.array([0.1, -0.1]))
+        target = np.zeros(2)
+        expected = 0.5 * (0.01 + 0.01) / 2
+        np.testing.assert_allclose(huber_loss(pred, target).item(),
+                                   expected, rtol=1e-3)
+
+    def test_dropout_inference_identity(self, rng):
+        x = Tensor(np.ones((4, 4)))
+        out = dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_preserves_expectation(self, rng):
+        x = Tensor(np.ones((200, 200)))
+        out = dropout(x, 0.5, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            dropout(Tensor(np.ones(2)), 1.5, rng)
+
+
+class TestOptim:
+    def _quadratic_descent(self, opt_factory, steps, tol):
+        from repro.nn.layers import Parameter
+
+        w = Parameter(np.array([5.0, -3.0]))
+        opt = opt_factory([w])
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = (w * w).sum()
+            loss.backward()
+            opt.step()
+        assert float((w.data ** 2).sum()) < tol
+
+    def test_sgd_converges(self):
+        self._quadratic_descent(lambda ps: SGD(ps, lr=0.1), 100, 1e-8)
+
+    def test_sgd_momentum_converges(self):
+        self._quadratic_descent(lambda ps: SGD(ps, lr=0.05, momentum=0.9),
+                                300, 1e-6)
+
+    def test_adam_converges(self):
+        self._quadratic_descent(lambda ps: Adam(ps, lr=0.3), 200, 1e-6)
+
+    def test_weight_decay_shrinks(self):
+        from repro.nn.layers import Parameter
+
+        w = Parameter(np.array([1.0]))
+        opt = SGD([w], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (w * 0.0).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(w.data, [0.9])
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_clip_grad_norm(self):
+        from repro.nn.layers import Parameter
+
+        w = Parameter(np.array([3.0, 4.0]))
+        w.grad = np.array([3.0, 4.0])  # norm 5
+        pre = clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(pre, 5.0)
+        np.testing.assert_allclose(np.linalg.norm(w.grad), 1.0)
+
+    def test_clip_grad_norm_noop_below_max(self):
+        from repro.nn.layers import Parameter
+
+        w = Parameter(np.array([0.3]))
+        w.grad = np.array([0.3])
+        clip_grad_norm([w], max_norm=1.0)
+        np.testing.assert_allclose(w.grad, [0.3])
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = GRUCell(4, 8, rng)
+        h = cell(Tensor(np.ones((3, 4))), Tensor(np.zeros((3, 8))))
+        assert h.shape == (3, 8)
+
+    def test_zero_update_gate_keeps_hidden_bounded(self, rng):
+        cell = GRUCell(4, 8, rng)
+        h = Tensor(np.zeros((2, 8)))
+        for _ in range(50):
+            h = cell(Tensor(np.ones((2, 4))), h)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)  # tanh-bounded state
+
+    def test_gradients_flow_through_time(self, rng):
+        cell = GRUCell(2, 4, rng)
+        h = Tensor(np.zeros((1, 4)))
+        x = Tensor(np.ones((1, 2)), requires_grad=True)
+        for _ in range(3):
+            h = cell(x, h)
+        h.sum().backward()
+        assert x.grad is not None
+        assert cell.weight_ih.grad is not None
+        assert cell.weight_hh.grad is not None
+
+    def test_learns_to_remember(self, rng):
+        """GRU learns to output the first input of a sequence (memory)."""
+        cell = GRUCell(1, 8, rng)
+        head = Linear(8, 1, rng)
+        params = list(cell.parameters()) + list(head.parameters())
+        opt = Adam(params, lr=0.02)
+        data_rng = np.random.default_rng(1)
+        losses = []
+        for step in range(200):
+            first = data_rng.choice([-1.0, 1.0], size=(8, 1))
+            seq = [first] + [np.zeros((8, 1)) for _ in range(3)]
+            h = Tensor(np.zeros((8, 8)))
+            for x in seq:
+                h = cell(Tensor(x), h)
+            pred = head(h)
+            loss = ((pred - Tensor(first)) ** 2.0).mean()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-20:]) < 0.1
+
+
+class TestSerialization:
+    def test_round_trip(self, rng, tmp_path):
+        src = MLP(4, (8,), 2, rng)
+        path = tmp_path / "mlp.npz"
+        save_module(src, path)
+        dst = MLP(4, (8,), 2, np.random.default_rng(99))
+        load_module(dst, path)
+        x = Tensor(np.ones((1, 4)))
+        np.testing.assert_allclose(dst(x).data, src(x).data)

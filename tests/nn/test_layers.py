@@ -1,0 +1,166 @@
+"""Tests for modules, layers and parameter management."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, Embedding, LayerNorm, Linear, Module, Parameter,
+                      Sequential, Tensor)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_matches_manual_affine(self, rng):
+        layer = Linear(4, 3, rng)
+        x = np.ones((2, 4))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 12
+
+    def test_gradients_flow(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((2, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(3, 2.0))
+
+
+class TestModule:
+    def test_parameters_recursive(self, rng):
+        mlp = MLP(4, (8, 8), 2, rng)
+        params = list(mlp.parameters())
+        assert len(params) == 6  # 3 linears x (weight, bias)
+        assert mlp.num_parameters() == (4 * 8 + 8) + (8 * 8 + 8) + (8 * 2 + 2)
+
+    def test_parameters_deduplicated(self, rng):
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 2, rng)
+                self.b = self.a  # shared submodule
+
+        shared = Shared()
+        assert len(list(shared.parameters())) == 2
+
+    def test_named_parameters_paths(self, rng):
+        mlp = MLP(4, (8,), 2, rng)
+        names = dict(mlp.named_parameters()).keys()
+        assert any("net.children.0.weight" in n for n in names)
+
+    def test_zero_grad(self, rng):
+        layer = Linear(3, 2, rng)
+        layer(Tensor(np.ones((1, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_train_eval_propagates(self, rng):
+        mlp = MLP(4, (8,), 2, rng)
+        mlp.eval()
+        assert not mlp.net.training
+        mlp.train()
+        assert mlp.net.training
+
+    def test_state_dict_round_trip(self, rng):
+        src = MLP(4, (8,), 2, rng)
+        dst = MLP(4, (8,), 2, np.random.default_rng(7))
+        dst.load_state_dict(src.state_dict())
+        x = Tensor(np.ones((1, 4)))
+        np.testing.assert_allclose(dst(x).data, src(x).data)
+
+    def test_state_dict_mismatch_raises(self, rng):
+        src = MLP(4, (8,), 2, rng)
+        state = src.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError, match="mismatch"):
+            src.load_state_dict(state)
+
+    def test_state_dict_shape_check(self, rng):
+        src = MLP(4, (8,), 2, rng)
+        state = src.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            src.load_state_dict(state)
+
+
+class TestSequential:
+    def test_applies_in_order(self, rng):
+        seq = Sequential(Linear(2, 3, rng), Linear(3, 4, rng))
+        out = seq(Tensor(np.ones((1, 2))))
+        assert out.shape == (1, 4)
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_axis(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 8)) * 10 + 5)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradients_flow(self):
+        ln = LayerNorm(4)
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 4)),
+                   requires_grad=True)
+        (ln(x) ** 2.0).sum().backward()
+        assert x.grad is not None
+        assert ln.gamma.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([1, 3, 1]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[0], emb.weight.data[1])
+        np.testing.assert_allclose(out.data[2], emb.weight.data[1])
+
+    def test_gradient_accumulates_on_repeats(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([2, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], np.full(4, 2.0))
+        np.testing.assert_allclose(emb.weight.grad[3], np.zeros(4))
+
+
+class TestMLP:
+    def test_hidden_activations(self, rng):
+        mlp = MLP(2, (4,), 1, rng, activation="tanh")
+        out = mlp(Tensor(np.ones((3, 2))))
+        assert out.shape == (3, 1)
+
+    def test_no_hidden_layers(self, rng):
+        mlp = MLP(2, (), 1, rng)
+        assert mlp.num_parameters() == 3
+
+    def test_can_fit_xor(self, rng):
+        """End-to-end sanity: a small MLP learns XOR."""
+        from repro.nn import Adam
+        from repro.nn.functional import mse_loss
+
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([[0.0], [1.0], [1.0], [0.0]])
+        mlp = MLP(2, (8,), 1, rng, activation="tanh")
+        opt = Adam(mlp.parameters(), lr=0.05)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse_loss(mlp(Tensor(x)), y)
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.01

@@ -1,0 +1,190 @@
+"""Gradient correctness tests for the autograd tensor.
+
+Every differentiable op is checked against central finite differences --
+the canonical way to validate a hand-written reverse-mode engine.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concatenate, no_grad, stack
+
+RNG = np.random.default_rng(0)
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x_data, rtol=1e-5, atol=1e-7):
+    """Compare autograd gradient of scalar build(Tensor) to numeric."""
+    x = Tensor(x_data.copy(), requires_grad=True)
+    out = build(x)
+    out.backward()
+    numeric = numeric_grad(lambda arr: float(build(Tensor(arr)).data),
+                           x_data.copy())
+    np.testing.assert_allclose(x.grad, numeric, rtol=rtol, atol=atol)
+
+
+@pytest.mark.parametrize("build", [
+    lambda x: (x + 2.0).sum(),
+    lambda x: (2.0 * x).sum(),
+    lambda x: (x * x).sum(),
+    lambda x: (-x).sum(),
+    lambda x: (x - 3.0).sum(),
+    lambda x: (10.0 - x).sum(),
+    lambda x: (x / 2.0).sum(),
+    lambda x: (x ** 3.0).sum(),
+    lambda x: x.mean(),
+    lambda x: x.relu().sum(),
+    lambda x: x.tanh().sum(),
+    lambda x: x.sigmoid().sum(),
+    lambda x: x.exp().sum(),
+    lambda x: x.reshape(6).sum(),
+    lambda x: x.T.sum(),
+    lambda x: (x.T @ x).sum(),
+    lambda x: x.max(),
+    lambda x: x[0].sum(),
+    lambda x: x[:, 1].sum(),
+], ids=["add", "rmul", "mul", "neg", "sub", "rsub", "div", "pow", "mean",
+        "relu", "tanh", "sigmoid", "exp", "reshape", "transpose", "matmul",
+        "max", "row_index", "col_index"])
+def test_gradients_match_finite_differences(build):
+    x_data = RNG.standard_normal((2, 3)) + 0.1
+    check_grad(build, x_data)
+
+
+def test_log_gradient():
+    x_data = RNG.random((2, 3)) + 0.5  # positive domain
+    check_grad(lambda x: x.log().sum(), x_data)
+
+
+def test_matmul_two_operands():
+    a_data = RNG.standard_normal((2, 3))
+    b_data = RNG.standard_normal((3, 4))
+    a = Tensor(a_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (a @ b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((2, 4)) @ b_data.T)
+    np.testing.assert_allclose(b.grad, a_data.T @ np.ones((2, 4)))
+
+
+def test_matvec_gradient():
+    a_data = RNG.standard_normal((3, 4))
+    v_data = RNG.standard_normal(4)
+    a = Tensor(a_data, requires_grad=True)
+    v = Tensor(v_data, requires_grad=True)
+    (a @ v).sum().backward()
+    np.testing.assert_allclose(a.grad, np.tile(v_data, (3, 1)))
+    np.testing.assert_allclose(v.grad, a_data.sum(axis=0))
+
+
+def test_broadcast_add_gradient():
+    x = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+    b = Tensor(RNG.standard_normal(3), requires_grad=True)
+    (x + b).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones((4, 3)))
+    np.testing.assert_allclose(b.grad, np.full(3, 4.0))
+
+
+def test_broadcast_mul_gradient():
+    x = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+    s = Tensor(np.array([[2.0]]), requires_grad=True)
+    (x * s).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full((4, 3), 2.0))
+    np.testing.assert_allclose(s.grad, [[x.data.sum()]])
+
+
+def test_sum_axis_keepdims():
+    x = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+    x.sum(axis=0, keepdims=True).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones((2, 3)))
+
+
+def test_gradient_accumulates_over_reuse():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = x * x + x * 3.0  # dy/dx = 2x + 3 = 7
+    y.sum().backward()
+    np.testing.assert_allclose(x.grad, [7.0])
+
+
+def test_concatenate_gradient():
+    a = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+    b = Tensor(RNG.standard_normal((2, 2)), requires_grad=True)
+    out = concatenate([a, b], axis=1)
+    assert out.shape == (2, 5)
+    (out * out).sum().backward()
+    np.testing.assert_allclose(a.grad, 2 * a.data)
+    np.testing.assert_allclose(b.grad, 2 * b.data)
+
+
+def test_stack_gradient():
+    a = Tensor(RNG.standard_normal(3), requires_grad=True)
+    b = Tensor(RNG.standard_normal(3), requires_grad=True)
+    out = stack([a, b], axis=0)
+    assert out.shape == (2, 3)
+    (out * out).sum().backward()
+    np.testing.assert_allclose(a.grad, 2 * a.data)
+    np.testing.assert_allclose(b.grad, 2 * b.data)
+
+
+def test_no_grad_suppresses_tape():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        y = x * 2.0
+    assert not y.requires_grad
+    with pytest.raises(RuntimeError):
+        y.backward()
+
+
+def test_backward_requires_scalar():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(RuntimeError, match="scalar"):
+        (x * 2.0).backward()
+
+
+def test_backward_explicit_grad():
+    x = Tensor(np.ones(3), requires_grad=True)
+    (x * 2.0).backward(np.array([1.0, 2.0, 3.0]))
+    np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+
+def test_detach_cuts_tape():
+    x = Tensor(np.ones(3), requires_grad=True)
+    y = (x * 2.0).detach()
+    z = (y * 3.0)
+    assert not z.requires_grad
+
+
+def test_deep_chain_does_not_recurse():
+    # Regression test for RecursionError on deep GNN tapes.
+    x = Tensor(np.array([1.0]), requires_grad=True)
+    y = x
+    for _ in range(5000):
+        y = y + 0.0001
+    y.sum().backward()
+    np.testing.assert_allclose(x.grad, [1.0])
+
+
+@given(st.integers(1, 5), st.integers(1, 5))
+@settings(max_examples=20, deadline=None)
+def test_shapes_preserved_through_ops(rows, cols):
+    x = Tensor(np.ones((rows, cols)), requires_grad=True)
+    y = (x.relu() * 2.0 + 1.0).tanh()
+    assert y.shape == (rows, cols)
+    y.sum().backward()
+    assert x.grad.shape == (rows, cols)

@@ -1,0 +1,147 @@
+"""Tests for metrics, splitting, grid search and model selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regression import (LinearRegression, PolynomialRegression,
+                              grid_search, mape, mean_relative_error,
+                              prediction_ratio, r_squared, relative_error,
+                              rmse, select_best_model, train_test_split)
+
+
+class TestMetrics:
+    def test_rmse_zero_for_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert rmse(y, y) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5))
+
+    def test_prediction_ratio(self):
+        np.testing.assert_allclose(
+            prediction_ratio([2.0, 5.0], [4.0, 5.0]), [0.5, 1.0])
+
+    def test_relative_error(self):
+        np.testing.assert_allclose(
+            relative_error([110.0, 90.0], [100.0, 100.0]), [0.1, 0.1])
+
+    def test_mean_relative_error_and_mape(self):
+        pred, actual = [110.0, 90.0], [100.0, 100.0]
+        assert mean_relative_error(pred, actual) == pytest.approx(0.1)
+        assert mape(pred, actual) == pytest.approx(10.0)
+
+    def test_ratio_rejects_nonpositive_actual(self):
+        with pytest.raises(ValueError, match="positive"):
+            prediction_ratio([1.0], [0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            rmse([], [])
+
+    def test_r_squared_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r_squared(y, y) == 1.0
+        assert r_squared(np.full(3, y.mean()), y) == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(1.0, 1e6), min_size=2, max_size=20))
+    @settings(deadline=None)
+    def test_relative_error_nonnegative(self, actual):
+        actual = np.asarray(actual)
+        pred = actual * 1.1
+        err = relative_error(pred, actual)
+        assert np.all(err >= 0)
+        np.testing.assert_allclose(err, 0.1, rtol=1e-9)
+
+
+class TestSplit:
+    def test_sizes(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(100).reshape(-1, 1).astype(float)
+        y = np.arange(100).astype(float)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, 0.8, rng)
+        assert len(x_tr) == 80 and len(x_te) == 20
+        assert len(y_tr) == 80 and len(y_te) == 20
+
+    def test_partition_is_disjoint_and_complete(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(50).reshape(-1, 1).astype(float)
+        y = np.arange(50).astype(float)
+        _, _, y_tr, y_te = train_test_split(x, y, 0.5, rng)
+        assert sorted(np.concatenate([y_tr, y_te])) == list(range(50))
+
+    def test_rows_stay_aligned(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(30).reshape(-1, 1).astype(float)
+        y = np.arange(30).astype(float) * 2
+        x_tr, _, y_tr, _ = train_test_split(x, y, 0.67, rng)
+        np.testing.assert_allclose(y_tr, x_tr[:, 0] * 2)
+
+    def test_deterministic_per_seed(self):
+        x = np.arange(20).reshape(-1, 1).astype(float)
+        y = np.arange(20).astype(float)
+        a = train_test_split(x, y, 0.8, np.random.default_rng(1))
+        b = train_test_split(x, y, 0.8, np.random.default_rng(1))
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_invalid_fraction(self):
+        x = np.zeros((10, 1))
+        y = np.zeros(10)
+        with pytest.raises(ValueError):
+            train_test_split(x, y, 1.0, np.random.default_rng(0))
+
+    def test_always_leaves_test_samples(self):
+        x = np.zeros((3, 1))
+        y = np.zeros(3)
+        _, x_te, _, _ = train_test_split(x, y, 0.99,
+                                         np.random.default_rng(0))
+        assert len(x_te) >= 1
+
+
+class TestGridSearch:
+    def test_finds_better_alpha(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((200, 5))
+        y = x[:, 0] + 0.01 * rng.standard_normal(200)
+        result = grid_search(lambda alpha: LinearRegression(alpha=alpha),
+                             {"alpha": [0.0, 1e4]}, x, y,
+                             np.random.default_rng(1))
+        assert result.best_params == {"alpha": 0.0}
+        assert len(result.all_scores) == 2
+
+    def test_multi_axis_grid(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((100, 2))
+        y = x[:, 0] ** 2
+        result = grid_search(
+            lambda degree, alpha: PolynomialRegression(degree=degree,
+                                                       alpha=alpha),
+            {"degree": [1, 2], "alpha": [1e-6, 1e-2]}, x, y,
+            np.random.default_rng(2))
+        assert result.best_params["degree"] == 2
+        assert len(result.all_scores) == 4
+
+
+class TestSelectBestModel:
+    def test_picks_matching_model_class(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((300, 2))
+        y = x[:, 0] ** 2 + x[:, 1] ** 2
+        result = select_best_model(
+            {"LR": lambda: LinearRegression(),
+             "PR": lambda: PolynomialRegression(degree=2)},
+            x, y, np.random.default_rng(1))
+        assert result.best_name == "PR"
+        assert set(result.scores) == {"LR", "PR"}
+        assert result.best_model.fitted_
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_best_model({}, np.zeros((2, 1)), np.zeros(2),
+                              np.random.default_rng(0))

@@ -1,0 +1,217 @@
+"""Tests for all-reduce, dataloader, noise and DDP cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import make_cluster
+from repro.sim import (DDPCostModel, DLWorkload, NoiseModel, allreduce_time,
+                       iteration_stall, parameter_server_time,
+                       per_worker_load_time, ring_allreduce_time,
+                       tree_allreduce_time)
+
+
+class TestAllreduce:
+    def test_single_worker_is_free(self):
+        for fn in (ring_allreduce_time, tree_allreduce_time,
+                   parameter_server_time):
+            assert fn(1e9, 1, 1e9) == 0.0
+
+    def test_ring_formula(self):
+        # 2 * (p-1)/p * bytes/bw with p=4: 1.5 * bytes/bw
+        assert ring_allreduce_time(1e9, 4, 1e9) == pytest.approx(1.5)
+
+    def test_ring_latency_term(self):
+        base = ring_allreduce_time(0.0, 4, 1e9, latency=1e-3)
+        assert base == pytest.approx(2 * 3 * 1e-3)
+
+    def test_tree_formula(self):
+        # 2 * ceil(log2 8) * bytes/bw = 6 * bytes/bw
+        assert tree_allreduce_time(1e9, 8, 1e9) == pytest.approx(6.0)
+
+    def test_ring_beats_tree_for_large_payloads(self):
+        assert ring_allreduce_time(1e9, 16, 1e9) < tree_allreduce_time(
+            1e9, 16, 1e9)
+
+    def test_tree_beats_ring_for_latency_bound(self):
+        assert tree_allreduce_time(1.0, 16, 1e9, latency=1e-3) < \
+            ring_allreduce_time(1.0, 16, 1e9, latency=1e-3)
+
+    @given(p=st.integers(2, 64))
+    @settings(deadline=None)
+    def test_ring_bandwidth_term_bounded(self, p):
+        # The ring moves at most 2x the payload regardless of p.
+        t = ring_allreduce_time(1e9, p, 1e9)
+        assert t <= 2.0
+        assert t >= 1.0
+
+    def test_dispatch(self):
+        assert allreduce_time("ring", 1e9, 4, 1e9) == ring_allreduce_time(
+            1e9, 4, 1e9)
+        with pytest.raises(KeyError, match="unknown all-reduce"):
+            allreduce_time("quantum", 1e9, 4, 1e9)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_time(-1.0, 4, 1e9)
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1.0, 0, 1e9)
+        with pytest.raises(ValueError):
+            ring_allreduce_time(1.0, 4, 0.0)
+
+
+class TestDataloader:
+    def test_nfs_fair_share(self):
+        # 10 workers sharing 1 GB/s -> 100 MB/s each.
+        t = per_worker_load_time(100e6, 10, 1e9, 10e9)
+        assert t == pytest.approx(1.0)
+
+    def test_nic_cap(self):
+        # Single worker capped by its own NIC, not NFS.
+        t = per_worker_load_time(100e6, 1, 10e9, 1e8)
+        assert t == pytest.approx(1.0)
+
+    def test_stall_hidden_by_prefetch(self):
+        assert iteration_stall(1.5, 1.0, prefetch_depth=2) == 0.0
+
+    def test_stall_beyond_prefetch(self):
+        assert iteration_stall(5.0, 1.0, prefetch_depth=2) == pytest.approx(
+            3.0)
+
+    def test_no_stall_when_faster_than_compute(self):
+        assert iteration_stall(0.5, 1.0) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            per_worker_load_time(1.0, 0, 1e9, 1e9)
+        with pytest.raises(ValueError):
+            iteration_stall(1.0, 1.0, prefetch_depth=0)
+
+
+class TestNoise:
+    def test_mean_close_to_one(self):
+        noise = NoiseModel(sigma=0.05, straggler_probability=0.0)
+        rng = np.random.default_rng(0)
+        factors = noise.sample(rng, size=20000)
+        assert abs(factors.mean() - 1.0) < 0.01
+
+    def test_stragglers_create_tail(self):
+        noise = NoiseModel(sigma=0.0, straggler_probability=0.5,
+                           straggler_slowdown=2.0)
+        rng = np.random.default_rng(0)
+        factors = noise.sample(rng, size=1000)
+        assert set(np.round(factors, 6)) == {1.0, 2.0}
+
+    def test_none_is_exact(self):
+        rng = np.random.default_rng(0)
+        assert NoiseModel.none().sample(rng) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        noise = NoiseModel()
+        a = noise.sample(np.random.default_rng(7), size=10)
+        b = noise.sample(np.random.default_rng(7), size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_probability=2.0)
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_slowdown=0.5)
+
+
+class TestDDPCostModel:
+    @pytest.fixture
+    def model(self):
+        return DDPCostModel()
+
+    def test_compute_shrinks_with_flops(self, model):
+        small = DLWorkload("squeezenet1_1", "cifar10")
+        large = DLWorkload("vgg16", "cifar10")
+        cluster = make_cluster(4, "gpu-p100")
+        assert model.iteration(small, cluster).compute < \
+            model.iteration(large, cluster).compute
+
+    def test_gpu_faster_than_cpu(self, model):
+        wl = DLWorkload("resnet18", "cifar10")
+        gpu = model.iteration(wl, make_cluster(4, "gpu-p100"))
+        cpu = model.iteration(wl, make_cluster(4, "cpu-e5-2630"))
+        assert gpu.compute < cpu.compute / 5
+
+    def test_communication_grows_with_servers(self, model):
+        wl = DLWorkload("resnet18", "cifar10")
+        c2 = model.iteration(wl, make_cluster(2, "gpu-p100"))
+        c16 = model.iteration(wl, make_cluster(16, "gpu-p100"))
+        assert c16.communication > c2.communication
+
+    def test_no_communication_single_server(self, model):
+        wl = DLWorkload("resnet18", "cifar10")
+        assert model.iteration(wl, make_cluster(1, "gpu-p100")
+                               ).communication == 0.0
+
+    def test_epoch_scales_with_iterations(self, model):
+        wl = DLWorkload("resnet18", "cifar10", batch_size_per_server=32)
+        cluster = make_cluster(4, "gpu-p100")
+        epoch = model.epoch_time(wl, cluster)
+        iters = wl.iterations_per_epoch(4)
+        assert epoch == pytest.approx(
+            iters * model.iteration(wl, cluster).total)
+
+    def test_total_includes_startup(self, model):
+        wl = DLWorkload("resnet18", "cifar10", epochs=2)
+        cluster = make_cluster(4, "gpu-p100")
+        total = model.total_time(wl, cluster, startup=100.0)
+        assert total == pytest.approx(
+            100.0 + 2 * model.epoch_time(wl, cluster))
+
+    def test_speedup_saturates(self, model):
+        """Adding servers helps less and less (Amdahl via comm+overhead)."""
+        wl = DLWorkload("resnet18", "cifar10")
+        times = [model.total_time(wl, make_cluster(p, "gpu-p100"),
+                                  startup=0.0)
+                 for p in (1, 2, 4, 8, 16)]
+        speedups = [times[0] / t for t in times]
+        assert speedups == sorted(speedups)  # monotone improvement
+        efficiency = [s / p for s, p in zip(speedups, (1, 2, 4, 8, 16))]
+        assert all(b <= a + 1e-9 for a, b in zip(efficiency,
+                                                 efficiency[1:]))
+
+    def test_vgg_more_comm_bound_than_mobilenet(self, model):
+        cluster = make_cluster(8, "gpu-p100")
+        vgg = model.iteration(DLWorkload("vgg16", "cifar10"), cluster)
+        mob = model.iteration(DLWorkload("mobilenet_v3_large", "cifar10"),
+                              cluster)
+        assert (vgg.communication / vgg.compute) > \
+            (mob.communication / mob.compute)
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ValueError):
+            DDPCostModel(comm_overlap=1.0)
+
+
+class TestWorkload:
+    def test_global_batch(self):
+        wl = DLWorkload("resnet18", "cifar10", batch_size_per_server=32)
+        assert wl.global_batch_size(4) == 128
+
+    def test_iterations_per_epoch(self):
+        wl = DLWorkload("resnet18", "cifar10", batch_size_per_server=50)
+        assert wl.iterations_per_epoch(10) == 100  # 50k / 500
+
+    def test_graph_is_cached(self):
+        a = DLWorkload("resnet18", "cifar10").graph
+        b = DLWorkload("resnet18", "cifar10").graph
+        assert a is b
+
+    def test_graph_uses_dataset_head(self):
+        wl = DLWorkload("resnet18", "tiny-imagenet")
+        out = wl.graph.nodes[-1]
+        assert out.out_shape == (200,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DLWorkload("resnet18", "cifar10", batch_size_per_server=0)
+        with pytest.raises(ValueError):
+            DLWorkload("resnet18", "cifar10", epochs=0)

@@ -1,0 +1,150 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_single_process_advances_time():
+    sim = Simulator()
+
+    def proc():
+        yield 1.5
+        yield 2.5
+
+    sim.process(proc())
+    assert sim.run() == pytest.approx(4.0)
+
+
+def test_parallel_processes_overlap():
+    sim = Simulator()
+    log = []
+
+    def proc(name, delay):
+        yield delay
+        log.append((name, sim.now))
+
+    sim.process(proc("fast", 1.0))
+    sim.process(proc("slow", 3.0))
+    assert sim.run() == pytest.approx(3.0)
+    assert log == [("fast", 1.0), ("slow", 3.0)]
+
+
+def test_join_waits_for_child():
+    sim = Simulator()
+    events = []
+
+    def child():
+        yield 2.0
+        events.append(("child-done", sim.now))
+        return "result"
+
+    def parent():
+        handle = sim.process(child())
+        yield 0.5
+        events.append(("parent-resumed", sim.now))
+        yield handle
+        events.append(("joined", sim.now, handle.result))
+
+    sim.process(parent())
+    sim.run()
+    assert events == [("parent-resumed", 0.5), ("child-done", 2.0),
+                      ("joined", 2.0, "result")]
+
+
+def test_join_finished_process_is_immediate():
+    sim = Simulator()
+    order = []
+
+    def child():
+        yield 1.0
+        return 42
+
+    def parent(handle):
+        yield 5.0  # child already finished
+        yield handle
+        order.append((sim.now, handle.result))
+
+    handle = sim.process(child())
+    sim.process(parent(handle))
+    sim.run()
+    assert order == [(5.0, 42)]
+
+
+def test_barrier_pattern():
+    """The DDP barrier: a parent joins p children, time = max of delays."""
+    sim = Simulator()
+
+    def worker(delay):
+        yield delay
+
+    def barrier():
+        handles = [sim.process(worker(d)) for d in (1.0, 4.0, 2.0)]
+        for h in handles:
+            yield h
+
+    sim.process(barrier())
+    assert sim.run() == pytest.approx(4.0)
+
+
+def test_schedule_with_delay():
+    sim = Simulator()
+
+    def proc():
+        yield 1.0
+
+    sim.schedule(10.0, proc())
+    assert sim.run() == pytest.approx(11.0)
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="negative"):
+        sim.schedule(-1.0, iter(()))
+
+
+def test_negative_yield_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield -1.0
+
+    sim.process(proc())
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.run()
+
+
+def test_invalid_yield_type_rejected():
+    sim = Simulator()
+
+    def proc():
+        yield "soon"
+
+    sim.process(proc())
+    with pytest.raises(SimulationError, match="expected a delay"):
+        sim.run()
+
+
+def test_run_until_pauses():
+    sim = Simulator()
+
+    def proc():
+        yield 10.0
+
+    sim.process(proc())
+    assert sim.run(until=5.0) == pytest.approx(5.0)
+    assert sim.run() == pytest.approx(10.0)
+
+
+def test_deterministic_ordering_at_equal_times():
+    sim = Simulator()
+    log = []
+
+    def proc(name):
+        yield 1.0
+        log.append(name)
+
+    for name in ("a", "b", "c"):
+        sim.process(proc(name))
+    sim.run()
+    assert log == ["a", "b", "c"]  # FIFO among simultaneous events

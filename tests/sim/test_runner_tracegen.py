@@ -1,0 +1,132 @@
+"""Tests for the training-run simulator and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+from repro.sim import (DLWorkload, NoiseModel, TrainingSimulator,
+                       generate_trace, standard_trace)
+
+
+@pytest.fixture(scope="module")
+def simulator():
+    return TrainingSimulator()
+
+
+class TestTrainingSimulator:
+    def test_run_produces_consistent_record(self, simulator):
+        wl = DLWorkload("resnet18", "cifar10")
+        run = simulator.run(wl, make_cluster(4, "gpu-p100"), 0)
+        assert run.num_servers == 4
+        assert run.server_class == "gpu-p100"
+        assert run.total_time > 0
+        assert run.epoch_time == pytest.approx(
+            run.mean_iteration_time * run.iterations_per_epoch)
+        assert run.total_time == pytest.approx(
+            simulator.startup + wl.epochs * run.epoch_time)
+
+    def test_deterministic_under_seed(self, simulator):
+        wl = DLWorkload("resnet18", "cifar10")
+        cluster = make_cluster(4, "gpu-p100")
+        r1 = simulator.run(wl, cluster, 42)
+        r2 = simulator.run(wl, cluster, 42)
+        assert r1.total_time == r2.total_time
+
+    def test_noise_perturbs_times(self, simulator):
+        wl = DLWorkload("resnet18", "cifar10")
+        cluster = make_cluster(4, "gpu-p100")
+        r1 = simulator.run(wl, cluster, 1)
+        r2 = simulator.run(wl, cluster, 2)
+        assert r1.total_time != r2.total_time
+
+    def test_noiseless_matches_cost_model(self):
+        sim = TrainingSimulator(noise=NoiseModel.none())
+        wl = DLWorkload("resnet18", "cifar10")
+        cluster = make_cluster(4, "gpu-p100")
+        run = sim.run(wl, cluster, 0)
+        expected = sim.cost_model.iteration(wl, cluster).total
+        assert run.mean_iteration_time == pytest.approx(expected, rel=1e-9)
+
+    def test_noise_close_to_cost_model(self, simulator):
+        wl = DLWorkload("resnet18", "cifar10")
+        cluster = make_cluster(4, "gpu-p100")
+        run = simulator.run(wl, cluster, 0)
+        expected = simulator.cost_model.iteration(wl, cluster).total
+        assert run.mean_iteration_time == pytest.approx(expected, rel=0.25)
+
+    def test_straggler_barrier_slows_iteration(self):
+        """With heavy per-server noise, the max-of-p barrier makes mean
+        iteration time exceed the noiseless cost-model time."""
+        noisy = TrainingSimulator(
+            noise=NoiseModel(sigma=0.3, straggler_probability=0.0))
+        wl = DLWorkload("vgg16", "tiny-imagenet")  # compute dominated
+        cluster = make_cluster(16, "cpu-e5-2630")
+        run = noisy.run(wl, cluster, 0)
+        exact = noisy.cost_model.iteration(wl, cluster).total
+        assert run.mean_iteration_time > exact
+
+    def test_more_servers_faster_compute_bound(self, simulator):
+        wl = DLWorkload("resnet50", "tiny-imagenet")
+        t1 = simulator.run(wl, make_cluster(1, "cpu-e5-2630"), 0).total_time
+        t8 = simulator.run(wl, make_cluster(8, "cpu-e5-2630"), 0).total_time
+        assert t8 < t1 / 3
+
+    def test_as_record_keys(self, simulator):
+        run = simulator.run(DLWorkload("alexnet", "cifar10"),
+                            make_cluster(2, "gpu-p100"), 0)
+        record = run.as_record()
+        for key in ("model", "dataset", "num_servers", "total_time",
+                    "communication_time"):
+            assert key in record
+
+
+class TestTraceGeneration:
+    def test_generate_trace_covers_grid(self, simulator):
+        points = generate_trace(["resnet18", "alexnet"], "cifar10",
+                                "gpu-p100", [1, 2, 4],
+                                simulator=simulator)
+        assert len(points) == 6
+        combos = {(p.workload.model_name, p.run.num_servers)
+                  for p in points}
+        assert ("resnet18", 4) in combos
+        assert ("alexnet", 1) in combos
+
+    def test_trace_reproducible(self, simulator):
+        a = generate_trace(["resnet18"], "cifar10", "gpu-p100", [2],
+                           seed=5, simulator=simulator)
+        b = generate_trace(["resnet18"], "cifar10", "gpu-p100", [2],
+                           seed=5, simulator=simulator)
+        assert a[0].total_time == b[0].total_time
+
+    def test_trace_point_record_merges_cluster_features(self, simulator):
+        points = generate_trace(["resnet18"], "cifar10", "gpu-p100", [2],
+                                simulator=simulator)
+        record = points[0].as_record()
+        assert record["num_servers"] == 2
+        assert "total_flops" in record
+
+    def test_standard_trace_plan(self, simulator):
+        traces = standard_trace(["resnet18", "alexnet"], seed=0,
+                                simulator=simulator, cluster_sizes=[1, 2],
+                                extra_cifar_batch=64)
+        assert set(traces) == {"cifar10", "tiny-imagenet"}
+        # CIFAR: 2 models x 2 sizes x 2 batches; Tiny: 2 x 2.
+        assert len(traces["cifar10"]) == 8
+        assert len(traces["tiny-imagenet"]) == 4
+        assert all(p.run.server_class == "gpu-p100"
+                   for p in traces["cifar10"])
+        assert all(p.run.server_class == "cpu-e5-2630"
+                   for p in traces["tiny-imagenet"])
+
+    def test_standard_trace_full_scale_count(self, simulator):
+        """The paper's plan yields ~2,000 points with the full zoo."""
+        from repro.graphs.zoo import list_models
+        from repro.sim import STANDARD_CLUSTER_SIZES
+
+        models = list_models()
+        expected = (len(models) * len(STANDARD_CLUSTER_SIZES) * 2
+                    + len(models) * len(STANDARD_CLUSTER_SIZES))
+        # >= the paper's ~2,000 points (the zoo has since grown past 31
+        # models, so the plan can only produce more).
+        assert expected >= 1900
+        assert len(models) >= 31

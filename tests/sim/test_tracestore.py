@@ -1,0 +1,83 @@
+"""Tests for trace persistence."""
+
+import json
+
+import pytest
+
+from repro.cluster import CPU_E5_2630, Cluster, GPU_P100
+from repro.sim import (DLWorkload, TrainingSimulator, generate_trace,
+                       load_trace, save_trace)
+from repro.sim.tracegen import TracePoint
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(["resnet18", "alexnet"], "cifar10", "gpu-p100",
+                          [1, 2, 4], seed=0)
+
+
+def test_round_trip_preserves_everything(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+    for original, restored in zip(trace, loaded):
+        assert restored.workload == original.workload
+        assert restored.total_time == original.total_time
+        assert restored.run.mean_iteration_time == \
+            original.run.mean_iteration_time
+        assert restored.run.breakdown == original.run.breakdown
+        assert [s.name for s in restored.cluster.servers] == \
+            [s.name for s in original.cluster.servers]
+
+
+def test_heterogeneous_cluster_round_trip(tmp_path):
+    cluster = Cluster(servers=(CPU_E5_2630, GPU_P100))
+    run = TrainingSimulator().run(DLWorkload("alexnet", "cifar10"),
+                                  cluster, 0)
+    point = TracePoint(run=run, cluster=cluster)
+    path = tmp_path / "hetero.json"
+    save_trace([point], path)
+    restored = load_trace(path)[0]
+    assert not restored.cluster.is_homogeneous
+    assert restored.cluster.min_server_flops == \
+        CPU_E5_2630.effective_flops
+
+
+def test_loaded_trace_trains_predictor(tmp_path, trace):
+    from repro.core import PredictDDL
+    from repro.ghn import GHNConfig, GHNRegistry
+
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    registry = GHNRegistry(config=GHNConfig(hidden_dim=8, s_max=3),
+                           train_steps=5)
+    predictor = PredictDDL(registry=registry, seed=0).fit(loaded)
+    assert predictor.is_trained
+
+
+def test_bad_version_rejected(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    save_trace(trace[:1], path)
+    payload = json.loads(path.read_text())
+    payload["format_version"] = 999
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_corrupt_count_rejected(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    save_trace(trace[:2], path)
+    payload = json.loads(path.read_text())
+    payload["points"].pop()
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ValueError, match="corrupt"):
+        load_trace(path)
+
+
+def test_empty_trace_round_trip(tmp_path):
+    path = tmp_path / "empty.json"
+    save_trace([], path)
+    assert load_trace(path) == []

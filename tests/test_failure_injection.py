@@ -1,0 +1,165 @@
+"""Failure-injection tests: corrupted artifacts, dying agents, degenerate
+inputs, pathological configurations.  A production system must fail loudly
+and recover where the design says it recovers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import (CPU_E5_2630, ClusterResourceCollector, Fabric,
+                           ResourceSnapshot, ServerAgent, make_cluster)
+from repro.core import PredictDDL
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.regression import LinearRegression, PolynomialRegression, SVR
+from repro.sim import (DLWorkload, NoiseModel, TrainingSimulator,
+                       generate_trace, load_trace, save_trace)
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+class TestCorruptedArtifacts:
+    def test_truncated_trace_file(self, tmp_path):
+        trace = generate_trace(["alexnet"], "cifar10", "gpu-p100", [1],
+                               seed=0)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        path.write_text(path.read_text()[:40])  # truncate mid-JSON
+        with pytest.raises(json.JSONDecodeError):
+            load_trace(path)
+
+    def test_trace_with_unknown_server_class(self, tmp_path):
+        trace = generate_trace(["alexnet"], "cifar10", "gpu-p100", [1],
+                               seed=0)
+        path = tmp_path / "trace.json"
+        save_trace(trace, path)
+        payload = json.loads(path.read_text())
+        payload["points"][0]["cluster"]["servers"] = ["quantum-node"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(KeyError, match="unknown server class"):
+            load_trace(path)
+
+    def test_corrupted_ghn_weights(self, tmp_path):
+        registry = GHNRegistry(tmp_path, config=FAST, train_steps=5)
+        registry.get("cifar10")
+        weights = tmp_path / "ghn_cifar10.npz"
+        weights.write_bytes(b"garbage")
+        fresh = GHNRegistry(tmp_path, config=FAST, train_steps=5)
+        with pytest.raises(Exception):
+            fresh.get("cifar10")
+
+
+class TestCollectorResilience:
+    def test_agent_crash_does_not_break_collector(self):
+        """A crashed (closed-endpoint) agent is evicted, not fatal."""
+        fabric = Fabric()
+        collector = ClusterResourceCollector(fabric, poll_interval=0.005,
+                                             num_pollers=1)
+        collector.start()
+        try:
+            snap = ResourceSnapshot.idle("s0", CPU_E5_2630)
+            agent = ServerAgent(fabric, "s0", collector.address,
+                                lambda: snap)
+            agent.start()
+            assert collector.wait_for_members(1)
+            # Simulate a crash: endpoint vanishes without a LEAVE.
+            agent._running = False
+            agent.endpoint.send(agent.endpoint.address, "stop")
+            agent._thread.join(timeout=5.0)
+            agent.endpoint.close()
+            # The poller hits the dead address and evicts the member.
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and collector.num_members():
+                time.sleep(0.01)
+            assert collector.num_members() == 0
+        finally:
+            collector.stop()
+
+    def test_snapshot_callback_exception_is_not_fatal_to_collector(self):
+        fabric = Fabric()
+        collector = ClusterResourceCollector(fabric, poll_interval=0.005)
+        collector.start()
+        try:
+            # Collector keeps serving inventory even with zero members.
+            assert collector.inventory() == {}
+        finally:
+            collector.stop()
+
+
+class TestDegenerateRegressionInputs:
+    def test_constant_features(self):
+        x = np.ones((20, 3))
+        y = np.arange(20, dtype=float)
+        model = LinearRegression().fit(x, y)  # constant cols pass through
+        pred = model.predict(x)
+        np.testing.assert_allclose(pred, y.mean())
+
+    def test_constant_targets(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((20, 3))
+        y = np.full(20, 7.0)
+        for model in (LinearRegression(), PolynomialRegression(),
+                      SVR(max_iter=100)):
+            pred = model.fit(x, y).predict(x)
+            np.testing.assert_allclose(pred, 7.0, atol=0.2)
+
+    def test_single_sample_polynomial(self):
+        model = PolynomialRegression(alpha=1e-2)
+        model.fit(np.array([[1.0, 2.0]]), np.array([5.0]))
+        assert np.isfinite(model.predict(np.array([[1.0, 2.0]]))).all()
+
+    def test_duplicate_rows_svr(self):
+        x = np.tile(np.array([[1.0, 2.0]]), (10, 1))
+        y = np.full(10, 3.0)
+        model = SVR(max_iter=200).fit(x, y)
+        assert model.predict(x)[0] == pytest.approx(3.0, abs=0.2)
+
+
+class TestPathologicalSimulation:
+    def test_extreme_noise_still_positive(self):
+        sim = TrainingSimulator(noise=NoiseModel(sigma=1.0,
+                                                 straggler_probability=0.5,
+                                                 straggler_slowdown=10.0,
+                                                 run_sigma=0.5))
+        run = sim.run(DLWorkload("alexnet", "cifar10"),
+                      make_cluster(4, "gpu-p100"), 0)
+        assert run.total_time > 0
+        assert np.isfinite(run.total_time)
+
+    def test_giant_cluster(self):
+        sim = TrainingSimulator()
+        run = sim.run(DLWorkload("resnet18", "cifar10"),
+                      make_cluster(512, "gpu-p100"), 0)
+        assert run.total_time > 0
+
+    def test_huge_batch_one_iteration_per_epoch(self):
+        wl = DLWorkload("alexnet", "cifar10",
+                        batch_size_per_server=100_000)
+        assert wl.iterations_per_epoch(1) == 1
+        run = TrainingSimulator().run(wl, make_cluster(1, "gpu-p100"), 0)
+        assert run.iterations_per_epoch == 1
+
+
+class TestPredictorRobustness:
+    def test_training_on_single_model_trace_still_predicts(self):
+        trace = generate_trace(["resnet18"], "cifar10", "gpu-p100",
+                               range(1, 9), seed=0)
+        registry = GHNRegistry(config=FAST, train_steps=5)
+        predictor = PredictDDL(registry=registry, seed=0).fit(trace)
+        value = predictor.predict_workload(
+            DLWorkload("resnet18", "cifar10"), make_cluster(4,
+                                                            "gpu-p100"))
+        assert value > 0
+
+    def test_prediction_for_wildly_out_of_range_cluster_is_clamped(self):
+        trace = generate_trace(["resnet18", "alexnet"], "cifar10",
+                               "gpu-p100", [1, 2, 4], seed=0)
+        registry = GHNRegistry(config=FAST, train_steps=5)
+        predictor = PredictDDL(registry=registry, seed=0).fit(trace)
+        value = predictor.predict_workload(
+            DLWorkload("vgg19", "cifar10"),
+            make_cluster(256, "cpu-e5-2650"))
+        times = [p.total_time for p in trace]
+        assert min(times) / 10 <= value <= max(times) * 10

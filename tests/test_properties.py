@@ -1,0 +1,157 @@
+"""Cross-cutting property-based tests (hypothesis) over core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import make_cluster
+from repro.ghn import GHN2, GHNConfig, sample_architecture
+from repro.ghn.gated_gnn import GraphStructure
+from repro.graphs import virtual_edge_weights
+from repro.regression import (polynomial_expand, prediction_ratio,
+                              relative_error, rmse)
+from repro.sim import (DDPCostModel, DLWorkload, NoiseModel,
+                       ring_allreduce_time, tree_allreduce_time)
+
+SEEDS = st.integers(0, 10_000)
+
+
+# ----------------------------------------------------------------------
+# architecture-space invariants
+# ----------------------------------------------------------------------
+@given(seed=SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_sampled_architectures_always_valid(seed):
+    rng = np.random.default_rng(seed)
+    arch = sample_architecture(rng, 8, 4)
+    arch.validate()
+    order = arch.topological_order()
+    position = {nid: i for i, nid in enumerate(order)}
+    for u, v in arch.edges:
+        assert position[u] < position[v]
+
+
+@given(seed=SEEDS)
+@settings(max_examples=15, deadline=None)
+def test_structure_levels_partition_any_architecture(seed):
+    rng = np.random.default_rng(seed)
+    arch = sample_architecture(rng, 8, 4)
+    structure = GraphStructure.build(arch, s_max=3)
+    for levels in (structure.levels_fw, structure.levels_bw):
+        ids = sorted(np.concatenate(levels).tolist())
+        assert ids == list(range(arch.num_nodes))
+
+
+@given(seed=SEEDS, s_max=st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_virtual_weights_bounded(seed, s_max):
+    rng = np.random.default_rng(seed)
+    arch = sample_architecture(rng, 8, 4)
+    weights = virtual_edge_weights(arch, s_max)
+    assert np.all(weights >= 0.0)
+    assert np.all(weights <= 0.5 + 1e-12)
+
+
+@given(seed=SEEDS)
+@settings(max_examples=8, deadline=None)
+def test_ghn_embedding_deterministic_per_graph(seed):
+    rng = np.random.default_rng(seed)
+    arch = sample_architecture(rng, 8, 4)
+    ghn = GHN2(GHNConfig(hidden_dim=8, s_max=3, chunk_size=16))
+    e1 = ghn.embed(arch)
+    e2 = ghn.embed(arch)
+    np.testing.assert_array_equal(e1, e2)
+    assert np.isfinite(e1).all()
+
+
+# ----------------------------------------------------------------------
+# cost-model invariants
+# ----------------------------------------------------------------------
+@given(payload=st.floats(1.0, 1e10), p=st.integers(2, 128),
+       bw=st.floats(1e6, 1e11))
+@settings(max_examples=50, deadline=None)
+def test_ring_allreduce_bandwidth_bounds(payload, p, bw):
+    t = ring_allreduce_time(payload, p, bw)
+    # Between 1x and 2x the payload's single-link transfer time.
+    assert payload / bw <= t <= 2.0 * payload / bw + 1e-9
+
+
+@given(payload=st.floats(1.0, 1e10), p=st.integers(2, 64),
+       bw=st.floats(1e6, 1e11))
+@settings(max_examples=50, deadline=None)
+def test_allreduce_monotone_in_payload(payload, p, bw):
+    for fn in (ring_allreduce_time, tree_allreduce_time):
+        assert fn(payload, p, bw) <= fn(payload * 2, p, bw) + 1e-12
+
+
+@given(servers=st.integers(1, 32))
+@settings(max_examples=20, deadline=None)
+def test_iteration_breakdown_components_nonnegative(servers):
+    cost = DDPCostModel()
+    breakdown = cost.iteration(DLWorkload("resnet18", "cifar10"),
+                               make_cluster(servers, "gpu-p100"))
+    assert breakdown.compute > 0
+    assert breakdown.communication >= 0
+    assert breakdown.optimizer >= 0
+    assert breakdown.data_stall >= 0
+    assert breakdown.total >= breakdown.compute
+
+
+@given(seed=SEEDS, sigma=st.floats(0.0, 0.3))
+@settings(max_examples=30, deadline=None)
+def test_noise_factors_positive(seed, sigma):
+    noise = NoiseModel(sigma=sigma, run_sigma=sigma)
+    rng = np.random.default_rng(seed)
+    factors = noise.sample(rng, size=100)
+    assert np.all(factors > 0)
+    assert noise.sample_run_factor(rng) > 0
+
+
+# ----------------------------------------------------------------------
+# metric invariants
+# ----------------------------------------------------------------------
+@given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=30),
+       st.floats(0.5, 2.0))
+@settings(max_examples=50, deadline=None)
+def test_ratio_scale_property(actual, factor):
+    actual = np.asarray(actual)
+    pred = actual * factor
+    np.testing.assert_allclose(prediction_ratio(pred, actual), factor,
+                               rtol=1e-9)
+    np.testing.assert_allclose(relative_error(pred, actual),
+                               abs(factor - 1.0), rtol=1e-6, atol=1e-12)
+
+
+@given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_rmse_identity_and_symmetry(values):
+    arr = np.asarray(values)
+    assert rmse(arr, arr) == 0.0
+    other = arr + 1.0
+    assert rmse(arr, other) == rmse(other, arr)
+
+
+@given(st.integers(1, 6), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_polynomial_expand_column_count(features, degree):
+    x = np.ones((4, features))
+    expanded = polynomial_expand(x, degree=degree)
+    expected = features * degree
+    if degree >= 2 and features > 1:
+        expected += features * (features - 1) // 2
+    assert expanded.shape == (4, expected)
+
+
+# ----------------------------------------------------------------------
+# workload invariants
+# ----------------------------------------------------------------------
+@given(batch=st.integers(1, 4096), servers=st.integers(1, 64),
+       epochs=st.integers(1, 5))
+@settings(max_examples=50, deadline=None)
+def test_iterations_cover_dataset(batch, servers, epochs):
+    wl = DLWorkload("alexnet", "cifar10", batch_size_per_server=batch,
+                    epochs=epochs)
+    iters = wl.iterations_per_epoch(servers)
+    global_batch = wl.global_batch_size(servers)
+    assert iters * global_batch >= wl.dataset.num_samples
+    assert (iters - 1) * global_batch < wl.dataset.num_samples
