@@ -8,9 +8,13 @@ Subcommands mirror the deployment workflow:
 * ``repro train``     -- offline-train PredictDDL from traces (Fig. 8);
 * ``repro predict``   -- serve a prediction from a trained artifact
   (Fig. 7);
-* ``repro report``    -- summarize a stored trace.
+* ``repro report``    -- summarize a stored trace;
+* ``repro lint``      -- statically verify computational graphs
+  (zoo models and/or serialized graph JSON files).
 
-Every command prints plain text and exits non-zero on user error.
+Every command prints plain text and exits non-zero on user error;
+``lint`` additionally exits 1 when any graph has ERROR-severity
+diagnostics.
 """
 
 from __future__ import annotations
@@ -96,6 +100,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", help="summarize a stored trace")
     p_rep.add_argument("--trace", required=True, type=Path)
+
+    p_lint = sub.add_parser(
+        "lint", help="statically verify computational graphs")
+    p_lint.add_argument("models", nargs="*",
+                        help="zoo model names to verify")
+    p_lint.add_argument("--all", action="store_true",
+                        help="verify every model in the zoo registry")
+    p_lint.add_argument("--graph", action="append", type=Path, default=[],
+                        metavar="PATH",
+                        help="also verify a serialized graph JSON file "
+                             "(repeatable)")
+    p_lint.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a machine-readable JSON report")
+    p_lint.add_argument("--level", choices=["fast", "full"],
+                        default="full",
+                        help="rule set: structural only (fast) or with "
+                             "shape/FLOP/virtual-edge recomputation "
+                             "(full, default)")
+    p_lint.add_argument("--input-size", type=int, default=64,
+                        help="input resolution for zoo graphs")
     return parser
 
 
@@ -242,6 +266,51 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from ..graphs.verify import verify_graph
+    from ..graphs.zoo import get_model, list_models
+
+    names = list(args.models)
+    if args.all:
+        names = list_models()
+    if not names and not args.graph:
+        print("error: nothing to lint; pass model names, --all or "
+              "--graph PATH", file=sys.stderr)
+        return 1
+
+    reports = []
+    for name in names:
+        graph = get_model(name, input_size=args.input_size)
+        reports.append(verify_graph(graph, level=args.level))
+    for path in args.graph:
+        payload = json.loads(Path(path).read_text())
+        reports.append(verify_graph(payload, level=args.level))
+
+    num_errors = sum(len(r.errors) for r in reports)
+    num_warnings = sum(len(r.warnings) for r in reports)
+    failing = sum(1 for r in reports if not r.ok)
+    if args.as_json:
+        print(json.dumps({
+            "graphs": [r.to_dict() for r in reports],
+            "summary": {
+                "checked": len(reports),
+                "failing": failing,
+                "errors": num_errors,
+                "warnings": num_warnings,
+                "level": args.level,
+            },
+        }, indent=2))
+    else:
+        for report in reports:
+            print(report.format_text())
+        print(f"{len(reports)} graph(s) checked: "
+              f"{len(reports) - failing} ok, {failing} failing "
+              f"({num_errors} error(s), {num_warnings} warning(s))")
+    return 1 if num_errors else 0
+
+
 _COMMANDS = {
     "models": _cmd_models,
     "datasets": _cmd_datasets,
@@ -250,6 +319,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "report": _cmd_report,
+    "lint": _cmd_lint,
 }
 
 

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..cluster import Cluster, Fabric
 from ..ghn import GHNConfig, GHNRegistry
+from ..graphs.verify import assert_verified
 from ..sim import DLWorkload, TracePoint
 from .controller import Listener, TaskChecker
 from .embeddings import WorkloadEmbeddingsGenerator
@@ -137,6 +138,12 @@ class PredictDDL:
                                         task=request.task)
         decision = self.listener.submit(request)
         graph = request.resolve_graph()
+        # Fail fast on malformed workload graphs with actionable
+        # diagnostics rather than cryptic numpy errors downstream.
+        assert_verified(
+            graph, level="fast",
+            context=f"prediction request for "
+                    f"{request.workload.model_name!r}")
         output = self.embeddings.generate(graph, decision.dataset_used)
         row = self.assembler.assemble(output.embedding, request.workload,
                                       cluster)

@@ -86,8 +86,9 @@ def execute_graph(graph: ComputationalGraph,
     return outputs[sink]
 
 
-def random_parameters(graph: ComputationalGraph,
-                      rng: np.random.Generator) -> dict[int, dict[str, Tensor]]:
+def random_parameters(
+        graph: ComputationalGraph,
+        rng: np.random.Generator) -> dict[int, dict[str, Tensor]]:
     """Kaiming-style random parameters for every LINEAR node.
 
     The meta-training baseline: GHN-decoded parameters should beat these

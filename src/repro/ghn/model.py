@@ -14,6 +14,7 @@ import dataclasses
 import numpy as np
 
 from ..graphs import ComputationalGraph, OpType
+from ..graphs.verify import assert_verified
 from ..nn import Module, Tensor, no_grad
 from .decoder import ParameterDecoder
 from .encoder import NodeEncoder
@@ -89,6 +90,7 @@ class GHN2(Module):
         self.decoder = ParameterDecoder(config.hidden_dim,
                                         config.chunk_size, rng)
         self._structure_cache: dict[str, GraphStructure] = {}
+        self._verified: set[str] = set()
 
     # ------------------------------------------------------------------
     def structure(self, graph: ComputationalGraph) -> GraphStructure:
@@ -106,12 +108,24 @@ class GHN2(Module):
         return self.gnn(states, self.structure(graph),
                         normalize=normalize, graph=graph)
 
-    def embed(self, graph: ComputationalGraph) -> np.ndarray:
+    def embed(self, graph: ComputationalGraph, *,
+              verify: bool = True) -> np.ndarray:
         """Fixed-size architecture embedding (inference path, Fig. 4).
 
         Runs without gradient tracking and returns a ``(hidden_dim,)``
         float array: the sum (or mean) readout of final node states.
+
+        Malformed graphs fail fast here with a
+        :class:`~repro.graphs.verify.GraphVerificationError` describing
+        the violated invariants, instead of surfacing later as cryptic
+        numpy shape/NaN errors inside the GatedGNN.  Verification runs
+        the fast structural rule set once per graph name (memoized like
+        the structure cache); pass ``verify=False`` to skip.
         """
+        if verify and graph.name not in self._verified:
+            assert_verified(graph, level="fast",
+                            context=f"GHN embed of {graph.name!r}")
+            self._verified.add(graph.name)
         with no_grad():
             states = self.node_states(graph).data
         if self.config.readout == "sum":

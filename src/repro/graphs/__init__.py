@@ -16,6 +16,9 @@ from .ops import (OP_VOCABULARY, OpType, is_activation, is_merge,
                   is_pooling, is_weighted_op, one_hot, one_hot_matrix)
 from .serialization import (graph_from_dict, graph_to_dict, load_graph,
                             save_graph)
+from .verify import (Diagnostic, GraphVerificationError, Rule, Severity,
+                     VerificationReport, assert_verified, register_rule,
+                     registered_rules, rule, unregister_rule, verify_graph)
 from .virtual_edges import shortest_path_lengths, virtual_edge_weights
 
 __all__ = [
@@ -27,4 +30,7 @@ __all__ = [
     "activation_memory_bytes", "parameter_bytes",
     "shortest_path_lengths", "virtual_edge_weights",
     "graph_to_dict", "graph_from_dict", "save_graph", "load_graph",
+    "Severity", "Diagnostic", "Rule", "VerificationReport",
+    "GraphVerificationError", "verify_graph", "assert_verified",
+    "rule", "register_rule", "unregister_rule", "registered_rules",
 ]

@@ -346,9 +346,21 @@ class GraphBuilder:
         return self._add_node(OpType.OUTPUT, "output", self.shape(src),
                               [src], 0, 0)
 
-    def build(self) -> ComputationalGraph:
-        """Validate and return the immutable graph."""
-        return ComputationalGraph(self.name, self._nodes, self._edges)
+    def build(self, *, verify: bool = False,
+              level: str = "full") -> ComputationalGraph:
+        """Validate and return the immutable graph.
+
+        With ``verify=True`` the full static-analysis rule set
+        (:mod:`repro.graphs.verify`) additionally runs and a
+        :class:`~repro.graphs.verify.GraphVerificationError` is raised
+        on any ERROR-severity diagnostic.
+        """
+        graph = ComputationalGraph(self.name, self._nodes, self._edges)
+        if verify:
+            from .verify import assert_verified
+            assert_verified(graph, level=level,
+                            context=f"building {self.name!r}")
+        return graph
 
     # ------------------------------------------------------------------
     # common composite blocks

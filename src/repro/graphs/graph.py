@@ -158,8 +158,10 @@ class ComputationalGraph:
 
     def validate(self) -> None:
         """Check PredictDDL's structural invariants; raise on violation."""
-        sources = [nd.node_id for nd in self._nodes if not self._pred[nd.node_id]]
-        sinks = [nd.node_id for nd in self._nodes if not self._succ[nd.node_id]]
+        sources = [nd.node_id for nd in self._nodes
+                   if not self._pred[nd.node_id]]
+        sinks = [nd.node_id for nd in self._nodes
+                 if not self._succ[nd.node_id]]
         input_nodes = [nd for nd in self._nodes if nd.op is OpType.INPUT]
         output_nodes = [nd for nd in self._nodes if nd.op is OpType.OUTPUT]
         if len(input_nodes) != 1:

@@ -39,11 +39,22 @@ def graph_to_dict(graph: ComputationalGraph) -> dict:
     }
 
 
-def graph_from_dict(payload: dict) -> ComputationalGraph:
-    """Reconstruct a graph from :func:`graph_to_dict` output."""
+def graph_from_dict(payload: dict, *,
+                    verify: bool = False) -> ComputationalGraph:
+    """Reconstruct a graph from :func:`graph_to_dict` output.
+
+    With ``verify=True`` the payload is statically verified *before*
+    construction, so malformed wire data fails with a full diagnostic
+    report (:class:`~repro.graphs.verify.GraphVerificationError`)
+    instead of whichever invariant the constructor trips over first.
+    """
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported graph format version: {version!r}")
+    if verify:
+        from .verify import assert_verified
+        assert_verified(payload, level="full",
+                        context="deserializing graph")
     nodes = [
         Node(node_id=nd["id"], op=OpType(nd["op"]), name=nd["name"],
              out_shape=tuple(nd["out_shape"]), params=nd["params"],
@@ -59,6 +70,12 @@ def save_graph(graph: ComputationalGraph, path: str | Path) -> None:
     Path(path).write_text(json.dumps(graph_to_dict(graph)))
 
 
-def load_graph(path: str | Path) -> ComputationalGraph:
-    """Read a graph previously written by :func:`save_graph`."""
-    return graph_from_dict(json.loads(Path(path).read_text()))
+def load_graph(path: str | Path, *,
+               verify: bool = True) -> ComputationalGraph:
+    """Read a graph previously written by :func:`save_graph`.
+
+    Files are untrusted input (PredictDDL's Listener receives workload
+    descriptions over the wire), so verification is on by default.
+    """
+    return graph_from_dict(json.loads(Path(path).read_text()),
+                           verify=verify)

@@ -51,7 +51,8 @@ class Module:
                     elif isinstance(item, Module):
                         yield from item._parameters(seen)
 
-    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+    def named_parameters(
+            self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
         """Yield ``(dotted_name, parameter)`` pairs."""
         for key, value in self.__dict__.items():
             path = f"{prefix}{key}"

@@ -46,7 +46,7 @@ class GRUCell(Module):
         self.bias_hh = Parameter(np.zeros(3 * hidden_size), name="bias_hh")
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
-        """One step: ``x`` is ``(batch, input)``, ``h`` is ``(batch, hidden)``."""
+        """One step: ``x`` is ``(batch, input)``, ``h`` ``(batch, hidden)``."""
         hs = self.hidden_size
         gi = x @ self.weight_ih.T + self.bias_ih
         gh = h @ self.weight_hh.T + self.bias_hh

@@ -21,8 +21,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..cluster import Cluster
-from ..graphs.analysis import (parameter_bytes, profile_graph,
-                               training_flops_per_sample)
+from ..graphs.analysis import parameter_bytes, training_flops_per_sample
 from .allreduce import allreduce_time
 from .dataloader import iteration_stall, per_worker_load_time
 from .workload import DLWorkload
@@ -105,7 +104,8 @@ class DDPCostModel:
                                   cluster.min_bandwidth,
                                   cluster.net_latency)
         communication = comm_raw * (1.0 - self.comm_overlap)
-        optimizer = 3.0 * payload / OPTIMIZER_BANDWIDTH  # read grad+param, write
+        # read grad + param, write param
+        optimizer = 3.0 * payload / OPTIMIZER_BANDWIDTH
         batch_bytes = (workload.dataset.bytes_per_sample * local_batch)
         load = per_worker_load_time(batch_bytes, cluster.num_servers,
                                     cluster.nfs_throughput,

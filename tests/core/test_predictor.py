@@ -97,6 +97,25 @@ class TestPredictDDLFacade:
         result = predictor.predict(request)
         assert result.predicted_time > 0
 
+    def test_predict_fails_fast_on_corrupt_graph(self, predictor):
+        """A malformed graph is rejected with diagnostics at the
+        predictor entry point instead of corrupting the embedding."""
+        import dataclasses
+
+        from repro.graphs import (ComputationalGraph,
+                                  GraphVerificationError)
+
+        base = DLWorkload("alexnet", "cifar10").graph
+        nodes = [dataclasses.replace(nd, flops=-5) if nd.flops > 0 else nd
+                 for nd in base.nodes]
+        corrupt = ComputationalGraph("alexnet-corrupt", nodes, base.edges)
+        request = PredictionRequest(
+            workload=DLWorkload("alexnet", "cifar10"),
+            cluster=make_cluster(2, "gpu-p100"), graph=corrupt)
+        with pytest.raises(GraphVerificationError,
+                           match="prediction request"):
+            predictor.predict(request)
+
 
 class TestTaskChecker:
     def test_rejects_unknown_dataset(self, predictor):

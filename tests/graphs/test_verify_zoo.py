@@ -1,0 +1,65 @@
+"""Zoo-wide verification gate + serialization round-trip properties.
+
+The gate asserts every registered architecture is diagnostics-clean
+under the *full* rule set (shape, cost and virtual-edge recomputation
+included) -- the regression net that keeps future zoo edits honest.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ghn import sample_architecture
+from repro.graphs import graph_from_dict, graph_to_dict, verify_graph
+from repro.graphs.zoo import get_model, list_models
+
+ZOO = list_models()
+
+
+class TestZooGate:
+    @pytest.mark.parametrize("name", ZOO)
+    def test_zoo_graph_is_diagnostics_clean(self, name):
+        report = verify_graph(get_model(name), level="full")
+        assert report.clean, report.format_text()
+
+    def test_registry_covers_paper_pool(self):
+        assert len(ZOO) >= 31
+
+    def test_whole_zoo_has_zero_diagnostics(self):
+        """Aggregate regression guard: zero diagnostics of ANY severity
+        (including WARN/INFO) across the full registry."""
+        total = sum(len(verify_graph(get_model(name)).diagnostics)
+                    for name in ZOO)
+        assert total == 0
+
+
+class TestRoundTripProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_sampled_arch_roundtrip_preserves_clean_and_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        arch = sample_architecture(rng, 8, 4)
+        assert verify_graph(arch).clean
+        payload = json.loads(json.dumps(graph_to_dict(arch)))
+        rebuilt = graph_from_dict(payload, verify=True)
+        assert verify_graph(rebuilt).clean
+        assert rebuilt.total_params == arch.total_params
+        assert rebuilt.total_flops == arch.total_flops
+        for before, after in zip(arch.nodes, rebuilt.nodes):
+            assert (before.params, before.flops) == (after.params,
+                                                     after.flops)
+            assert before.out_shape == after.out_shape
+
+    @given(name=st.sampled_from(ZOO))
+    @settings(max_examples=10, deadline=None)
+    def test_zoo_roundtrip_preserves_clean_and_counts(self, name):
+        graph = get_model(name)
+        payload = json.loads(json.dumps(graph_to_dict(graph)))
+        rebuilt = graph_from_dict(payload, verify=True)
+        assert verify_graph(rebuilt, level="full").clean
+        assert rebuilt.total_params == graph.total_params
+        assert rebuilt.total_flops == graph.total_flops
+        assert rebuilt.num_edges == graph.num_edges

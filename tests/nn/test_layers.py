@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import (MLP, Embedding, LayerNorm, Linear, Module, Parameter,
+from repro.nn import (MLP, Embedding, LayerNorm, Linear, Module,
                       Sequential, Tensor)
 
 
