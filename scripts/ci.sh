@@ -20,6 +20,10 @@ fi
 echo "==> repro lint --all (graph IR static analysis)"
 python -c "import sys; from repro.cli import main; sys.exit(main(['lint', '--all']))"
 
+echo "==> repro profile resnet18 --json (observability smoke)"
+python -c "import sys; from repro.cli import main; sys.exit(main(['profile', 'resnet18', '--json']))" \
+    | python -m json.tool > /dev/null
+
 if command -v ruff >/dev/null 2>&1; then
     echo "==> ruff check"
     ruff check src tests

@@ -17,7 +17,6 @@ Ernest pays per-workload sample collection + refit.
 from __future__ import annotations
 
 import dataclasses
-import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -26,6 +25,7 @@ from ..baselines import collect_and_fit
 from ..cluster import make_cluster
 from ..core import OfflineTrainer, PredictDDL
 from ..ghn import GHNRegistry
+from ..obs import TRACER
 from ..sim import DLWorkload, TracePoint, TrainingSimulator
 
 __all__ = ["BatchCost", "Fig13Result", "batch_prediction_scalability"]
@@ -77,13 +77,15 @@ def batch_prediction_scalability(
     for batch_size in batch_sizes:
         batch = [workload_pool[i % len(workload_pool)]
                  for i in range(batch_size)]
-        # --- PredictDDL: per-model embed + predict (wall time).
+        # --- PredictDDL: per-model embed + predict, timed by spans
+        # (the same instrumentation `repro profile` renders).
         per_model = 0.0
         for model in batch:
             workload = DLWorkload(model, dataset)
-            start = time.perf_counter()
-            predictor.predict_workload(workload, cluster)
-            per_model += time.perf_counter() - start
+            with TRACER.timed("fig13.predict", model=model,
+                              batch_size=batch_size) as sw:
+                predictor.predict_workload(workload, cluster)
+            per_model += sw.duration
         pddl_total = one_time + per_model
         # --- Ernest: per-model sample collection (simulated cluster
         # seconds) + NNLS refit (wall time).

@@ -15,6 +15,7 @@ import numpy as np
 from ..baselines import ErnestModel
 from ..core import PredictDDL
 from ..ghn import GHNRegistry
+from ..obs import TRACER
 from ..regression import mean_relative_error, prediction_ratio
 from ..sim import TracePoint
 
@@ -39,9 +40,12 @@ def fit_predictor(train: Sequence[TracePoint], registry: GHNRegistry, *,
                   regressor: str = "PR", tune: bool = False,
                   seed: int = 0) -> PredictDDL:
     """Train a PredictDDL instance on trace points."""
-    predictor = PredictDDL(registry=registry, regressor_name=regressor,
-                           tune=tune, seed=seed)
-    return predictor.fit(list(train))
+    with TRACER.span("bench.fit", regressor=regressor,
+                     points=len(train)):
+        predictor = PredictDDL(registry=registry,
+                               regressor_name=regressor,
+                               tune=tune, seed=seed)
+        return predictor.fit(list(train))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,7 +68,8 @@ class EvalOutcome:
 def evaluate_predictor(predictor: PredictDDL,
                        test: Sequence[TracePoint]) -> EvalOutcome:
     """Run PredictDDL over held-out points."""
-    predicted = predictor.predict_trace(list(test))
+    with TRACER.span("bench.evaluate", points=len(test)):
+        predicted = predictor.predict_trace(list(test))
     actual = np.array([p.total_time for p in test])
     return EvalOutcome(predicted=predicted, actual=actual)
 

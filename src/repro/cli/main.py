@@ -10,7 +10,14 @@ Subcommands mirror the deployment workflow:
   (Fig. 7);
 * ``repro report``    -- summarize a stored trace;
 * ``repro lint``      -- statically verify computational graphs
-  (zoo models and/or serialized graph JSON files).
+  (zoo models and/or serialized graph JSON files);
+* ``repro profile``   -- trace the full fit+predict pipeline of one
+  model and render the span tree (see :mod:`repro.obs`).
+
+``simulate``, ``trace`` and ``predict`` additionally accept
+``--profile`` (print the span tree after the command output) and
+``--metrics-json [PATH]`` (write a metrics snapshot; ``-`` or no value
+appends one compact JSON line to stdout).
 
 Every command prints plain text and exits non-zero on user error;
 ``lint`` additionally exits 1 when any graph has ERROR-severity
@@ -43,6 +50,18 @@ def _parse_sizes(spec: str) -> list[int]:
     return sizes
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by simulate/trace/predict."""
+    parser.add_argument("--profile", action="store_true",
+                        help="enable span tracing and print the span "
+                             "tree after the command output")
+    parser.add_argument("--metrics-json", nargs="?", const="-",
+                        default=None, metavar="PATH",
+                        help="enable metrics and write a JSON snapshot "
+                             "to PATH ('-'/no value: append one compact "
+                             "JSON line to stdout)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -63,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--batch", type=int, default=32)
     p_sim.add_argument("--epochs", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p_sim)
 
     p_trace = sub.add_parser("trace",
                              help="collect an execution trace to JSON")
@@ -76,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--epochs", type=int, default=1)
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", required=True, type=Path)
+    _add_obs_flags(p_trace)
 
     p_train = sub.add_parser("train",
                              help="offline-train PredictDDL from traces")
@@ -97,6 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--server-class", default="gpu-p100")
     p_pred.add_argument("--batch", type=int, default=32)
     p_pred.add_argument("--epochs", type=int, default=1)
+    _add_obs_flags(p_pred)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="trace the fit+predict pipeline and render the span tree")
+    p_prof.add_argument("model", help="zoo model name (e.g. resnet18)")
+    p_prof.add_argument("--dataset", default="cifar10")
+    p_prof.add_argument("--servers", type=int, default=4)
+    p_prof.add_argument("--server-class", default="gpu-p100")
+    p_prof.add_argument("--batch", type=int, default=32)
+    p_prof.add_argument("--ghn-dim", type=int, default=16,
+                        help="GHN hidden dim for the throwaway predictor")
+    p_prof.add_argument("--ghn-steps", type=int, default=12,
+                        help="GHN meta-training steps (kept small: the "
+                             "point is the span tree, not accuracy)")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit spans + metrics as JSON instead of "
+                             "the ASCII tree")
 
     p_rep = sub.add_parser("report", help="summarize a stored trace")
     p_rep.add_argument("--trace", required=True, type=Path)
@@ -121,6 +161,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--input-size", type=int, default=64,
                         help="input resolution for zoo graphs")
     return parser
+
+
+# ----------------------------------------------------------------------
+# observability plumbing
+# ----------------------------------------------------------------------
+def _run_with_obs(handler, args) -> int:
+    """Run a command under the observability flags it declares.
+
+    ``--profile`` enables span tracing and prints the tree afterwards;
+    ``--metrics-json`` enables metrics and emits a snapshot (pretty JSON
+    to a file, or one compact line on stdout for ``-``).  Commands
+    without the flags (or with none set) run untouched.
+    """
+    profiling = getattr(args, "profile", False)
+    metrics_dest = getattr(args, "metrics_json", None)
+    if not profiling and metrics_dest is None:
+        return handler(args)
+
+    from .. import obs
+
+    obs.reset()
+    obs.enable(tracing=profiling, metrics=metrics_dest is not None)
+    try:
+        code = handler(args)
+    finally:
+        obs.disable()
+    if profiling:
+        tree = obs.TRACER.render_tree()
+        if tree:
+            print("-- spans --")
+            print(tree)
+    if metrics_dest is not None:
+        if metrics_dest == "-":
+            print(obs.METRICS.to_json())
+        else:
+            Path(metrics_dest).write_text(obs.METRICS.to_json(indent=2)
+                                          + "\n")
+            print(f"metrics snapshot written to {metrics_dest}")
+    return code
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +321,58 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from .. import obs
+    from ..cluster import make_cluster
+    from ..core import PredictDDL, PredictionRequest
+    from ..ghn import GHNConfig, GHNRegistry
+    from ..sim import DLWorkload, generate_trace
+
+    obs.reset()
+    obs.enable()
+    try:
+        registry = GHNRegistry(
+            config=GHNConfig(hidden_dim=args.ghn_dim, seed=args.seed),
+            train_steps=args.ghn_steps)
+        sizes = sorted({1, 2, max(1, args.servers)})
+        points = generate_trace([args.model], args.dataset,
+                                args.server_class, sizes,
+                                batch_size_per_server=args.batch,
+                                seed=args.seed)
+        predictor = PredictDDL(registry=registry,
+                               seed=args.seed).fit(points)
+        workload = DLWorkload(args.model, args.dataset,
+                              batch_size_per_server=args.batch)
+        cluster = make_cluster(args.servers, args.server_class)
+        result = predictor.predict(PredictionRequest(workload=workload,
+                                                     cluster=cluster))
+    finally:
+        obs.disable()
+
+    if args.as_json:
+        print(json.dumps({
+            "model": args.model,
+            "dataset": args.dataset,
+            "servers": args.servers,
+            "predicted_seconds": result.predicted_time,
+            "spans": [r.to_dict() for r in obs.TRACER.records()],
+            "metrics": obs.METRICS.snapshot(),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"profile: {args.model} on {args.dataset}, "
+          f"{args.servers}x {args.server_class} "
+          f"(throwaway predictor: ghn_dim={args.ghn_dim}, "
+          f"ghn_steps={args.ghn_steps}, {len(points)} trace points)")
+    print(f"predicted training time: {result.predicted_time:.1f}s")
+    print()
+    print(obs.TRACER.render_tree())
+    print()
+    print(obs.METRICS.render_text())
+    return 0
+
+
 def _cmd_report(args) -> int:
     from ..sim import load_trace
 
@@ -318,6 +449,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "train": _cmd_train,
     "predict": _cmd_predict,
+    "profile": _cmd_profile,
     "report": _cmd_report,
     "lint": _cmd_lint,
 }
@@ -328,7 +460,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _run_with_obs(_COMMANDS[args.command], args)
     except (KeyError, ValueError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs import METRICS
 from .messaging import Endpoint, Fabric
 from .resources import ResourceSnapshot
 
@@ -112,12 +113,15 @@ class ClusterResourceCollector:
             if msg.tag == _STOP:
                 break
             if msg.tag == _JOIN:
+                METRICS.counter("cluster.collector.joins").inc()
                 with self._lock:
                     self._members[msg.sender] = msg.payload
             elif msg.tag == _LEAVE:
+                METRICS.counter("cluster.collector.leaves").inc()
                 with self._lock:
                     self._members.pop(msg.sender, None)
             elif msg.tag == _REPORT:
+                METRICS.counter("cluster.collector.reports").inc()
                 with self._lock:
                     if msg.sender in self._members:
                         self._members[msg.sender] = msg.payload
@@ -131,7 +135,10 @@ class ClusterResourceCollector:
                 if idx % self.num_pollers == poller_id:
                     try:
                         self.endpoint.send(member, _PROBE)
+                        METRICS.counter("cluster.collector.probes").inc()
                     except Exception:
+                        METRICS.counter(
+                            "cluster.collector.probe_failures").inc()
                         with self._lock:
                             self._members.pop(member, None)
             time.sleep(self.poll_interval)

@@ -9,13 +9,13 @@ is the per-request overhead amortized in Fig. 13.
 from __future__ import annotations
 
 import dataclasses
-import time
 
 import numpy as np
 
 from ..datasets import DATASET_CATALOG, get_dataset
 from ..ghn import GHNRegistry
 from ..graphs import ComputationalGraph
+from ..obs import TRACER
 from .similarity import closest_dataset
 
 __all__ = ["EmbeddingOutput", "WorkloadEmbeddingsGenerator"]
@@ -62,12 +62,12 @@ class WorkloadEmbeddingsGenerator:
         """Embed ``graph`` under the (closest) GHN for ``dataset_name``."""
         dataset_used, needs_training = self.select_dataset(
             dataset_name, allow_fallback=allow_fallback)
-        start = time.perf_counter()
-        embedding = self.registry.embed(dataset_used, graph)
-        elapsed = time.perf_counter() - start
+        with TRACER.timed("embed", graph=graph.name,
+                          dataset=dataset_used) as sw:
+            embedding = self.registry.embed(dataset_used, graph)
         return EmbeddingOutput(embedding=embedding,
                                dataset_used=dataset_used,
-                               seconds=elapsed,
+                               seconds=sw.duration,
                                trained_new_ghn=needs_training)
 
     @property

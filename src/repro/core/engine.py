@@ -19,10 +19,9 @@ Tiny-ImageNet trace (Fig. 10's observation).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from ..obs import TRACER
 from ..regression import (LinearRegression, LogTargetRegressor,
                           MLPRegressor, PolynomialRegression, Regressor,
                           SVR, grid_search, rmse)
@@ -95,24 +94,25 @@ class InferenceEngine:
     def fit(self, x: np.ndarray, y: np.ndarray) -> "InferenceEngine":
         """Train the regression model; records wall-clock fit time."""
         rng = np.random.default_rng(self.seed)
-        start = time.perf_counter()
-        if self.regressor_name == "auto":
-            from ..regression import select_best_model
+        with TRACER.timed("regress", regressor=self.regressor_name,
+                          rows=int(x.shape[0]), tune=self.tune) as sw:
+            if self.regressor_name == "auto":
+                from ..regression import select_best_model
 
-            result = select_best_model(
-                {name: (lambda n=name: make_regressor(
-                    n, tune=self.tune, x=x, y=y, rng=rng))
-                 for name in REGRESSOR_NAMES},
-                x, y, rng, metric=rmse)
-            self.regressor = result.best_model
-            self.selected_name = result.best_name
-        else:
-            self.regressor = make_regressor(self.regressor_name,
-                                            tune=self.tune, x=x, y=y,
-                                            rng=rng)
-            self.regressor.fit(x, y)
-            self.selected_name = self.regressor_name
-        self.fit_seconds = time.perf_counter() - start
+                result = select_best_model(
+                    {name: (lambda n=name: make_regressor(
+                        n, tune=self.tune, x=x, y=y, rng=rng))
+                     for name in REGRESSOR_NAMES},
+                    x, y, rng, metric=rmse)
+                self.regressor = result.best_model
+                self.selected_name = result.best_name
+            else:
+                self.regressor = make_regressor(self.regressor_name,
+                                                tune=self.tune, x=x, y=y,
+                                                rng=rng)
+                self.regressor.fit(x, y)
+                self.selected_name = self.regressor_name
+        self.fit_seconds = sw.duration
         self._y_range = (float(np.min(y)), float(np.max(y)))
         return self
 

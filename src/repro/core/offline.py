@@ -13,10 +13,10 @@ both a ready :class:`~repro.core.predictor.PredictDDL` and a stage report.
 from __future__ import annotations
 
 import dataclasses
-import time
 from collections.abc import Sequence
 
 from ..datasets import get_dataset
+from ..obs import TRACER
 from ..sim import TracePoint
 from .predictor import PredictDDL
 
@@ -51,25 +51,25 @@ class OfflineTrainer:
         if not points:
             raise ValueError("empty trace")
         datasets = sorted({p.workload.dataset_name for p in points})
-        # Stage 1: offline GHN training, once per dataset (Fig. 8 left).
-        start = time.perf_counter()
-        for name in datasets:
-            self.predictor.registry.get(get_dataset(name).name)
-        ghn_seconds = time.perf_counter() - start
-        # Stage 2: parse computational graphs into fixed-size vectors.
-        start = time.perf_counter()
-        for point in points:
-            self.predictor.embeddings.generate(
-                point.workload.graph, point.workload.dataset_name)
-        embedding_seconds = time.perf_counter() - start
-        # Stage 3: train the prediction model on vectors + cluster data.
-        start = time.perf_counter()
-        self.predictor.fit(points)
-        prediction_seconds = time.perf_counter() - start
+        with TRACER.span("offline.train", points=len(points),
+                         datasets=",".join(datasets)):
+            # Stage 1: offline GHN training, once per dataset (Fig. 8).
+            with TRACER.timed("offline.ghn-train") as ghn_sw:
+                for name in datasets:
+                    self.predictor.registry.get(get_dataset(name).name)
+            # Stage 2: parse computational graphs into fixed-size vectors.
+            with TRACER.timed("offline.embed") as embed_sw:
+                for point in points:
+                    self.predictor.embeddings.generate(
+                        point.workload.graph, point.workload.dataset_name)
+            # Stage 3: train the prediction model on vectors + cluster
+            # data.
+            with TRACER.timed("offline.fit") as fit_sw:
+                self.predictor.fit(points)
         return OfflineTrainingReport(
             datasets=tuple(datasets),
-            ghn_training_seconds=ghn_seconds,
-            embedding_seconds=embedding_seconds,
-            prediction_training_seconds=prediction_seconds,
+            ghn_training_seconds=ghn_sw.duration,
+            embedding_seconds=embed_sw.duration,
+            prediction_training_seconds=fit_sw.duration,
             num_trace_points=len(points),
         )

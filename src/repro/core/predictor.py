@@ -9,7 +9,6 @@ system's headline property.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Sequence
 
 import numpy as np
@@ -17,6 +16,7 @@ import numpy as np
 from ..cluster import Cluster, Fabric
 from ..ghn import GHNConfig, GHNRegistry
 from ..graphs.verify import assert_verified
+from ..obs import TRACER
 from ..sim import DLWorkload, TracePoint
 from .controller import Listener, TaskChecker
 from .embeddings import WorkloadEmbeddingsGenerator
@@ -48,9 +48,12 @@ class PredictDDL:
     def __init__(self, registry: GHNRegistry | None = None, *,
                  regressor_name: str = "PR", tune: bool = False,
                  seed: int = 0, fabric: Fabric | None = None,
-                 ghn_config: GHNConfig = GHNConfig()):
-        self.registry = registry if registry is not None else GHNRegistry(
-            config=ghn_config)
+                 ghn_config: GHNConfig | None = None):
+        if registry is None:
+            registry = GHNRegistry(
+                config=ghn_config if ghn_config is not None
+                else GHNConfig())
+        self.registry = registry
         self.embeddings = WorkloadEmbeddingsGenerator(self.registry)
         self.assembler = FeatureAssembler(self.embeddings.embedding_dim)
         self.engine = InferenceEngine(regressor_name, tune=tune, seed=seed)
@@ -93,10 +96,12 @@ class PredictDDL:
 
     def feature_matrix(self, points: Sequence[TracePoint]) -> np.ndarray:
         """Feature rows for a trace (embeddings memoized per model)."""
-        rows = [self.features_for(p.workload, p.cluster) for p in points]
-        if not rows:
-            raise ValueError("empty trace")
-        return np.vstack(rows)
+        with TRACER.span("feature-assembly", rows=len(points)):
+            rows = [self.features_for(p.workload, p.cluster)
+                    for p in points]
+            if not rows:
+                raise ValueError("empty trace")
+            return np.vstack(rows)
 
     def fit(self, points: Sequence[TracePoint]) -> "PredictDDL":
         """Train the prediction model on historical trace points.
@@ -104,9 +109,10 @@ class PredictDDL:
         GHNs for any datasets appearing in the trace are trained on
         demand by the registry (offline, once per dataset).
         """
-        x = self.feature_matrix(points)
-        y = np.array([p.total_time for p in points])
-        self.engine.fit(x, y)
+        with TRACER.span("predictddl.fit", points=len(points)):
+            x = self.feature_matrix(points)
+            y = np.array([p.total_time for p in points])
+            self.engine.fit(x, y)
         self._trained = True
         return self
 
@@ -136,27 +142,33 @@ class PredictDDL:
                                         cluster=cluster,
                                         graph=request.graph,
                                         task=request.task)
-        decision = self.listener.submit(request)
-        graph = request.resolve_graph()
-        # Fail fast on malformed workload graphs with actionable
-        # diagnostics rather than cryptic numpy errors downstream.
-        assert_verified(
-            graph, level="fast",
-            context=f"prediction request for "
-                    f"{request.workload.model_name!r}")
-        output = self.embeddings.generate(graph, decision.dataset_used)
-        row = self.assembler.assemble(output.embedding, request.workload,
-                                      cluster)
-        start = time.perf_counter()
-        predicted = float(self.engine.predict(row.reshape(1, -1))[0])
-        inference_seconds = time.perf_counter() - start
+        with TRACER.span("predictddl.predict",
+                         model=request.workload.model_name,
+                         servers=cluster.num_servers):
+            decision = self.listener.submit(request)
+            graph = request.resolve_graph()
+            # Fail fast on malformed workload graphs with actionable
+            # diagnostics rather than cryptic numpy errors downstream.
+            with TRACER.span("graph-verify", graph=graph.name):
+                assert_verified(
+                    graph, level="fast",
+                    context=f"prediction request for "
+                            f"{request.workload.model_name!r}")
+            output = self.embeddings.generate(graph, decision.dataset_used)
+            with TRACER.span("feature-assembly"):
+                row = self.assembler.assemble(output.embedding,
+                                              request.workload, cluster)
+            with TRACER.timed("regress",
+                              regressor=self.engine.regressor_name) as sw:
+                predicted = float(
+                    self.engine.predict(row.reshape(1, -1))[0])
         return PredictionResult(
             request=request,
             predicted_time=predicted,
             dataset_used=output.dataset_used,
             ghn_trained=output.trained_new_ghn,
             embedding_seconds=output.seconds,
-            inference_seconds=inference_seconds,
+            inference_seconds=sw.duration,
         )
 
     def predict_workload(self, workload: DLWorkload,
@@ -170,5 +182,8 @@ class PredictDDL:
         """Vectorized prediction over trace points (evaluation path)."""
         if not self._trained:
             raise RuntimeError("PredictDDL.fit must run before predict")
-        x = self.feature_matrix(points)
-        return self.engine.predict(x)
+        with TRACER.span("predictddl.predict_trace", points=len(points)):
+            x = self.feature_matrix(points)
+            with TRACER.span("regress",
+                             regressor=self.engine.regressor_name):
+                return self.engine.predict(x)

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..graphs import ComputationalGraph, virtual_edge_weights
 from ..nn import GRUCell, MLP, Module, Tensor
+from ..obs import METRICS, TRACER
 
 __all__ = ["GraphStructure", "GatedGNN"]
 
@@ -116,18 +117,28 @@ class GatedGNN(Module):
         applied after each directional pass (the operation-dependent
         normalization of GHN-2).
         """
-        for _ in range(self.num_passes):
-            states = self._propagate(states, structure.receive_fw,
-                                     structure.virtual_fw,
-                                     structure.levels_fw)
-            if normalize is not None:
-                states = normalize(states, graph)
-            states = self._propagate(states, structure.receive_bw,
-                                     structure.virtual_bw,
-                                     structure.levels_bw)
-            if normalize is not None:
-                states = normalize(states, graph)
-        return states
+        # One span per forward call (not per level) keeps the hot
+        # level loop uninstrumented; counters record the directional
+        # pass volume Fig. 9-style ablations care about.
+        with TRACER.span("ghn.gnn", passes=self.num_passes,
+                         nodes=int(states.shape[0]),
+                         levels_fw=len(structure.levels_fw),
+                         levels_bw=len(structure.levels_bw)):
+            METRICS.counter("ghn.gnn.forward_calls").inc()
+            METRICS.counter("ghn.gnn.directional_passes").inc(
+                2 * self.num_passes)
+            for _ in range(self.num_passes):
+                states = self._propagate(states, structure.receive_fw,
+                                         structure.virtual_fw,
+                                         structure.levels_fw)
+                if normalize is not None:
+                    states = normalize(states, graph)
+                states = self._propagate(states, structure.receive_bw,
+                                         structure.virtual_bw,
+                                         structure.levels_bw)
+                if normalize is not None:
+                    states = normalize(states, graph)
+            return states
 
     def _propagate(self, states: Tensor, receive: np.ndarray,
                    virtual: np.ndarray,

@@ -16,6 +16,7 @@ import numpy as np
 from ..graphs import ComputationalGraph, OpType
 from ..graphs.verify import assert_verified
 from ..nn import Module, Tensor, no_grad
+from ..obs import METRICS, TRACER
 from .decoder import ParameterDecoder
 from .encoder import NodeEncoder
 from .gated_gnn import GatedGNN, GraphStructure
@@ -122,15 +123,20 @@ class GHN2(Module):
         the fast structural rule set once per graph name (memoized like
         the structure cache); pass ``verify=False`` to skip.
         """
-        if verify and graph.name not in self._verified:
-            assert_verified(graph, level="fast",
-                            context=f"GHN embed of {graph.name!r}")
-            self._verified.add(graph.name)
-        with no_grad():
-            states = self.node_states(graph).data
-        if self.config.readout == "sum":
-            return states.sum(axis=0)
-        return states.mean(axis=0)
+        with TRACER.span("ghn.embed", graph=graph.name,
+                         nodes=graph.num_nodes,
+                         hidden_dim=self.config.hidden_dim):
+            if verify and graph.name not in self._verified:
+                with TRACER.span("graph-verify", graph=graph.name):
+                    assert_verified(graph, level="fast",
+                                    context=f"GHN embed of {graph.name!r}")
+                self._verified.add(graph.name)
+            METRICS.counter("ghn.embeds").inc()
+            with no_grad():
+                states = self.node_states(graph).data
+            if self.config.readout == "sum":
+                return states.sum(axis=0)
+            return states.mean(axis=0)
 
     def predict_parameters(self, graph: ComputationalGraph) -> dict:
         """Decode parameters for every weighted (LINEAR) node.

@@ -17,6 +17,7 @@ import numpy as np
 from ..datasets import DatasetSpec, get_dataset
 from ..graphs import ComputationalGraph
 from ..nn import load_module, save_module
+from ..obs import METRICS
 from .model import GHN2, GHNConfig
 from .trainer import GHNTrainer, GHNTrainingResult
 
@@ -110,8 +111,11 @@ class GHNRegistry:
         key = (spec.name, graph.name)
         cached = self._embedding_cache.get(key)
         if cached is None:
+            METRICS.counter("ghn.embed_cache.misses").inc()
             cached = self.get(spec.name).embed(graph)
             self._embedding_cache[key] = cached
+        else:
+            METRICS.counter("ghn.embed_cache.hits").inc()
         return cached
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..datasets import DatasetSpec, SyntheticTask, make_task
 from ..nn import Adam, Tensor, clip_grad_norm
+from ..obs import TRACER
 from ..nn.functional import cross_entropy
 from .darts_space import sample_architecture
 from .executor import execute_graph
@@ -99,7 +100,9 @@ class GHNTrainer:
 
     def train(self, steps: int) -> GHNTrainingResult:
         """Run ``steps`` meta-steps; returns the loss history."""
-        history = [self.train_step() for _ in range(steps)]
+        with TRACER.span("ghn.train", dataset=self.dataset.name,
+                         steps=steps):
+            history = [self.train_step() for _ in range(steps)]
         return GHNTrainingResult(dataset=self.dataset.name, steps=steps,
                                  loss_history=tuple(history),
                                  final_loss=history[-1] if history

@@ -1,0 +1,99 @@
+"""`repro.obs`: zero-dependency observability for the whole pipeline.
+
+One span tracer (:data:`TRACER`) and one metrics registry
+(:data:`METRICS`) are shared process-wide; every instrumented layer
+(`core`, `ghn`, `sim`, `cluster`, `bench`) reports into them and every
+consumer (`repro profile`, ``--profile`` / ``--metrics-json`` CLI flags,
+the Fig. 13 bench) reads from them.
+
+Observability is **off by default** -- instrumented code paths cost one
+attribute check when disabled (see DESIGN.md Sec. 5).  Enable
+programmatically::
+
+    from repro import obs
+
+    obs.enable()
+    ...                       # run the pipeline
+    print(obs.TRACER.render_tree())
+    print(obs.METRICS.render_text())
+    obs.disable()
+
+or scoped::
+
+    with obs.observed() as (tracer, metrics):
+        predictor.predict(request)
+    print(tracer.render_tree())
+
+or via the environment: ``REPRO_OBS=1`` enables both subsystems at
+import time (anything else, or unset, leaves them off).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                      MetricsRegistry)
+from .tracing import Span, SpanRecord, Stopwatch, Tracer, render_tree
+
+__all__ = [
+    "TRACER", "METRICS",
+    "enable", "disable", "is_enabled", "reset", "observed",
+    "Tracer", "Span", "SpanRecord", "Stopwatch", "render_tree",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+]
+
+#: Process-global default tracer every instrumented layer reports into.
+TRACER = Tracer()
+
+#: Process-global default metrics registry.
+METRICS = MetricsRegistry()
+
+
+def enable(*, tracing: bool = True, metrics: bool = True) -> None:
+    """Turn on span collection and/or metric recording."""
+    if tracing:
+        TRACER.enable()
+    if metrics:
+        METRICS.enable()
+
+
+def disable() -> None:
+    """Turn off both subsystems (collected data is kept until reset)."""
+    TRACER.disable()
+    METRICS.disable()
+
+
+def is_enabled() -> bool:
+    return TRACER.enabled or METRICS.enabled
+
+
+def reset() -> None:
+    """Drop all collected spans and metric series."""
+    TRACER.reset()
+    METRICS.reset()
+
+
+@contextlib.contextmanager
+def observed(*, tracing: bool = True, metrics: bool = True,
+             fresh: bool = True):
+    """Enable observability for a ``with`` block; restore state after.
+
+    With ``fresh=True`` (default) previously collected spans/metrics are
+    cleared on entry so the block's data stands alone.  Yields
+    ``(TRACER, METRICS)``.
+    """
+    prev_tracing, prev_metrics = TRACER.enabled, METRICS.enabled
+    if fresh:
+        reset()
+    enable(tracing=tracing, metrics=metrics)
+    try:
+        yield TRACER, METRICS
+    finally:
+        TRACER.enabled = prev_tracing
+        METRICS.enabled = prev_metrics
+
+
+if os.environ.get("REPRO_OBS") == "1":  # pragma: no cover - env-dependent
+    enable()

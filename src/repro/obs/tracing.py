@@ -1,0 +1,308 @@
+"""Span tracer: nested, named spans over the predict/simulate pipeline.
+
+A :class:`Tracer` hands out :class:`Span` context managers.  Spans nest
+through a thread-local context stack, so instrumentation composes across
+call boundaries: ``PredictDDL.predict`` opens a root span, and the spans
+opened inside ``WorkloadEmbeddingsGenerator.generate`` or ``GHN2.embed``
+attach themselves as children without any plumbing.
+
+Design constraints (DESIGN.md Sec. 5):
+
+* **Off by default, near-free when disabled.**  ``Tracer.span`` is
+  guarded by a single ``enabled`` attribute check and returns one shared
+  no-op object on the disabled path -- no allocation, no clock reads.
+* **Deterministic content.**  Span names, nesting structure and
+  attribute values are functions of the (seeded) workload; only the
+  measured durations vary between runs.
+* **Two clocks.**  ``time.perf_counter`` measures durations (monotonic,
+  high resolution); ``time.time`` stamps the wall-clock start so
+  exported records can be correlated with external logs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections.abc import Iterator
+
+__all__ = ["Span", "SpanRecord", "Stopwatch", "Tracer", "render_tree"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """Flat export of one finished span (depth-first order)."""
+
+    name: str
+    path: str            # "/"-joined names from the root, e.g. "a/b/c"
+    depth: int
+    start_wall: float    # time.time() at entry
+    duration: float      # perf_counter seconds
+    attrs: dict
+    status: str          # "ok" | "error"
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class Stopwatch:
+    """Minimal timing context: measures ``duration``, records nothing.
+
+    Returned by :meth:`Tracer.timed` when tracing is disabled so call
+    sites whose public API exposes seconds (``fit_seconds``,
+    ``inference_seconds``...) keep working at the cost of two
+    ``perf_counter`` reads -- the same cost as the stopwatch code the
+    spans replaced.
+    """
+
+    __slots__ = ("duration", "_start")
+
+    def __init__(self):
+        self.duration = 0.0
+
+    def set_attr(self, _key, _value) -> None:
+        pass
+
+    def annotate(self, **_attrs) -> None:
+        pass
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disabled path (one instance)."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def set_attr(self, _key, _value) -> None:
+        pass
+
+    def annotate(self, **_attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, named, attributed region of execution.
+
+    Use as a context manager; exceptions propagate but are recorded
+    (``status="error"``) and the context stack is always unwound.
+    """
+
+    __slots__ = ("name", "attrs", "children", "duration", "start_wall",
+                 "status", "error", "_tracer", "_start", "_is_root")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.duration = 0.0
+        self.start_wall = 0.0
+        self.status = "ok"
+        self.error: str | None = None
+        self._tracer = tracer
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def annotate(self, **attrs) -> None:
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.status = "error"
+            self.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(self)
+        return False  # never swallow
+
+    # ------------------------------------------------------------------
+    def walk(self, depth: int = 0, prefix: str = ""
+             ) -> Iterator[tuple["Span", int, str]]:
+        """Yield ``(span, depth, path)`` depth-first."""
+        path = f"{prefix}/{self.name}" if prefix else self.name
+        yield self, depth, path
+        for child in self.children:
+            yield from child.walk(depth + 1, path)
+
+
+class Tracer:
+    """Collects spans into per-thread trees; exports records and trees.
+
+    The tracer starts disabled.  :meth:`span` costs one attribute check
+    plus the return of a shared singleton until :meth:`enable` is
+    called.  Finished root spans accumulate until :meth:`reset`.
+    """
+
+    def __init__(self):
+        self.enabled = False
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all finished spans (and any dangling thread stacks)."""
+        with self._lock:
+            self._roots = []
+        self._local = threading.local()
+
+    # -- span creation --------------------------------------------------
+    def span(self, name: str, **attrs):
+        """Open a named child span of the current thread's active span."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def timed(self, name: str, **attrs):
+        """Like :meth:`span`, but still measures ``duration`` when
+        disabled (a bare :class:`Stopwatch`, recorded nowhere)."""
+        if not self.enabled:
+            return Stopwatch()
+        return Span(self, name, attrs)
+
+    # -- internal stack maintenance ------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        span._is_root = not stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Exception-safe unwind: pop through anything the span's body
+        # failed to close (cannot normally happen with context managers,
+        # but keeps the stack sane if a generator span leaks).
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if span._is_root:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- export ---------------------------------------------------------
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def records(self) -> list[SpanRecord]:
+        """Finished spans flattened depth-first across all roots."""
+        out: list[SpanRecord] = []
+        for root in self.roots():
+            for span, depth, path in root.walk():
+                out.append(SpanRecord(
+                    name=span.name, path=path, depth=depth,
+                    start_wall=span.start_wall, duration=span.duration,
+                    attrs=dict(span.attrs), status=span.status,
+                    error=span.error))
+        return out
+
+    def render_tree(self) -> str:
+        """ASCII rendering of every finished root span."""
+        return "\n".join(render_tree(root) for root in self.roots())
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _format_attrs(attrs: dict) -> str:
+    if not attrs:
+        return ""
+    body = " ".join(f"{k}={v}" for k, v in attrs.items())
+    return f"  [{body}]"
+
+
+#: Runs of more than this many same-named sibling spans are collapsed
+#: in the rendered tree (a GHN training loop emits one span per step).
+COLLAPSE_THRESHOLD = 6
+_COLLAPSE_KEEP = 3
+
+
+def _collapse(children: list[Span]) -> list:
+    """Replace long same-name runs by ``(name, count, total)`` summaries."""
+    out: list = []
+    i = 0
+    while i < len(children):
+        j = i
+        while (j < len(children)
+               and children[j].name == children[i].name):
+            j += 1
+        run = children[i:j]
+        if len(run) > COLLAPSE_THRESHOLD:
+            out.extend(run[:_COLLAPSE_KEEP])
+            out.append((run[0].name, len(run) - _COLLAPSE_KEEP,
+                        sum(s.duration for s in run[_COLLAPSE_KEEP:])))
+        else:
+            out.extend(run)
+        i = j
+    return out
+
+
+def render_tree(root: Span) -> str:
+    """One root span as an ASCII tree with per-span durations."""
+    lines: list[str] = []
+
+    def visit(span, prefix: str, is_last: bool, is_root: bool):
+        if is_root:
+            head = ""
+            child_prefix = ""
+        else:
+            head = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        if isinstance(span, tuple):
+            name, count, total = span
+            lines.append(f"{head}... +{count} more {name} "
+                         f"(total {_format_duration(total)})")
+            return
+        marker = " !ERROR" if span.status == "error" else ""
+        lines.append(f"{head}{span.name} "
+                     f"({_format_duration(span.duration)})"
+                     f"{marker}{_format_attrs(span.attrs)}")
+        children = _collapse(span.children)
+        for i, child in enumerate(children):
+            visit(child, child_prefix, i == len(children) - 1, False)
+
+    visit(root, "", True, True)
+    return "\n".join(lines)

@@ -43,19 +43,38 @@ class Simulator:
     * :class:`ProcessHandle` -- block until that process finishes.
 
     A process's return value (via ``return``) is stored on its handle.
+
+    The engine keeps three always-on, integer-cheap instrumentation
+    counters (read by :mod:`repro.obs` consumers such as
+    ``repro simulate --metrics-json``):
+
+    * ``processes_spawned`` -- calls to :meth:`process`/:meth:`schedule`;
+    * ``events_processed``  -- heap pops stepped through a generator;
+    * ``heap_high_water``   -- maximum event-queue length observed.
     """
 
     def __init__(self):
         self.now = 0.0
         self._queue: list[tuple[float, int, Generator, ProcessHandle]] = []
         self._counter = itertools.count()
+        self.processes_spawned = 0
+        self.events_processed = 0
+        self.heap_high_water = 0
+
+    def _push(self, time: float, generator: Generator,
+              handle: ProcessHandle, seq: int | None = None) -> None:
+        if seq is None:
+            seq = next(self._counter)
+        heapq.heappush(self._queue, (time, seq, generator, handle))
+        if len(self._queue) > self.heap_high_water:
+            self.heap_high_water = len(self._queue)
 
     def process(self, generator: Generator,
                 name: str = "process") -> ProcessHandle:
         """Register a generator as a process starting at the current time."""
         handle = ProcessHandle(name)
-        heapq.heappush(self._queue,
-                       (self.now, next(self._counter), generator, handle))
+        self.processes_spawned += 1
+        self._push(self.now, generator, handle)
         return handle
 
     def schedule(self, delay: float, generator: Generator,
@@ -64,8 +83,8 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
         handle = ProcessHandle(name)
-        heapq.heappush(self._queue, (self.now + delay,
-                                     next(self._counter), generator, handle))
+        self.processes_spawned += 1
+        self._push(self.now + delay, generator, handle)
         return handle
 
     def run(self, until: float | None = None) -> float:
@@ -74,14 +93,16 @@ class Simulator:
         Returns the final simulation time.
         """
         while self._queue:
-            time, _, generator, handle = heapq.heappop(self._queue)
+            time, seq, generator, handle = heapq.heappop(self._queue)
             if until is not None and time > until:
-                heapq.heappush(self._queue,
-                               (time, next(self._counter), generator,
-                                handle))
+                # Re-push with the *original* sequence number so
+                # same-timestamp events keep their order across a
+                # pause/resume boundary.
+                self._push(time, generator, handle, seq=seq)
                 self.now = until
                 return self.now
             self.now = time
+            self.events_processed += 1
             self._step(generator, handle)
         return self.now
 
@@ -95,13 +116,10 @@ class Simulator:
             if yielded < 0:
                 raise SimulationError(f"process {handle.name!r} yielded a "
                                       f"negative delay: {yielded}")
-            heapq.heappush(self._queue, (self.now + float(yielded),
-                                         next(self._counter), generator,
-                                         handle))
+            self._push(self.now + float(yielded), generator, handle)
         elif isinstance(yielded, ProcessHandle):
             if yielded.finished:
-                heapq.heappush(self._queue, (self.now, next(self._counter),
-                                             generator, handle))
+                self._push(self.now, generator, handle)
             else:
                 yielded._waiters.append((generator, handle))
         else:
@@ -113,6 +131,5 @@ class Simulator:
         handle.finished = True
         handle.result = result
         for generator, waiter_handle in handle._waiters:
-            heapq.heappush(self._queue, (self.now, next(self._counter),
-                                         generator, waiter_handle))
+            self._push(self.now, generator, waiter_handle)
         handle._waiters.clear()

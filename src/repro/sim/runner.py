@@ -16,6 +16,7 @@ import dataclasses
 import numpy as np
 
 from ..cluster import Cluster
+from ..obs import METRICS, TRACER
 from .ddp import DDPCostModel, IterationBreakdown
 from .events import Simulator
 from .noise import NoiseModel
@@ -95,6 +96,11 @@ class TrainingSimulator:
                            iterations: int) -> float:
         """DES-measure the mean iteration time over ``iterations`` steps."""
         breakdown = self.cost_model.iteration(workload, cluster)
+        return self._measure(breakdown, cluster, rng, iterations)
+
+    def _measure(self, breakdown: IterationBreakdown, cluster: Cluster,
+                 rng: np.random.Generator, iterations: int) -> float:
+        """DES pass over ``iterations`` steps of a known breakdown."""
         sim = Simulator()
 
         def epoch_proc():
@@ -106,7 +112,15 @@ class TrainingSimulator:
 
         sim.process(epoch_proc(), name="training-loop")
         elapsed = sim.run()
+        self._export_sim_metrics(sim)
         return elapsed / iterations
+
+    @staticmethod
+    def _export_sim_metrics(sim: Simulator) -> None:
+        """Publish the engine's always-on counters into the registry."""
+        METRICS.counter("sim.events_processed").inc(sim.events_processed)
+        METRICS.counter("sim.processes_spawned").inc(sim.processes_spawned)
+        METRICS.gauge("sim.heap_high_water").set_max(sim.heap_high_water)
 
     # ------------------------------------------------------------------
     def run(self, workload: DLWorkload, cluster: Cluster,
@@ -114,13 +128,29 @@ class TrainingSimulator:
         """Simulate the full training job and return its measurements."""
         if isinstance(rng, (int, np.integer)):
             rng = np.random.default_rng(rng)
-        run_factor = self.noise.sample_run_factor(rng)
-        iters_per_epoch = workload.iterations_per_epoch(cluster.num_servers)
-        sample = min(iters_per_epoch, self.max_simulated_iterations)
-        mean_iter = run_factor * self.measure_iterations(
-            workload, cluster, rng, sample)
-        epoch_time = mean_iter * iters_per_epoch
-        total = self.startup + workload.epochs * epoch_time
+        with TRACER.span("sim.run", model=workload.model_name,
+                         servers=cluster.num_servers) as span:
+            run_factor = self.noise.sample_run_factor(rng)
+            iters_per_epoch = workload.iterations_per_epoch(
+                cluster.num_servers)
+            sample = min(iters_per_epoch, self.max_simulated_iterations)
+            breakdown = self.cost_model.iteration(workload, cluster)
+            mean_iter = run_factor * self._measure(
+                breakdown, cluster, rng, sample)
+            epoch_time = mean_iter * iters_per_epoch
+            total = self.startup + workload.epochs * epoch_time
+            span.annotate(simulated_iterations=sample,
+                          iterations_per_epoch=iters_per_epoch)
+            for component, seconds in (
+                    ("compute", breakdown.compute),
+                    ("communication", breakdown.communication),
+                    ("optimizer", breakdown.optimizer),
+                    ("data_stall", breakdown.data_stall),
+                    ("overhead", breakdown.overhead),
+                    ("total", mean_iter)):
+                METRICS.histogram(
+                    "sim.iteration_seconds",
+                    labels={"component": component}).observe(seconds)
         server_class = (cluster.servers[0].name if cluster.is_homogeneous
                         else "heterogeneous")
         return TrainingRun(
@@ -131,6 +161,6 @@ class TrainingSimulator:
             mean_iteration_time=mean_iter,
             epoch_time=epoch_time,
             total_time=total,
-            breakdown=self.cost_model.iteration(workload, cluster),
+            breakdown=breakdown,
             simulated_iterations=sample,
         )

@@ -15,6 +15,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ..cluster import Cluster, make_cluster
+from ..obs import METRICS, TRACER
 from .runner import TrainingRun, TrainingSimulator
 from .workload import DLWorkload
 
@@ -63,14 +64,23 @@ def generate_trace(models: Sequence[str], dataset_name: str,
     points: list[TracePoint] = []
     combos = [(m, p) for m in models for p in cluster_sizes]
     streams = seed_seq.spawn(len(combos))
-    for (model, num_servers), stream in zip(combos, streams):
-        workload = DLWorkload(model_name=model, dataset_name=dataset_name,
-                              batch_size_per_server=batch_size_per_server,
-                              epochs=epochs)
-        cluster = make_cluster(num_servers, server_class)
-        run = simulator.run(workload, cluster,
-                            np.random.default_rng(stream))
-        points.append(TracePoint(run=run, cluster=cluster))
+    point_counter = METRICS.counter("tracegen.points")
+    with TRACER.timed("tracegen.generate", dataset=dataset_name,
+                      num_models=len(models),
+                      num_points=len(combos)) as span:
+        for (model, num_servers), stream in zip(combos, streams):
+            workload = DLWorkload(
+                model_name=model, dataset_name=dataset_name,
+                batch_size_per_server=batch_size_per_server,
+                epochs=epochs)
+            cluster = make_cluster(num_servers, server_class)
+            run = simulator.run(workload, cluster,
+                                np.random.default_rng(stream))
+            points.append(TracePoint(run=run, cluster=cluster))
+            point_counter.inc()
+    if span.duration > 0:
+        METRICS.gauge("tracegen.points_per_sec").set(
+            len(points) / span.duration)
     return points
 
 

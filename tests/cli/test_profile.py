@@ -1,0 +1,126 @@
+"""Tests for ``repro profile`` and the ``--profile``/``--metrics-json``
+observability flags on simulate/trace/predict."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+FAST = ["--ghn-steps", "2", "--ghn-dim", "8"]
+
+
+class TestProfileCommand:
+    def test_renders_span_tree_with_all_stages(self, capsys):
+        code, out, _ = run_cli(["profile", "resnet18"] + FAST, capsys)
+        assert code == 0
+        # The predict tree covers verify -> embed -> assemble -> predict.
+        assert "predictddl.predict" in out
+        assert "graph-verify" in out
+        assert "embed" in out
+        assert "feature-assembly" in out
+        assert "regress" in out
+        # Durations are rendered per stage.
+        assert "ms)" in out or "us)" in out or "s)" in out
+        # The metrics snapshot rides along.
+        assert "sim.events_processed" in out
+        assert "predicted training time" in out
+
+    def test_json_schema(self, capsys):
+        code, out, _ = run_cli(["profile", "resnet18", "--json"] + FAST,
+                               capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert set(payload) >= {"model", "dataset", "servers",
+                                "predicted_seconds", "spans", "metrics"}
+        assert payload["model"] == "resnet18"
+        assert payload["predicted_seconds"] > 0
+        span_names = {s["name"] for s in payload["spans"]}
+        assert {"predictddl.predict", "graph-verify", "embed",
+                "feature-assembly", "regress"} <= span_names
+        for span in payload["spans"]:
+            assert set(span) == {"name", "path", "depth", "start_wall",
+                                 "duration", "attrs", "status", "error"}
+            assert span["duration"] >= 0.0
+        assert "sim.events_processed" in payload["metrics"]["counters"]
+
+    def test_unknown_model_exits_nonzero(self, capsys):
+        code, _, err = run_cli(["profile", "not-a-model"] + FAST, capsys)
+        assert code == 1
+        assert "error" in err
+
+    def test_observability_restored_after_command(self, capsys):
+        run_cli(["profile", "resnet18"] + FAST, capsys)
+        assert not obs.is_enabled()
+
+
+class TestMetricsJsonFlag:
+    def test_simulate_metrics_to_stdout(self, capsys):
+        code, out, _ = run_cli(
+            ["simulate", "--workload", "resnet18", "--servers", "2",
+             "--metrics-json"], capsys)
+        assert code == 0
+        # Human summary first, one compact JSON line last.
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert payload["counters"]["sim.events_processed"] > 0
+        assert payload["counters"]["sim.processes_spawned"] > 0
+        hists = payload["histograms"]
+        assert "sim.iteration_seconds{component=compute}" in hists
+        assert "sim.iteration_seconds{component=total}" in hists
+        assert "total:" in out  # normal output still present
+
+    def test_simulate_metrics_to_file(self, capsys, tmp_path):
+        dest = tmp_path / "metrics.json"
+        code, out, _ = run_cli(
+            ["simulate", "--workload", "resnet18", "--servers", "2",
+             "--metrics-json", str(dest)], capsys)
+        assert code == 0
+        payload = json.loads(dest.read_text())
+        assert payload["counters"]["sim.events_processed"] > 0
+        assert str(dest) in out
+
+    def test_trace_metrics_include_tracegen_counters(self, capsys,
+                                                     tmp_path):
+        out_path = tmp_path / "trace.json"
+        code, out, _ = run_cli(
+            ["trace", "--models", "resnet18", "--sizes", "1,2",
+             "--out", str(out_path), "--metrics-json"], capsys)
+        assert code == 0
+        payload = json.loads(out.strip().splitlines()[-1])
+        assert payload["counters"]["tracegen.points"] == 2
+        assert payload["gauges"]["tracegen.points_per_sec"] > 0
+
+    def test_without_flags_obs_stays_disabled(self, capsys):
+        code, _, _ = run_cli(
+            ["simulate", "--workload", "resnet18", "--servers", "2"],
+            capsys)
+        assert code == 0
+        assert not obs.is_enabled()
+        assert obs.METRICS.snapshot()["counters"] == {}
+
+
+class TestProfileFlag:
+    def test_simulate_profile_prints_span_tree(self, capsys):
+        code, out, _ = run_cli(
+            ["simulate", "--workload", "resnet18", "--servers", "2",
+             "--profile"], capsys)
+        assert code == 0
+        assert "-- spans --" in out
+        assert "sim.run" in out

@@ -244,3 +244,25 @@ class TestOfflineTrainer:
         with pytest.raises(ValueError):
             OfflineTrainer(PredictDDL(registry=GHNRegistry(
                 config=FAST_GHN, train_steps=5))).run([])
+
+
+class TestGHNConfigDefault:
+    """Regression: the ghn_config keyword used a shared mutable default
+    (``GHNConfig()`` evaluated once at def time)."""
+
+    def test_default_builds_fresh_config_per_instance(self):
+        a, b = PredictDDL(), PredictDDL()
+        assert a.registry.config is not b.registry.config
+        assert a.registry.config == GHNConfig()
+
+    def test_explicit_ghn_config_used(self):
+        predictor = PredictDDL(ghn_config=GHNConfig(hidden_dim=8))
+        assert predictor.registry.config.hidden_dim == 8
+        assert predictor.embeddings.embedding_dim == 8
+
+    def test_registry_wins_over_ghn_config(self):
+        reg = GHNRegistry(config=GHNConfig(hidden_dim=16))
+        predictor = PredictDDL(registry=reg,
+                               ghn_config=GHNConfig(hidden_dim=8))
+        assert predictor.registry is reg
+        assert predictor.registry.config.hidden_dim == 16

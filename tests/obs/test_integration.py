@@ -1,0 +1,111 @@
+"""Integration: the instrumented pipeline reports into `repro.obs`."""
+
+import pytest
+
+from repro import obs
+from repro.cluster import make_cluster
+from repro.core import PredictDDL, PredictionRequest
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.sim import DLWorkload, TrainingSimulator, generate_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Global tracer/metrics state must never leak between tests."""
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def tiny_predictor(seed=0):
+    registry = GHNRegistry(config=GHNConfig(hidden_dim=8, seed=seed),
+                           train_steps=2)
+    points = generate_trace(["resnet18"], "cifar10", "gpu-p100", [1, 2],
+                            seed=seed)
+    return PredictDDL(registry=registry, seed=seed).fit(points), points
+
+
+class TestPredictPipelineSpans:
+    def test_predict_span_tree_covers_all_stages(self):
+        predictor, _ = tiny_predictor()
+        with obs.observed():
+            predictor.predict(PredictionRequest(
+                workload=DLWorkload("resnet18", "cifar10"),
+                cluster=make_cluster(2, "gpu-p100")))
+        paths = [r.path for r in obs.TRACER.records()]
+        root = "predictddl.predict"
+        assert root in paths
+        for stage in ("graph-verify", "embed", "feature-assembly",
+                      "regress"):
+            assert f"{root}/{stage}" in paths, f"missing stage {stage}"
+
+    def test_fit_span_tree(self):
+        with obs.observed():
+            tiny_predictor()
+        paths = [r.path for r in obs.TRACER.records()]
+        assert "predictddl.fit" in paths
+        assert "predictddl.fit/feature-assembly" in paths
+        assert "predictddl.fit/regress" in paths
+        # GHN offline training nests under the first embedding.
+        assert any(p.endswith("embed/ghn.train") for p in paths)
+
+    def test_predict_trace_spans(self):
+        predictor, points = tiny_predictor()
+        with obs.observed():
+            predictor.predict_trace(points)
+        paths = [r.path for r in obs.TRACER.records()]
+        assert "predictddl.predict_trace" in paths
+        assert "predictddl.predict_trace/regress" in paths
+
+    def test_timing_fields_survive_disabled_observability(self):
+        predictor, _ = tiny_predictor()
+        assert not obs.is_enabled()
+        result = predictor.predict(PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10"),
+            cluster=make_cluster(2, "gpu-p100")))
+        # Stopwatch-backed fields keep working with tracing off.
+        assert result.inference_seconds > 0.0
+        assert result.embedding_seconds >= 0.0
+        assert predictor.engine.fit_seconds > 0.0
+        assert obs.TRACER.records() == []
+
+    def test_disabled_pipeline_records_nothing(self):
+        tiny_predictor()
+        assert obs.TRACER.records() == []
+        snap = obs.METRICS.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestSimulatorMetrics:
+    def test_runner_exports_des_counters_and_histograms(self):
+        with obs.observed() as (_, metrics):
+            TrainingSimulator().run(DLWorkload("resnet18", "cifar10"),
+                                    make_cluster(2, "gpu-p100"), 0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["sim.events_processed"] > 0
+        assert snap["counters"]["sim.processes_spawned"] > 0
+        assert snap["gauges"]["sim.heap_high_water"] >= 2
+        hist = snap["histograms"][
+            "sim.iteration_seconds{component=compute}"]
+        assert hist["count"] == 1
+        assert "sim.iteration_seconds{component=total}" in \
+            snap["histograms"]
+
+
+class TestObservedContext:
+    def test_observed_restores_prior_state(self):
+        assert not obs.is_enabled()
+        with obs.observed():
+            assert obs.TRACER.enabled and obs.METRICS.enabled
+        assert not obs.is_enabled()
+
+    def test_observed_fresh_clears_previous_data(self):
+        obs.enable()
+        with obs.TRACER.span("stale"):
+            pass
+        with obs.observed(fresh=True):
+            with obs.TRACER.span("fresh"):
+                pass
+        assert [r.name for r in obs.TRACER.records()] == ["fresh"]

@@ -1,0 +1,150 @@
+"""Tests for the metrics registry (`repro.obs.metrics`)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               NULL_METRIC)
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry()
+    r.enable()
+    return r
+
+
+class TestCounter:
+    def test_inc(self, registry):
+        c = registry.counter("requests")
+        c.inc()
+        c.inc(4)
+        assert registry.snapshot()["counters"]["requests"] == 5.0
+
+    def test_get_or_create_returns_same_series(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("x").inc(-1)
+
+    def test_labels_fan_out_series(self, registry):
+        registry.counter("hits", labels={"kind": "a"}).inc()
+        registry.counter("hits", labels={"kind": "b"}).inc(2)
+        counters = registry.snapshot()["counters"]
+        assert counters["hits{kind=a}"] == 1.0
+        assert counters["hits{kind=b}"] == 2.0
+
+    def test_label_order_is_canonical(self, registry):
+        one = registry.counter("m", labels={"a": 1, "b": 2})
+        two = registry.counter("m", labels={"b": 2, "a": 1})
+        assert one is two
+
+
+class TestGauge:
+    def test_set_add_and_set_max(self, registry):
+        g = registry.gauge("depth")
+        g.set(3)
+        g.add(2)
+        assert g.value == 5.0
+        g.set_max(4)          # below: no change
+        assert g.value == 5.0
+        g.set_max(9)
+        assert g.value == 9.0
+
+
+class TestHistogram:
+    def test_bucket_edges_are_inclusive_upper_bounds(self, registry):
+        h = registry.histogram("lat", buckets=(0.1, 1.0))
+        h.observe(0.1)    # == first bound -> first bucket (le semantics)
+        h.observe(0.05)   # below first bound -> first bucket
+        h.observe(0.1000001)  # just above -> second bucket
+        h.observe(1.0)    # == second bound -> second bucket
+        h.observe(50.0)   # above all bounds -> overflow bucket
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(51.2500001)
+
+    def test_mean(self, registry):
+        h = registry.histogram("x", buckets=(1.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == pytest.approx(3.0)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_snapshot_shape(self, registry):
+        h = registry.histogram("x", buckets=(1.0, 2.0))
+        h.observe(1.5)
+        snap = registry.snapshot()["histograms"]["x"]
+        assert snap == {"buckets": [1.0, 2.0], "counts": [0, 1, 0],
+                        "count": 1, "sum": 1.5, "mean": 1.5}
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self, registry):
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+        with pytest.raises(TypeError):
+            registry.histogram("thing")
+
+    def test_snapshot_is_json_serializable_and_sorted(self, registry):
+        registry.counter("b").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(registry.to_json())
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        assert list(payload["counters"]) == ["a", "b"]
+
+    def test_render_text_lists_every_series(self, registry):
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        text = registry.render_text()
+        assert "counter   c = 2" in text
+        assert "gauge     g = 7" in text
+        assert "histogram h count=1" in text
+
+    def test_reset(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
+
+class TestDisabledPath:
+    def test_disabled_returns_shared_null_metric(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is NULL_METRIC
+        assert r.gauge("b") is NULL_METRIC
+        assert r.histogram("c") is NULL_METRIC
+        # All mutators are no-ops.
+        r.counter("a").inc()
+        r.gauge("b").set(3)
+        r.gauge("b").set_max(3)
+        r.histogram("c").observe(1.0)
+        assert r.snapshot() == {"counters": {}, "gauges": {},
+                                "histograms": {}}
+
+    def test_enable_disable_round_trip(self):
+        r = MetricsRegistry()
+        r.enable()
+        assert isinstance(r.counter("a"), Counter)
+        assert isinstance(r.gauge("g"), Gauge)
+        r.disable()
+        assert r.counter("a") is NULL_METRIC
+        # Data collected while enabled is kept.
+        r.enable()
+        r.counter("a").inc()
+        r.disable()
+        assert r.snapshot()["counters"]["a"] == 1.0

@@ -1,0 +1,194 @@
+"""Tests for the span tracer (`repro.obs.tracing`)."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (NULL_SPAN, Span, Stopwatch, Tracer,
+                               render_tree)
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestNesting:
+    def test_single_span_records_root(self, tracer):
+        with tracer.span("root", kind="test"):
+            pass
+        records = tracer.records()
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.name == "root"
+        assert rec.path == "root"
+        assert rec.depth == 0
+        assert rec.attrs == {"kind": "test"}
+        assert rec.status == "ok"
+        assert rec.duration >= 0.0
+
+    def test_nested_spans_compose(self, tracer):
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        paths = [r.path for r in tracer.records()]
+        assert paths == ["a", "a/b", "a/b/c", "a/d"]
+        depths = [r.depth for r in tracer.records()]
+        assert depths == [0, 1, 2, 1]
+
+    def test_nesting_across_function_calls(self, tracer):
+        def inner():
+            with tracer.span("inner"):
+                pass
+
+        with tracer.span("outer"):
+            inner()
+        assert [r.path for r in tracer.records()] == ["outer",
+                                                      "outer/inner"]
+
+    def test_sequential_roots(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.path for r in tracer.records()] == ["first", "second"]
+
+    def test_parent_duration_covers_child(self, tracer):
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["parent"].duration >= by_name["child"].duration
+
+    def test_annotate_and_set_attr(self, tracer):
+        with tracer.span("s") as span:
+            span.set_attr("k", 1)
+            span.annotate(x=2, y="z")
+        rec = tracer.records()[0]
+        assert rec.attrs == {"k": 1, "x": 2, "y": "z"}
+
+
+class TestExceptionSafety:
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        rec = tracer.records()[0]
+        assert rec.status == "error"
+        assert rec.error == "ValueError: boom"
+        assert rec.duration >= 0.0
+
+    def test_stack_unwinds_after_exception(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("die")
+        # A later span must become a fresh root, not a child of the
+        # dead spans.
+        with tracer.span("after"):
+            pass
+        paths = [r.path for r in tracer.records()]
+        assert "after" in paths
+        assert "outer/after" not in paths
+        by_name = {r.name: r for r in tracer.records()}
+        assert by_name["outer"].status == "error"
+        assert by_name["inner"].status == "error"
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_shared_noop(self):
+        t = Tracer()
+        assert t.span("a") is NULL_SPAN
+        assert t.span("b", x=1) is NULL_SPAN
+        with t.span("c"):
+            pass
+        assert t.records() == []
+
+    def test_disabled_timed_still_measures(self):
+        t = Tracer()
+        with t.timed("fit") as sw:
+            sum(range(1000))
+        assert isinstance(sw, Stopwatch)
+        assert sw.duration > 0.0
+        assert t.records() == []
+
+    def test_enabled_timed_is_real_span(self, tracer):
+        with tracer.timed("fit") as sw:
+            pass
+        assert isinstance(sw, Span)
+        assert sw.duration >= 0.0
+        assert [r.name for r in tracer.records()] == ["fit"]
+
+    def test_disabled_exceptions_propagate(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("x"):
+                raise ValueError()
+        with pytest.raises(ValueError):
+            with t.timed("y"):
+                raise ValueError()
+
+
+class TestThreads:
+    def test_threads_get_independent_stacks(self, tracer):
+        done = threading.Event()
+
+        def worker():
+            with tracer.span("thread-root"):
+                pass
+            done.set()
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert done.is_set()
+        paths = sorted(r.path for r in tracer.records())
+        # The worker's span is its own root, not a child of main-root.
+        assert paths == ["main-root", "thread-root"]
+
+
+class TestRendering:
+    def test_tree_rendering(self, tracer):
+        with tracer.span("root", model="resnet18"):
+            with tracer.span("child-a"):
+                pass
+            with tracer.span("child-b"):
+                with tracer.span("leaf"):
+                    pass
+        tree = tracer.render_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("root (")
+        assert "model=resnet18" in lines[0]
+        assert any(line.startswith("├─ child-a") for line in lines)
+        assert any(line.startswith("└─ child-b") for line in lines)
+        assert any("└─ leaf" in line for line in lines)
+
+    def test_error_marker_rendered(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("x")
+        assert "!ERROR" in tracer.render_tree()
+
+    def test_long_sibling_runs_collapse(self, tracer):
+        with tracer.span("train"):
+            for _ in range(10):
+                with tracer.span("step"):
+                    pass
+        tree = render_tree(tracer.roots()[0])
+        assert "+7 more step" in tree
+        assert tree.count("─ step (") == 3
+        # records() keeps everything despite the collapsed rendering
+        assert len(tracer.records()) == 11
+
+    def test_reset_clears_roots(self, tracer):
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.records() == []
+        assert tracer.render_tree() == ""

@@ -1,0 +1,133 @@
+"""DES engine instrumentation counters and runner metric export."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import make_cluster
+from repro.sim import DLWorkload, Simulator, TrainingSimulator
+from repro.sim.ddp import DDPCostModel
+from repro.sim.noise import NoiseModel
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestEngineCounters:
+    def test_counters_for_two_server_three_iteration_run(self):
+        """Regression: counters match hand-computed values.
+
+        The runner's iteration process on ``p`` servers is: the epoch
+        loop spawns ``p`` compute processes, joins them in order, then
+        sleeps the synchronization time.  Per iteration that costs
+        exactly 7 heap events for p=2 (epoch spawn+join, two compute
+        starts, two compute finishes, one join-resume or an
+        already-finished re-push, the sync sleep), plus one final event
+        for the epoch generator's StopIteration -- so 3 iterations give
+        3*7 + 1 = 22 events, and 1 + 3*2 = 7 spawned processes.
+        """
+        iterations, num_servers = 3, 2
+        sim = TrainingSimulator(noise=NoiseModel())
+        workload = DLWorkload("resnet18", "cifar10")
+        cluster = make_cluster(num_servers, "gpu-p100")
+        with obs.observed(tracing=False) as (_, metrics):
+            sim.measure_iterations(workload, cluster,
+                                   np.random.default_rng(0), iterations)
+        snap = metrics.snapshot()
+        assert snap["counters"]["sim.processes_spawned"] == 7
+        assert snap["counters"]["sim.events_processed"] == 22
+        # At most both compute processes are queued at once.
+        assert snap["gauges"]["sim.heap_high_water"] == 2
+
+    def test_counters_always_on_at_engine_level(self):
+        # The engine's raw counters are plain ints and don't depend on
+        # repro.obs being enabled.
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            yield 2.0
+
+        sim.process(proc())
+        sim.run()
+        assert sim.processes_spawned == 1
+        assert sim.events_processed == 3  # two sleeps + StopIteration
+        assert sim.heap_high_water == 1
+
+    def test_heap_high_water_counts_parallel_processes(self):
+        sim = Simulator()
+
+        def sleeper():
+            yield 1.0
+
+        for _ in range(5):
+            sim.process(sleeper())
+        assert sim.heap_high_water == 5
+        sim.run()
+        assert sim.processes_spawned == 5
+
+
+class TestPauseResumeOrdering:
+    def test_until_preserves_same_timestamp_order(self):
+        """Regression for the run(until=...) re-push bug: the popped
+        event must keep its original sequence number, or same-timestamp
+        events can reorder across a pause/resume boundary."""
+        sim = Simulator()
+        log = []
+
+        def proc(name):
+            yield 1.0
+            log.append(name)
+
+        sim.process(proc("first"))
+        sim.process(proc("second"))
+        # Pause before the events fire: the engine pops "first"
+        # (time 1.0 > until) and must re-push it *ahead of* "second".
+        assert sim.run(until=0.5) == pytest.approx(0.5)
+        assert log == []
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_repeated_pauses_keep_order(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name):
+            yield 2.0
+            log.append(name)
+
+        for name in ("a", "b", "c"):
+            sim.process(proc(name))
+        for until in (0.5, 1.0, 1.5):
+            sim.run(until=until)
+            assert log == []
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+
+class CountingCostModel(DDPCostModel):
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def iteration(self, workload, cluster):
+        self.calls += 1
+        return super().iteration(workload, cluster)
+
+
+class TestRunnerBreakdownReuse:
+    def test_cost_model_called_once_per_run(self):
+        """Regression: TrainingRun.breakdown used to recompute the cost
+        model a second time for the returned dataclass."""
+        cost_model = CountingCostModel()
+        runner = TrainingSimulator(cost_model=cost_model)
+        run = runner.run(DLWorkload("resnet18", "cifar10"),
+                         make_cluster(2, "gpu-p100"), 0)
+        assert cost_model.calls == 1
+        assert run.breakdown.compute > 0
