@@ -24,6 +24,14 @@ echo "==> repro profile resnet18 --json (observability smoke)"
 python -c "import sys; from repro.cli import main; sys.exit(main(['profile', 'resnet18', '--json']))" \
     | python -m json.tool > /dev/null
 
+echo "==> repro serve --self-test --json (serving smoke)"
+# In-process server + loadgen burst; the command itself asserts full
+# completion, zero rejected valid requests, the p50 latency gate and
+# cache effectiveness, and exits non-zero on violation.  json.tool
+# additionally checks the report is well-formed JSON.
+python -c "import sys; from repro.cli import main; sys.exit(main(['serve', '--self-test', '--json']))" \
+    | python -m json.tool > /dev/null
+
 if command -v ruff >/dev/null 2>&1; then
     echo "==> ruff check"
     ruff check src tests

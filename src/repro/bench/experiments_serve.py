@@ -1,0 +1,63 @@
+"""Serving-layer benchmark: throughput/latency vs worker-pool size.
+
+Companion to the Fig. 13 batch-scalability experiment: where Fig. 13
+amortizes *offline* batch predictions, this experiment measures the
+*online* serving layer (`repro.serve`) under open-loop synthetic
+traffic -- the low-latency service positioning of runtime predictors
+(Habitat, PerfSeer) that the ROADMAP's north star calls for.  For each
+worker count it replays the same seeded traffic through a fresh
+:class:`~repro.serve.server.PredictionServer` (fresh result cache, so
+runs are comparable) and records throughput and latency percentiles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from ..core.predictor import PredictDDL
+from ..obs import TRACER
+from ..serve import LoadGenerator, PredictionServer, ServeConfig, TrafficSpec
+
+__all__ = ["ServeScalePoint", "serving_scalability"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeScalePoint:
+    """One (worker count) measurement of the serving layer."""
+
+    workers: int
+    sent: int
+    completed: int
+    rejected: int
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+
+    def row(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def serving_scalability(predictor: PredictDDL, *,
+                        workers: Sequence[int] = (1, 2, 4),
+                        spec: TrafficSpec | None = None,
+                        batch_window: float = 0.002,
+                        ) -> list[ServeScalePoint]:
+    """Sweep serving worker counts under identical open-loop traffic."""
+    if spec is None:
+        spec = TrafficSpec(models=("resnet18", "alexnet"),
+                           cluster_sizes=(2, 4), num_requests=60,
+                           rate=1000.0, seed=0)
+    out: list[ServeScalePoint] = []
+    for count in workers:
+        config = ServeConfig(workers=count, batch_window=batch_window,
+                             max_queue_depth=max(1, spec.num_requests))
+        with TRACER.span("bench.serve", workers=count):
+            with PredictionServer(predictor, config) as server:
+                report = LoadGenerator(server, spec).run()
+        out.append(ServeScalePoint(
+            workers=count, sent=report.sent, completed=report.completed,
+            rejected=report.rejected,
+            throughput_rps=report.throughput,
+            p50_ms=report.p50 * 1e3, p99_ms=report.p99 * 1e3))
+    return out

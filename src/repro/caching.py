@@ -1,0 +1,151 @@
+"""Bounded LRU cache shared by the serving and offline paths.
+
+One cache policy serves every memoization point in the system: the GHN
+registry's per-(dataset, graph) embedding cache and the serving layer's
+per-(fingerprint, cluster) result cache both wrap :class:`LRUCache`.
+The cache is
+
+* **bounded** -- a hard ``capacity`` with least-recently-used eviction,
+  so long-running servers cannot grow without limit;
+* **observable** -- hit/miss/eviction counts are kept locally *and*
+  mirrored into :mod:`repro.obs.metrics` under
+  ``<metrics_prefix>.{hits,misses,evictions}`` when metrics are enabled;
+* **thread-safe** -- all operations take an internal lock (serve worker
+  pools share one cache);
+* **pickle-safe** -- the lock is dropped on ``__getstate__`` and
+  recreated on ``__setstate__``, so objects holding a cache (e.g. a
+  ``GHNRegistry``) survive :mod:`repro.core.persistence`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from typing import Any
+
+from .obs import METRICS
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; inserting beyond it evicts the
+        least-recently-used entry.  Must be positive.
+    metrics_prefix:
+        When set, hit/miss/eviction counts are also reported to the
+        process metrics registry as ``<prefix>.hits`` etc.
+    """
+
+    def __init__(self, capacity: int, *,
+                 metrics_prefix: str | None = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.metrics_prefix = metrics_prefix
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- metrics -------------------------------------------------------
+    def _count(self, event: str) -> None:
+        if self.metrics_prefix is not None:
+            METRICS.counter(f"{self.metrics_prefix}.{event}").inc()
+
+    # -- mapping operations --------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, promoting it to most-recently-used."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                hit = False
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+                hit = True
+        self._count("hits" if hit else "misses")
+        return value if hit else default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite ``key``, evicting the LRU entry if full."""
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        for _ in range(evicted):
+            self._count("evictions")
+
+    def get_or_compute(self, key: Hashable,
+                       factory: Callable[[], Any]) -> Any:
+        """``get`` with a fallback compute-and-store on miss.
+
+        ``factory`` runs outside the lock; two threads racing on the
+        same missing key may both compute (deterministic factories make
+        that benign), last write wins.
+        """
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def pop_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Returns the number of entries removed.  Used for targeted
+        invalidation (e.g. a retrained GHN invalidates one dataset's
+        embeddings but not the rest of the cache).
+        """
+        with self._lock:
+            doomed = [k for k in self._data if predicate(k)]
+            for key in doomed:
+                del self._data[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> list:
+        """Keys from least- to most-recently used (snapshot)."""
+        with self._lock:
+            return list(self._data)
+
+    def stats(self) -> dict:
+        """Local counter snapshot (independent of the obs registry)."""
+        with self._lock:
+            return {"size": len(self._data), "capacity": self.capacity,
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}

@@ -12,7 +12,12 @@ Subcommands mirror the deployment workflow:
 * ``repro lint``      -- statically verify computational graphs
   (zoo models and/or serialized graph JSON files);
 * ``repro profile``   -- trace the full fit+predict pipeline of one
-  model and render the span tree (see :mod:`repro.obs`).
+  model and render the span tree (see :mod:`repro.obs`);
+* ``repro serve``     -- run the concurrent prediction server against
+  a burst of synthetic traffic (``--self-test`` builds a throwaway
+  predictor and asserts the smoke-gate invariants);
+* ``repro loadgen``   -- replay open-loop synthetic traffic against a
+  trained artifact and report latency percentiles and throughput.
 
 ``simulate``, ``trace`` and ``predict`` additionally accept
 ``--profile`` (print the span tree after the command output) and
@@ -137,6 +142,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--json", action="store_true", dest="as_json",
                         help="emit spans + metrics as JSON instead of "
                              "the ASCII tree")
+
+    def add_traffic_flags(p, *, requests: int, rate: float) -> None:
+        p.add_argument("--models", default="resnet18,alexnet",
+                       help="comma-separated zoo names for the "
+                            "synthetic request mix")
+        p.add_argument("--dataset", default="cifar10")
+        p.add_argument("--sizes", default="2,4",
+                       help="cluster sizes in the mix, e.g. '2,4,8'")
+        p.add_argument("--server-class", default="gpu-p100")
+        p.add_argument("--batch", type=int, default=32)
+        p.add_argument("--requests", type=int, default=requests,
+                       help="number of requests to fire")
+        p.add_argument("--rate", type=float, default=rate,
+                       help="open-loop arrival rate (requests/second)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--workers", type=int, default=2,
+                       help="prediction worker threads")
+        p.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batch coalescing window")
+        p.add_argument("--max-batch", type=int, default=16)
+        p.add_argument("--cache-size", type=int, default=256,
+                       help="result-cache capacity (entries)")
+        p.add_argument("--max-queue", type=int, default=None,
+                       help="admission queue-depth cap (default: the "
+                            "request count, i.e. no rejections)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline")
+        p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the report as JSON")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the prediction server against a traffic burst")
+    p_serve.add_argument("--artifact", type=Path,
+                         help="trained predictor from 'repro train' "
+                              "(omit with --self-test)")
+    p_serve.add_argument("--self-test", action="store_true",
+                         help="build a small throwaway predictor, "
+                              "serve a burst, and assert the smoke-"
+                              "gate invariants (non-zero exit on "
+                              "violation)")
+    p_serve.add_argument("--max-p50-ms", type=float, default=500.0,
+                         help="self-test gate on median latency")
+    p_serve.add_argument("--ghn-dim", type=int, default=8)
+    p_serve.add_argument("--ghn-steps", type=int, default=8)
+    add_traffic_flags(p_serve, requests=60, rate=1000.0)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="replay open-loop traffic against a trained artifact")
+    p_load.add_argument("--artifact", required=True, type=Path)
+    add_traffic_flags(p_load, requests=200, rate=500.0)
 
     p_rep = sub.add_parser("report", help="summarize a stored trace")
     p_rep.add_argument("--trace", required=True, type=Path)
@@ -373,6 +430,133 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _traffic_spec(args):
+    from ..serve import TrafficSpec
+
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    return TrafficSpec(
+        models=models, dataset=args.dataset,
+        cluster_sizes=tuple(_parse_sizes(args.sizes)),
+        server_class=args.server_class, batch_size=args.batch,
+        num_requests=args.requests, rate=args.rate, seed=args.seed,
+        deadline=(args.deadline_ms * 1e-3
+                  if args.deadline_ms is not None else None))
+
+
+def _serve_config(args):
+    from ..serve import ServeConfig
+
+    return ServeConfig(
+        workers=args.workers, batch_window=args.window_ms * 1e-3,
+        max_batch=args.max_batch, cache_size=args.cache_size,
+        max_queue_depth=(args.max_queue if args.max_queue is not None
+                         else max(1, args.requests)))
+
+
+def _serve_burst(predictor, args) -> dict:
+    """Run one loadgen burst through a server; return the JSON report."""
+    from .. import obs
+    from ..serve import LoadGenerator, PredictionServer
+
+    spec = _traffic_spec(args)
+    with obs.observed(tracing=False) as (_, metrics):
+        with PredictionServer(predictor, _serve_config(args)) as server:
+            report = LoadGenerator(server, spec).run()
+        counters = metrics.snapshot()["counters"]
+    payload = report.to_dict()
+    payload["cache_hits"] = int(counters.get("serve.cache.hits", 0))
+    payload["cache_misses"] = int(counters.get("serve.cache.misses", 0))
+    payload["batch_coalesced"] = int(
+        counters.get("serve.batch.coalesced", 0))
+    payload["workers"] = args.workers
+    return payload
+
+
+def _print_burst(payload: dict, as_json: bool) -> None:
+    import json
+
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return
+    print(f"sent {payload['sent']}  completed {payload['completed']}  "
+          f"rejected {payload['rejected']}  "
+          f"expired {payload['expired']}  errors {payload['errors']}")
+    print(f"throughput {payload['throughput_rps']:.1f} req/s over "
+          f"{payload['duration_seconds']:.2f}s "
+          f"({payload['workers']} worker(s))")
+    print(f"latency p50 {payload['p50_ms']:.2f}ms  "
+          f"p90 {payload['p90_ms']:.2f}ms  "
+          f"p99 {payload['p99_ms']:.2f}ms  "
+          f"max {payload['max_ms']:.2f}ms")
+    print(f"cache hits {payload['cache_hits']}  "
+          f"misses {payload['cache_misses']}  "
+          f"batch-coalesced {payload['batch_coalesced']}")
+
+
+def _throwaway_predictor(args):
+    """Small fit-for-purpose predictor for serve --self-test."""
+    from ..core import PredictDDL
+    from ..ghn import GHNConfig, GHNRegistry
+    from ..sim import generate_trace
+
+    models = [m.strip() for m in args.models.split(",") if m.strip()]
+    sizes = sorted(set(_parse_sizes(args.sizes)) | {1})
+    registry = GHNRegistry(
+        config=GHNConfig(hidden_dim=args.ghn_dim, seed=args.seed),
+        train_steps=args.ghn_steps)
+    points = generate_trace(models, args.dataset, args.server_class,
+                            sizes, batch_size_per_server=args.batch,
+                            seed=args.seed)
+    return PredictDDL(registry=registry, seed=args.seed).fit(points)
+
+
+def _cmd_serve(args) -> int:
+    from ..core.persistence import load_predictor
+
+    if args.self_test:
+        predictor = _throwaway_predictor(args)
+    elif args.artifact is not None:
+        predictor = load_predictor(args.artifact)
+    else:
+        print("error: pass --artifact PATH or --self-test",
+              file=sys.stderr)
+        return 1
+    payload = _serve_burst(predictor, args)
+    if args.self_test:
+        payload["max_p50_ms"] = args.max_p50_ms
+        failures = []
+        if payload["completed"] != payload["sent"]:
+            failures.append(
+                f"lost responses: {payload['completed']}/"
+                f"{payload['sent']} completed")
+        if payload["rejected"] or payload["expired"] or payload["errors"]:
+            failures.append(
+                f"valid requests not served: "
+                f"rejected={payload['rejected']} "
+                f"expired={payload['expired']} "
+                f"errors={payload['errors']}")
+        if payload["p50_ms"] > args.max_p50_ms:
+            failures.append(f"p50 {payload['p50_ms']:.2f}ms above gate "
+                            f"{args.max_p50_ms:.0f}ms")
+        if payload["cache_hits"] <= 0:
+            failures.append("no result-cache hits on a repeating mix")
+        payload["self_test"] = "fail" if failures else "pass"
+        _print_burst(payload, args.as_json)
+        for failure in failures:
+            print(f"self-test FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    _print_burst(payload, args.as_json)
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from ..core.persistence import load_predictor
+
+    predictor = load_predictor(args.artifact)
+    _print_burst(_serve_burst(predictor, args), args.as_json)
+    return 0
+
+
 def _cmd_report(args) -> int:
     from ..sim import load_trace
 
@@ -450,6 +634,8 @@ _COMMANDS = {
     "train": _cmd_train,
     "predict": _cmd_predict,
     "profile": _cmd_profile,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "report": _cmd_report,
     "lint": _cmd_lint,
 }

@@ -60,12 +60,26 @@ class Endpoint:
         """Approximate number of queued messages."""
         return self._inbox.qsize()
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Detach from the fabric; later sends to this address fail."""
+        """Detach from the fabric; later sends to this address fail.
+
+        Idempotent: closing an already-closed endpoint is a no-op.
+        """
+        if self._closed:
+            return
         self._closed = True
-        self.fabric.unregister(self.address)
+        self.fabric.unregister(self.address, closing=True)
 
     def _push(self, message: Message) -> None:
+        # A sender may race close() after the fabric looked this
+        # endpoint up; failing here keeps "send to closed endpoint
+        # raises" deterministic instead of silently dropping mail.
+        if self._closed:
+            raise FabricError(f"endpoint {self.address!r} is closed")
         self._inbox.put(message)
 
 
@@ -74,24 +88,34 @@ class Fabric:
 
     def __init__(self):
         self._endpoints: dict[str, Endpoint] = {}
+        self._closed_addresses: set[str] = set()
         self._lock = threading.Lock()
 
     def register(self, address: str) -> Endpoint:
-        """Create a new endpoint; addresses must be unique."""
+        """Create a new endpoint; addresses must be unique.
+
+        Re-registering an address whose previous endpoint was closed is
+        allowed (a restarted server reclaims its address).
+        """
         with self._lock:
             if address in self._endpoints:
                 raise FabricError(f"address {address!r} already registered")
             endpoint = Endpoint(self, address)
             self._endpoints[address] = endpoint
+            self._closed_addresses.discard(address)
             return endpoint
 
-    def unregister(self, address: str) -> None:
+    def unregister(self, address: str, *, closing: bool = False) -> None:
         with self._lock:
             self._endpoints.pop(address, None)
+            if closing:
+                self._closed_addresses.add(address)
 
     def deliver(self, dst: str, message: Message) -> None:
         with self._lock:
             endpoint = self._endpoints.get(dst)
+            if endpoint is None and dst in self._closed_addresses:
+                raise FabricError(f"endpoint {dst!r} is closed")
         if endpoint is None:
             raise FabricError(f"no endpoint registered at {dst!r}")
         endpoint._push(message)

@@ -80,7 +80,29 @@ class Listener:
     def __init__(self, checker: TaskChecker, fabric: Fabric | None = None,
                  address: str = "predictddl"):
         self.checker = checker
+        self.address = address
         self.endpoint = fabric.register(address) if fabric else None
+
+    def attach(self, fabric: Fabric, address: str | None = None) -> None:
+        """(Re-)register this listener's endpoint on ``fabric``.
+
+        Used after deserialization: persisted predictors drop their
+        endpoint (thread-queue state does not pickle) but keep the
+        address, so a loaded artifact can resume serving fabric traffic
+        -- see :func:`repro.core.persistence.load_predictor`.
+        """
+        if self.endpoint is not None:
+            raise RuntimeError(
+                f"listener already attached at {self.endpoint.address!r}")
+        if address is not None:
+            self.address = address
+        self.endpoint = fabric.register(self.address)
+
+    def detach(self) -> None:
+        """Close and drop the fabric endpoint (idempotent)."""
+        if self.endpoint is not None:
+            self.endpoint.close()
+            self.endpoint = None
 
     def submit(self, request: PredictionRequest) -> TaskDecision:
         """Direct submission path."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pickle
 from pathlib import Path
 
+from ..cluster import Fabric
 from .predictor import PredictDDL
 
 __all__ = ["save_predictor", "load_predictor"]
@@ -25,7 +26,8 @@ def save_predictor(predictor: PredictDDL, path: str | Path) -> None:
         raise ValueError("refusing to save an untrained predictor; "
                          "call fit() first")
     # The fabric listener endpoint holds thread-queue state that neither
-    # pickles nor belongs to the artifact; detach it for serialization.
+    # pickles nor belongs to the artifact; the listener's *address* is
+    # plain data and rides along, so load_predictor can re-attach.
     listener_endpoint = predictor.listener.endpoint
     predictor.listener.endpoint = None
     try:
@@ -35,12 +37,23 @@ def save_predictor(predictor: PredictDDL, path: str | Path) -> None:
     Path(path).write_bytes(_MAGIC + payload)
 
 
-def load_predictor(path: str | Path) -> PredictDDL:
-    """Load a predictor previously written by :func:`save_predictor`."""
+def load_predictor(path: str | Path, *, fabric: Fabric | None = None,
+                   address: str | None = None) -> PredictDDL:
+    """Load a predictor previously written by :func:`save_predictor`.
+
+    When ``fabric`` is given, the listener endpoint dropped at save
+    time is restored by registering on that fabric (at ``address`` when
+    given, else the persisted listener address), so the loaded artifact
+    serves remote requests exactly like the instance that was saved.
+    Without a fabric the endpoint stays detached and can be restored
+    later via ``predictor.listener.attach(fabric)``.
+    """
     blob = Path(path).read_bytes()
     if not blob.startswith(_MAGIC):
         raise ValueError(f"{path}: not a PredictDDL artifact")
     predictor = pickle.loads(blob[len(_MAGIC):])
     if not isinstance(predictor, PredictDDL):
         raise ValueError(f"{path}: artifact is not a PredictDDL instance")
+    if fabric is not None:
+        predictor.listener.attach(fabric, address)
     return predictor

@@ -14,19 +14,24 @@ from pathlib import Path
 
 import numpy as np
 
+from ..caching import LRUCache
 from ..datasets import DatasetSpec, get_dataset
 from ..graphs import ComputationalGraph
 from ..nn import load_module, save_module
-from ..obs import METRICS
 from .model import GHN2, GHNConfig
 from .trainer import GHNTrainer, GHNTrainingResult
 
-__all__ = ["GHNRegistry"]
+__all__ = ["GHNRegistry", "DEFAULT_EMBED_CACHE_SIZE"]
 
 #: Meta-training steps used when a registry trains a GHN on demand.  Kept
 #: deliberately small: this is the *offline, once-per-dataset* cost the
 #: paper amortizes (Fig. 8), and the synthetic space converges quickly.
 DEFAULT_TRAIN_STEPS = 60
+
+#: Default bound on memoized (dataset, graph) embeddings.  Large enough
+#: for every zoo model on every catalog dataset; small enough that a
+#: long-running server over user-supplied custom graphs stays bounded.
+DEFAULT_EMBED_CACHE_SIZE = 512
 
 
 class GHNRegistry:
@@ -34,13 +39,18 @@ class GHNRegistry:
 
     def __init__(self, storage_dir: str | Path | None = None,
                  config: GHNConfig = GHNConfig(),
-                 train_steps: int = DEFAULT_TRAIN_STEPS):
+                 train_steps: int = DEFAULT_TRAIN_STEPS,
+                 embed_cache_size: int = DEFAULT_EMBED_CACHE_SIZE):
         self.storage_dir = Path(storage_dir) if storage_dir else None
         self.config = config
         self.train_steps = train_steps
         self._models: dict[str, GHN2] = {}
         self._training_results: dict[str, GHNTrainingResult] = {}
-        self._embedding_cache: dict[tuple[str, str], np.ndarray] = {}
+        # Shared cache policy with repro.serve (see repro.caching):
+        # bounded LRU, hit/miss/eviction counters under
+        # ghn.embed_cache.* in the obs metrics registry.
+        self._embedding_cache: LRUCache = LRUCache(
+            embed_cache_size, metrics_prefix="ghn.embed_cache")
 
     # ------------------------------------------------------------------
     def has_model(self, dataset_name: str) -> bool:
@@ -92,10 +102,7 @@ class GHNRegistry:
         self._training_results[dataset.name] = result
         self._models[dataset.name] = trainer.ghn
         # Retraining invalidates any embeddings computed with old weights.
-        self._embedding_cache = {
-            key: value for key, value in self._embedding_cache.items()
-            if key[0] != dataset.name
-        }
+        self._embedding_cache.pop_where(lambda key: key[0] == dataset.name)
         self._save(dataset.name, trainer.ghn)
         return trainer.ghn
 
@@ -109,14 +116,13 @@ class GHNRegistry:
         """Embedding of ``graph`` under the dataset's GHN (memoized)."""
         spec = get_dataset(dataset_name)
         key = (spec.name, graph.name)
-        cached = self._embedding_cache.get(key)
-        if cached is None:
-            METRICS.counter("ghn.embed_cache.misses").inc()
-            cached = self.get(spec.name).embed(graph)
-            self._embedding_cache[key] = cached
-        else:
-            METRICS.counter("ghn.embed_cache.hits").inc()
-        return cached
+        return self._embedding_cache.get_or_compute(
+            key, lambda: self.get(spec.name).embed(graph))
+
+    @property
+    def embed_cache(self) -> LRUCache:
+        """The bounded embedding cache (shared policy with serve)."""
+        return self._embedding_cache
 
     # ------------------------------------------------------------------
     def _save(self, name: str, model: GHN2) -> None:

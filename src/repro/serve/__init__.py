@@ -1,0 +1,37 @@
+"""`repro.serve`: concurrent prediction serving over PredictDDL.
+
+Turns a trained predictor into a multi-worker service with
+micro-batching (:mod:`~repro.serve.batching`), a bounded LRU result
+cache (:mod:`~repro.serve.cache`), queue-depth admission control with
+deadlines (:mod:`~repro.serve.admission`) and an open-loop load
+generator (:mod:`~repro.serve.loadgen`).  Entry points: the ``repro
+serve`` / ``repro loadgen`` CLI commands, or::
+
+    from repro.serve import PredictionServer, ServeConfig
+
+    with PredictionServer(predictor, ServeConfig(workers=4)) as server:
+        result = server.predict(request)
+
+See DESIGN.md Sec. 6 for the architecture and determinism policy.
+"""
+
+from .admission import (AdmissionController, AdmissionError,
+                        DeadlineExceededError, QueueFullError,
+                        ServerClosedError, retry_with_backoff)
+from .batching import MicroBatcher
+from .cache import (ResultCache, cluster_signature, graph_fingerprint,
+                    request_cache_key)
+from .loadgen import LoadGenerator, LoadReport, TrafficSpec, percentile
+from .server import (DEFAULT_ADDRESS, PredictionServer, ServeClient,
+                     ServeConfig, ServeFuture)
+
+__all__ = [
+    "PredictionServer", "ServeConfig", "ServeFuture", "ServeClient",
+    "DEFAULT_ADDRESS",
+    "MicroBatcher",
+    "ResultCache", "graph_fingerprint", "cluster_signature",
+    "request_cache_key",
+    "AdmissionController", "AdmissionError", "QueueFullError",
+    "DeadlineExceededError", "ServerClosedError", "retry_with_backoff",
+    "LoadGenerator", "LoadReport", "TrafficSpec", "percentile",
+]

@@ -1,0 +1,124 @@
+"""Admission control for the prediction server.
+
+Under overload a serving system must shed load early and predictably
+rather than queue without bound: the :class:`AdmissionController` caps
+the number of admitted-but-unfinished requests, rejects beyond the cap
+with :class:`QueueFullError`, and enforces per-request deadlines so a
+request that waited too long in the queue is rejected *before* wasting
+worker time (:class:`DeadlineExceededError`).
+
+Clients retry rejections with :func:`retry_with_backoff` -- a
+deterministic exponential-backoff helper (no jitter: same inputs, same
+sleep sequence) used by :class:`~repro.serve.server.ServeClient` and
+the load generator.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+from typing import Any
+
+from ..obs import METRICS
+
+__all__ = ["AdmissionError", "QueueFullError", "DeadlineExceededError",
+           "ServerClosedError", "AdmissionController",
+           "retry_with_backoff"]
+
+
+class AdmissionError(RuntimeError):
+    """Base class for requests the server refuses to execute."""
+
+
+class QueueFullError(AdmissionError):
+    """Raised when the admission queue-depth cap is reached."""
+
+
+class DeadlineExceededError(AdmissionError):
+    """Raised when a request's deadline expired before execution."""
+
+
+class ServerClosedError(AdmissionError):
+    """Raised when submitting to a stopped/stopping server."""
+
+
+class AdmissionController:
+    """Queue-depth gate with hit counters and a live depth gauge.
+
+    ``admit()`` raises :class:`QueueFullError` once ``max_queue_depth``
+    requests are in flight (queued or executing); every ``admit`` must
+    be balanced by exactly one ``release``.
+    """
+
+    def __init__(self, max_queue_depth: int):
+        if max_queue_depth <= 0:
+            raise ValueError(
+                f"max_queue_depth must be positive, got {max_queue_depth}")
+        self.max_queue_depth = max_queue_depth
+        self._depth = 0
+        self._lock = threading.Lock()
+
+    @property
+    def depth(self) -> int:
+        """Number of admitted, not-yet-finished requests."""
+        return self._depth
+
+    def admit(self) -> None:
+        with self._lock:
+            if self._depth >= self.max_queue_depth:
+                METRICS.counter("serve.admission.rejected",
+                                labels={"reason": "queue_full"}).inc()
+                raise QueueFullError(
+                    f"admission queue full "
+                    f"({self._depth}/{self.max_queue_depth} in flight)")
+            self._depth += 1
+            depth = self._depth
+        METRICS.counter("serve.admission.accepted").inc()
+        METRICS.gauge("serve.queue_depth").set_max(depth)
+
+    def release(self) -> None:
+        with self._lock:
+            if self._depth <= 0:
+                raise RuntimeError("release() without matching admit()")
+            self._depth -= 1
+
+    def check_deadline(self, expires_at: float | None,
+                       now: float | None = None) -> None:
+        """Raise :class:`DeadlineExceededError` past ``expires_at``.
+
+        ``expires_at`` is an absolute ``time.monotonic`` instant (or
+        None for no deadline).
+        """
+        if expires_at is None:
+            return
+        if (time.monotonic() if now is None else now) > expires_at:
+            METRICS.counter("serve.admission.rejected",
+                            labels={"reason": "deadline"}).inc()
+            raise DeadlineExceededError(
+                "request deadline expired before execution")
+
+
+def retry_with_backoff(fn: Callable[[], Any], *, retries: int = 3,
+                       base_delay: float = 0.01, factor: float = 2.0,
+                       retry_on: tuple[type[BaseException], ...] = (
+                           QueueFullError,),
+                       sleep: Callable[[float], None] = time.sleep) -> Any:
+    """Call ``fn``, retrying transient rejections with backoff.
+
+    Attempts ``fn`` up to ``retries + 1`` times; after the i-th failure
+    sleeps ``base_delay * factor**i`` (deterministic, no jitter -- the
+    caller injects randomness through arrival times if desired).  The
+    final failure propagates unchanged.  ``sleep`` is injectable for
+    tests.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == retries:
+                raise
+            METRICS.counter("serve.client.retries").inc()
+            sleep(base_delay * factor ** attempt)

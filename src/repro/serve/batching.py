@@ -1,0 +1,72 @@
+"""Micro-batching: coalesce requests that arrive close together.
+
+The server's workers do not execute requests one at a time: after
+pulling the first work item off the ingress queue, a worker keeps
+collecting items that are already queued or that arrive within a short
+``window``, up to ``max_batch``, and executes the whole batch at once.
+Within a batch, requests with identical cache keys collapse to a single
+prediction (the common case for same-dataset bursts from schedulers or
+NAS loops, whose GHN embed + regression then run once), and distinct
+requests for the same graph share the GHN forward pass through the
+registry's embedding cache.
+
+Semantics (covered by tests/serve/test_batching.py):
+
+* items already queued are drained immediately -- an idle window is
+  never waited out when work is available and the batch is full;
+* the window is measured from the start of collection; a late item
+  arriving inside the window joins the batch, one arriving after it
+  goes to the next batch;
+* ``max_batch`` caps the batch even when more items are queued;
+* ``window=0`` degrades to pure drain-what's-there batching.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Any
+
+from ..obs import METRICS
+
+__all__ = ["MicroBatcher"]
+
+#: Histogram buckets for observed batch sizes.
+BATCH_SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+class MicroBatcher:
+    """Collects work items from a queue into bounded micro-batches."""
+
+    def __init__(self, window: float = 0.002, max_batch: int = 16,
+                 clock=time.monotonic):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.window = window
+        self.max_batch = max_batch
+        self._clock = clock
+
+    def collect(self, source: "queue.Queue", first: Any) -> list:
+        """One micro-batch starting from ``first``.
+
+        Drains ``source`` until the batch holds ``max_batch`` items or
+        the coalescing window (measured from entry) expires; queued
+        items are taken without waiting, and the remaining window is
+        spent blocking for stragglers.
+        """
+        batch = [first]
+        deadline = self._clock() + self.window
+        while len(batch) < self.max_batch:
+            remaining = deadline - self._clock()
+            try:
+                if remaining <= 0:
+                    batch.append(source.get_nowait())
+                else:
+                    batch.append(source.get(timeout=remaining))
+            except queue.Empty:
+                break
+        METRICS.histogram("serve.batch_size",
+                          buckets=BATCH_SIZE_BUCKETS).observe(len(batch))
+        return batch

@@ -1,0 +1,127 @@
+"""Result cache for the prediction-serving layer.
+
+Serving the same (workload, cluster) pair twice must not pay the GHN
+forward pass or the regression twice: a bounded LRU cache keyed on
+``(workload fingerprint, cluster signature)`` returns the previously
+computed :class:`~repro.core.requests.PredictionResult`.  Keys are
+content hashes -- two structurally identical requests hit the same
+entry no matter which client object they came from, and two clusters
+that differ in any spec field never collide.
+
+The cache reuses the process-wide :class:`repro.caching.LRUCache`
+policy (same implementation as the GHN registry's embedding cache) and
+reports ``serve.cache.{hits,misses,evictions}`` to the obs metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from ..caching import LRUCache
+from ..cluster import Cluster
+from ..core.requests import PredictionRequest, PredictionResult
+from ..graphs import ComputationalGraph
+from ..graphs.serialization import graph_to_dict
+
+__all__ = ["graph_fingerprint", "cluster_signature", "request_cache_key",
+           "ResultCache", "DEFAULT_CACHE_SIZE"]
+
+#: Default bound on cached prediction results.
+DEFAULT_CACHE_SIZE = 256
+
+
+def _digest(payload) -> str:
+    """Stable short hex digest of a JSON-serializable payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+
+def graph_fingerprint(graph: ComputationalGraph) -> str:
+    """Content hash of a computational graph's structure.
+
+    Hashes nodes (op, shape, params, flops, attrs) and edges but *not*
+    the display name, so a renamed copy of the same architecture shares
+    its fingerprint while any structural change produces a new one.
+    """
+    payload = graph_to_dict(graph)
+    payload.pop("name", None)
+    return _digest(payload)
+
+
+def cluster_signature(cluster: Cluster) -> str:
+    """Content hash of a cluster configuration.
+
+    Covers every server spec field plus the shared network/storage
+    parameters, so clusters that differ only in e.g. NIC bandwidth or
+    server count produce distinct signatures.
+    """
+    payload = {
+        "servers": [dataclasses.asdict(spec) for spec in cluster.servers],
+        "net_latency": cluster.net_latency,
+        "nfs_throughput": cluster.nfs_throughput,
+    }
+    return _digest(payload)
+
+
+def request_cache_key(request: PredictionRequest) -> tuple[str, str]:
+    """``(workload fingerprint, cluster signature)`` for one request.
+
+    The workload fingerprint folds in everything on the request that
+    influences the prediction besides the cluster: the resolved graph's
+    structure, dataset, batch size, epochs and task.  Requests without
+    a cluster are not cacheable (the live-inventory snapshot can change
+    between calls); callers must resolve the cluster first.
+    """
+    if request.cluster is None:
+        raise ValueError("cannot build a cache key for a request "
+                         "without a resolved cluster")
+    workload = request.workload
+    fingerprint = _digest({
+        "graph": graph_fingerprint(request.resolve_graph()),
+        "dataset": workload.dataset_name,
+        "batch": workload.batch_size_per_server,
+        "epochs": workload.epochs,
+        "task": request.task,
+    })
+    return fingerprint, cluster_signature(request.cluster)
+
+
+class ResultCache:
+    """Bounded LRU of :class:`PredictionResult` keyed by request content."""
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE):
+        self._cache = LRUCache(capacity, metrics_prefix="serve.cache")
+
+    def lookup(self, request: PredictionRequest,
+               key: tuple[str, str] | None = None) -> PredictionResult | None:
+        """Cached result for ``request``, re-bound to this request.
+
+        The stored result's ``request`` field is replaced by the
+        incoming request object so callers always get back their own
+        request; every other field (including ``predicted_time``) is
+        bitwise-identical to the original computation.
+        """
+        if key is None:
+            key = request_cache_key(request)
+        hit = self._cache.get(key)
+        if hit is None:
+            return None
+        return dataclasses.replace(hit, request=request)
+
+    def store(self, result: PredictionResult,
+              key: tuple[str, str] | None = None) -> None:
+        if key is None:
+            key = request_cache_key(result.request)
+        self._cache.put(key, result)
+
+    def stats(self) -> dict:
+        return self._cache.stats()
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,188 @@
+"""Open-loop synthetic load generation against a prediction server.
+
+Replays a seeded synthetic request mix (models x cluster sizes) with
+exponential inter-arrival times at a target rate, *without* waiting for
+responses before sending the next request (open-loop, so the generator
+measures the server rather than its own back-pressure).  Completion
+times are captured by future callbacks in the worker threads; the
+resulting :class:`LoadReport` carries latency percentiles, throughput
+and the accept/reject/error accounting the CI smoke gate checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from ..cluster import make_cluster
+from ..core.requests import PredictionRequest
+from ..sim import DLWorkload
+from .admission import AdmissionError, DeadlineExceededError
+
+__all__ = ["TrafficSpec", "LoadReport", "LoadGenerator", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, int(np.ceil(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class TrafficSpec:
+    """One synthetic open-loop traffic pattern.
+
+    ``num_requests`` requests are drawn uniformly (seeded) from the
+    cross product of ``models`` x ``cluster_sizes`` and submitted with
+    exponential inter-arrival gaps at ``rate`` requests/second.  A
+    finite mix means repeats, which is exactly the cache-friendly
+    shape of scheduler/NAS traffic the serving layer targets.
+    """
+
+    models: tuple[str, ...] = ("resnet18",)
+    dataset: str = "cifar10"
+    cluster_sizes: tuple[int, ...] = (2, 4)
+    server_class: str = "gpu-p100"
+    batch_size: int = 32
+    epochs: int = 1
+    num_requests: int = 50
+    rate: float = 500.0
+    seed: int = 0
+    deadline: float | None = None
+
+    def build_requests(self) -> list[PredictionRequest]:
+        """The seeded request sequence this spec describes."""
+        rng = np.random.default_rng(self.seed)
+        combos = [(m, s) for m in self.models for s in self.cluster_sizes]
+        picks = rng.integers(0, len(combos), size=self.num_requests)
+        clusters = {s: make_cluster(s, self.server_class)
+                    for _, s in combos}
+        out = []
+        for pick in picks:
+            model, size = combos[pick]
+            out.append(PredictionRequest(
+                workload=DLWorkload(model, self.dataset,
+                                    batch_size_per_server=self.batch_size,
+                                    epochs=self.epochs),
+                cluster=clusters[size]))
+        return out
+
+    def arrival_gaps(self) -> np.ndarray:
+        """Seeded exponential inter-arrival gaps (seconds)."""
+        rng = np.random.default_rng(self.seed + 1)
+        return rng.exponential(1.0 / self.rate, size=self.num_requests)
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    sent: int
+    completed: int
+    rejected: int       # admission refusals (queue full / closed)
+    expired: int        # deadline exceeded
+    errors: int         # any other per-request failure
+    duration: float     # wall seconds from first submit to last reply
+    latencies: tuple[float, ...]  # seconds, completed requests only
+
+    @property
+    def throughput(self) -> float:
+        return self.completed / self.duration if self.duration else 0.0
+
+    @property
+    def p50(self) -> float:
+        return percentile(list(self.latencies), 50)
+
+    @property
+    def p90(self) -> float:
+        return percentile(list(self.latencies), 90)
+
+    @property
+    def p99(self) -> float:
+        return percentile(list(self.latencies), 99)
+
+    def to_dict(self) -> dict:
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "expired": self.expired,
+            "errors": self.errors,
+            "duration_seconds": self.duration,
+            "throughput_rps": self.throughput,
+            "p50_ms": self.p50 * 1e3,
+            "p90_ms": self.p90 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "max_ms": (max(self.latencies) * 1e3
+                       if self.latencies else 0.0),
+        }
+
+    def format_text(self) -> str:
+        d = self.to_dict()
+        return (f"sent {d['sent']}  completed {d['completed']}  "
+                f"rejected {d['rejected']}  expired {d['expired']}  "
+                f"errors {d['errors']}\n"
+                f"throughput {d['throughput_rps']:.1f} req/s over "
+                f"{d['duration_seconds']:.2f}s\n"
+                f"latency p50 {d['p50_ms']:.2f}ms  "
+                f"p90 {d['p90_ms']:.2f}ms  p99 {d['p99_ms']:.2f}ms  "
+                f"max {d['max_ms']:.2f}ms")
+
+
+class LoadGenerator:
+    """Drives one :class:`~repro.serve.server.PredictionServer`."""
+
+    def __init__(self, server, spec: TrafficSpec, *,
+                 clock=time.perf_counter, sleep=time.sleep):
+        self.server = server
+        self.spec = spec
+        self._clock = clock
+        self._sleep = sleep
+
+    def run(self, wait_timeout: float = 60.0) -> LoadReport:
+        """Replay the spec's traffic and collect the report."""
+        requests = self.spec.build_requests()
+        gaps = self.spec.arrival_gaps()
+        completions: list[tuple[float, float, object]] = []
+        futures = []
+        rejected = 0
+        start = self._clock()
+        for request, gap in zip(requests, gaps):
+            self._sleep(gap)
+            submit_at = self._clock()
+            try:
+                future = self.server.submit(request,
+                                            deadline=self.spec.deadline)
+            except AdmissionError:
+                rejected += 1
+                continue
+            future.add_done_callback(
+                lambda f, t0=submit_at: completions.append(
+                    (t0, self._clock(), f)))
+            futures.append(future)
+        wait_until = time.monotonic() + wait_timeout
+        for future in futures:
+            # exception() waits for completion without raising on
+            # per-request failures; those are tallied below.
+            future.exception(max(0.01, wait_until - time.monotonic()))
+        duration = self._clock() - start
+        completed, expired, errors = 0, 0, 0
+        latencies = []
+        for t0, t1, future in completions:
+            exc = future.exception(0)
+            if exc is None:
+                completed += 1
+                latencies.append(t1 - t0)
+            elif isinstance(exc, DeadlineExceededError):
+                expired += 1
+            else:
+                errors += 1
+        return LoadReport(sent=len(requests), completed=completed,
+                          rejected=rejected, expired=expired,
+                          errors=errors, duration=duration,
+                          latencies=tuple(latencies))

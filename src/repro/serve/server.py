@@ -1,0 +1,466 @@
+"""Concurrent prediction server over a trained PredictDDL.
+
+The paper's Controller (Sec. III-D, Fig. 7) is a request-serving front
+end: a Listener receives requests, a Task Checker validates them, and
+the pipeline answers with a predicted training time.  The seed code
+served those steps one call at a time in the caller's thread;
+:class:`PredictionServer` turns them into a real service:
+
+* a bounded ingress queue guarded by admission control
+  (:mod:`repro.serve.admission`) with per-request deadlines;
+* a pool of worker threads that micro-batch adjacent requests
+  (:mod:`repro.serve.batching`) and deduplicate identical ones;
+* a bounded LRU result cache (:mod:`repro.serve.cache`) -- a hit skips
+  the whole pipeline, including the GHN embed span;
+* two front doors: in-process :meth:`PredictionServer.submit`
+  returning a :class:`ServeFuture`, and a fabric endpoint speaking the
+  ``("predict", request)`` -> ``("result", PredictionResult)`` /
+  ``("error", str)`` protocol, with :class:`ServeClient` as the
+  blocking client helper;
+* graceful shutdown: :meth:`PredictionServer.stop` drains the queue
+  (or fails pending futures when ``drain=False``) before joining the
+  workers and closing the endpoint.
+
+Determinism policy: per-request predictions are produced by the exact
+same ``PredictDDL.predict`` code path as direct calls -- batching only
+changes *when* work runs and which identical requests share one
+computation, never the arithmetic -- so served predictions are
+bitwise-identical to offline ones (asserted by
+tests/serve/test_server.py).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from collections.abc import Callable
+
+from ..cluster import Fabric, FabricError
+from ..core.requests import PredictionRequest, PredictionResult
+from ..obs import METRICS, TRACER
+from .admission import (AdmissionController, AdmissionError,
+                        DeadlineExceededError, QueueFullError,
+                        ServerClosedError, retry_with_backoff)
+from .batching import MicroBatcher
+from .cache import DEFAULT_CACHE_SIZE, ResultCache, request_cache_key
+
+__all__ = ["ServeConfig", "ServeFuture", "PredictionServer",
+           "ServeClient", "DEFAULT_ADDRESS"]
+
+DEFAULT_ADDRESS = "predictddl-serve"
+
+#: Latency histogram buckets (seconds): serving latencies are ms-scale.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 5.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for one :class:`PredictionServer`.
+
+    Attributes
+    ----------
+    workers:
+        Size of the prediction thread pool.
+    batch_window:
+        Micro-batch coalescing window in seconds (0 disables waiting;
+        already-queued requests still batch).
+    max_batch:
+        Upper bound on requests executed as one micro-batch.
+    cache_size:
+        Result-cache capacity (entries).
+    max_queue_depth:
+        Admission cap on in-flight (queued + executing) requests.
+    default_deadline:
+        Deadline in seconds applied to requests submitted without one
+        (None: no deadline).
+    address:
+        Fabric address the server listens on when given a fabric.
+    """
+
+    workers: int = 2
+    batch_window: float = 0.002
+    max_batch: int = 16
+    cache_size: int = DEFAULT_CACHE_SIZE
+    max_queue_depth: int = 64
+    default_deadline: float | None = None
+    address: str = DEFAULT_ADDRESS
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+
+class ServeFuture:
+    """Completion handle for one submitted request.
+
+    A minimal future: exactly one of ``set_result``/``set_exception``
+    may ever run (a second call raises), so a request can neither be
+    lost nor answered twice.  Callbacks added after completion run
+    immediately in the caller's thread.
+    """
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._result: PredictionResult | None = None
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["ServeFuture"], None]] = []
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def set_result(self, result: PredictionResult) -> None:
+        self._finish(result=result)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._finish(exception=exc)
+
+    def _finish(self, result=None, exception=None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise RuntimeError("future already completed")
+            self._result = result
+            self._exception = exception
+            self._event.set()
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self,
+                          fn: Callable[["ServeFuture"], None]) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def result(self, timeout: float | None = None) -> PredictionResult:
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction not completed in time")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self,
+                  timeout: float | None = None) -> BaseException | None:
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction not completed in time")
+        return self._exception
+
+
+@dataclasses.dataclass
+class _WorkItem:
+    """One admitted request en route to a worker."""
+
+    request: PredictionRequest
+    future: ServeFuture
+    key: tuple[str, str]
+    enqueued_at: float
+    expires_at: float | None
+
+
+class PredictionServer:
+    """Multi-worker serving front end around a trained predictor.
+
+    Parameters
+    ----------
+    predictor:
+        A trained :class:`~repro.core.predictor.PredictDDL` (anything
+        with a compatible ``predict(request)`` works, which tests use
+        to inject slow/failing backends).
+    config:
+        :class:`ServeConfig` tuning knobs.
+    fabric:
+        Optional message fabric; when given, :meth:`start` registers an
+        endpoint at ``config.address`` and a pump thread serves remote
+        ``("predict", request)`` messages.
+
+    Use as a context manager (``with PredictionServer(...) as server:``)
+    or call :meth:`start`/:meth:`stop` explicitly.
+    """
+
+    def __init__(self, predictor, config: ServeConfig | None = None,
+                 fabric: Fabric | None = None):
+        self.config = config or ServeConfig()
+        self.predictor = predictor
+        self.cache = ResultCache(self.config.cache_size)
+        self.admission = AdmissionController(self.config.max_queue_depth)
+        self._batcher = MicroBatcher(self.config.batch_window,
+                                     self.config.max_batch)
+        self._queue: queue.Queue[_WorkItem] = queue.Queue()
+        self._fabric = fabric
+        self.endpoint = None
+        self._workers: list[threading.Thread] = []
+        self._pump: threading.Thread | None = None
+        self._started = False
+        self._stopping = False
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "PredictionServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._stopping = False
+        if self._fabric is not None:
+            self.endpoint = self._fabric.register(self.config.address)
+            self._pump = threading.Thread(target=self._pump_loop,
+                                          name="serve-pump", daemon=True)
+            self._pump.start()
+        for i in range(self.config.workers):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"serve-worker-{i}",
+                                      daemon=True)
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the server; idempotent.
+
+        With ``drain=True`` (default) already-admitted requests finish
+        before the workers exit; with ``drain=False`` pending queue
+        entries fail with :class:`ServerClosedError` immediately.
+        """
+        if not self._started:
+            return
+        self._draining = drain
+        self._stopping = True
+        if not drain:
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                item.future.set_exception(
+                    ServerClosedError("server stopped before execution"))
+                self.admission.release()
+        deadline = time.monotonic() + timeout
+        for worker in self._workers:
+            worker.join(max(0.0, deadline - time.monotonic()))
+        if self._pump is not None:
+            self._pump.join(max(0.0, deadline - time.monotonic()))
+            self._pump = None
+        if self.endpoint is not None:
+            self.endpoint.close()
+            self.endpoint = None
+        self._workers = []
+        self._started = False
+
+    def __enter__(self) -> "PredictionServer":
+        return self.start() if not self._started else self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._stopping
+
+    # -- submission -----------------------------------------------------
+    def submit(self, request: PredictionRequest,
+               deadline: float | None = None) -> ServeFuture:
+        """Admit ``request`` and return its completion future.
+
+        Raises :class:`ServerClosedError` when the server is stopped
+        or stopping, and :class:`QueueFullError` past the admission
+        cap.  ``deadline`` is seconds from now (falls back to
+        ``config.default_deadline``).
+        """
+        if not self.running:
+            raise ServerClosedError("server is not accepting requests")
+        if deadline is None:
+            deadline = self.config.default_deadline
+        self.admission.admit()
+        METRICS.counter("serve.requests").inc()
+        now = time.monotonic()
+        # Requests without an explicit cluster resolve it from the live
+        # collector inventory at execution time; that snapshot can
+        # change between calls, so they are neither cached nor deduped.
+        # Malformed requests (unknown dataset/model) are uncacheable
+        # too: the Task Checker rejects them with a proper diagnostic
+        # on the worker, which the future then carries to the caller.
+        try:
+            key = (request_cache_key(request)
+                   if request.cluster is not None else None)
+        except Exception:  # noqa: BLE001 - any key failure => no cache
+            key = None
+        item = _WorkItem(
+            request=request, future=ServeFuture(),
+            key=key, enqueued_at=now,
+            expires_at=None if deadline is None else now + deadline)
+        self._queue.put(item)
+        return item.future
+
+    def predict(self, request: PredictionRequest,
+                timeout: float | None = None) -> PredictionResult:
+        """Blocking convenience: submit and wait for the result."""
+        return self.submit(request).result(timeout)
+
+    # -- worker machinery ----------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                if self._stopping:
+                    return
+                continue
+            if self._stopping and not self._draining:
+                first.future.set_exception(
+                    ServerClosedError("server stopped before execution"))
+                self.admission.release()
+                continue
+            batch = self._batcher.collect(self._queue, first)
+            try:
+                self._execute_batch(batch)
+            finally:
+                for _ in batch:
+                    self.admission.release()
+
+    def _execute_batch(self, batch: list[_WorkItem]) -> None:
+        """Run one micro-batch: dedup by key, predict once per key."""
+        groups: dict[object, list[_WorkItem]] = {}
+        for item in batch:
+            group_key = item.key if item.key is not None else id(item)
+            groups.setdefault(group_key, []).append(item)
+        if len(batch) > len(groups):
+            METRICS.counter("serve.batch.coalesced").inc(
+                len(batch) - len(groups))
+        for group in groups.values():
+            self._execute_group(group[0].key, group)
+
+    def _execute_group(self, key: tuple[str, str] | None,
+                       group: list[_WorkItem]) -> None:
+        live: list[_WorkItem] = []
+        for item in group:
+            try:
+                self.admission.check_deadline(item.expires_at)
+            except DeadlineExceededError as exc:
+                self._complete(item, error=exc, outcome="expired")
+                continue
+            live.append(item)
+        if not live:
+            return
+        leader = live[0]
+        result = (self.cache.lookup(leader.request, key)
+                  if key is not None else None)
+        if result is None:
+            try:
+                with TRACER.span("serve.execute",
+                                 batched=len(live)):
+                    result = self.predictor.predict(leader.request)
+            except Exception as exc:  # noqa: BLE001 - reported per item
+                for item in live:
+                    self._complete(item, error=exc, outcome="error")
+                return
+            if key is not None:
+                self.cache.store(result, key)
+        for item in live:
+            self._complete(
+                item,
+                result=dataclasses.replace(result, request=item.request),
+                outcome="ok")
+
+    def _complete(self, item: _WorkItem, *, result=None, error=None,
+                  outcome: str) -> None:
+        METRICS.histogram(
+            "serve.latency_seconds", buckets=LATENCY_BUCKETS,
+            labels={"outcome": outcome}).observe(
+            time.monotonic() - item.enqueued_at)
+        METRICS.counter("serve.responses",
+                        labels={"outcome": outcome}).inc()
+        if error is not None:
+            item.future.set_exception(error)
+        else:
+            item.future.set_result(result)
+
+    # -- fabric front door ----------------------------------------------
+    def _pump_loop(self) -> None:
+        """Move fabric ``predict`` messages onto the ingress queue."""
+        while True:
+            if self._stopping:
+                return
+            msg = self.endpoint.try_recv()
+            if msg is None:
+                time.sleep(0.002)
+                continue
+            if msg.tag != "predict":
+                continue
+            sender = msg.sender
+            try:
+                future = self.submit(msg.payload)
+            except (AdmissionError, ValueError) as exc:
+                self._reply(sender, "error", f"rejected: {exc}")
+                continue
+            future.add_done_callback(
+                lambda f, sender=sender: self._reply_from_future(
+                    sender, f))
+
+    def _reply_from_future(self, sender: str, future: ServeFuture) -> None:
+        exc = future.exception()
+        if exc is None:
+            self._reply(sender, "result", future.result())
+        else:
+            self._reply(sender, "error",
+                        f"{type(exc).__name__}: {exc}")
+
+    def _reply(self, sender: str, tag: str, payload) -> None:
+        try:
+            self.endpoint.send(sender, tag, payload)
+        except (FabricError, AttributeError):
+            # Client went away (or we are shutting down); the response
+            # is undeliverable and intentionally dropped.
+            METRICS.counter("serve.responses",
+                            labels={"outcome": "undeliverable"}).inc()
+
+
+class ServeClient:
+    """Blocking fabric client for a :class:`PredictionServer`.
+
+    Registers its own reply endpoint and speaks the predict/result
+    protocol; queue-full rejections are retried with deterministic
+    exponential backoff.
+    """
+
+    def __init__(self, fabric: Fabric, address: str,
+                 server_address: str = DEFAULT_ADDRESS, *,
+                 retries: int = 3, base_delay: float = 0.01):
+        self.endpoint = fabric.register(address)
+        self.server_address = server_address
+        self.retries = retries
+        self.base_delay = base_delay
+
+    def predict(self, request: PredictionRequest,
+                timeout: float = 30.0) -> PredictionResult:
+        """Send one request and wait for its reply.
+
+        Raises :class:`QueueFullError` when every retry was rejected,
+        and :class:`RuntimeError` for server-side errors.
+        """
+        return retry_with_backoff(
+            lambda: self._predict_once(request, timeout),
+            retries=self.retries, base_delay=self.base_delay)
+
+    def _predict_once(self, request: PredictionRequest,
+                      timeout: float) -> PredictionResult:
+        self.endpoint.send(self.server_address, "predict", request)
+        try:
+            msg = self.endpoint.recv(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError(
+                f"no reply from {self.server_address!r} within "
+                f"{timeout}s") from None
+        if msg.tag == "result":
+            return msg.payload
+        detail = str(msg.payload)
+        if detail.startswith("rejected:") or "QueueFullError" in detail:
+            raise QueueFullError(detail)
+        raise RuntimeError(f"server error: {detail}")
+
+    def close(self) -> None:
+        self.endpoint.close()

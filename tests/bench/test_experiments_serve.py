@@ -1,0 +1,35 @@
+"""Small-scale test of the serving scalability experiment."""
+
+import pytest
+
+from repro.bench import ServeScalePoint, serving_scalability
+from repro.core import PredictDDL
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.serve import TrafficSpec
+from repro.sim import generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    trace = generate_trace(["resnet18"], "cifar10", "gpu-p100", [1, 2],
+                           seed=0)
+    registry = GHNRegistry(config=FAST, train_steps=5)
+    return PredictDDL(registry=registry, seed=0).fit(trace)
+
+
+def test_serving_scalability_sweeps_worker_counts(predictor):
+    spec = TrafficSpec(models=("resnet18",), cluster_sizes=(1, 2),
+                       num_requests=10, rate=2000.0, seed=0)
+    points = serving_scalability(predictor, workers=(1, 2), spec=spec)
+    assert [p.workers for p in points] == [1, 2]
+    for point in points:
+        assert isinstance(point, ServeScalePoint)
+        assert point.sent == point.completed == 10
+        assert point.rejected == 0
+        assert point.throughput_rps > 0
+        assert 0 < point.p50_ms <= point.p99_ms
+        row = point.row()
+        assert set(row) == {"workers", "sent", "completed", "rejected",
+                            "throughput_rps", "p50_ms", "p99_ms"}

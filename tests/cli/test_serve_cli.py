@@ -1,0 +1,60 @@
+"""`repro serve` / `repro loadgen` CLI commands."""
+
+import json
+
+from repro.cli import main
+
+SELF_TEST_ARGS = [
+    "serve", "--self-test", "--json",
+    "--models", "resnet18", "--sizes", "1,2",
+    "--requests", "12", "--rate", "2000",
+    "--ghn-dim", "8", "--ghn-steps", "4",
+]
+
+
+def test_serve_self_test_passes_and_reports_json(capsys):
+    assert main(SELF_TEST_ARGS) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["self_test"] == "pass"
+    assert payload["sent"] == 12
+    assert payload["completed"] == 12
+    assert payload["rejected"] == 0
+    assert payload["expired"] == 0
+    assert payload["errors"] == 0
+    assert payload["cache_hits"] > 0
+    assert payload["p50_ms"] <= payload["max_p50_ms"]
+    for key in ("throughput_rps", "p90_ms", "p99_ms", "max_ms",
+                "duration_seconds", "workers"):
+        assert key in payload
+
+
+def test_serve_self_test_gate_failure_exits_nonzero(capsys):
+    # An impossible latency gate must flip the exit code.
+    code = main(SELF_TEST_ARGS + ["--max-p50-ms", "0.000001"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert json.loads(captured.out)["self_test"] == "fail"
+    assert "self-test FAILED" in captured.err
+
+
+def test_serve_without_artifact_or_self_test_errors(capsys):
+    assert main(["serve"]) == 1
+    assert "--artifact" in capsys.readouterr().err
+
+
+def test_loadgen_runs_against_trained_artifact(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    artifact = tmp_path / "model.pkl"
+    assert main(["trace", "--models", "resnet18", "--sizes", "1,2",
+                 "--out", str(trace_path)]) == 0
+    assert main(["train", "--trace", str(trace_path),
+                 "--out", str(artifact),
+                 "--ghn-dim", "8", "--ghn-steps", "4"]) == 0
+    capsys.readouterr()
+    assert main(["loadgen", "--artifact", str(artifact), "--json",
+                 "--models", "resnet18", "--sizes", "1,2",
+                 "--requests", "10", "--rate", "2000"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sent"] == 10
+    assert payload["completed"] == 10
+    assert payload["errors"] == 0

@@ -1,0 +1,62 @@
+"""Endpoint close/use-after-close/unknown-address semantics."""
+
+import pytest
+
+from repro.cluster import Fabric, FabricError
+
+
+@pytest.fixture
+def fabric():
+    return Fabric()
+
+
+class TestClose:
+    def test_close_is_idempotent(self, fabric):
+        endpoint = fabric.register("a")
+        endpoint.close()
+        endpoint.close()  # no error
+        assert endpoint.closed
+        assert "a" not in fabric.addresses()
+
+    def test_send_from_closed_endpoint_raises(self, fabric):
+        a = fabric.register("a")
+        fabric.register("b")
+        a.close()
+        with pytest.raises(FabricError, match="'a' is closed"):
+            a.send("b", "tag")
+
+    def test_send_to_closed_address_raises_closed_error(self, fabric):
+        a = fabric.register("a")
+        b = fabric.register("b")
+        b.close()
+        with pytest.raises(FabricError, match="'b' is closed"):
+            a.send("b", "tag")
+
+    def test_push_to_closed_endpoint_reference_raises(self, fabric):
+        """A raced delivery into a just-closed endpoint fails loudly
+        instead of silently dropping the message."""
+        b = fabric.register("b")
+        b._closed = True  # simulate close racing after the lookup
+        with pytest.raises(FabricError, match="closed"):
+            b._push(object())
+
+    def test_send_to_unknown_address_raises_no_endpoint(self, fabric):
+        a = fabric.register("a")
+        with pytest.raises(FabricError, match="no endpoint registered"):
+            a.send("ghost", "tag")
+
+    def test_closed_address_is_reclaimable(self, fabric):
+        fabric.register("a").close()
+        replacement = fabric.register("a")  # restart reclaims address
+        b = fabric.register("b")
+        b.send("a", "hello")
+        assert replacement.recv(timeout=1.0).tag == "hello"
+
+    def test_recv_still_drains_after_close(self, fabric):
+        """Closing stops new mail but queued mail stays readable."""
+        a = fabric.register("a")
+        b = fabric.register("b")
+        b.send("a", "queued")
+        a.close()
+        assert a.recv(timeout=1.0).tag == "queued"
+        assert a.try_recv() is None

@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro import obs
 from repro.cluster import Fabric, make_cluster
-from repro.core import PredictDDL
+from repro.core import PredictDDL, PredictionRequest
 from repro.core.persistence import load_predictor, save_predictor
 from repro.ghn import GHNConfig, GHNRegistry
 from repro.sim import DLWorkload, generate_trace
@@ -55,6 +56,66 @@ def test_fabric_backed_predictor_survives_save(tmp_path, trained):
     # The live instance keeps its endpoint after saving.
     assert predictor.listener.endpoint is not None
     restored = load_predictor(path)
-    # The restored instance has no fabric attachment (by design).
+    # Without a fabric argument, the endpoint stays detached ...
     assert restored.listener.endpoint is None
     assert restored.is_trained
+    # ... but the listener address survived, so it can re-attach.
+    assert restored.listener.address == "predictddl"
+
+
+def test_load_with_fabric_restores_listener_endpoint(tmp_path, trained):
+    """save -> load -> serve fabric traffic: the detach is not lossy."""
+    path = tmp_path / "model.pkl"
+    save_predictor(trained, path)
+    fabric = Fabric()
+    restored = load_predictor(path, fabric=fabric)
+    assert restored.listener.endpoint is not None
+    assert "predictddl" in fabric.addresses()
+    # The restored listener serves requests over the fabric.
+    client = fabric.register("client")
+    request = PredictionRequest(
+        workload=DLWorkload("resnet18", "cifar10"),
+        cluster=make_cluster(2, "gpu-p100"))
+    client.send("predictddl", "predict", request)
+    assert restored.listener.poll() == 1
+    reply = client.recv(timeout=1.0)
+    assert reply.tag == "decision"
+    assert reply.payload.dataset_used == "cifar10"
+
+
+def test_round_trip_predict_bitwise_identical(tmp_path, trained):
+    """Full save -> load -> predict round trip, exact equality."""
+    request = PredictionRequest(
+        workload=DLWorkload("alexnet", "cifar10"),
+        cluster=make_cluster(4, "gpu-p100"))
+    direct = trained.predict(request).predicted_time
+    path = tmp_path / "model.pkl"
+    save_predictor(trained, path)
+    restored = load_predictor(path)
+    assert restored.predict(request).predicted_time == direct
+
+
+def test_round_trip_with_observability_enabled(tmp_path, trained):
+    """REPRO_OBS=1 deployments persist and serve with obs recording.
+
+    Exercises the same enabled-tracer/enabled-metrics state that
+    ``REPRO_OBS=1`` establishes at import time: pickling must not trip
+    over metric locks, and the restored predictor must produce spans
+    and counters like the original.
+    """
+    request = PredictionRequest(
+        workload=DLWorkload("resnet18", "cifar10"),
+        cluster=make_cluster(2, "gpu-p100"))
+    direct = trained.predict(request).predicted_time
+    path = tmp_path / "model.pkl"
+    with obs.observed() as (tracer, metrics):
+        save_predictor(trained, path)
+        restored = load_predictor(path, fabric=Fabric())
+        result = restored.predict(request)
+        roots = [r.name for r in tracer.records() if r.depth == 0]
+        counters = metrics.snapshot()["counters"]
+    assert result.predicted_time == direct
+    assert "predictddl.predict" in roots
+    # The pickled embedding cache survived: the restored predictor
+    # serves this embed from cache.
+    assert counters["ghn.embed_cache.hits"] >= 1

@@ -1,0 +1,59 @@
+"""Bounded GHN embedding cache: LRU cap, metrics, invalidation."""
+
+import numpy as np
+
+from repro import obs
+from repro.caching import LRUCache
+from repro.datasets import get_dataset
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.graphs.zoo import get_model
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+MODELS = ["resnet18", "alexnet", "vgg11"]
+
+
+def _registry(cache_size: int) -> GHNRegistry:
+    return GHNRegistry(config=FAST, train_steps=2,
+                       embed_cache_size=cache_size)
+
+
+class TestBoundedEmbedCache:
+    def test_cache_is_the_shared_lru_policy(self):
+        registry = _registry(4)
+        assert isinstance(registry.embed_cache, LRUCache)
+        assert registry.embed_cache.capacity == 4
+
+    def test_eviction_under_cap_and_counters(self):
+        registry = _registry(2)
+        graphs = [get_model(name, input_size=64) for name in MODELS]
+        with obs.observed(tracing=False) as (_, metrics):
+            for graph in graphs:
+                registry.embed("cifar10", graph)
+            # Third insert evicted the first; re-embedding it misses.
+            registry.embed("cifar10", graphs[0])
+            registry.embed("cifar10", graphs[0])  # now a hit
+            counters = metrics.snapshot()["counters"]
+        assert len(registry.embed_cache) == 2
+        assert counters["ghn.embed_cache.misses"] == 4
+        assert counters["ghn.embed_cache.evictions"] >= 1
+        assert counters["ghn.embed_cache.hits"] == 1
+
+    def test_memoized_embedding_identical_array(self):
+        registry = _registry(8)
+        graph = get_model("resnet18", input_size=32)
+        first = registry.embed("cifar10", graph)
+        second = registry.embed("cifar10", graph)
+        assert second is first  # cached object, no recompute
+        assert registry.embed_cache.hits == 1
+
+    def test_retrain_invalidates_only_that_dataset(self):
+        registry = _registry(8)
+        graph = get_model("resnet18", input_size=32)
+        cifar = registry.embed("cifar10", graph)
+        tiny = registry.embed("tiny-imagenet", graph)
+        registry.train(get_dataset("cifar10"), steps=2, seed=1)
+        assert registry.embed_cache.keys() == [("tiny-imagenet",
+                                                graph.name)]
+        fresh = registry.embed("cifar10", graph)
+        assert not np.array_equal(fresh, cifar) or fresh is not cifar
+        assert registry.embed("tiny-imagenet", graph) is tiny

@@ -1,0 +1,99 @@
+"""Admission control: queue-depth gate, deadlines, client backoff."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.serve import (AdmissionController, DeadlineExceededError,
+                         QueueFullError, retry_with_backoff)
+
+
+class TestAdmissionController:
+    def test_rejects_at_capacity(self):
+        gate = AdmissionController(max_queue_depth=2)
+        gate.admit()
+        gate.admit()
+        with pytest.raises(QueueFullError, match="2/2"):
+            gate.admit()
+
+    def test_release_frees_a_slot(self):
+        gate = AdmissionController(max_queue_depth=1)
+        gate.admit()
+        with pytest.raises(QueueFullError):
+            gate.admit()
+        gate.release()
+        gate.admit()  # does not raise
+        assert gate.depth == 1
+
+    def test_unbalanced_release_rejected(self):
+        gate = AdmissionController(max_queue_depth=1)
+        with pytest.raises(RuntimeError, match="without matching"):
+            gate.release()
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(0)
+
+    def test_deadline_check(self):
+        gate = AdmissionController(4)
+        gate.check_deadline(None)  # no deadline: never expires
+        gate.check_deadline(time.monotonic() + 60)
+        with pytest.raises(DeadlineExceededError):
+            gate.check_deadline(time.monotonic() - 0.001)
+
+    def test_rejections_counted_by_reason(self):
+        with obs.observed(tracing=False) as (_, metrics):
+            gate = AdmissionController(1)
+            gate.admit()
+            with pytest.raises(QueueFullError):
+                gate.admit()
+            with pytest.raises(DeadlineExceededError):
+                gate.check_deadline(0.0)
+            counters = metrics.snapshot()["counters"]
+        assert counters[
+            "serve.admission.rejected{reason=queue_full}"] == 1
+        assert counters["serve.admission.rejected{reason=deadline}"] == 1
+        assert counters["serve.admission.accepted"] == 1
+
+
+class TestRetryWithBackoff:
+    def test_succeeds_after_transient_rejections(self):
+        sleeps = []
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise QueueFullError("busy")
+            return "ok"
+
+        result = retry_with_backoff(flaky, retries=3, base_delay=0.01,
+                                    factor=2.0, sleep=sleeps.append)
+        assert result == "ok"
+        assert sleeps == [0.01, 0.02]  # deterministic backoff sequence
+
+    def test_gives_up_after_retries(self):
+        sleeps = []
+
+        def always_busy():
+            raise QueueFullError("busy")
+
+        with pytest.raises(QueueFullError):
+            retry_with_backoff(always_busy, retries=2, base_delay=0.01,
+                               sleep=sleeps.append)
+        assert sleeps == [0.01, 0.02]
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        sleeps = []
+
+        def broken():
+            raise ValueError("bad request")
+
+        with pytest.raises(ValueError):
+            retry_with_backoff(broken, retries=5, sleep=sleeps.append)
+        assert sleeps == []
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="retries"):
+            retry_with_backoff(lambda: None, retries=-1)

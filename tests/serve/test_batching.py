@@ -1,0 +1,67 @@
+"""Micro-batcher window and flush semantics."""
+
+import queue
+import threading
+import time
+
+import pytest
+
+from repro.serve import MicroBatcher
+
+
+def _queue_of(items):
+    q = queue.Queue()
+    for item in items:
+        q.put(item)
+    return q
+
+
+class TestMicroBatcher:
+    def test_already_queued_items_coalesce(self):
+        q = _queue_of([2, 3, 4])
+        batch = MicroBatcher(window=0.0, max_batch=16).collect(q, 1)
+        assert batch == [1, 2, 3, 4]
+
+    def test_max_batch_caps_even_with_queued_work(self):
+        q = _queue_of(list(range(2, 10)))
+        batcher = MicroBatcher(window=0.0, max_batch=4)
+        assert batcher.collect(q, 1) == [1, 2, 3, 4]
+        # The remainder stays queued for the next batch.
+        assert batcher.collect(q, q.get_nowait()) == [5, 6, 7, 8]
+
+    def test_zero_window_does_not_wait(self):
+        q = queue.Queue()
+        start = time.perf_counter()
+        batch = MicroBatcher(window=0.0, max_batch=16).collect(q, "only")
+        assert batch == ["only"]
+        assert time.perf_counter() - start < 0.05
+
+    def test_item_arriving_inside_window_joins_batch(self):
+        q = queue.Queue()
+        threading.Timer(0.02, q.put, args=["late"]).start()
+        batch = MicroBatcher(window=0.25, max_batch=4).collect(q, "first")
+        assert batch == ["first", "late"]
+
+    def test_item_after_window_goes_to_next_batch(self):
+        q = queue.Queue()
+        timer = threading.Timer(0.30, q.put, args=["too-late"])
+        timer.start()
+        try:
+            batch = MicroBatcher(window=0.05,
+                                 max_batch=4).collect(q, "first")
+            assert batch == ["first"]
+        finally:
+            timer.cancel()
+
+    def test_window_bounds_collection_time(self):
+        q = queue.Queue()
+        start = time.perf_counter()
+        MicroBatcher(window=0.05, max_batch=4).collect(q, "x")
+        elapsed = time.perf_counter() - start
+        assert 0.04 <= elapsed < 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="window"):
+            MicroBatcher(window=-1.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(max_batch=0)
