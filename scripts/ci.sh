@@ -14,7 +14,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 if [[ "${SKIP_TESTS:-0}" != "1" ]]; then
     echo "==> tier-1 pytest"
-    python -m pytest -x -q
+    # PYTEST_ARGS lets CI's fast job run the '-m "not slow"' subset;
+    # the tier-1 gate itself is always the full suite.
+    # shellcheck disable=SC2086
+    python -m pytest -x -q ${PYTEST_ARGS:-}
 fi
 
 echo "==> repro lint --all (graph IR static analysis)"
@@ -30,6 +33,15 @@ echo "==> repro serve --self-test --json (serving smoke)"
 # cache effectiveness, and exits non-zero on violation.  json.tool
 # additionally checks the report is well-formed JSON.
 python -c "import sys; from repro.cli import main; sys.exit(main(['serve', '--self-test', '--json']))" \
+    | python -m json.tool > /dev/null
+
+echo "==> repro chaos --self-test --json (fault-injection gate)"
+# Runs the serving stack twice under the same seeded fault plan
+# (worker crashes/hangs + message drops/delays/duplicates) and exits
+# non-zero unless both runs complete every request with zero
+# lost/duplicated/wrong responses and produce a bitwise-identical
+# fault schedule and summary.
+python -c "import sys; from repro.cli import main; sys.exit(main(['chaos', '--self-test', '--json']))" \
     | python -m json.tool > /dev/null
 
 if command -v ruff >/dev/null 2>&1; then

@@ -14,6 +14,7 @@ from .experiments_motivation import (BlackGrayResult,
                                      feature_ablation)
 from .experiments_scalability import (BatchCost, Fig13Result,
                                       batch_prediction_scalability)
+from .experiments_chaos import ChaosRecoveryPoint, chaos_recovery
 from .experiments_serve import ServeScalePoint, serving_scalability
 from .harness import (EvalOutcome, ernest_design, evaluate_ernest,
                       evaluate_predictor, fit_ernest, fit_predictor,
@@ -32,6 +33,7 @@ __all__ = [
     "cluster_size_sensitivity", "Fig12Result",
     "batch_prediction_scalability", "Fig13Result", "BatchCost",
     "serving_scalability", "ServeScalePoint",
+    "chaos_recovery", "ChaosRecoveryPoint",
     "embedding_dim_sweep", "ghn_config_ablation", "allreduce_ablation",
     "format_table", "render_report", "write_report",
 ]

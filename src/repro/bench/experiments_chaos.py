@@ -1,0 +1,76 @@
+"""Chaos benchmark: serving recovery behaviour vs worker-crash rate.
+
+Companion to the serving-scalability experiment: where that sweep
+measures the healthy serving layer, this one measures the *failure
+path* (`repro.faults`).  For each worker-crash rate it replays the
+same seeded traffic through a fresh fault-injected stack and records
+how many crashes landed, how quickly the supervisor restored the pool
+(restart latency from thread death to respawn), and whether the
+exactly-once contract held -- every request completed, none lost,
+none answered twice, none answered wrongly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from ..faults import ChaosSpec, FaultSpec, run_chaos
+from ..obs import TRACER
+from ..serve import TrafficSpec
+
+__all__ = ["ChaosRecoveryPoint", "chaos_recovery"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosRecoveryPoint:
+    """One (crash rate) measurement of the fault-injected stack."""
+
+    crash_rate: float
+    sent: int
+    completed: int
+    lost: int
+    injected_crashes: int
+    worker_restarts: int
+    requeued: int
+    recovery_mean_ms: float
+    recovery_max_ms: float
+    throughput_rps: float
+
+    def row(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def chaos_recovery(predictor, *,
+                   crash_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+                   spec: TrafficSpec | None = None,
+                   workers: int = 2,
+                   seed: int = 0) -> list[ChaosRecoveryPoint]:
+    """Sweep worker-crash rates under identical seeded traffic.
+
+    Only crash faults are injected so the sweep isolates the
+    supervisor's detect/respawn/re-queue path; message faults are
+    covered by the chaos self-test gate.
+    """
+    if spec is None:
+        spec = TrafficSpec(models=("resnet18", "alexnet"),
+                           cluster_sizes=(2, 4), num_requests=40,
+                           rate=2000.0, seed=seed)
+    out: list[ChaosRecoveryPoint] = []
+    for rate in crash_rates:
+        faults = FaultSpec(seed=seed, num_requests=spec.num_requests,
+                           worker_crash_rate=rate)
+        with TRACER.span("bench.chaos", crash_rate=rate):
+            report = run_chaos(predictor, ChaosSpec(
+                traffic=spec, faults=faults, workers=workers))
+        s, t = report.summary, report.timing
+        out.append(ChaosRecoveryPoint(
+            crash_rate=rate, sent=s["sent"], completed=s["completed"],
+            lost=s["lost"] + s["client_failures"],
+            injected_crashes=s["injected"]["worker_crash"],
+            worker_restarts=s["worker_restarts"],
+            requeued=t["requeued"],
+            recovery_mean_ms=t["recovery"]["mean_ms"],
+            recovery_max_ms=t["recovery"]["max_ms"],
+            throughput_rps=t["throughput_rps"]))
+    return out

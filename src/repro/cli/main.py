@@ -17,7 +17,12 @@ Subcommands mirror the deployment workflow:
   a burst of synthetic traffic (``--self-test`` builds a throwaway
   predictor and asserts the smoke-gate invariants);
 * ``repro loadgen``   -- replay open-loop synthetic traffic against a
-  trained artifact and report latency percentiles and throughput.
+  trained artifact and report latency percentiles and throughput;
+* ``repro chaos``     -- run the serving stack under a seeded
+  fault-injection plan (:mod:`repro.faults`: worker crashes/hangs,
+  message drops/delays/duplicates) and audit exactly-once delivery
+  and recovery (``--self-test`` additionally asserts the schedule and
+  summary are bitwise-identical across two runs).
 
 ``simulate``, ``trace`` and ``predict`` additionally accept
 ``--profile`` (print the span tree after the command output) and
@@ -194,6 +199,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay open-loop traffic against a trained artifact")
     p_load.add_argument("--artifact", required=True, type=Path)
     add_traffic_flags(p_load, requests=200, rate=500.0)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the serving stack under deterministic fault "
+             "injection (repro.faults) and audit recovery")
+    p_chaos.add_argument("--artifact", type=Path,
+                         help="trained predictor from 'repro train' "
+                              "(omit with --self-test)")
+    p_chaos.add_argument("--self-test", action="store_true",
+                         help="build a small throwaway predictor, run "
+                              "the campaign twice, and assert zero "
+                              "lost/duplicated/wrong responses plus a "
+                              "bitwise-identical fault schedule and "
+                              "summary across the runs (non-zero exit "
+                              "on violation)")
+    p_chaos.add_argument("--models", default="resnet18,alexnet")
+    p_chaos.add_argument("--dataset", default="cifar10")
+    p_chaos.add_argument("--sizes", default="2,4")
+    p_chaos.add_argument("--server-class", default="gpu-p100")
+    p_chaos.add_argument("--batch", type=int, default=32)
+    p_chaos.add_argument("--requests", type=int, default=40)
+    p_chaos.add_argument("--rate", type=float, default=2000.0)
+    p_chaos.add_argument("--workers", type=int, default=2)
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="seed for both the traffic mix and the "
+                              "fault plan")
+    p_chaos.add_argument("--crash-rate", type=float, default=0.10,
+                         help="per-request worker-crash probability")
+    p_chaos.add_argument("--hang-rate", type=float, default=0.05,
+                         help="per-request worker-hang probability")
+    p_chaos.add_argument("--drop-rate", type=float, default=0.10,
+                         help="per-delivery message-drop probability")
+    p_chaos.add_argument("--delay-rate", type=float, default=0.10,
+                         help="per-delivery message-delay probability")
+    p_chaos.add_argument("--dup-rate", type=float, default=0.10,
+                         help="per-delivery duplication probability")
+    p_chaos.add_argument("--ghn-dim", type=int, default=8)
+    p_chaos.add_argument("--ghn-steps", type=int, default=8)
+    p_chaos.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the chaos report as JSON")
 
     p_rep = sub.add_parser("report", help="summarize a stored trace")
     p_rep.add_argument("--trace", required=True, type=Path)
@@ -549,6 +594,70 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _chaos_spec(args):
+    from ..faults import ChaosSpec, FaultSpec
+    from ..serve import TrafficSpec
+
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    traffic = TrafficSpec(
+        models=models, dataset=args.dataset,
+        cluster_sizes=tuple(_parse_sizes(args.sizes)),
+        server_class=args.server_class, batch_size=args.batch,
+        num_requests=args.requests, rate=args.rate, seed=args.seed)
+    faults = FaultSpec(
+        seed=args.seed, num_requests=args.requests,
+        num_messages=max(64, 8 * args.requests),
+        worker_crash_rate=args.crash_rate,
+        worker_hang_rate=args.hang_rate,
+        message_drop_rate=args.drop_rate,
+        message_delay_rate=args.delay_rate,
+        message_duplicate_rate=args.dup_rate)
+    return ChaosSpec(traffic=traffic, faults=faults,
+                     workers=args.workers)
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from ..core.persistence import load_predictor
+    from ..faults import run_chaos, self_test
+
+    if args.self_test:
+        predictor = _throwaway_predictor(args)
+    elif args.artifact is not None:
+        predictor = load_predictor(args.artifact)
+    else:
+        print("error: pass --artifact PATH or --self-test",
+              file=sys.stderr)
+        return 1
+    spec = _chaos_spec(args)
+    if args.self_test:
+        payload, failures = self_test(predictor, spec)
+        if args.as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            report = payload["summary"]
+            deterministic = payload["determinism"]["summary_match"]
+            print(f"plan {payload['plan']['digest']} "
+                  f"(2 runs, determinism "
+                  f"{'ok' if deterministic else 'BROKEN'})")
+            print(f"sent {report['sent']}  completed "
+                  f"{report['completed']}  lost {report['lost']}  "
+                  f"duplicated {report['duplicated_to_caller']}  "
+                  f"mismatched {report['mismatched']}")
+            print(f"injected {report['injected']}")
+            print(f"worker restarts {report['worker_restarts']}")
+        for failure in failures:
+            print(f"chaos self-test FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    report = run_chaos(predictor, spec)
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0
+
+
 def _cmd_loadgen(args) -> int:
     from ..core.persistence import load_predictor
 
@@ -636,6 +745,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
     "report": _cmd_report,
     "lint": _cmd_lint,
 }

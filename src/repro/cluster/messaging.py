@@ -14,11 +14,22 @@ import queue
 import threading
 from typing import Any
 
-__all__ = ["Message", "Endpoint", "Fabric", "FabricError"]
+__all__ = ["Message", "Endpoint", "Fabric", "FabricError",
+           "MessageDropped"]
 
 
 class FabricError(RuntimeError):
     """Raised on sends to unknown endpoints or use-after-close."""
+
+
+class MessageDropped(FabricError):
+    """A send was dropped by the transport (signalled-loss mode).
+
+    Raised by fault-injecting fabrics (:mod:`repro.faults.fabric`) when
+    a scheduled drop hits and the link models failure detection; the
+    sender may resend.  The plain in-process :class:`Fabric` never
+    raises it.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,6 +123,13 @@ class Fabric:
                 self._closed_addresses.add(address)
 
     def deliver(self, dst: str, message: Message) -> None:
+        """Route ``message`` into ``dst``'s mailbox.
+
+        This is the single transport seam every send and broadcast copy
+        funnels through; fault-injecting fabrics override it to drop,
+        delay or duplicate scheduled deliveries (see
+        :class:`repro.faults.fabric.FaultyFabric`).
+        """
         with self._lock:
             endpoint = self._endpoints.get(dst)
             if endpoint is None and dst in self._closed_addresses:
@@ -125,10 +143,19 @@ class Fabric:
             return sorted(self._endpoints)
 
     def broadcast(self, sender: str, tag: str, payload: Any = None) -> int:
-        """Send to every endpoint except the sender; returns the count."""
+        """Send to every endpoint except the sender; returns the count.
+
+        Each copy goes through :meth:`deliver`, so injected transport
+        faults apply to broadcast copies too; copies racing an endpoint
+        close are dropped (the peer left mid-broadcast).
+        """
         with self._lock:
-            targets = [ep for addr, ep in self._endpoints.items()
-                       if addr != sender]
-        for ep in targets:
-            ep._push(Message(sender, tag, payload))
-        return len(targets)
+            targets = [addr for addr in self._endpoints if addr != sender]
+        delivered = 0
+        for addr in targets:
+            try:
+                self.deliver(addr, Message(sender, tag, payload))
+            except FabricError:
+                continue
+            delivered += 1
+        return delivered

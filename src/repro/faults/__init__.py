@@ -1,0 +1,35 @@
+"""`repro.faults`: deterministic fault injection for the serving stack.
+
+The serving layer (:mod:`repro.serve`) only earns the "production"
+label if it demonstrably survives failure.  This package makes failure
+a first-class, *reproducible* input:
+
+* :class:`~repro.faults.plan.FaultSpec` declares a campaign (rates +
+  seed); :class:`~repro.faults.plan.FaultPlan` compiles it into an
+  explicit schedule -- same seed, bitwise-same schedule, hashable via
+  :meth:`~repro.faults.plan.FaultPlan.digest`;
+* :class:`~repro.faults.fabric.FaultyFabric` injects message drops,
+  delays and duplicates at the fabric's delivery seam;
+* :class:`~repro.faults.injector.WorkerFaultInjector` crashes, hangs
+  and slows the server's worker threads at scheduled requests;
+* :func:`~repro.faults.chaos.run_chaos` /
+  :func:`~repro.faults.chaos.self_test` replay seeded traffic through
+  the whole faulted stack and audit exactly-once delivery,
+  bitwise-correct answers and recovery -- the engine behind the
+  ``repro chaos`` CLI and the CI chaos gate.
+
+The happy path never pays: without a plan the server and fabric run
+exactly the code they ran before this package existed.
+"""
+
+from .chaos import ChaosReport, ChaosSpec, run_chaos, self_test
+from .fabric import FaultyFabric
+from .injector import InjectedWorkerCrash, WorkerFaultInjector
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultSpec", "FaultPlan",
+    "FaultyFabric",
+    "WorkerFaultInjector", "InjectedWorkerCrash",
+    "ChaosSpec", "ChaosReport", "run_chaos", "self_test",
+]

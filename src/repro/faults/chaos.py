@@ -1,0 +1,274 @@
+"""Chaos harness: drive the serving stack under an injected fault plan.
+
+One :func:`run_chaos` call stands up the full failure-path stack --
+:class:`~repro.faults.fabric.FaultyFabric` under the server's endpoint,
+a :class:`~repro.faults.injector.WorkerFaultInjector` inside the worker
+pool, and a reliable (enveloped, exactly-once)
+:class:`~repro.serve.server.ServeClient` -- replays a seeded traffic
+mix through it, and audits the outcome against ground truth computed
+by direct ``predictor.predict`` calls.
+
+The report is split into two sections by design:
+
+* ``summary`` holds only values that are a pure function of the fault
+  plan and the traffic spec -- request/response accounting, injected
+  fault counts, duplicate handling, worker restarts, correctness
+  mismatches.  Two runs with the same seed must produce identical
+  summaries; :func:`self_test` asserts exactly that, and is what the
+  ``repro chaos --self-test`` CI gate runs.
+* ``timing`` holds wall-clock observables (durations, recovery
+  latency percentiles, requeue counts, which depend on batch
+  composition) that are reported but never compared.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from .. import obs
+from ..core.requests import PredictionRequest
+from ..serve import ServeClient, ServeConfig, TrafficSpec
+from ..serve.server import PredictionServer
+from .fabric import FaultyFabric
+from .injector import WorkerFaultInjector
+from .plan import FaultPlan, FaultSpec
+
+__all__ = ["ChaosSpec", "ChaosReport", "run_chaos", "self_test"]
+
+#: Fault mix exercised by ``repro chaos --self-test``: worker crashes
+#: and hangs plus signalled drops, duplicates and delays on the
+#: ``predict`` stream.  Reply-stream faults are excluded here because
+#: their resend points depend on client timeouts (covered by the slow
+#: silent-drop test instead), which would break bitwise determinism.
+DEFAULT_FAULTS = FaultSpec(
+    seed=0, num_requests=40, num_messages=512,
+    worker_crash_rate=0.10, worker_hang_rate=0.05,
+    message_drop_rate=0.10, message_delay_rate=0.10,
+    message_duplicate_rate=0.10, signal_drops=True,
+    delay_seconds=0.002, hang_seconds=0.01,
+    faulty_tags=("predict",))
+
+DEFAULT_TRAFFIC = TrafficSpec(models=("resnet18", "alexnet"),
+                              cluster_sizes=(2, 4), num_requests=40,
+                              rate=2000.0, seed=0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos campaign: traffic, faults and serving shape."""
+
+    traffic: TrafficSpec = DEFAULT_TRAFFIC
+    faults: FaultSpec = DEFAULT_FAULTS
+    workers: int = 2
+    client_timeout: float = 2.0
+    client_retries: int = 16
+    max_worker_restarts: int | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosReport:
+    """Outcome of one :func:`run_chaos` campaign."""
+
+    plan_digest: str
+    plan_counts: dict
+    summary: dict
+    timing: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": {"digest": self.plan_digest,
+                     "scheduled": self.plan_counts},
+            "summary": self.summary,
+            "timing": self.timing,
+        }
+
+    def format_text(self) -> str:
+        s, t = self.summary, self.timing
+        injected = ", ".join(f"{k}={v}" for k, v in
+                             sorted(s["injected"].items()) if v)
+        recovery = t["recovery"]
+        return (
+            f"plan {self.plan_digest} "
+            f"(injected: {injected or 'none'})\n"
+            f"sent {s['sent']}  completed {s['completed']}  "
+            f"lost {s['lost']}  duplicated {s['duplicated_to_caller']}  "
+            f"mismatched {s['mismatched']}\n"
+            f"worker restarts {s['worker_restarts']}  "
+            f"duplicates handled {s['duplicates_handled']}  "
+            f"client failures {s['client_failures']}\n"
+            f"recovery: {recovery['count']} restart(s), "
+            f"mean {recovery['mean_ms']:.1f}ms, "
+            f"max {recovery['max_ms']:.1f}ms; "
+            f"wall {t['duration_seconds']:.2f}s, "
+            f"requeued {t['requeued']}, retries {t['client_retries']}")
+
+
+def _counter_sum(counters: dict, name: str) -> int:
+    """Sum a counter across label series (``name`` and ``name{...}``)."""
+    return int(sum(v for k, v in counters.items()
+                   if k == name or k.startswith(name + "{")))
+
+
+def _direct_answers(predictor,
+                    requests: list[PredictionRequest]) -> list[float]:
+    """Ground-truth predictions, one direct call per unique request key.
+
+    Also warms the predictor's embedding caches, so served latencies in
+    the chaos run stay far below the client timeout and timeout-driven
+    resends (which would perturb determinism) cannot trigger.
+    """
+    memo: dict[tuple, float] = {}
+    out = []
+    for request in requests:
+        key = (request.workload.model_name,
+               request.workload.dataset_name,
+               request.workload.batch_size_per_server,
+               request.cluster.num_servers)
+        if key not in memo:
+            memo[key] = predictor.predict(request).predicted_time
+        out.append(memo[key])
+    return out
+
+
+def run_chaos(predictor, spec: ChaosSpec | None = None) -> ChaosReport:
+    """Replay ``spec.traffic`` through a fault-injected serving stack.
+
+    Serial closed-loop client (one request in flight at a time): that
+    is what makes the per-tag message indices -- and with them the
+    whole injected fault sequence -- deterministic.
+    """
+    spec = spec or ChaosSpec()
+    plan = FaultPlan.compile(spec.faults)
+    requests = spec.traffic.build_requests()
+    expected = _direct_answers(predictor, requests)
+
+    results: list[tuple[int, float]] = []
+    failures: list[tuple[int, str]] = []
+    with obs.observed(tracing=False) as (_, metrics):
+        fabric = FaultyFabric(plan)
+        injector = WorkerFaultInjector(plan)
+        config = ServeConfig(
+            workers=spec.workers,
+            max_queue_depth=max(1, len(requests)),
+            max_worker_restarts=spec.max_worker_restarts)
+        start = time.perf_counter()
+        with PredictionServer(predictor, config, fabric=fabric,
+                              fault_injector=injector) as server:
+            client = ServeClient(fabric, "chaos-client", reliable=True,
+                                 retries=spec.client_retries,
+                                 base_delay=0.002)
+            for index, request in enumerate(requests):
+                try:
+                    result = client.predict(request,
+                                            timeout=spec.client_timeout)
+                    results.append((index, result.predicted_time))
+                except Exception as exc:  # noqa: BLE001 - audited below
+                    failures.append(
+                        (index, f"{type(exc).__name__}: {exc}"))
+            client.close()
+            restart_latencies = list(server.restart_latencies)
+        duration = time.perf_counter() - start
+        fabric.drain_timers()
+        counters = metrics.snapshot()["counters"]
+        stale = client.stale_replies
+
+    mismatched = sum(1 for index, value in results
+                     if value != expected[index])
+    injected = {
+        kind: _counter_sum(counters, f"faults.injected.{kind}")
+        for kind in ("worker_crash", "worker_hang", "message_drop",
+                     "message_delay", "message_duplicate")}
+    duplicates_handled = (_counter_sum(counters, "serve.dedup.suppressed")
+                          + _counter_sum(counters, "serve.dedup.resent"))
+    summary = {
+        "sent": len(requests),
+        "completed": len(results),
+        "lost": len(requests) - len(results) - len(failures),
+        # By protocol construction a predict() call returns exactly one
+        # result; stale/duplicate replies are discarded by id.  Audited
+        # here so a protocol regression fails the gate loudly.
+        "duplicated_to_caller": max(
+            0, len(results) + len(failures) - len(requests)),
+        "mismatched": mismatched,
+        "client_failures": len(failures),
+        "failures": failures,
+        "injected": injected,
+        "duplicates_handled": duplicates_handled,
+        "worker_restarts": _counter_sum(counters,
+                                        "serve.worker_restarts"),
+        "degraded_responses": _counter_sum(counters,
+                                           "serve.degraded_responses"),
+    }
+    timing = {
+        "duration_seconds": duration,
+        "throughput_rps": (len(results) / duration) if duration else 0.0,
+        "requeued": _counter_sum(counters, "serve.requeued"),
+        "client_retries": _counter_sum(counters, "serve.client.retries"),
+        "stale_replies_discarded": stale,
+        "recovery": {
+            "count": len(restart_latencies),
+            "mean_ms": (sum(restart_latencies) / len(restart_latencies)
+                        * 1e3 if restart_latencies else 0.0),
+            "max_ms": (max(restart_latencies) * 1e3
+                       if restart_latencies else 0.0),
+        },
+    }
+    return ChaosReport(plan_digest=plan.digest(),
+                       plan_counts=plan.counts(),
+                       summary=summary, timing=timing)
+
+
+def self_test(predictor,
+              spec: ChaosSpec | None = None) -> tuple[dict, list[str]]:
+    """Run the chaos campaign twice; audit recovery and determinism.
+
+    Returns ``(payload, failures)`` where ``payload`` is the
+    JSON-ready report of the first run plus the determinism verdict,
+    and ``failures`` lists every violated invariant (empty = pass):
+
+    * zero lost responses, zero duplicated responses, zero wrong
+      answers, zero client-visible failures;
+    * faults actually landed (a chaos gate that injects nothing is
+      vacuous);
+    * every injected worker crash was recovered by a restart;
+    * both runs produced an identical plan digest *and* an identical
+      summary (bitwise determinism).
+    """
+    spec = spec or ChaosSpec()
+    first = run_chaos(predictor, spec)
+    second = run_chaos(predictor, spec)
+    failures: list[str] = []
+    s = first.summary
+    if s["completed"] != s["sent"]:
+        failures.append(f"lost responses: {s['completed']}/{s['sent']} "
+                        f"completed")
+    if s["lost"] or s["duplicated_to_caller"]:
+        failures.append(f"accounting violation: lost={s['lost']} "
+                        f"duplicated={s['duplicated_to_caller']}")
+    if s["mismatched"]:
+        failures.append(f"{s['mismatched']} served prediction(s) "
+                        f"differ from direct predict()")
+    if s["client_failures"]:
+        failures.append(f"client failures: {s['failures']}")
+    if not any(s["injected"].values()):
+        failures.append("no faults injected; the chaos gate is vacuous")
+    if s["worker_restarts"] != s["injected"]["worker_crash"]:
+        failures.append(
+            f"restarts ({s['worker_restarts']}) != injected crashes "
+            f"({s['injected']['worker_crash']}): unrecovered workers")
+    if first.plan_digest != second.plan_digest:
+        failures.append(
+            f"plan digest differs across runs: {first.plan_digest} vs "
+            f"{second.plan_digest}")
+    if first.summary != second.summary:
+        failures.append("summary differs across identically-seeded "
+                        "runs: fault injection is not deterministic")
+    payload = first.to_dict()
+    payload["determinism"] = {
+        "runs": 2,
+        "plan_digest_match": first.plan_digest == second.plan_digest,
+        "summary_match": first.summary == second.summary,
+    }
+    payload["self_test"] = "fail" if failures else "pass"
+    return payload, failures

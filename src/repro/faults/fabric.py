@@ -1,0 +1,105 @@
+"""Fault-injecting message fabric.
+
+:class:`FaultyFabric` is a drop-in :class:`~repro.cluster.messaging.Fabric`
+that consults a compiled :class:`~repro.faults.plan.FaultPlan` on every
+delivery and injects drops, delays and duplicates on the scheduled
+per-tag delivery indices.  The happy path is untouched: with an empty
+plan every message takes exactly the base-class route.
+
+Determinism: faults are keyed by ``(tag, delivery index)`` where the
+index counts only deliveries of tags named in the plan's
+``faulty_tags``.  On a serialized stream (e.g. one blocking client's
+``predict`` messages) the index sequence -- and therefore the injected
+fault sequence -- is a pure function of the plan.
+
+Drop semantics come in two flavours (``FaultSpec.signal_drops``):
+
+* **signalled** (default): the send raises
+  :class:`~repro.cluster.messaging.MessageDropped`, modelling a link
+  layer with failure detection.  The sender can resend immediately,
+  which keeps chaos runs fast and bitwise-reproducible.
+* **silent**: the message vanishes; the sender discovers the loss by
+  timeout, exactly like a lossy network.  Slower, and the resend
+  points depend on timing, so CI's determinism gate uses signalled
+  mode and the silent path is covered by its own test.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..cluster.messaging import Fabric, FabricError, Message, MessageDropped
+from ..obs import METRICS
+from .plan import FaultPlan
+
+__all__ = ["FaultyFabric"]
+
+
+class FaultyFabric(Fabric):
+    """A :class:`Fabric` that injects scheduled message faults."""
+
+    def __init__(self, plan: FaultPlan):
+        super().__init__()
+        self.plan = plan
+        self._tag_counts: dict[str, int] = {}
+        self._count_lock = threading.Lock()
+        self._timers: list[threading.Timer] = []
+
+    def _next_index(self, tag: str) -> int:
+        with self._count_lock:
+            index = self._tag_counts.get(tag, 0)
+            self._tag_counts[tag] = index + 1
+            return index
+
+    def injected(self) -> dict[str, int]:
+        """Per-tag delivery counts seen so far (diagnostics)."""
+        with self._count_lock:
+            return dict(self._tag_counts)
+
+    def deliver(self, dst: str, message: Message) -> None:
+        if message.tag not in self.plan.spec.faulty_tags:
+            super().deliver(dst, message)
+            return
+        action = self.plan.message_action(message.tag,
+                                          self._next_index(message.tag))
+        if action == "drop":
+            METRICS.counter("faults.injected.message_drop",
+                            labels={"tag": message.tag}).inc()
+            if self.plan.spec.signal_drops:
+                raise MessageDropped(
+                    f"injected drop of {message.tag!r} message "
+                    f"from {message.sender!r} to {dst!r}")
+            return
+        if action == "delay":
+            METRICS.counter("faults.injected.message_delay",
+                            labels={"tag": message.tag}).inc()
+            timer = threading.Timer(self.plan.spec.delay_seconds,
+                                    self._deliver_late, args=(dst, message))
+            timer.daemon = True
+            self._timers.append(timer)
+            timer.start()
+            return
+        super().deliver(dst, message)
+        if action == "duplicate":
+            METRICS.counter("faults.injected.message_duplicate",
+                            labels={"tag": message.tag}).inc()
+            try:
+                super().deliver(dst, message)
+            except FabricError:
+                # The first copy landed and the endpoint closed before
+                # the duplicate: the duplicate is simply lost.
+                pass
+
+    def _deliver_late(self, dst: str, message: Message) -> None:
+        try:
+            super().deliver(dst, message)
+        except FabricError:
+            # Destination vanished while the message was in flight --
+            # a delayed message to a dead endpoint is a normal loss.
+            pass
+
+    def drain_timers(self, timeout: float = 1.0) -> None:
+        """Wait for in-flight delayed deliveries (test/shutdown aid)."""
+        for timer in self._timers:
+            timer.join(timeout)
+        self._timers = [t for t in self._timers if t.is_alive()]

@@ -1,0 +1,96 @@
+"""Worker-side fault injection for the prediction server.
+
+The server calls :meth:`WorkerFaultInjector.on_execute` for every work
+item just before prediction; the injector consults the compiled
+:class:`~repro.faults.plan.FaultPlan` keyed by the item's request
+sequence number:
+
+* **crash**: raises :class:`InjectedWorkerCrash`, which deliberately
+  derives from ``BaseException`` so the server's per-request
+  ``except Exception`` error path cannot swallow it -- the worker
+  thread dies exactly as if the process hosting it had been killed,
+  and the supervisor's detect/respawn/re-queue machinery takes over;
+* **hang**: sleeps ``hang_seconds`` (a bounded straggler stall; the
+  other workers absorb the queue meanwhile);
+* **slow worker**: designated worker slots sleep a fixed extra latency
+  before every batch (a persistently straggling node).
+
+Crash and hang faults are *consumed* on first sight of their sequence
+number, so a re-queued request is never re-crashed and recovery is
+guaranteed to converge regardless of how requests were batched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..obs import METRICS
+from .plan import FaultPlan
+
+__all__ = ["InjectedWorkerCrash", "WorkerFaultInjector"]
+
+
+class InjectedWorkerCrash(BaseException):
+    """A scheduled worker death.
+
+    BaseException on purpose: prediction errors are ordinary
+    ``Exception``s reported on the request's future, but a crash must
+    kill the worker thread itself and leave its in-flight requests to
+    the supervisor.
+    """
+
+
+class WorkerFaultInjector:
+    """Applies a :class:`FaultPlan`'s worker faults at execution time."""
+
+    def __init__(self, plan: FaultPlan, *, sleep=time.sleep):
+        self.plan = plan
+        self._sleep = sleep
+        self._consumed: set[tuple[str, int]] = set()
+        self._lock = threading.Lock()
+        self._slow = dict(plan.spec.slow_workers)
+
+    def _consume(self, kind: str, seq: int) -> bool:
+        """True exactly once per (kind, seq) scheduled fault."""
+        with self._lock:
+            token = (kind, seq)
+            if token in self._consumed:
+                return False
+            self._consumed.add(token)
+            return True
+
+    def on_batch_start(self, worker_slot: int) -> None:
+        """Called once per batch; applies slow-worker latency."""
+        extra = self._slow.get(worker_slot, 0.0)
+        if extra > 0.0:
+            METRICS.counter("faults.injected.slow_sleep").inc()
+            self._sleep(extra)
+
+    def on_execute(self, seq: int, attempt: int, worker_slot: int) -> None:
+        """Called per work item before prediction; may crash or stall.
+
+        ``attempt`` is informational (re-queued items arrive with
+        ``attempt >= 1``); idempotence comes from consuming the
+        sequence number, not from the attempt count, so a fault lands
+        exactly once however the item was batched.
+        """
+        if (seq in self.plan.worker_hang_seqs
+                and self._consume("hang", seq)):
+            METRICS.counter("faults.injected.worker_hang").inc()
+            self._sleep(self.plan.spec.hang_seconds)
+        if (seq in self.plan.worker_crash_seqs
+                and self._consume("crash", seq)):
+            METRICS.counter("faults.injected.worker_crash").inc()
+            raise InjectedWorkerCrash(
+                f"injected crash on worker slot {worker_slot} "
+                f"executing request seq {seq} (attempt {attempt})")
+
+    def injected_counts(self) -> dict[str, int]:
+        """Faults actually landed so far, by kind."""
+        with self._lock:
+            out = {"worker_crash": 0, "worker_hang": 0}
+            for kind, _ in self._consumed:
+                key = "worker_crash" if kind == "crash" else "worker_hang"
+                out[key] += 1
+            return out

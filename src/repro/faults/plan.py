@@ -1,0 +1,199 @@
+"""Deterministic, seeded fault schedules.
+
+A chaos run must be *reproducible*: the same seed has to produce the
+same crashes at the same points, or a failing CI run cannot be
+debugged.  The scheduling trick that makes this work under a threaded
+server is to key every fault off a **logical index** instead of wall
+time:
+
+* worker faults (crash / hang) are keyed by the request *sequence
+  number* the server assigns at submission -- request #7 crashes its
+  worker no matter which worker picks it up or when;
+* message faults (drop / delay / duplicate) are keyed by the
+  per-**tag** delivery index on the fabric -- the 3rd ``predict``
+  message is dropped no matter how long the client waited to send it.
+
+:class:`FaultSpec` is the declarative description (rates + seed);
+:meth:`FaultPlan.compile` expands it into explicit index sets using
+independent, seeded PCG64 substreams per fault kind, so the same spec
+compiles to a bitwise-identical plan every time
+(:meth:`FaultPlan.digest` is the hash CI compares across runs).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FaultPlan"]
+
+#: Substream identifiers: (kind, substream index).  Appending the index
+#: to the user seed yields independent PCG64 streams, so e.g. raising
+#: the drop rate never moves a scheduled worker crash.
+_STREAMS = {
+    "worker_crash": 1,
+    "worker_hang": 2,
+    "message_drop": 3,
+    "message_delay": 4,
+    "message_duplicate": 5,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """Declarative description of one fault-injection campaign.
+
+    Attributes
+    ----------
+    seed:
+        Root seed; same seed (and same other fields) compiles to a
+        bitwise-identical :class:`FaultPlan`.
+    num_requests:
+        Horizon for worker faults: request sequence numbers in
+        ``[0, num_requests)`` are eligible.
+    num_messages:
+        Horizon for message faults: per-tag delivery indices in
+        ``[0, num_messages)`` are eligible.  Size it above the expected
+        message count including retries; indices past the horizon are
+        delivered normally.
+    worker_crash_rate / worker_hang_rate:
+        Per-request probability of the executing worker crashing
+        (thread dies, request is re-queued by the supervisor) or
+        hanging for ``hang_seconds`` (a straggler; other workers
+        pick up the slack).
+    message_drop_rate / message_delay_rate / message_duplicate_rate:
+        Per-delivery probability, applied to messages whose tag is in
+        ``faulty_tags``.  When one index draws several faults the
+        priority is drop > duplicate > delay.
+    signal_drops:
+        True (default): a dropped message raises
+        :class:`~repro.cluster.messaging.MessageDropped` to the sender
+        (a link layer with failure detection) -- deterministic and
+        fast, the mode the CI chaos gate runs.  False: drops are
+        silent and the sender discovers them by timeout.
+    delay_seconds / hang_seconds:
+        Magnitude of delay and hang faults.
+    slow_workers:
+        ``(worker_slot, extra_seconds)`` pairs: those worker slots
+        sleep ``extra_seconds`` before executing every batch
+        (straggling-node latency multiplier).  Slot-keyed, so the
+        injected count depends on scheduling; keep out of
+        determinism-gated summaries.
+    """
+
+    seed: int = 0
+    num_requests: int = 64
+    num_messages: int = 512
+    worker_crash_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    message_drop_rate: float = 0.0
+    message_delay_rate: float = 0.0
+    message_duplicate_rate: float = 0.0
+    signal_drops: bool = True
+    delay_seconds: float = 0.002
+    hang_seconds: float = 0.02
+    faulty_tags: tuple[str, ...] = ("predict",)
+    slow_workers: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self):
+        for field in ("worker_crash_rate", "worker_hang_rate",
+                      "message_drop_rate", "message_delay_rate",
+                      "message_duplicate_rate"):
+            rate = getattr(self, field)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1], got {rate}")
+        if self.num_requests < 0 or self.num_messages < 0:
+            raise ValueError("fault horizons must be >= 0")
+
+
+def _draw(seed: int, stream: str, horizon: int,
+          rate: float) -> frozenset[int]:
+    """Indices in [0, horizon) selected at ``rate`` (seeded, stable)."""
+    if rate <= 0.0 or horizon == 0:
+        return frozenset()
+    rng = np.random.default_rng([seed, _STREAMS[stream]])
+    hits = np.flatnonzero(rng.random(horizon) < rate)
+    return frozenset(int(i) for i in hits)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A compiled fault schedule: explicit index sets per fault kind."""
+
+    spec: FaultSpec
+    worker_crash_seqs: frozenset[int]
+    worker_hang_seqs: frozenset[int]
+    drop_indices: frozenset[int]
+    delay_indices: frozenset[int]
+    duplicate_indices: frozenset[int]
+
+    @classmethod
+    def compile(cls, spec: FaultSpec) -> "FaultPlan":
+        """Expand ``spec`` into explicit schedules (pure, seeded)."""
+        return cls(
+            spec=spec,
+            worker_crash_seqs=_draw(spec.seed, "worker_crash",
+                                    spec.num_requests,
+                                    spec.worker_crash_rate),
+            worker_hang_seqs=_draw(spec.seed, "worker_hang",
+                                   spec.num_requests,
+                                   spec.worker_hang_rate),
+            drop_indices=_draw(spec.seed, "message_drop",
+                               spec.num_messages, spec.message_drop_rate),
+            delay_indices=_draw(spec.seed, "message_delay",
+                                spec.num_messages,
+                                spec.message_delay_rate),
+            duplicate_indices=_draw(spec.seed, "message_duplicate",
+                                    spec.num_messages,
+                                    spec.message_duplicate_rate),
+        )
+
+    # Hang and crash faults consume their index on first execution (see
+    # WorkerFaultInjector), so a re-queued request never re-crashes and
+    # recovery converges.
+    def message_action(self, tag: str, index: int) -> str:
+        """Fault decision for the ``index``-th delivery of ``tag``.
+
+        Returns one of ``"deliver"``, ``"drop"``, ``"duplicate"`` or
+        ``"delay"`` (priority drop > duplicate > delay when an index
+        drew several).
+        """
+        if tag not in self.spec.faulty_tags:
+            return "deliver"
+        if index in self.drop_indices:
+            return "drop"
+        if index in self.duplicate_indices:
+            return "duplicate"
+        if index in self.delay_indices:
+            return "delay"
+        return "deliver"
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable form (sorted; digest input)."""
+        return {
+            "spec": dataclasses.asdict(self.spec),
+            "worker_crash_seqs": sorted(self.worker_crash_seqs),
+            "worker_hang_seqs": sorted(self.worker_hang_seqs),
+            "drop_indices": sorted(self.drop_indices),
+            "delay_indices": sorted(self.delay_indices),
+            "duplicate_indices": sorted(self.duplicate_indices),
+        }
+
+    def digest(self) -> str:
+        """Content hash of the schedule; CI compares this across runs."""
+        blob = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+    def counts(self) -> dict[str, int]:
+        """Scheduled fault counts by kind (upper bounds on injection)."""
+        return {
+            "worker_crash": len(self.worker_crash_seqs),
+            "worker_hang": len(self.worker_hang_seqs),
+            "message_drop": len(self.drop_indices),
+            "message_delay": len(self.delay_indices),
+            "message_duplicate": len(self.duplicate_indices),
+        }

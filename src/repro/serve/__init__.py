@@ -16,22 +16,24 @@ See DESIGN.md Sec. 6 for the architecture and determinism policy.
 """
 
 from .admission import (AdmissionController, AdmissionError,
-                        DeadlineExceededError, QueueFullError,
-                        ServerClosedError, retry_with_backoff)
+                        DeadlineExceededError, DegradedError,
+                        QueueFullError, ServerClosedError,
+                        retry_with_backoff)
 from .batching import MicroBatcher
 from .cache import (ResultCache, cluster_signature, graph_fingerprint,
                     request_cache_key)
 from .loadgen import LoadGenerator, LoadReport, TrafficSpec, percentile
-from .server import (DEFAULT_ADDRESS, PredictionServer, ServeClient,
-                     ServeConfig, ServeFuture)
+from .server import (DEFAULT_ADDRESS, PredictionServer, RequestEnvelope,
+                     ServeClient, ServeConfig, ServeFuture)
 
 __all__ = [
     "PredictionServer", "ServeConfig", "ServeFuture", "ServeClient",
-    "DEFAULT_ADDRESS",
+    "RequestEnvelope", "DEFAULT_ADDRESS",
     "MicroBatcher",
     "ResultCache", "graph_fingerprint", "cluster_signature",
     "request_cache_key",
     "AdmissionController", "AdmissionError", "QueueFullError",
-    "DeadlineExceededError", "ServerClosedError", "retry_with_backoff",
+    "DeadlineExceededError", "ServerClosedError", "DegradedError",
+    "retry_with_backoff",
     "LoadGenerator", "LoadReport", "TrafficSpec", "percentile",
 ]

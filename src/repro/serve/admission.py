@@ -23,7 +23,7 @@ from typing import Any
 from ..obs import METRICS
 
 __all__ = ["AdmissionError", "QueueFullError", "DeadlineExceededError",
-           "ServerClosedError", "AdmissionController",
+           "ServerClosedError", "DegradedError", "AdmissionController",
            "retry_with_backoff"]
 
 
@@ -41,6 +41,17 @@ class DeadlineExceededError(AdmissionError):
 
 class ServerClosedError(AdmissionError):
     """Raised when submitting to a stopped/stopping server."""
+
+
+class DegradedError(AdmissionError):
+    """Raised in degraded mode for requests not servable from cache.
+
+    A server enters degraded mode when sustained worker loss exhausts
+    its restart budget (``ServeConfig.max_worker_restarts``); cache
+    hits still serve, everything else gets this deterministic refusal
+    -- never a silent wrong answer.  Not retryable: degradation is
+    sticky until the server is restarted.
+    """
 
 
 class AdmissionController:

@@ -1,0 +1,42 @@
+"""Small-scale test of the chaos-recovery experiment."""
+
+import pytest
+
+from repro.bench import ChaosRecoveryPoint, chaos_recovery
+from repro.core import PredictDDL
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.serve import TrafficSpec
+from repro.sim import generate_trace
+
+pytestmark = pytest.mark.slow
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    trace = generate_trace(["resnet18"], "cifar10", "gpu-p100", [1, 2],
+                           seed=0)
+    registry = GHNRegistry(config=FAST, train_steps=5)
+    return PredictDDL(registry=registry, seed=0).fit(trace)
+
+
+def test_chaos_recovery_sweeps_crash_rates(predictor):
+    spec = TrafficSpec(models=("resnet18",), cluster_sizes=(1, 2),
+                       num_requests=12, rate=2000.0, seed=0)
+    points = chaos_recovery(predictor, crash_rates=(0.0, 0.5),
+                            spec=spec, workers=2)
+    assert [p.crash_rate for p in points] == [0.0, 0.5]
+    for point in points:
+        assert isinstance(point, ChaosRecoveryPoint)
+        # The exactly-once contract holds at every crash rate.
+        assert point.completed == point.sent == 12
+        assert point.lost == 0
+        assert point.worker_restarts == point.injected_crashes
+        assert set(point.row()) >= {"crash_rate", "recovery_mean_ms"}
+    calm, stormy = points
+    assert calm.injected_crashes == 0
+    assert calm.recovery_mean_ms == 0.0
+    assert stormy.injected_crashes > 0
+    assert stormy.recovery_mean_ms > 0.0
+    assert stormy.recovery_max_ms >= stormy.recovery_mean_ms

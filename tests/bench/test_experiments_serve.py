@@ -8,6 +8,8 @@ from repro.ghn import GHNConfig, GHNRegistry
 from repro.serve import TrafficSpec
 from repro.sim import generate_trace
 
+pytestmark = pytest.mark.slow
+
 FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
 
 

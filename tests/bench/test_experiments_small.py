@@ -16,6 +16,8 @@ from repro.bench import (batch_prediction_scalability,
 from repro.ghn import GHNConfig, GHNRegistry
 from repro.sim import generate_trace
 
+pytestmark = pytest.mark.slow
+
 FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
 MODELS = ["resnet18", "alexnet", "vgg16", "squeezenet1_0"]
 

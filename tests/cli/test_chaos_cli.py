@@ -1,0 +1,80 @@
+"""`repro chaos` CLI: the fault-injection self-test gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.slow
+
+SELF_TEST_ARGS = [
+    "chaos", "--self-test", "--json",
+    "--models", "resnet18", "--sizes", "1,2",
+    "--requests", "16", "--rate", "2000",
+    "--crash-rate", "0.2", "--hang-rate", "0.1",
+    "--ghn-dim", "8", "--ghn-steps", "4",
+]
+
+
+def test_chaos_self_test_passes_and_reports_json(capsys):
+    assert main(SELF_TEST_ARGS) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["self_test"] == "pass"
+    assert payload["determinism"]["plan_digest_match"] is True
+    assert payload["determinism"]["summary_match"] is True
+    summary = payload["summary"]
+    assert summary["completed"] == summary["sent"] == 16
+    assert summary["lost"] == 0
+    assert summary["duplicated_to_caller"] == 0
+    assert summary["mismatched"] == 0
+    assert any(summary["injected"].values())
+    assert summary["worker_restarts"] == \
+        summary["injected"]["worker_crash"]
+    assert payload["plan"]["digest"]
+    assert "timing" in payload
+
+
+def test_chaos_self_test_text_mode(capsys):
+    assert main([a for a in SELF_TEST_ARGS if a != "--json"]) == 0
+    out = capsys.readouterr().out
+    assert "determinism ok" in out
+    assert "worker restarts" in out
+
+
+def test_chaos_without_faults_fails_vacuous_gate(capsys):
+    # All rates zero: nothing injected, so the gate must refuse to
+    # report success (a chaos gate that tests nothing is worse than
+    # none at all).
+    code = main(SELF_TEST_ARGS + ["--crash-rate", "0",
+                                  "--hang-rate", "0",
+                                  "--drop-rate", "0",
+                                  "--delay-rate", "0",
+                                  "--dup-rate", "0"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert json.loads(captured.out)["self_test"] == "fail"
+    assert "vacuous" in captured.err
+
+
+def test_chaos_without_artifact_or_self_test_errors(capsys):
+    assert main(["chaos"]) == 1
+    assert "--artifact" in capsys.readouterr().err
+
+
+def test_chaos_runs_against_trained_artifact(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    artifact = tmp_path / "model.pkl"
+    assert main(["trace", "--models", "resnet18", "--sizes", "1,2",
+                 "--out", str(trace_path)]) == 0
+    assert main(["train", "--trace", str(trace_path),
+                 "--out", str(artifact),
+                 "--ghn-dim", "8", "--ghn-steps", "4"]) == 0
+    capsys.readouterr()
+    assert main(["chaos", "--artifact", str(artifact), "--json",
+                 "--models", "resnet18", "--sizes", "1,2",
+                 "--requests", "8", "--rate", "2000",
+                 "--crash-rate", "0.2"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["completed"] == 8
+    assert payload["summary"]["client_failures"] == 0

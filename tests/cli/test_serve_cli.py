@@ -2,7 +2,11 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
+
+pytestmark = pytest.mark.slow
 
 SELF_TEST_ARGS = [
     "serve", "--self-test", "--json",

@@ -1,0 +1,18 @@
+"""Shared fixtures for the fault-injection tests."""
+
+import pytest
+
+from repro.core import PredictDDL
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.sim import generate_trace
+
+FAST_GHN = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="package")
+def predictor():
+    """One small trained predictor shared across chaos tests."""
+    trace = generate_trace(["resnet18", "alexnet"], "cifar10",
+                           "gpu-p100", [1, 2, 4], seed=0)
+    registry = GHNRegistry(config=FAST_GHN, train_steps=5)
+    return PredictDDL(registry=registry, seed=0).fit(trace)

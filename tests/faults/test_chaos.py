@@ -1,0 +1,93 @@
+"""End-to-end chaos harness: recovery, determinism, degradation."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import ChaosSpec, FaultSpec, run_chaos, self_test
+from repro.faults.chaos import DEFAULT_FAULTS, DEFAULT_TRAFFIC
+from repro.serve import DegradedError
+
+pytestmark = pytest.mark.slow
+
+#: Scaled-down campaign so the suite stays quick; the CI gate runs the
+#: full default via `repro chaos --self-test`.
+SMALL_TRAFFIC = dataclasses.replace(DEFAULT_TRAFFIC, num_requests=16)
+SMALL_FAULTS = dataclasses.replace(DEFAULT_FAULTS, num_requests=16,
+                                   num_messages=256,
+                                   worker_crash_rate=0.2,
+                                   worker_hang_rate=0.1)
+SMALL = ChaosSpec(traffic=SMALL_TRAFFIC, faults=SMALL_FAULTS)
+
+
+class TestSelfTest:
+    def test_passes_and_reports_determinism(self, predictor):
+        payload, failures = self_test(predictor, SMALL)
+        assert failures == []
+        assert payload["self_test"] == "pass"
+        assert payload["determinism"] == {
+            "runs": 2, "plan_digest_match": True, "summary_match": True}
+        s = payload["summary"]
+        assert s["completed"] == s["sent"] == 16
+        assert s["lost"] == s["duplicated_to_caller"] == 0
+        assert s["mismatched"] == 0
+        # Non-vacuous: faults landed and every crash was recovered.
+        assert any(s["injected"].values())
+        assert s["worker_restarts"] == s["injected"]["worker_crash"]
+
+    def test_report_is_json_shaped_and_printable(self, predictor):
+        report = run_chaos(predictor, SMALL)
+        d = report.to_dict()
+        assert set(d) == {"plan", "summary", "timing"}
+        assert d["plan"]["digest"] == report.plan_digest
+        assert "recovery" in d["timing"]
+        text = report.format_text()
+        assert report.plan_digest in text
+        assert "worker restarts" in text
+
+
+class TestSilentDrops:
+    def test_timeout_resend_recovers_silent_losses(self, predictor):
+        # Drops vanish without signalling; the reliable client's
+        # timeout+resend (same request id) must still complete every
+        # request exactly once, with the server deduplicating.
+        spec = ChaosSpec(
+            traffic=dataclasses.replace(DEFAULT_TRAFFIC,
+                                        num_requests=10),
+            faults=FaultSpec(seed=1, num_requests=10, num_messages=256,
+                             message_drop_rate=0.25,
+                             signal_drops=False,
+                             faulty_tags=("predict",)),
+            client_timeout=0.25, client_retries=16)
+        report = run_chaos(predictor, spec)
+        s = report.summary
+        assert s["completed"] == s["sent"] == 10
+        assert s["lost"] == s["duplicated_to_caller"] == 0
+        assert s["mismatched"] == 0
+        assert s["injected"]["message_drop"] > 0
+
+
+class TestDegradation:
+    def test_spent_restart_budget_degrades_not_corrupts(self, predictor):
+        # Every request is scheduled to crash its worker once and the
+        # restart budget is zero: the pool dies.  The contract is no
+        # lost requests and no wrong answers -- every request either
+        # completes (from cache) or fails with a deterministic
+        # DegradedError, audited in the failure list.
+        spec = ChaosSpec(
+            traffic=dataclasses.replace(DEFAULT_TRAFFIC,
+                                        num_requests=12),
+            faults=FaultSpec(seed=0, num_requests=12, num_messages=256,
+                             worker_crash_rate=1.0,
+                             faulty_tags=("predict",)),
+            workers=2, max_worker_restarts=0)
+        report = run_chaos(predictor, spec)
+        s = report.summary
+        assert s["completed"] + s["client_failures"] == s["sent"] == 12
+        assert s["lost"] == s["duplicated_to_caller"] == 0
+        assert s["mismatched"] == 0
+        assert s["client_failures"] > 0
+        assert all(DegradedError.__name__ in detail
+                   for _, detail in s["failures"])
+        assert s["degraded_responses"] >= s["client_failures"]
+        assert s["worker_restarts"] == 0

@@ -1,0 +1,129 @@
+"""FaultyFabric: scheduled drops, delays and duplicates at delivery."""
+
+import queue
+
+import pytest
+
+from repro import obs
+from repro.cluster.messaging import MessageDropped
+from repro.faults import FaultPlan, FaultSpec, FaultyFabric
+
+
+def make_fabric(**spec_kwargs):
+    spec = FaultSpec(num_messages=16, faulty_tags=("predict",),
+                     **spec_kwargs)
+    return FaultyFabric(FaultPlan.compile(spec))
+
+
+def wire(fabric):
+    return fabric.register("client"), fabric.register("server")
+
+
+class TestPassThrough:
+    def test_empty_plan_is_a_plain_fabric(self):
+        fabric = make_fabric()
+        client, server = wire(fabric)
+        client.send("server", "predict", "hello")
+        assert server.recv(timeout=1).payload == "hello"
+
+    def test_non_faulty_tags_bypass_the_plan_entirely(self):
+        fabric = make_fabric(message_drop_rate=1.0)
+        client, server = wire(fabric)
+        for i in range(3):
+            client.send("server", "result", i)
+        assert [server.recv(timeout=1).payload for _ in range(3)] \
+            == [0, 1, 2]
+        # Bypassed tags don't consume per-tag delivery indices either.
+        assert fabric.injected() == {}
+
+
+class TestDrops:
+    def test_signalled_drop_raises_to_sender(self):
+        fabric = make_fabric(message_drop_rate=1.0, signal_drops=True)
+        client, server = wire(fabric)
+        with pytest.raises(MessageDropped, match="injected drop"):
+            client.send("server", "predict", "x")
+        assert server.try_recv() is None
+
+    def test_silent_drop_vanishes_without_error(self):
+        with obs.observed(tracing=False) as (_, metrics):
+            fabric = make_fabric(message_drop_rate=1.0,
+                                 signal_drops=False)
+            client, server = wire(fabric)
+            client.send("server", "predict", "x")  # no exception
+            assert server.try_recv() is None
+            counters = metrics.snapshot()["counters"]
+        assert counters[
+            "faults.injected.message_drop{tag=predict}"] == 1
+
+    def test_indices_past_horizon_deliver(self):
+        spec = FaultSpec(num_messages=2, message_drop_rate=1.0,
+                         faulty_tags=("predict",))
+        fabric = FaultyFabric(FaultPlan.compile(spec))
+        client, server = wire(fabric)
+        for _ in range(2):
+            with pytest.raises(MessageDropped):
+                client.send("server", "predict", "x")
+        client.send("server", "predict", "survivor")
+        assert server.recv(timeout=1).payload == "survivor"
+
+
+class TestDelayAndDuplicate:
+    def test_delayed_message_arrives_after_the_delay(self):
+        fabric = make_fabric(message_delay_rate=1.0,
+                             delay_seconds=0.01)
+        client, server = wire(fabric)
+        client.send("server", "predict", "late")
+        # Not there synchronously; lands once the timer fires.
+        assert server.try_recv() is None
+        assert server.recv(timeout=1).payload == "late"
+        fabric.drain_timers()
+
+    def test_delayed_message_to_closed_endpoint_is_dropped(self):
+        fabric = make_fabric(message_delay_rate=1.0,
+                             delay_seconds=0.01)
+        client, server = wire(fabric)
+        client.send("server", "predict", "late")
+        server.close()
+        fabric.drain_timers()  # must not raise
+
+    def test_duplicate_delivers_two_copies(self):
+        fabric = make_fabric(message_duplicate_rate=1.0)
+        client, server = wire(fabric)
+        client.send("server", "predict", "twin")
+        assert server.recv(timeout=1).payload == "twin"
+        assert server.recv(timeout=1).payload == "twin"
+        with pytest.raises(queue.Empty):
+            server.recv(timeout=0.01)
+
+
+class TestDeterminism:
+    def test_same_plan_same_fault_sequence(self):
+        spec = FaultSpec(seed=3, num_messages=32,
+                         message_drop_rate=0.3, signal_drops=True,
+                         faulty_tags=("predict",))
+
+        def run():
+            fabric = FaultyFabric(FaultPlan.compile(spec))
+            client, server = wire(fabric)
+            outcomes = []
+            for i in range(32):
+                try:
+                    client.send("server", "predict", i)
+                    outcomes.append("ok")
+                except MessageDropped:
+                    outcomes.append("drop")
+            return outcomes
+
+        first, second = run(), run()
+        assert first == second
+        assert "drop" in first and "ok" in first
+
+    def test_broadcast_copies_pass_through_injection(self):
+        fabric = make_fabric(message_drop_rate=1.0, signal_drops=False)
+        a = fabric.register("a")
+        b = fabric.register("b")
+        fabric.register("src")
+        assert fabric.broadcast("src", "predict", "x") == 2
+        assert a.try_recv() is None and b.try_recv() is None
+        assert fabric.injected() == {"predict": 2}

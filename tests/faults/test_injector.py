@@ -1,0 +1,66 @@
+"""WorkerFaultInjector: consumed-once crashes/hangs, slow workers."""
+
+import pytest
+
+from repro import obs
+from repro.faults import (FaultPlan, FaultSpec, InjectedWorkerCrash,
+                          WorkerFaultInjector)
+
+
+def make_injector(sleeps=None, **spec_kwargs):
+    spec = FaultSpec(num_requests=8, **spec_kwargs)
+    sleep = sleeps.append if sleeps is not None else (lambda _: None)
+    return WorkerFaultInjector(FaultPlan.compile(spec), sleep=sleep)
+
+
+class TestCrash:
+    def test_crash_is_a_base_exception(self):
+        # Must escape the server's per-request `except Exception` so
+        # the worker thread really dies.
+        assert issubclass(InjectedWorkerCrash, BaseException)
+        assert not issubclass(InjectedWorkerCrash, Exception)
+
+    def test_scheduled_seq_crashes_exactly_once(self):
+        injector = make_injector(worker_crash_rate=1.0)
+        with pytest.raises(InjectedWorkerCrash, match="seq 3"):
+            injector.on_execute(seq=3, attempt=0, worker_slot=0)
+        # Re-queued after the crash: same seq must now pass.
+        injector.on_execute(seq=3, attempt=1, worker_slot=1)
+        assert injector.injected_counts()["worker_crash"] == 1
+
+    def test_unscheduled_seq_never_crashes(self):
+        injector = make_injector()
+        for seq in range(8):
+            injector.on_execute(seq=seq, attempt=0, worker_slot=0)
+        assert injector.injected_counts() == {"worker_crash": 0,
+                                              "worker_hang": 0}
+
+
+class TestHangAndSlow:
+    def test_hang_sleeps_once_per_seq(self):
+        sleeps = []
+        injector = make_injector(sleeps, worker_hang_rate=1.0,
+                                 hang_seconds=0.25)
+        injector.on_execute(seq=0, attempt=0, worker_slot=0)
+        injector.on_execute(seq=0, attempt=1, worker_slot=0)
+        assert sleeps == [0.25]
+        assert injector.injected_counts()["worker_hang"] == 1
+
+    def test_slow_worker_slot_sleeps_every_batch(self):
+        sleeps = []
+        injector = make_injector(sleeps,
+                                 slow_workers=((1, 0.125),))
+        injector.on_batch_start(worker_slot=0)
+        injector.on_batch_start(worker_slot=1)
+        injector.on_batch_start(worker_slot=1)
+        assert sleeps == [0.125, 0.125]
+
+    def test_injection_counters_published(self):
+        with obs.observed(tracing=False) as (_, metrics):
+            injector = make_injector([], worker_crash_rate=1.0,
+                                     worker_hang_rate=1.0)
+            with pytest.raises(InjectedWorkerCrash):
+                injector.on_execute(seq=0, attempt=0, worker_slot=0)
+            counters = metrics.snapshot()["counters"]
+        assert counters["faults.injected.worker_crash"] == 1
+        assert counters["faults.injected.worker_hang"] == 1

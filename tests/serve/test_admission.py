@@ -97,3 +97,67 @@ class TestRetryWithBackoff:
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError, match="retries"):
             retry_with_backoff(lambda: None, retries=-1)
+
+    def test_retries_zero_attempts_once_and_never_sleeps(self):
+        sleeps = []
+        calls = []
+
+        def busy():
+            calls.append(1)
+            raise QueueFullError("busy")
+
+        with pytest.raises(QueueFullError):
+            retry_with_backoff(busy, retries=0, sleep=sleeps.append)
+        assert len(calls) == 1
+        assert sleeps == []
+        # And the degenerate happy path still returns the value.
+        assert retry_with_backoff(lambda: 42, retries=0,
+                                  sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_non_retryable_exception_passes_through_unwrapped(self):
+        # The *same object* must propagate -- no wrapping, no chained
+        # re-raise -- so callers can match on their own exception types
+        # and attached state.
+        original = KeyError("missing-model")
+
+        def broken():
+            raise original
+
+        with pytest.raises(KeyError) as excinfo:
+            retry_with_backoff(broken, retries=3,
+                               retry_on=(QueueFullError,),
+                               sleep=lambda _: None)
+        assert excinfo.value is original
+
+    def test_exhausted_retries_raise_the_final_failure_unwrapped(self):
+        failures = [QueueFullError(f"attempt {i}") for i in range(3)]
+        it = iter(failures)
+
+        def busy():
+            raise next(it)
+
+        with pytest.raises(QueueFullError) as excinfo:
+            retry_with_backoff(busy, retries=2, sleep=lambda _: None)
+        assert excinfo.value is failures[-1]
+
+    def test_total_sleep_accounting_is_deterministic(self):
+        def run(retries, base, factor):
+            sleeps = []
+
+            def always_busy():
+                raise QueueFullError("busy")
+
+            with pytest.raises(QueueFullError):
+                retry_with_backoff(always_busy, retries=retries,
+                                   base_delay=base, factor=factor,
+                                   sleep=sleeps.append)
+            return sleeps
+
+        first = run(5, 0.01, 2.0)
+        second = run(5, 0.01, 2.0)
+        # Bitwise-identical sleep schedule (no jitter), one sleep per
+        # retry, geometric growth, and an exactly reproducible total.
+        assert first == second
+        assert first == [0.01 * 2.0 ** i for i in range(5)]
+        assert sum(first) == sum(second) == pytest.approx(0.31)

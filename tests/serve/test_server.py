@@ -21,6 +21,8 @@ from repro.serve import (DeadlineExceededError, LoadGenerator,
                          ServeConfig, ServerClosedError, TrafficSpec)
 from repro.sim import DLWorkload
 
+pytestmark = pytest.mark.slow
+
 
 def _request(model="resnet18", size=2, batch=32) -> PredictionRequest:
     return PredictionRequest(

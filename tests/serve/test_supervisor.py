@@ -1,0 +1,180 @@
+"""Worker supervision: crash recovery, degraded mode, stop() joins."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.cluster import Fabric, make_cluster
+from repro.core import PredictionRequest
+from repro.core.requests import PredictionResult
+from repro.faults import (FaultPlan, FaultSpec, InjectedWorkerCrash,
+                          WorkerFaultInjector)
+from repro.serve import DegradedError, PredictionServer, ServeConfig
+from repro.serve.cache import request_cache_key
+from repro.sim import DLWorkload
+
+
+def _request(model="resnet18", size=2, batch=32) -> PredictionRequest:
+    return PredictionRequest(
+        workload=DLWorkload(model, "cifar10",
+                            batch_size_per_server=batch),
+        cluster=make_cluster(size, "gpu-p100"))
+
+
+class _EchoBackend:
+    """Instant fake predictor; counts calls."""
+
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def predict(self, request):
+        with self._lock:
+            self.calls += 1
+        return PredictionResult(request=request, predicted_time=1.0,
+                                dataset_used="cifar10",
+                                ghn_trained=False,
+                                embedding_seconds=0.0,
+                                inference_seconds=0.0)
+
+
+class _GatedBackend(_EchoBackend):
+    """Fake predictor whose predict() blocks until released."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def predict(self, request):
+        self.started.set()
+        self.gate.wait(timeout=30.0)
+        return super().predict(request)
+
+
+class _AlwaysCrash:
+    """Injector stub that kills the worker on every execution."""
+
+    def on_batch_start(self, slot):
+        pass
+
+    def on_execute(self, seq, attempt, slot):
+        raise InjectedWorkerCrash(f"seq {seq} attempt {attempt}")
+
+
+FAST_SUPERVISION = dict(workers=1, batch_window=0.0, max_batch=1,
+                        supervisor_interval=0.002)
+
+
+def crash_once_injector():
+    """Real injector scheduled to crash request seq 0 exactly once."""
+    plan = FaultPlan.compile(FaultSpec(num_requests=1,
+                                       worker_crash_rate=1.0))
+    return WorkerFaultInjector(plan)
+
+
+class TestCrashRecovery:
+    def test_crash_respawn_requeue_completes_every_request(self):
+        backend = _EchoBackend()
+        config = ServeConfig(**FAST_SUPERVISION)
+        with obs.observed(tracing=False) as (_, metrics):
+            with PredictionServer(
+                    backend, config,
+                    fault_injector=crash_once_injector()) as server:
+                futures = [server.submit(_request(batch=32 + i))
+                           for i in range(3)]
+                results = [f.result(timeout=10.0) for f in futures]
+                restarts = list(server.restart_latencies)
+            counters = metrics.snapshot()["counters"]
+        assert [r.predicted_time for r in results] == [1.0, 1.0, 1.0]
+        assert counters["serve.worker_deaths"] == 1
+        assert counters["serve.worker_restarts"] == 1
+        assert counters["serve.requeued"] == 1
+        assert len(restarts) == 1 and restarts[0] >= 0.0
+        assert not server.degraded
+
+    def test_persistently_crashing_request_abandoned_loudly(self):
+        backend = _EchoBackend()
+        config = ServeConfig(max_attempts=2, **FAST_SUPERVISION)
+        with obs.observed(tracing=False) as (_, metrics):
+            with PredictionServer(
+                    backend, config,
+                    fault_injector=_AlwaysCrash()) as server:
+                future = server.submit(_request())
+                exc = future.exception(timeout=10.0)
+            counters = metrics.snapshot()["counters"]
+        assert isinstance(exc, RuntimeError)
+        assert "abandoned after 2 execution attempts" in str(exc)
+        assert backend.calls == 0  # never executed, never guessed
+        assert counters["serve.worker_deaths"] == 2
+        assert counters["serve.requeued"] == 1
+        # The slot itself was respawned each time; admission freed.
+        assert server.admission.depth == 0
+
+
+class TestDegradedMode:
+    def test_spent_budget_degrades_cache_serves_rest_refused(self):
+        backend = _EchoBackend()
+        config = ServeConfig(max_worker_restarts=0, **FAST_SUPERVISION)
+        cached = _request(batch=64)
+        with obs.observed(tracing=False) as (_, metrics):
+            with PredictionServer(
+                    backend, config,
+                    fault_injector=crash_once_injector()) as server:
+                # Pre-populate the cache as a healthy server would have.
+                hit = backend.predict(cached)
+                server.cache.store(hit, request_cache_key(cached))
+
+                doomed = server.submit(_request())
+                exc = doomed.exception(timeout=10.0)
+                assert isinstance(exc, DegradedError)
+                assert server.degraded
+
+                # Sticky: fresh uncached submissions are refused...
+                with pytest.raises(DegradedError, match="not in the "
+                                   "result cache"):
+                    server.submit(_request(batch=99))
+                # ...but cache hits still serve, with real answers.
+                served = server.submit(cached).result(timeout=1.0)
+                assert served.predicted_time == hit.predicted_time
+            counters = metrics.snapshot()["counters"]
+        assert counters["serve.degraded_entered"] == 1
+        assert counters["serve.degraded_responses{source=cache}"] == 1
+        assert counters["serve.degraded_responses{source=refused}"] == 2
+        assert counters.get("serve.worker_restarts", 0) == 0
+        assert server.admission.depth == 0
+
+
+class TestStopJoins:
+    def test_stop_with_spent_timeout_still_joins_pump_and_supervisor(
+            self):
+        # Regression: stop() used to give the pump whatever timeout
+        # remained after joining the workers -- zero when a slow worker
+        # consumed the whole budget -- then close the endpoint under
+        # the still-running pump thread.  The join floor guarantees
+        # both service threads are collected even at timeout=0.
+        backend = _GatedBackend()
+        config = ServeConfig(workers=1, batch_window=0.0, max_batch=1,
+                             supervisor_interval=0.002)
+        server = PredictionServer(backend, config, fabric=Fabric())
+        server.start()
+        try:
+            future = server.submit(_request())
+            assert backend.started.wait(timeout=10.0)
+            pump, supervisor = server._pump, server._supervisor
+            server.stop(drain=True, timeout=0.0)
+            assert not pump.is_alive()
+            assert not supervisor.is_alive()
+            assert server.endpoint is None
+        finally:
+            backend.gate.set()
+            future.result(timeout=10.0)  # worker still finishes cleanly
+
+    def test_stop_is_idempotent_after_spent_timeout(self):
+        backend = _EchoBackend()
+        server = PredictionServer(backend, ServeConfig(workers=1))
+        server.start()
+        server.stop(timeout=0.0)
+        server.stop()  # second stop is a no-op
+        assert not server.running
