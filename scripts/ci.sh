@@ -35,6 +35,14 @@ echo "==> repro serve --self-test --json (serving smoke)"
 python -c "import sys; from repro.cli import main; sys.exit(main(['serve', '--self-test', '--json']))" \
     | python -m json.tool > /dev/null
 
+echo "==> repro bench --suite perf --quick (perf-regression gate)"
+# Batched GHN embedding must be bitwise-identical to sequential and at
+# least as fast (speedup >= 1x at K>=8), and sharded trace generation
+# must be bit-identical to serial.  The command exits non-zero on any
+# gate violation; json.tool checks the payload is well-formed JSON.
+python -c "import sys; from repro.cli import main; sys.exit(main(['bench', '--suite', 'perf', '--quick', '--json']))" \
+    | python -m json.tool > /dev/null
+
 echo "==> repro chaos --self-test --json (fault-injection gate)"
 # Runs the serving stack twice under the same seeded fault plan
 # (worker crashes/hangs + message drops/delays/duplicates) and exits

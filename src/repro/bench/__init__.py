@@ -19,6 +19,9 @@ from .experiments_serve import ServeScalePoint, serving_scalability
 from .harness import (EvalOutcome, ernest_design, evaluate_ernest,
                       evaluate_predictor, fit_ernest, fit_predictor,
                       per_workload_ratios, split_points)
+from .perf import (EmbedPerfPoint, ServePerfResult, TracegenPerfPoint,
+                   check_gates, embed_throughput, run_perf_suite,
+                   serve_latency, tracegen_throughput)
 from .reporting import format_table, render_report, write_report
 
 __all__ = [
@@ -35,5 +38,8 @@ __all__ = [
     "serving_scalability", "ServeScalePoint",
     "chaos_recovery", "ChaosRecoveryPoint",
     "embedding_dim_sweep", "ghn_config_ablation", "allreduce_ablation",
+    "run_perf_suite", "check_gates", "embed_throughput",
+    "tracegen_throughput", "serve_latency", "EmbedPerfPoint",
+    "TracegenPerfPoint", "ServePerfResult",
     "format_table", "render_report", "write_report",
 ]

@@ -1,0 +1,286 @@
+"""Performance-regression suite for the batched-embedding stack.
+
+Three micro-benchmarks with machine-readable output (``BENCH_perf.json``
+at the repo root is the committed baseline):
+
+* **embed**: one batched :meth:`repro.ghn.GHN2.embed_many` call over K
+  zoo graphs vs K sequential :meth:`~repro.ghn.GHN2.embed` calls.  The
+  suite reports wall time, speedup and the max absolute difference
+  between the two result sets -- which must be exactly ``0.0``, the
+  bitwise-equivalence contract of the block-diagonal batching layer.
+* **tracegen**: :func:`repro.sim.generate_trace` points/second at
+  several worker counts, asserting the sharded sweeps return records
+  bit-identical to the serial sweep.
+* **serve**: p50/p99 latency and throughput of a
+  :class:`~repro.serve.PredictionServer` burst driven by the existing
+  :class:`~repro.serve.LoadGenerator`.
+
+``run_perf_suite`` composes them into one JSON payload;
+``check_gates`` evaluates the regression gates (batched throughput >=
+sequential, bitwise equality, tracegen determinism) and returns the
+list of violations.  ``repro bench --suite perf`` is the CLI entry;
+``scripts/ci.sh`` runs the ``--quick`` variant as a smoke gate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..ghn import GHN2, GHNConfig
+from ..graphs.zoo import get_model, list_models
+from ..obs import TRACER
+from ..sim import generate_trace
+
+__all__ = ["EmbedPerfPoint", "TracegenPerfPoint", "ServePerfResult",
+           "embed_throughput", "tracegen_throughput", "serve_latency",
+           "run_perf_suite", "check_gates"]
+
+#: Batch sizes exercised by the full suite (the ISSUE's K in {1, 8, 32}).
+DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 8, 32)
+
+#: Worker counts exercised by the tracegen benchmark.
+DEFAULT_WORKER_COUNTS: tuple[int, ...] = (1, 4)
+
+
+@dataclasses.dataclass(frozen=True)
+class EmbedPerfPoint:
+    """Batched vs sequential embedding at one batch size ``k``."""
+
+    k: int
+    num_nodes: int
+    sequential_seconds: float
+    batched_seconds: float
+    max_abs_diff: float
+
+    @property
+    def speedup(self) -> float:
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.sequential_seconds / self.batched_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "k": self.k,
+            "num_nodes": self.num_nodes,
+            "sequential_seconds": self.sequential_seconds,
+            "batched_seconds": self.batched_seconds,
+            "speedup": self.speedup,
+            "max_abs_diff": self.max_abs_diff,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class TracegenPerfPoint:
+    """Trace-generation throughput at one worker count."""
+
+    workers: int
+    points: int
+    seconds: float
+    identical_to_serial: bool
+
+    @property
+    def points_per_sec(self) -> float:
+        if self.seconds <= 0:
+            return float("inf")
+        return self.points / self.seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "workers": self.workers,
+            "points": self.points,
+            "seconds": self.seconds,
+            "points_per_sec": self.points_per_sec,
+            "identical_to_serial": self.identical_to_serial,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ServePerfResult:
+    """Latency percentiles of one serving burst."""
+
+    requests: int
+    completed: int
+    p50_ms: float
+    p99_ms: float
+    throughput_rps: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _bench_graphs(k: int, models: Sequence[str]) -> list:
+    """``k`` zoo graphs cycling through ``models``.
+
+    Distinct model names keep the batch heterogeneous (different node
+    counts and depths), which is the realistic shape for ``embed_many``.
+    """
+    return [get_model(models[i % len(models)]) for i in range(k)]
+
+
+def embed_throughput(batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES, *,
+                     hidden_dim: int = 32, seed: int = 0,
+                     models: Sequence[str] | None = None
+                     ) -> list[EmbedPerfPoint]:
+    """Time ``embed_many`` against sequential ``embed`` per batch size.
+
+    Structures are warmed before timing (one untimed round) so both
+    paths measure GNN compute, not schedule construction -- matching
+    the steady state of a long-running server.  The max absolute
+    difference between batched and sequential embeddings is recorded;
+    the regression gate requires it to be exactly ``0.0``.
+    """
+    models = list(models) if models else list_models()
+    ghn = GHN2(GHNConfig(hidden_dim=hidden_dim, seed=seed))
+    results: list[EmbedPerfPoint] = []
+    for k in batch_sizes:
+        graphs = _bench_graphs(k, models)
+        # Warm structure cache and verifier memo on both paths.
+        sequential = [ghn.embed(g) for g in graphs]
+        ghn.embed_many(graphs)
+        with TRACER.span("bench.perf.embed", k=k):
+            start = time.perf_counter()
+            sequential = [ghn.embed(g) for g in graphs]
+            mid = time.perf_counter()
+            batched = ghn.embed_many(graphs)
+            end = time.perf_counter()
+        diff = max(float(np.max(np.abs(b - s)))
+                   for b, s in zip(batched, sequential))
+        results.append(EmbedPerfPoint(
+            k=k,
+            num_nodes=sum(len(g.nodes) for g in graphs),
+            sequential_seconds=mid - start,
+            batched_seconds=end - mid,
+            max_abs_diff=diff,
+        ))
+    return results
+
+
+def tracegen_throughput(
+        worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS, *,
+        models: Sequence[str] = ("resnet18", "vgg11", "alexnet"),
+        cluster_sizes: Sequence[int] = tuple(range(1, 9)),
+        seed: int = 0) -> list[TracegenPerfPoint]:
+    """Points/second of ``generate_trace`` per worker count.
+
+    Every sharded run is compared record-by-record against the serial
+    baseline; ``identical_to_serial`` must hold at any worker count
+    (the :mod:`repro.parallel` determinism contract).
+    """
+    baseline_records: list[dict] | None = None
+    results: list[TracegenPerfPoint] = []
+    for workers in worker_counts:
+        with TRACER.span("bench.perf.tracegen", workers=workers):
+            start = time.perf_counter()
+            points = generate_trace(list(models), "cifar10", "gpu-p100",
+                                    cluster_sizes, seed=seed,
+                                    workers=workers)
+            seconds = time.perf_counter() - start
+        records = [p.as_record() for p in points]
+        if baseline_records is None:
+            baseline_records = records
+            identical = True
+        else:
+            identical = records == baseline_records
+        results.append(TracegenPerfPoint(
+            workers=workers, points=len(points), seconds=seconds,
+            identical_to_serial=identical))
+    return results
+
+
+def serve_latency(*, requests: int = 60, rate: float = 1000.0,
+                  seed: int = 0, ghn_dim: int = 8,
+                  ghn_steps: int = 8, workers: int = 2
+                  ) -> ServePerfResult:
+    """One loadgen burst against a throwaway predictor.
+
+    Reuses the serve layer's own traffic generator so the numbers are
+    comparable with ``repro serve --self-test``.
+    """
+    from ..cluster import make_cluster  # noqa: F401 - spec sanity
+    from ..core import PredictDDL
+    from ..ghn import GHNRegistry
+    from ..serve import (LoadGenerator, PredictionServer, ServeConfig,
+                         TrafficSpec)
+
+    registry = GHNRegistry(
+        config=GHNConfig(hidden_dim=ghn_dim, seed=seed),
+        train_steps=ghn_steps)
+    points = generate_trace(["resnet18", "alexnet"], "cifar10",
+                            "gpu-p100", [1, 2, 4], seed=seed)
+    predictor = PredictDDL(registry=registry, seed=seed).fit(points)
+    spec = TrafficSpec(models=("resnet18", "alexnet"), dataset="cifar10",
+                       cluster_sizes=(2, 4), server_class="gpu-p100",
+                       batch_size=32, num_requests=requests, rate=rate,
+                       seed=seed)
+    config = ServeConfig(workers=workers,
+                         max_queue_depth=max(1, requests))
+    with TRACER.span("bench.perf.serve", requests=requests):
+        with PredictionServer(predictor, config) as server:
+            report = LoadGenerator(server, spec).run()
+    payload = report.to_dict()
+    return ServePerfResult(
+        requests=payload["sent"], completed=payload["completed"],
+        p50_ms=payload["p50_ms"], p99_ms=payload["p99_ms"],
+        throughput_rps=payload["throughput_rps"])
+
+
+def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
+    """Run every perf benchmark and return the JSON payload.
+
+    ``quick`` shrinks the suite to a CI smoke (K up to 8, a handful of
+    zoo models, no serving burst) while keeping every gate meaningful.
+    """
+    if quick:
+        embed = embed_throughput((1, 8), hidden_dim=16, seed=seed,
+                                 models=["resnet18", "vgg11", "alexnet",
+                                         "squeezenet1_0"])
+        tracegen = tracegen_throughput(
+            (1, 4), cluster_sizes=tuple(range(1, 5)), seed=seed)
+        serve = None
+    else:
+        embed = embed_throughput(seed=seed)
+        tracegen = tracegen_throughput(seed=seed)
+        serve = serve_latency(seed=seed)
+    return {
+        "suite": "perf",
+        "quick": quick,
+        "seed": seed,
+        "embed": [p.to_dict() for p in embed],
+        "tracegen": [p.to_dict() for p in tracegen],
+        "serve": serve.to_dict() if serve is not None else None,
+    }
+
+
+def check_gates(payload: dict, *, min_speedup: float = 1.0,
+                min_speedup_k: int = 8) -> list[str]:
+    """Regression gates over a ``run_perf_suite`` payload.
+
+    * batched embedding must be bitwise-identical to sequential;
+    * batched throughput must be at least ``min_speedup`` x sequential
+      for every batch size ``k >= min_speedup_k`` (singleton batches
+      are allowed to tie -- there is nothing to amortize at K=1);
+    * sharded trace generation must be bit-identical to serial.
+
+    Returns human-readable violation strings (empty = pass).
+    """
+    failures: list[str] = []
+    for point in payload["embed"]:
+        if point["max_abs_diff"] != 0.0:
+            failures.append(
+                f"embed k={point['k']}: batched differs from "
+                f"sequential (max abs diff {point['max_abs_diff']:g})")
+        if (point["k"] >= min_speedup_k
+                and point["speedup"] < min_speedup):
+            failures.append(
+                f"embed k={point['k']}: speedup {point['speedup']:.2f}x "
+                f"below gate {min_speedup:.2f}x")
+    for point in payload["tracegen"]:
+        if not point["identical_to_serial"]:
+            failures.append(
+                f"tracegen workers={point['workers']}: records differ "
+                f"from the serial sweep")
+    return failures

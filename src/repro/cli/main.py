@@ -18,6 +18,10 @@ Subcommands mirror the deployment workflow:
   predictor and asserts the smoke-gate invariants);
 * ``repro loadgen``   -- replay open-loop synthetic traffic against a
   trained artifact and report latency percentiles and throughput;
+* ``repro bench``     -- run a benchmark suite with machine-readable
+  output and regression gates (``--suite perf``: batched vs sequential
+  GHN embedding, parallel trace-generation determinism/throughput,
+  serving latency percentiles);
 * ``repro chaos``     -- run the serving stack under a seeded
   fault-injection plan (:mod:`repro.faults`: worker crashes/hangs,
   message drops/delays/duplicates) and audit exactly-once delivery
@@ -105,6 +109,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--batch", type=int, default=32)
     p_trace.add_argument("--epochs", type=int, default=1)
     p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the sweep; results "
+                              "are bit-identical at any count")
     p_trace.add_argument("--out", required=True, type=Path)
     _add_obs_flags(p_trace)
 
@@ -240,6 +247,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the chaos report as JSON")
 
+    p_bench = sub.add_parser(
+        "bench",
+        help="run a benchmark suite with machine-readable output")
+    p_bench.add_argument("--suite", choices=["perf"], default="perf",
+                         help="suite to run (currently: perf)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke variant: smaller batches, no "
+                              "serving burst, same regression gates")
+    p_bench.add_argument("--out", type=Path, default=None,
+                         help="write the JSON payload to PATH "
+                              "(default: stdout only)")
+    p_bench.add_argument("--min-speedup", type=float, default=1.0,
+                         help="gate: batched embed throughput must be "
+                              "at least this multiple of sequential "
+                              "at K>=8 (default 1.0, i.e. no slower)")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the full JSON payload to stdout "
+                              "instead of the summary table")
+
     p_rep = sub.add_parser("report", help="summarize a stored trace")
     p_rep.add_argument("--trace", required=True, type=Path)
 
@@ -368,7 +395,8 @@ def _cmd_trace(args) -> int:
     sizes = _parse_sizes(args.sizes)
     points = generate_trace(models, args.dataset, args.server_class,
                             sizes, batch_size_per_server=args.batch,
-                            epochs=args.epochs, seed=args.seed)
+                            epochs=args.epochs, seed=args.seed,
+                            workers=args.workers)
     save_trace(points, args.out)
     print(f"wrote {len(points)} trace points "
           f"({len(models)} models x {len(sizes)} sizes) to {args.out}")
@@ -666,6 +694,52 @@ def _cmd_loadgen(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from ..bench import check_gates, run_perf_suite
+
+    payload = run_perf_suite(quick=args.quick, seed=args.seed)
+    failures = check_gates(payload, min_speedup=args.min_speedup)
+    payload["gates"] = {
+        "min_speedup": args.min_speedup,
+        "failures": failures,
+        "status": "fail" if failures else "pass",
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    if args.as_json:
+        print(text)
+    else:
+        mode = "quick" if args.quick else "full"
+        print(f"perf suite ({mode}, seed {args.seed})")
+        print(f"{'k':>4}{'nodes':>7}{'seq (s)':>10}{'batched (s)':>13}"
+              f"{'speedup':>9}{'max|diff|':>11}")
+        for p in payload["embed"]:
+            print(f"{p['k']:>4}{p['num_nodes']:>7}"
+                  f"{p['sequential_seconds']:>10.3f}"
+                  f"{p['batched_seconds']:>13.3f}"
+                  f"{p['speedup']:>8.2f}x"
+                  f"{p['max_abs_diff']:>11g}")
+        for p in payload["tracegen"]:
+            match = "ok" if p["identical_to_serial"] else "MISMATCH"
+            print(f"tracegen workers={p['workers']}: "
+                  f"{p['points_per_sec']:.1f} points/s "
+                  f"({p['points']} points, bitwise {match})")
+        if payload["serve"] is not None:
+            s = payload["serve"]
+            print(f"serve: p50 {s['p50_ms']:.2f}ms  "
+                  f"p99 {s['p99_ms']:.2f}ms  "
+                  f"{s['throughput_rps']:.1f} req/s "
+                  f"({s['completed']}/{s['requests']} completed)")
+        if args.out is not None:
+            print(f"payload written to {args.out}")
+    for failure in failures:
+        print(f"perf gate FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_report(args) -> int:
     from ..sim import load_trace
 
@@ -746,6 +820,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
+    "bench": _cmd_bench,
     "report": _cmd_report,
     "lint": _cmd_lint,
 }

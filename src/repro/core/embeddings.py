@@ -9,6 +9,7 @@ is the per-request overhead amortized in Fig. 13.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -69,6 +70,57 @@ class WorkloadEmbeddingsGenerator:
                                dataset_used=dataset_used,
                                seconds=sw.duration,
                                trained_new_ghn=needs_training)
+
+    def generate_many(
+            self,
+            items: Sequence[tuple[ComputationalGraph, str]], *,
+            allow_fallback: bool = True) -> list[EmbeddingOutput]:
+        """Embed many ``(graph, dataset_name)`` pairs with batched GHN
+        passes.
+
+        Items are grouped by resolved GHN (after the same
+        :meth:`select_dataset` fallback logic ``generate`` applies) and
+        each group's registry-cache misses run through one batched
+        :meth:`GHNRegistry.embed_many` call.  Every returned embedding
+        is numerically identical to a sequential :meth:`generate` call;
+        ``seconds`` reports the group's wall time amortized over its
+        members.
+
+        Resolution walks the items in order and materializes (trains or
+        loads) any missing GHN immediately -- exactly when a sequential
+        ``generate`` loop would have -- because the fallback decision
+        for item ``i+1`` depends on which datasets are trained after
+        item ``i``.
+        """
+        resolved: list[tuple[str, bool]] = []
+        for _, dataset_name in items:
+            dataset_used, needs_training = self.select_dataset(
+                dataset_name, allow_fallback=allow_fallback)
+            if needs_training:
+                # Offline GHN training nests under an "embed" span
+                # exactly as it does on the sequential path, where the
+                # first embed call pays for it.
+                with TRACER.span("embed", dataset=dataset_used,
+                                 train=True):
+                    self.registry.get(dataset_used)
+            resolved.append((dataset_used, needs_training))
+        groups: dict[str, list[int]] = {}
+        for index, (dataset_used, _) in enumerate(resolved):
+            groups.setdefault(dataset_used, []).append(index)
+        outputs: list[EmbeddingOutput | None] = [None] * len(items)
+        for dataset_used, indices in groups.items():
+            graphs = [items[i][0] for i in indices]
+            with TRACER.timed("embed", graphs=len(graphs),
+                              dataset=dataset_used) as sw:
+                embeddings = self.registry.embed_many(dataset_used,
+                                                      graphs)
+            amortized = sw.duration / len(indices)
+            for i, embedding in zip(indices, embeddings):
+                outputs[i] = EmbeddingOutput(
+                    embedding=embedding, dataset_used=dataset_used,
+                    seconds=amortized,
+                    trained_new_ghn=resolved[i][1])
+        return outputs
 
     @property
     def embedding_dim(self) -> int:

@@ -7,11 +7,13 @@ the offline meta-training workflow (Fig. 8) and the per-dataset registry
 PredictDDL's Workload Embeddings Generator queries.
 """
 
+from .batching import GraphBatch
 from .darts_space import sample_architecture, sample_space
 from .decoder import ParameterDecoder
 from .encoder import NodeEncoder, node_attribute_matrix
 from .executor import EXECUTABLE_OPS, execute_graph, random_parameters
-from .gated_gnn import GatedGNN, GraphStructure
+from .gated_gnn import (GatedGNN, GraphStructure, LevelStep,
+                        TraversalSchedule, structure_cache)
 from .model import GHN2, GHNConfig
 from .multidataset import MultiDatasetGHNTrainer
 from .normalization import OperationNormalization
@@ -22,6 +24,7 @@ __all__ = [
     "GHN2", "GHNConfig", "GHNRegistry", "GHNTrainer", "GHNTrainingResult",
     "MultiDatasetGHNTrainer",
     "NodeEncoder", "node_attribute_matrix", "GatedGNN", "GraphStructure",
+    "GraphBatch", "LevelStep", "TraversalSchedule", "structure_cache",
     "OperationNormalization", "ParameterDecoder",
     "sample_architecture", "sample_space",
     "execute_graph", "random_parameters", "EXECUTABLE_OPS",

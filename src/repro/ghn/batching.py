@@ -1,0 +1,144 @@
+"""Cross-graph batching: pack K graphs into one GatedGNN pass.
+
+A :class:`GraphBatch` concatenates K computational graphs into one
+block-diagonal super-graph: node ids are offset per graph, the per-level
+edge-list schedules are merged level-by-level (level ``l`` of the batch
+is the concatenation of every member's level ``l``), and contiguous
+segment slices record which rows belong to which graph.  The GatedGNN
+then runs its forward/backward message-passing rounds for the whole
+batch in single NumPy calls instead of K tape replays.
+
+Because propagation uses batch-size-invariant kernels (see
+:mod:`repro.ghn.gated_gnn`), every node's update in the packed pass is
+bitwise identical to its update in a solo pass over its own graph: there
+are no edges between segments, level merging only interleaves rows of
+*other* graphs into the same kernel calls, and each kernel computes row
+results independently.  ``GHN2.embed_many`` exploits this to return
+per-graph embeddings numerically identical to sequential ``embed``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..graphs import ComputationalGraph
+from ..graphs.ops import op_index
+from .gated_gnn import GraphStructure, LevelStep, TraversalSchedule
+
+__all__ = ["GraphBatch"]
+
+
+def _pack_schedules(schedules: Sequence[TraversalSchedule],
+                    offsets: np.ndarray) -> TraversalSchedule:
+    """Merge per-graph schedules level-by-level with offset node ids."""
+    num_nodes = int(offsets[-1]) if len(offsets) else 0
+    has_virtual = any(s.has_virtual for s in schedules)
+    depth = max((len(s.steps) for s in schedules), default=0)
+    steps: list[LevelStep] = []
+    for level in range(depth):
+        nodes, msg_src, msg_dst = [], [], []
+        sp_src, sp_dst, sp_weight = [], [], []
+        local = 0
+        for schedule, offset in zip(schedules, offsets[:-1]):
+            if level >= len(schedule.steps):
+                continue
+            step = schedule.steps[level]
+            nodes.append(step.nodes + offset)
+            msg_src.append(step.msg_src + offset)
+            msg_dst.append(step.msg_dst + local)
+            sp_src.append(step.sp_src + offset)
+            sp_dst.append(step.sp_dst + local)
+            sp_weight.append(step.sp_weight)
+            local += len(step.nodes)
+        steps.append(LevelStep(
+            nodes=np.concatenate(nodes),
+            msg_src=np.concatenate(msg_src),
+            msg_dst=np.concatenate(msg_dst),
+            sp_src=np.concatenate(sp_src),
+            sp_dst=np.concatenate(sp_dst),
+            sp_weight=np.concatenate(sp_weight)))
+    return TraversalSchedule(steps=tuple(steps), has_virtual=has_virtual,
+                             num_nodes=num_nodes)
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphBatch:
+    """K graphs packed into one block-diagonal propagation structure.
+
+    Attributes
+    ----------
+    graphs:
+        The member graphs, in packing order.
+    structures:
+        Their per-graph :class:`GraphStructure` instances.
+    offsets:
+        ``(K+1,)`` cumulative node offsets; graph ``i`` owns rows
+        ``offsets[i]:offsets[i+1]`` of every batched state matrix.
+    """
+
+    graphs: tuple[ComputationalGraph, ...]
+    structures: tuple[GraphStructure, ...]
+    offsets: np.ndarray
+
+    @staticmethod
+    def build(graphs: Sequence[ComputationalGraph], *,
+              s_max: int,
+              structures: Sequence[GraphStructure] | None = None
+              ) -> "GraphBatch":
+        """Pack ``graphs`` (structures resolved via the shared cache)."""
+        if not graphs:
+            raise ValueError("cannot build an empty GraphBatch")
+        if structures is None:
+            structures = [GraphStructure.cached(g, s_max) for g in graphs]
+        if len(structures) != len(graphs):
+            raise ValueError("one structure per graph required")
+        offsets = np.concatenate(
+            [[0], np.cumsum([g.num_nodes for g in graphs])])
+        return GraphBatch(graphs=tuple(graphs),
+                          structures=tuple(structures),
+                          offsets=offsets.astype(np.intp))
+
+    # -- packed views ---------------------------------------------------
+    @property
+    def num_graphs(self) -> int:
+        return len(self.graphs)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count across all members."""
+        return int(self.offsets[-1])
+
+    @functools.cached_property
+    def schedule_fw(self) -> TraversalSchedule:
+        return _pack_schedules([s.schedule_fw for s in self.structures],
+                               self.offsets)
+
+    @functools.cached_property
+    def schedule_bw(self) -> TraversalSchedule:
+        return _pack_schedules([s.schedule_bw for s in self.structures],
+                               self.offsets)
+
+    @functools.cached_property
+    def op_index_array(self) -> np.ndarray:
+        """Concatenated per-node op-vocabulary indices (normalization)."""
+        return np.fromiter(
+            (op_index(nd.op) for g in self.graphs for nd in g.nodes),
+            dtype=np.intp, count=self.num_nodes)
+
+    # -- unpacking ------------------------------------------------------
+    def segment(self, index: int) -> slice:
+        """Row slice of member ``index`` in batched state matrices."""
+        return slice(int(self.offsets[index]),
+                     int(self.offsets[index + 1]))
+
+    def split(self, batched: np.ndarray) -> list[np.ndarray]:
+        """Fan a ``(num_nodes, ...)`` batched array out per graph."""
+        if batched.shape[0] != self.num_nodes:
+            raise ValueError(
+                f"expected leading dimension {self.num_nodes}, "
+                f"got {batched.shape[0]}")
+        return [batched[self.segment(i)] for i in range(self.num_graphs)]

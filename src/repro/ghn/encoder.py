@@ -59,7 +59,10 @@ class NodeEncoder(Module):
         self.use_node_attrs = use_node_attrs
         in_features = len(OP_VOCABULARY) + (NUM_NODE_ATTRS
                                             if use_node_attrs else 0)
-        self.proj = Linear(in_features, hidden_dim, rng)
+        # row_stable: the projection runs on concatenated multi-graph
+        # feature matrices (GHN2.embed_many); each node's embedding must
+        # not depend on how many other nodes share the batch.
+        self.proj = Linear(in_features, hidden_dim, rng, row_stable=True)
 
     def input_features(self, graph: ComputationalGraph) -> np.ndarray:
         """Raw (pre-projection) feature matrix for ``graph``."""
@@ -68,6 +71,10 @@ class NodeEncoder(Module):
             h0 = np.concatenate([h0, node_attribute_matrix(graph)], axis=1)
         return h0
 
+    def project(self, features: np.ndarray) -> Tensor:
+        """Project a raw feature matrix (possibly multi-graph) to H_1."""
+        return self.proj(Tensor(features))
+
     def forward(self, graph: ComputationalGraph) -> Tensor:
         """Return ``H_1`` of shape ``(|V|, hidden_dim)``."""
-        return self.proj(Tensor(self.input_features(graph)))
+        return self.project(self.input_features(graph))

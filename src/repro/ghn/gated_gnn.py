@@ -8,24 +8,54 @@ MLP-transformed messages from its already-updated neighbours plus
 Eq. 4), then updates its state with a GRU.
 
 Implementation notes (HPC guide: vectorize): nodes are scheduled in
-*longest-path levels*; all nodes in one level have every predecessor in an
-earlier level, so an entire level is updated in a single batched GRU call.
-This is exactly equivalent to the sequential per-node traversal while
-running orders of magnitude faster in NumPy.  Virtual-edge messages are
-computed synchronously from the pass-start states.
+*longest-path levels*; all nodes in one level have every predecessor in
+an earlier level, so an entire level is updated in a single batched GRU
+call.  Propagation runs on explicit per-level edge lists with
+batch-size-invariant kernels (einsum contractions, ``np.add.at``
+scatter-sums, index gathers) rather than dense ``receive @ feats``
+products: every node's update is then a pure function of its own inputs,
+so packing K graphs into one :class:`~repro.ghn.batching.GraphBatch`
+reproduces each graph's solo numbers exactly -- the property
+``GHN2.embed_many`` relies on.  Virtual-edge messages are computed
+synchronously from the pass-start states.
+
+Structure building (virtual-edge weights, shortest paths, level
+schedules) is pure NumPy/BFS work independent of GHN weights; it is
+memoized process-wide in a fingerprint-keyed LRU
+(``ghn.structure_cache.*`` obs counters) so new GHN instances and
+renamed copies of known graphs skip the recompute.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
-from ..graphs import ComputationalGraph, virtual_edge_weights
-from ..nn import GRUCell, MLP, Module, Tensor
+from ..caching import LRUCache
+from ..graphs import (ComputationalGraph, graph_fingerprint,
+                      virtual_edge_weights)
+from ..nn import (GRUCell, MLP, Module, Tensor, aggregate_rows,
+                  is_grad_enabled)
 from ..obs import METRICS, TRACER
 
-__all__ = ["GraphStructure", "GatedGNN"]
+__all__ = ["GraphStructure", "GatedGNN", "LevelStep", "TraversalSchedule",
+           "structure_cache"]
+
+#: Bound on process-wide memoized :class:`GraphStructure` instances.
+DEFAULT_STRUCTURE_CACHE_SIZE = 256
+
+#: Process-wide structure memo keyed by ``(graph fingerprint, s_max)``.
+#: Shared across GHN instances: retraining a registry GHN or embedding a
+#: renamed copy of a known architecture never rebuilds shortest paths.
+_STRUCTURE_CACHE = LRUCache(DEFAULT_STRUCTURE_CACHE_SIZE,
+                            metrics_prefix="ghn.structure_cache")
+
+
+def structure_cache() -> LRUCache:
+    """The process-wide :class:`GraphStructure` memo (obs-instrumented)."""
+    return _STRUCTURE_CACHE
 
 
 def _longest_path_levels(num_nodes: int, edges: list[tuple[int, int]],
@@ -55,11 +85,63 @@ def _longest_path_levels(num_nodes: int, edges: list[tuple[int, int]],
 
 
 @dataclasses.dataclass(frozen=True)
+class LevelStep:
+    """One level of a traversal as explicit edge lists.
+
+    ``nodes`` are the node ids updated at this step.  Real messages flow
+    along ``(msg_src[e] -> nodes[msg_dst[e]])``; virtual shortest-path
+    messages along ``(sp_src[e] -> nodes[sp_dst[e]])`` scaled by
+    ``sp_weight[e] = 1/s_vu``.  Edges are ordered by receiver then
+    sender, so each receiver's fold order is fixed regardless of what
+    other graphs contribute to the same batched step.
+    """
+
+    nodes: np.ndarray
+    msg_src: np.ndarray
+    msg_dst: np.ndarray
+    sp_src: np.ndarray
+    sp_dst: np.ndarray
+    sp_weight: np.ndarray
+
+
+@dataclasses.dataclass(frozen=True)
+class TraversalSchedule:
+    """All levels of one directional pass over one graph (or batch)."""
+
+    steps: tuple[LevelStep, ...]
+    has_virtual: bool
+    num_nodes: int
+
+
+def _build_schedule(receive: np.ndarray, virtual: np.ndarray,
+                    levels: tuple[np.ndarray, ...]) -> TraversalSchedule:
+    """Convert dense structure matrices into per-level edge lists."""
+    has_virtual = bool(virtual.any())
+    steps = []
+    for level in levels:
+        msg_dst, msg_src = np.nonzero(receive[level, :])
+        if has_virtual:
+            sp_dst, sp_src = np.nonzero(virtual[level, :])
+            sp_weight = virtual[level, :][sp_dst, sp_src]
+        else:
+            sp_dst = sp_src = np.empty(0, dtype=np.intp)
+            sp_weight = np.empty(0)
+        steps.append(LevelStep(nodes=np.asarray(level, dtype=np.intp),
+                               msg_src=msg_src, msg_dst=msg_dst,
+                               sp_src=sp_src, sp_dst=sp_dst,
+                               sp_weight=sp_weight))
+    return TraversalSchedule(steps=tuple(steps), has_virtual=has_virtual,
+                             num_nodes=receive.shape[0])
+
+
+@dataclasses.dataclass(frozen=True)
 class GraphStructure:
     """Precomputed numpy structure matrices for one graph.
 
     Building these is pure NumPy/BFS work independent of GHN weights, so
     callers cache one instance per graph and reuse it across passes.
+    Prefer :meth:`cached` over :meth:`build`: it memoizes by content
+    fingerprint across the whole process.
     """
 
     receive_fw: np.ndarray  # (V, V): receive_fw[v, u]=1 iff edge u -> v
@@ -87,6 +169,32 @@ class GraphStructure:
                                                  graph.edges, True)),
         )
 
+    @staticmethod
+    def cached(graph: ComputationalGraph, s_max: int) -> "GraphStructure":
+        """Process-wide memoized :meth:`build` keyed by content.
+
+        The key is ``(graph_fingerprint(graph), s_max)``, so renamed
+        copies of one architecture and separate GHN instances with the
+        same ``s_max`` all share one structure (and its virtual-edge /
+        shortest-path computation).  Hit/miss/eviction counts surface
+        as ``ghn.structure_cache.*`` obs metrics.
+        """
+        key = (graph_fingerprint(graph), s_max)
+        return _STRUCTURE_CACHE.get_or_compute(
+            key, lambda: GraphStructure.build(graph, s_max))
+
+    @functools.cached_property
+    def schedule_fw(self) -> TraversalSchedule:
+        """Forward-pass edge-list schedule (lazily derived, memoized)."""
+        return _build_schedule(self.receive_fw, self.virtual_fw,
+                               self.levels_fw)
+
+    @functools.cached_property
+    def schedule_bw(self) -> TraversalSchedule:
+        """Backward-pass edge-list schedule (lazily derived, memoized)."""
+        return _build_schedule(self.receive_bw, self.virtual_bw,
+                               self.levels_bw)
+
 
 class GatedGNN(Module):
     """Message passing with GRU updates over fw/bw traversals (Eqs. 3-4).
@@ -104,65 +212,86 @@ class GatedGNN(Module):
         super().__init__()
         self.hidden_dim = hidden_dim
         self.num_passes = num_passes
-        self.msg_mlp = MLP(hidden_dim, (hidden_dim,), hidden_dim, rng)
-        self.sp_mlp = MLP(hidden_dim, (hidden_dim,), hidden_dim, rng)
-        self.gru = GRUCell(hidden_dim, hidden_dim, rng)
+        # row_stable: all three submodules run on the cross-graph
+        # batched path and must produce rows independent of batch size.
+        self.msg_mlp = MLP(hidden_dim, (hidden_dim,), hidden_dim, rng,
+                           row_stable=True)
+        self.sp_mlp = MLP(hidden_dim, (hidden_dim,), hidden_dim, rng,
+                          row_stable=True)
+        self.gru = GRUCell(hidden_dim, hidden_dim, rng, row_stable=True)
 
-    def forward(self, states: Tensor, structure: GraphStructure,
-                normalize=None,
-                graph: ComputationalGraph | None = None) -> Tensor:
+    def forward(self, states: Tensor, structure, normalize=None,
+                graph=None) -> Tensor:
         """Run ``T`` forward+backward traversals from initial ``states``.
 
-        ``normalize`` is an optional callable ``(states, graph) -> states``
-        applied after each directional pass (the operation-dependent
-        normalization of GHN-2).
+        ``structure`` is anything exposing ``schedule_fw``/``schedule_bw``
+        :class:`TraversalSchedule` attributes -- a :class:`GraphStructure`
+        or a :class:`~repro.ghn.batching.GraphBatch`.  ``normalize`` is an
+        optional callable ``(states, graph) -> states`` applied after each
+        directional pass (the operation-dependent normalization of GHN-2);
+        ``graph`` is forwarded to it and may be a batch.
         """
+        schedule_fw = structure.schedule_fw
+        schedule_bw = structure.schedule_bw
         # One span per forward call (not per level) keeps the hot
         # level loop uninstrumented; counters record the directional
         # pass volume Fig. 9-style ablations care about.
         with TRACER.span("ghn.gnn", passes=self.num_passes,
                          nodes=int(states.shape[0]),
-                         levels_fw=len(structure.levels_fw),
-                         levels_bw=len(structure.levels_bw)):
+                         levels_fw=len(schedule_fw.steps),
+                         levels_bw=len(schedule_bw.steps)):
             METRICS.counter("ghn.gnn.forward_calls").inc()
             METRICS.counter("ghn.gnn.directional_passes").inc(
                 2 * self.num_passes)
             for _ in range(self.num_passes):
-                states = self._propagate(states, structure.receive_fw,
-                                         structure.virtual_fw,
-                                         structure.levels_fw)
+                states = self._propagate(states, schedule_fw)
                 if normalize is not None:
                     states = normalize(states, graph)
-                states = self._propagate(states, structure.receive_bw,
-                                         structure.virtual_bw,
-                                         structure.levels_bw)
+                states = self._propagate(states, schedule_bw)
                 if normalize is not None:
                     states = normalize(states, graph)
             return states
 
-    def _propagate(self, states: Tensor, receive: np.ndarray,
-                   virtual: np.ndarray,
-                   levels: tuple[np.ndarray, ...]) -> Tensor:
-        num_nodes = states.shape[0]
+    def _propagate(self, states: Tensor,
+                   schedule: TraversalSchedule) -> Tensor:
         # Virtual messages are synchronous (pass-start states).
-        has_virtual = bool(virtual.any())
-        if has_virtual:
+        if schedule.has_virtual:
             sp_feats = self.sp_mlp(states)
         # msg_feats rows are only consumed for nodes in strictly earlier
         # levels, which have been rewritten by then; stale rows are never
-        # read because `receive` only references true predecessors.
+        # read because the edge lists only reference true predecessors.
         msg_feats = self.msg_mlp(states)
         current = states
-        for level in levels:
-            select = np.zeros((len(level), num_nodes))
-            select[np.arange(len(level)), level] = 1.0
-            messages = Tensor(receive[level, :]) @ msg_feats
-            if has_virtual:
-                messages = messages + Tensor(virtual[level, :]) @ sp_feats
-            h_old = Tensor(select) @ current
+        # Inference fast path: with the tape off, per-level row updates
+        # mutate owned buffers in place instead of copying the whole
+        # state matrix each level (same x + (y - x) row arithmetic, so
+        # results are bitwise identical to the tape-building path).
+        inplace = not is_grad_enabled()
+        owns_current = False
+        for step in schedule.steps:
+            messages = aggregate_rows(msg_feats, step.msg_src,
+                                      step.msg_dst, len(step.nodes))
+            if schedule.has_virtual:
+                messages = messages + aggregate_rows(
+                    sp_feats, step.sp_src, step.sp_dst, len(step.nodes),
+                    step.sp_weight)
+            h_old = current[step.nodes]
             h_new = self.gru(messages, h_old)
-            scatter = Tensor(select.T)
-            current = current + scatter @ (h_new - h_old)
-            msg_feats = msg_feats + scatter @ (self.msg_mlp(h_new)
-                                               - Tensor(select) @ msg_feats)
+            # Written as x + (y - x) per row (not an assignment of y):
+            # the exact arithmetic every touched row sees must not
+            # depend on how the update is phrased elsewhere.
+            if inplace:
+                if not owns_current:
+                    # msg_feats is a fresh MLP output (owned); the input
+                    # states belong to the caller -- copy them once.
+                    current = Tensor(current.data.copy())
+                    owns_current = True
+                current.data[step.nodes] += (h_new - h_old).data
+                msg_feats.data[step.nodes] += (
+                    self.msg_mlp(h_new) - msg_feats[step.nodes]).data
+            else:
+                current = current.index_add(step.nodes, h_new - h_old)
+                msg_feats = msg_feats.index_add(
+                    step.nodes,
+                    self.msg_mlp(h_new) - msg_feats[step.nodes])
         return current

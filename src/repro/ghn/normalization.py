@@ -32,10 +32,16 @@ class OperationNormalization(Module):
 
     def forward(self, states: Tensor,
                 graph: ComputationalGraph) -> Tensor:
+        """Normalize per node.  ``graph`` may also be a
+        :class:`~repro.ghn.batching.GraphBatch`, which precomputes its
+        concatenated ``op_index_array``; all arithmetic here is row-wise
+        so batched and solo calls agree bitwise."""
         rms = ((states * states).mean(axis=-1, keepdims=True)
                + self.eps) ** 0.5
         normalized = states / rms
-        op_idx = np.fromiter((op_index(nd.op) for nd in graph.nodes),
-                             dtype=np.intp, count=graph.num_nodes)
+        op_idx = getattr(graph, "op_index_array", None)
+        if op_idx is None:
+            op_idx = np.fromiter((op_index(nd.op) for nd in graph.nodes),
+                                 dtype=np.intp, count=graph.num_nodes)
         gains = self.gain[op_idx].reshape(graph.num_nodes, 1)
         return normalized * gains

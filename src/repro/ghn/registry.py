@@ -10,13 +10,14 @@ so repeated predictions of the same architecture are free.
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from pathlib import Path
 
 import numpy as np
 
 from ..caching import LRUCache
 from ..datasets import DatasetSpec, get_dataset
-from ..graphs import ComputationalGraph
+from ..graphs import ComputationalGraph, graph_fingerprint
 from ..nn import load_module, save_module
 from .model import GHN2, GHNConfig
 from .trainer import GHNTrainer, GHNTrainingResult
@@ -118,6 +119,44 @@ class GHNRegistry:
         key = (spec.name, graph.name)
         return self._embedding_cache.get_or_compute(
             key, lambda: self.get(spec.name).embed(graph))
+
+    def embed_many(self, dataset_name: str,
+                   graphs: Sequence[ComputationalGraph]
+                   ) -> list[np.ndarray]:
+        """Embeddings of ``graphs`` under one dataset's GHN (memoized).
+
+        Cache misses are deduplicated by content fingerprint and run
+        through a single batched GatedGNN pass
+        (:meth:`GHN2.embed_many`); each result lands in the same
+        ``(dataset, graph name)`` cache slot :meth:`embed` uses, and is
+        numerically identical to what :meth:`embed` would have
+        computed.
+        """
+        spec = get_dataset(dataset_name)
+        results: list[np.ndarray | None] = []
+        missing: dict[str, list[int]] = {}
+        representatives: list[ComputationalGraph] = []
+        for position, graph in enumerate(graphs):
+            hit = self._embedding_cache.get((spec.name, graph.name))
+            results.append(hit)
+            if hit is None:
+                fingerprint = graph_fingerprint(graph)
+                if fingerprint not in missing:
+                    missing[fingerprint] = []
+                    representatives.append(graph)
+                missing[fingerprint].append(position)
+        if representatives:
+            model = self.get(spec.name)
+            embedded = model.embed_many(representatives)
+            graphs = list(graphs)
+            for representative, embedding in zip(representatives,
+                                                 embedded):
+                fingerprint = graph_fingerprint(representative)
+                for position in missing[fingerprint]:
+                    results[position] = embedding
+                    self._embedding_cache.put(
+                        (spec.name, graphs[position].name), embedding)
+        return results
 
     @property
     def embed_cache(self) -> LRUCache:

@@ -33,6 +33,8 @@ class GHNTrainingResult:
     steps: int
     loss_history: tuple[float, ...]
     final_loss: float
+    best_loss: float = float("nan")
+    best_step: int = -1
 
     @property
     def improved(self) -> bool:
@@ -83,15 +85,30 @@ class GHNTrainer:
         return self.task.x[idx], self.task.y[idx]
 
     def train_step(self) -> float:
-        """One meta-step: sample arch, decode params, execute, backprop."""
-        arch = sample_architecture(self.rng, self.task.num_features,
-                                   self.task.num_classes,
-                                   max_depth=self.max_depth,
-                                   max_width=self.max_width)
+        """One meta-step: sample archs, decode params, execute, backprop.
+
+        Samples ``config.batch_graphs`` architectures and decodes all of
+        them from a single batched GatedGNN pass
+        (:meth:`GHN2.predict_parameters_many`, the GHN-2 meta-batch
+        recipe); the step loss is the mean over the batch.  With
+        ``batch_graphs=1`` the RNG call order, arithmetic and loss are
+        exactly those of the classic one-arch-per-step loop.
+        """
+        batch_graphs = self.config.batch_graphs
+        archs = [sample_architecture(self.rng, self.task.num_features,
+                                     self.task.num_classes,
+                                     max_depth=self.max_depth,
+                                     max_width=self.max_width)
+                 for _ in range(batch_graphs)]
         x, y = self._sample_batch()
-        params = self.ghn.predict_parameters(arch)
-        logits = execute_graph(arch, params, Tensor(x))
-        loss = cross_entropy(logits, y)
+        params_list = self.ghn.predict_parameters_many(archs)
+        losses = [cross_entropy(execute_graph(arch, params, Tensor(x)), y)
+                  for arch, params in zip(archs, params_list)]
+        loss = losses[0]
+        if len(losses) > 1:
+            for extra in losses[1:]:
+                loss = loss + extra
+            loss = loss * (1.0 / len(losses))
         self.optimizer.zero_grad()
         loss.backward()
         clip_grad_norm(self.ghn.parameters(), self.grad_clip)
@@ -99,14 +116,38 @@ class GHNTrainer:
         return loss.item()
 
     def train(self, steps: int) -> GHNTrainingResult:
-        """Run ``steps`` meta-steps; returns the loss history."""
+        """Run ``steps`` meta-steps; returns the loss history.
+
+        Checkpoints the best-loss parameter state along the way; when
+        the run :attr:`GHNTrainingResult.improved` overall, the GHN is
+        left at that checkpoint rather than at whatever the final noisy
+        step produced.  A run that never improved keeps its final state
+        (restoring the "best" step of a diverging run would just undo
+        training).
+        """
+        best_loss = float("inf")
+        best_step = -1
+        best_state = None
+        history: list[float] = []
         with TRACER.span("ghn.train", dataset=self.dataset.name,
                          steps=steps):
-            history = [self.train_step() for _ in range(steps)]
-        return GHNTrainingResult(dataset=self.dataset.name, steps=steps,
-                                 loss_history=tuple(history),
-                                 final_loss=history[-1] if history
-                                 else float("nan"))
+            for step in range(steps):
+                loss = self.train_step()
+                history.append(loss)
+                if loss < best_loss:
+                    best_loss = loss
+                    best_step = step
+                    best_state = self.ghn.state_dict()
+        result = GHNTrainingResult(dataset=self.dataset.name, steps=steps,
+                                   loss_history=tuple(history),
+                                   final_loss=history[-1] if history
+                                   else float("nan"),
+                                   best_loss=best_loss if history
+                                   else float("nan"),
+                                   best_step=best_step)
+        if history and result.improved and best_state is not None:
+            self.ghn.load_state_dict(best_state)
+        return result
 
     def evaluate_architecture(self, arch, batches: int = 4) -> float:
         """Mean CE loss of GHN-decoded parameters on held-out batches."""

@@ -1,0 +1,38 @@
+"""Content fingerprints of computational graphs.
+
+A fingerprint is a stable short hash of a graph's *structure* -- nodes
+(op, shape, params, flops, attrs) and edges, but not the display name.
+Renamed copies of the same architecture share a fingerprint; any
+structural change produces a new one.  Fingerprints key every
+content-addressed cache in the system: the serving result cache, the
+GHN structure cache, and the cross-graph embed dedup in
+``PredictDDL.feature_matrix``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from .graph import ComputationalGraph
+from .serialization import graph_to_dict
+
+__all__ = ["graph_fingerprint", "payload_digest"]
+
+
+def payload_digest(payload) -> str:
+    """Stable short hex digest of a JSON-serializable payload."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+
+def graph_fingerprint(graph: ComputationalGraph) -> str:
+    """Content hash of a computational graph's structure.
+
+    Hashes nodes (op, shape, params, flops, attrs) and edges but *not*
+    the display name, so a renamed copy of the same architecture shares
+    its fingerprint while any structural change produces a new one.
+    """
+    payload = graph_to_dict(graph)
+    payload.pop("name", None)
+    return payload_digest(payload)

@@ -11,10 +11,12 @@ from .layers import (MLP, Embedding, LayerNorm, Linear, Module, Parameter,
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .rnn import GRUCell
 from .serialization import load_module, save_module
-from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, stack
+from .tensor import (Tensor, aggregate_rows, concatenate, is_grad_enabled,
+                     no_grad, stack)
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "concatenate", "stack",
+    "aggregate_rows",
     "Module", "Parameter", "Linear", "Sequential", "ReLU", "Tanh",
     "Sigmoid", "MLP", "LayerNorm", "Embedding", "GRUCell",
     "Optimizer", "SGD", "Adam", "clip_grad_norm",

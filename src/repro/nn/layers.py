@@ -120,13 +120,22 @@ class Module:
 
 
 class Linear(Module):
-    """Affine map ``y = x W^T + b``."""
+    """Affine map ``y = x W^T + b``.
+
+    With ``row_stable=True`` the product uses
+    :meth:`Tensor.matmul_stable`, whose output rows are bitwise
+    independent of the batch's row count -- required by layers on the
+    cross-graph batched GHN path, where K graphs packed together must
+    reproduce each graph's solo numbers exactly.
+    """
 
     def __init__(self, in_features: int, out_features: int,
-                 rng: np.random.Generator, bias: bool = True):
+                 rng: np.random.Generator, bias: bool = True,
+                 row_stable: bool = False):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
+        self.row_stable = row_stable
         self.weight = Parameter(
             init.kaiming_uniform(rng, (out_features, in_features)),
             name="weight")
@@ -134,7 +143,10 @@ class Linear(Module):
             if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.T
+        if self.row_stable:
+            out = x.matmul_stable(self.weight.T)
+        else:
+            out = x @ self.weight.T
         if self.bias is not None:
             out = out + self.bias
         return out
@@ -184,13 +196,14 @@ class MLP(Module):
 
     def __init__(self, in_features: int, hidden: tuple[int, ...],
                  out_features: int, rng: np.random.Generator,
-                 activation: str = "relu"):
+                 activation: str = "relu", row_stable: bool = False):
         super().__init__()
         act_cls = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid}[activation]
         dims = (in_features, *hidden, out_features)
         modules: list[Module] = []
         for i in range(len(dims) - 1):
-            modules.append(Linear(dims[i], dims[i + 1], rng))
+            modules.append(Linear(dims[i], dims[i + 1], rng,
+                                  row_stable=row_stable))
             if i < len(dims) - 2:
                 modules.append(act_cls())
         self.net = Sequential(*modules)

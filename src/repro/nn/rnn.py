@@ -30,10 +30,14 @@ class GRUCell(Module):
     """
 
     def __init__(self, input_size: int, hidden_size: int,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator, row_stable: bool = False):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        # Batch-size-invariant gate products (see Linear.row_stable):
+        # needed when cross-graph batching must not perturb per-row
+        # arithmetic.
+        self.row_stable = row_stable
         # Fused gate weights: rows ordered (reset, update, new).
         self.weight_ih = Parameter(
             init.xavier_uniform(rng, (3 * hidden_size, input_size)),
@@ -48,8 +52,12 @@ class GRUCell(Module):
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         """One step: ``x`` is ``(batch, input)``, ``h`` ``(batch, hidden)``."""
         hs = self.hidden_size
-        gi = x @ self.weight_ih.T + self.bias_ih
-        gh = h @ self.weight_hh.T + self.bias_hh
+        if self.row_stable:
+            gi = x.matmul_stable(self.weight_ih.T) + self.bias_ih
+            gh = h.matmul_stable(self.weight_hh.T) + self.bias_hh
+        else:
+            gi = x @ self.weight_ih.T + self.bias_ih
+            gh = h @ self.weight_hh.T + self.bias_hh
         i_r, i_z, i_n = (gi[:, :hs], gi[:, hs:2 * hs], gi[:, 2 * hs:])
         h_r, h_z, h_n = (gh[:, :hs], gh[:, hs:2 * hs], gh[:, 2 * hs:])
         reset = (i_r + h_r).sigmoid()

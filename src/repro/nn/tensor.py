@@ -17,7 +17,7 @@ from collections.abc import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "aggregate_rows"]
 
 _GRAD_ENABLED = True
 
@@ -272,6 +272,55 @@ class Tensor:
         out = Tensor._make(out_data, (self, other), backward)
         return out
 
+    def matmul_stable(self, other) -> "Tensor":
+        """Matrix product whose rows are batch-size invariant.
+
+        BLAS ``@`` picks different kernels (and therefore different
+        floating-point summation orders) depending on the row count of
+        the left operand, so ``(A @ W)[i]`` is *not* guaranteed to be
+        bitwise equal to ``A[i:i+1] @ W``.  ``np.einsum`` contracts each
+        output element with one sequential fold over ``k``, making every
+        output row a pure function of its input row.  The batched GHN
+        paths use this so packing K graphs together cannot perturb any
+        single graph's numbers.  Slower than BLAS; keep off hot paths
+        that do not need the invariance.
+        """
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = np.einsum("ij,jk->ik", self.data, other.data)
+
+        def backward():
+            g = out.grad
+            if self.requires_grad:
+                self._accumulate(np.einsum("ik,jk->ij", g, other.data))
+            if other.requires_grad:
+                other._accumulate(np.einsum("ij,ik->jk", self.data, g))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def index_add(self, rows: np.ndarray, values: "Tensor") -> "Tensor":
+        """Out-of-place ``out[rows] = self[rows] + values`` (unique rows).
+
+        Each touched row is updated with one scalar addition per
+        element, so the result for row ``r`` depends only on
+        ``self[r]`` and its entry in ``values`` -- never on which other
+        rows are updated alongside it (the property the cross-graph
+        batched GatedGNN relies on).
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        values = values if isinstance(values, Tensor) else Tensor(values)
+        out_data = self.data.copy()
+        out_data[rows] += values.data
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad)
+            if values.requires_grad:
+                values._accumulate(out.grad[rows])
+
+        out = Tensor._make(out_data, (self, values), backward)
+        return out
+
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
@@ -432,6 +481,41 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 t._accumulate(out.grad[tuple(index)])
 
     out = Tensor._make(out_data, tuple(tensors), backward)
+    return out
+
+
+def aggregate_rows(source: Tensor, src: np.ndarray, dst: np.ndarray,
+                   num_rows: int,
+                   weights: np.ndarray | None = None) -> Tensor:
+    """Edge-list scatter-sum: ``out[dst[e]] += w[e] * source[src[e]]``.
+
+    Replaces the dense ``receive @ feats`` aggregation of the GatedGNN
+    with an explicit edge list.  ``np.add.at`` applies the updates in
+    edge order with scalar adds, so each output row's value is a
+    sequential fold over exactly its own incoming edges -- interleaving
+    edges of *other* rows (as cross-graph batching does) cannot change
+    it.  Rows with no incoming edge stay exactly ``0.0``.
+    """
+    src = np.asarray(src, dtype=np.intp)
+    dst = np.asarray(dst, dtype=np.intp)
+    source = source if isinstance(source, Tensor) else Tensor(source)
+    contrib = source.data[src]
+    if weights is not None:
+        contrib = contrib * weights[:, None]
+    out_data = np.zeros((num_rows, source.data.shape[1]))
+    np.add.at(out_data, dst, contrib)
+
+    def backward():
+        if not source.requires_grad:
+            return
+        pulled = out.grad[dst]
+        if weights is not None:
+            pulled = pulled * weights[:, None]
+        g = np.zeros_like(source.data)
+        np.add.at(g, src, pulled)
+        source._accumulate(g)
+
+    out = Tensor._make(out_data, (source,), backward)
     return out
 
 

@@ -1,0 +1,104 @@
+"""Deterministic work sharding across processes.
+
+The Fig. 9-13 sweeps and the trace generator are embarrassingly
+parallel, but naive pools make results depend on scheduling.  This
+module guarantees **bit-identical results at any worker count** with
+three rules:
+
+* *Seed ownership*: callers derive one :class:`numpy.random.SeedSequence`
+  substream per task (``substreams``) **before** sharding, so a task's
+  randomness is a function of its index, never of which worker ran it.
+* *Pure tasks*: the task function must depend only on its argument
+  (including its substream).  Worker-side mutation of shared state is
+  structurally impossible across processes, which is exactly why the
+  pool uses processes rather than threads.
+* *Ordered reassembly*: results are returned in task order, not
+  completion order.
+
+``parallel_map(fn, tasks, workers=1)`` is the single entry point:
+``workers <= 1`` runs a plain in-process loop (no pickling, no pool);
+``workers > 1`` shards over a :class:`~concurrent.futures.\
+ProcessPoolExecutor` and falls back to the serial loop -- with a
+``parallel.fallbacks`` obs counter -- when the platform cannot spawn
+processes or the payload cannot be pickled.  Because tasks are pure and
+reassembly is ordered, both paths produce the same bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TypeVar
+
+import numpy as np
+
+from .obs import METRICS, TRACER
+
+__all__ = ["parallel_map", "substreams"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def substreams(seed: int | np.random.SeedSequence,
+               count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences of ``seed``.
+
+    Spawned once, in task order, before any sharding -- so task ``i``
+    gets the same stream whether the sweep runs on 1 worker or 16.
+    """
+    root = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    return root.spawn(count)
+
+
+def _run_serial(fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+    return [fn(task) for task in tasks]
+
+
+def _picklable(*payloads) -> bool:
+    try:
+        for payload in payloads:
+            pickle.dumps(payload)
+    except Exception:  # noqa: BLE001 - any pickle failure => serial
+        return False
+    return True
+
+
+def _fallback(fn: Callable[[T], R], tasks: Sequence[T],
+              reason: str) -> list[R]:
+    METRICS.counter("parallel.fallbacks",
+                    labels={"reason": reason}).inc()
+    return _run_serial(fn, tasks)
+
+
+def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], *,
+                 workers: int = 1) -> list[R]:
+    """Map ``fn`` over ``tasks``, optionally across worker processes.
+
+    Results arrive in task order.  ``fn`` must be a module-level
+    callable and ``fn``/``tasks`` picklable when ``workers > 1``; if the
+    platform refuses (sandboxed interpreters, unpicklable payloads), the
+    map silently degrades to the serial loop, which is result-identical
+    by construction.  Exceptions raised by ``fn`` propagate to the
+    caller on both paths.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return _run_serial(fn, tasks)
+    if not _picklable(fn, tasks):
+        return _fallback(fn, tasks, "unpicklable")
+    with TRACER.span("parallel.map", tasks=len(tasks),
+                     workers=min(workers, len(tasks))):
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=min(workers, len(tasks))) as pool:
+                futures = [pool.submit(fn, task) for task in tasks]
+                return [future.result() for future in futures]
+        except (OSError, BrokenProcessPool) as exc:
+            # The platform cannot run (or keep) worker processes; a
+            # genuine task exception is *not* caught here -- it
+            # propagates as itself on both paths.
+            return _fallback(fn, tasks, type(exc).__name__)

@@ -17,38 +17,20 @@ registry.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import json
 
 from ..caching import LRUCache
 from ..cluster import Cluster
 from ..core.requests import PredictionRequest, PredictionResult
-from ..graphs import ComputationalGraph
-from ..graphs.serialization import graph_to_dict
+# graph_fingerprint moved to repro.graphs.fingerprint (the GHN structure
+# cache needs it below the serve layer); re-exported here for callers.
+from ..graphs.fingerprint import graph_fingerprint
+from ..graphs.fingerprint import payload_digest as _digest
 
 __all__ = ["graph_fingerprint", "cluster_signature", "request_cache_key",
            "ResultCache", "DEFAULT_CACHE_SIZE"]
 
 #: Default bound on cached prediction results.
 DEFAULT_CACHE_SIZE = 256
-
-
-def _digest(payload) -> str:
-    """Stable short hex digest of a JSON-serializable payload."""
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()[:20]
-
-
-def graph_fingerprint(graph: ComputationalGraph) -> str:
-    """Content hash of a computational graph's structure.
-
-    Hashes nodes (op, shape, params, flops, attrs) and edges but *not*
-    the display name, so a renamed copy of the same architecture shares
-    its fingerprint while any structural change produces a new one.
-    """
-    payload = graph_to_dict(graph)
-    payload.pop("name", None)
-    return _digest(payload)
 
 
 def cluster_signature(cluster: Cluster) -> str:
@@ -110,6 +92,15 @@ class ResultCache:
         if hit is None:
             return None
         return dataclasses.replace(hit, request=request)
+
+    def contains(self, key: tuple[str, str]) -> bool:
+        """Membership probe that does not touch hit/miss counters.
+
+        Used by the server's micro-batch warm-up to decide which groups
+        still need a GHN pass without distorting the cache stats the
+        real lookups report.
+        """
+        return key in self._cache
 
     def store(self, result: PredictionResult,
               key: tuple[str, str] | None = None) -> None:

@@ -496,8 +496,36 @@ class PredictionServer:
         if len(batch) > len(groups):
             METRICS.counter("serve.batch.coalesced").inc(
                 len(batch) - len(groups))
+        self._warm_batch(groups)
         for group in groups.values():
             self._execute_group(group[0].key, group, slot)
+
+    def _warm_batch(self, groups: dict[object, list["_WorkItem"]]) -> None:
+        """One batched GHN pass for every group the cache cannot answer.
+
+        Pre-computes the micro-batch's embeddings via
+        ``predictor.warm_embeddings`` (cross-graph batched embed) so the
+        per-group ``predict`` calls below hit the registry cache.  This
+        is a pure warm-up: it completes no futures, takes no admission
+        slots and stores nothing in the result cache, so the
+        exactly-once / caching semantics of ``_execute_group`` are
+        untouched, and any failure here is swallowed -- the per-group
+        path reports errors with full diagnostics.  Predictors without
+        a ``warm_embeddings`` method (e.g. test doubles) are served
+        per-item as before.
+        """
+        warm = getattr(self.predictor, "warm_embeddings", None)
+        if warm is None:
+            return
+        leaders = [group[0].request for group in groups.values()
+                   if group[0].key is None
+                   or not self.cache.contains(group[0].key)]
+        if len(leaders) < 2:
+            return
+        try:
+            warm(leaders)
+        except Exception:  # noqa: BLE001 - warm-up must never fail a batch
+            METRICS.counter("serve.warm_failures").inc()
 
     def _execute_group(self, key: tuple[str, str] | None,
                        group: list[_WorkItem], slot: int) -> None:

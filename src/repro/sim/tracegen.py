@@ -16,6 +16,7 @@ import numpy as np
 
 from ..cluster import Cluster, make_cluster
 from ..obs import METRICS, TRACER
+from ..parallel import parallel_map
 from .runner import TrainingRun, TrainingSimulator
 from .workload import DLWorkload
 
@@ -47,37 +48,56 @@ class TracePoint:
         return record
 
 
+def _simulate_point(task: tuple) -> TracePoint:
+    """One sweep point; module-level so worker processes can unpickle it.
+
+    Pure function of its task tuple (including the point's own
+    SeedSequence substream), which is what makes the sharded sweep
+    bit-identical to the serial one.
+    """
+    (model, num_servers, dataset_name, server_class,
+     batch_size_per_server, epochs, stream, simulator) = task
+    workload = DLWorkload(
+        model_name=model, dataset_name=dataset_name,
+        batch_size_per_server=batch_size_per_server,
+        epochs=epochs)
+    cluster = make_cluster(num_servers, server_class)
+    run = simulator.run(workload, cluster,
+                        np.random.default_rng(stream))
+    return TracePoint(run=run, cluster=cluster)
+
+
 def generate_trace(models: Sequence[str], dataset_name: str,
                    server_class: str,
                    cluster_sizes: Iterable[int] = STANDARD_CLUSTER_SIZES,
                    *, batch_size_per_server: int = 32, epochs: int = 1,
                    seed: int = 0,
-                   simulator: TrainingSimulator | None = None
-                   ) -> list[TracePoint]:
+                   simulator: TrainingSimulator | None = None,
+                   workers: int = 1) -> list[TracePoint]:
     """Sweep ``models x cluster_sizes`` on one dataset / server class.
 
-    Each point gets an independent RNG stream derived from ``seed`` so the
-    trace is reproducible yet the noise is uncorrelated across points.
+    Each point gets an independent RNG stream derived from ``seed`` so
+    the trace is reproducible yet the noise is uncorrelated across
+    points.  ``workers > 1`` shards the sweep over processes via
+    :func:`repro.parallel.parallel_map`: substreams are spawned before
+    sharding and results reassemble in task order, so the returned
+    points are bit-identical at any worker count (the serial path is
+    the ``workers=1`` special case of the same code).  Simulator-internal
+    obs metrics are only recorded in-process, i.e. on the serial path.
     """
     simulator = simulator or TrainingSimulator()
     seed_seq = np.random.SeedSequence(seed)
-    points: list[TracePoint] = []
     combos = [(m, p) for m in models for p in cluster_sizes]
     streams = seed_seq.spawn(len(combos))
+    tasks = [(model, num_servers, dataset_name, server_class,
+              batch_size_per_server, epochs, stream, simulator)
+             for (model, num_servers), stream in zip(combos, streams)]
     point_counter = METRICS.counter("tracegen.points")
     with TRACER.timed("tracegen.generate", dataset=dataset_name,
-                      num_models=len(models),
-                      num_points=len(combos)) as span:
-        for (model, num_servers), stream in zip(combos, streams):
-            workload = DLWorkload(
-                model_name=model, dataset_name=dataset_name,
-                batch_size_per_server=batch_size_per_server,
-                epochs=epochs)
-            cluster = make_cluster(num_servers, server_class)
-            run = simulator.run(workload, cluster,
-                                np.random.default_rng(stream))
-            points.append(TracePoint(run=run, cluster=cluster))
-            point_counter.inc()
+                      num_models=len(models), num_points=len(combos),
+                      workers=workers) as span:
+        points = parallel_map(_simulate_point, tasks, workers=workers)
+        point_counter.inc(len(points))
     if span.duration > 0:
         METRICS.gauge("tracegen.points_per_sec").set(
             len(points) / span.duration)

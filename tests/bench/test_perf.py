@@ -1,0 +1,82 @@
+"""Perf-regression suite: gate logic and an end-to-end quick run."""
+
+import json
+
+import pytest
+
+from repro.bench import check_gates, embed_throughput, run_perf_suite
+from repro.cli import main as cli_main
+
+
+def _payload(embed=None, tracegen=None):
+    return {
+        "embed": embed if embed is not None else [],
+        "tracegen": tracegen if tracegen is not None else [],
+        "serve": None,
+    }
+
+
+def _embed_point(k=8, speedup=2.0, diff=0.0):
+    return {"k": k, "num_nodes": 100, "sequential_seconds": speedup,
+            "batched_seconds": 1.0, "speedup": speedup,
+            "max_abs_diff": diff}
+
+
+class TestCheckGates:
+    def test_clean_payload_passes(self):
+        payload = _payload(
+            embed=[_embed_point(k=1, speedup=0.5), _embed_point(k=8)],
+            tracegen=[{"workers": 4, "identical_to_serial": True}])
+        assert check_gates(payload) == []
+
+    def test_nonzero_diff_fails(self):
+        payload = _payload(embed=[_embed_point(diff=1e-16)])
+        failures = check_gates(payload)
+        assert len(failures) == 1
+        assert "differs from" in failures[0]
+
+    def test_slow_batched_embed_fails_at_large_k(self):
+        payload = _payload(embed=[_embed_point(k=8, speedup=0.8)])
+        assert any("below gate" in f for f in check_gates(payload))
+
+    def test_k1_is_exempt_from_the_speedup_gate(self):
+        payload = _payload(embed=[_embed_point(k=1, speedup=0.5)])
+        assert check_gates(payload) == []
+
+    def test_min_speedup_is_configurable(self):
+        payload = _payload(embed=[_embed_point(k=32, speedup=2.0)])
+        assert check_gates(payload, min_speedup=1.5) == []
+        assert check_gates(payload, min_speedup=3.0) != []
+
+    def test_tracegen_mismatch_fails(self):
+        payload = _payload(
+            tracegen=[{"workers": 4, "identical_to_serial": False}])
+        assert any("records differ" in f for f in check_gates(payload))
+
+
+@pytest.mark.slow
+class TestPerfSuiteEndToEnd:
+    def test_embed_throughput_reports_zero_diff(self):
+        points = embed_throughput((1, 4), hidden_dim=8,
+                                  models=["resnet18", "alexnet"])
+        assert [p.k for p in points] == [1, 4]
+        assert all(p.max_abs_diff == 0.0 for p in points)
+        assert all(p.sequential_seconds > 0 for p in points)
+
+    def test_quick_suite_passes_its_own_gates(self):
+        payload = run_perf_suite(quick=True)
+        assert payload["quick"] is True
+        assert payload["serve"] is None
+        assert check_gates(payload) == []
+        json.dumps(payload)  # payload must be JSON-serializable
+
+    def test_cli_bench_quick_writes_payload(self, tmp_path, capsys):
+        out = tmp_path / "perf.json"
+        code = cli_main(["bench", "--suite", "perf", "--quick",
+                         "--out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["gates"]["status"] == "pass"
+        assert {p["k"] for p in payload["embed"]} == {1, 8}
+        text = capsys.readouterr().out
+        assert "perf suite (quick" in text

@@ -100,6 +100,20 @@ class TestFullWorkflow:
         assert "points: 6" in out
         assert "resnet18" in out
 
+    def test_trace_workers_flag_is_bit_identical(self, tmp_path,
+                                                 capsys):
+        serial_path = tmp_path / "serial.json"
+        sharded_path = tmp_path / "sharded.json"
+        code, _, _ = run_cli(
+            ["trace", "--models", "resnet18", "--sizes", "1,2",
+             "--out", str(serial_path)], capsys)
+        assert code == 0
+        code, _, _ = run_cli(
+            ["trace", "--models", "resnet18", "--sizes", "1,2",
+             "--workers", "4", "--out", str(sharded_path)], capsys)
+        assert code == 0
+        assert sharded_path.read_text() == serial_path.read_text()
+
     def test_predict_missing_artifact(self, tmp_path, capsys):
         code, _, err = run_cli(
             ["predict", "--artifact", str(tmp_path / "nope.pkl"),

@@ -37,6 +37,11 @@ class TestProfileCommand:
         assert "embed" in out
         assert "feature-assembly" in out
         assert "regress" in out
+        # The fit tree breaks the batched embed into its stages.
+        assert "ghn.embed_many" in out
+        assert "ghn.embed_many.pack" in out
+        assert "ghn.embed_many.forward" in out
+        assert "ghn.embed_many.readout" in out
         # Durations are rendered per stage.
         assert "ms)" in out or "us)" in out or "s)" in out
         # The metrics snapshot rides along.

@@ -1,0 +1,84 @@
+"""Batched embedding generation must mirror the sequential path."""
+
+import numpy as np
+import pytest
+
+from repro.core import PredictDDL
+from repro.core.embeddings import WorkloadEmbeddingsGenerator
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.graphs.zoo import get_model
+from repro.sim import generate_trace
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+def _generator():
+    return WorkloadEmbeddingsGenerator(
+        GHNRegistry(config=FAST, train_steps=5))
+
+
+def _items(models=("resnet18", "alexnet", "resnet18"),
+           dataset="cifar10"):
+    return [(get_model(m), dataset) for m in models]
+
+
+class TestGenerateMany:
+    def test_matches_sequential_generate(self):
+        batched_gen = _generator()
+        sequential_gen = _generator()
+        items = _items()
+        batched = batched_gen.generate_many(items)
+        sequential = [sequential_gen.generate(g, d) for g, d in items]
+        for b, s in zip(batched, sequential):
+            np.testing.assert_array_equal(b.embedding, s.embedding)
+            assert b.dataset_used == s.dataset_used
+            assert b.trained_new_ghn == s.trained_new_ghn
+
+    def test_only_first_untrained_dataset_trains(self):
+        """Sequential fallback semantics: with cifar10 trained first,
+        tiny-imagenet falls back to it instead of training anew."""
+        gen = _generator()
+        items = [(get_model("resnet18"), "cifar10"),
+                 (get_model("alexnet"), "tiny-imagenet")]
+        outputs = gen.generate_many(items)
+        assert outputs[0].trained_new_ghn
+        assert outputs[0].dataset_used == "cifar10"
+        assert not outputs[1].trained_new_ghn
+        assert outputs[1].dataset_used == "cifar10"
+        assert gen.registry.datasets() == ["cifar10"]
+
+    def test_no_fallback_trains_both(self):
+        gen = _generator()
+        items = [(get_model("resnet18"), "cifar10"),
+                 (get_model("alexnet"), "tiny-imagenet")]
+        outputs = gen.generate_many(items, allow_fallback=False)
+        assert [o.dataset_used for o in outputs] == ["cifar10",
+                                                     "tiny-imagenet"]
+        assert all(o.trained_new_ghn for o in outputs)
+
+    def test_amortized_seconds_positive(self):
+        outputs = _generator().generate_many(_items())
+        assert all(o.seconds >= 0.0 for o in outputs)
+
+    def test_empty_items(self):
+        assert _generator().generate_many([]) == []
+
+
+class TestFeatureMatrix:
+    def test_matches_per_point_assembly(self):
+        trace = generate_trace(["resnet18", "alexnet"], "cifar10",
+                               "gpu-p100", [1, 2], seed=0)
+        batched = PredictDDL(
+            registry=GHNRegistry(config=FAST, train_steps=5), seed=0)
+        sequential = PredictDDL(
+            registry=GHNRegistry(config=FAST, train_steps=5), seed=0)
+        matrix = batched.feature_matrix(trace)
+        rows = [sequential.features_for(p.workload, p.cluster)
+                for p in trace]
+        np.testing.assert_array_equal(matrix, np.vstack(rows))
+
+    def test_empty_trace_raises(self):
+        predictor = PredictDDL(
+            registry=GHNRegistry(config=FAST, train_steps=5), seed=0)
+        with pytest.raises(ValueError, match="empty trace"):
+            predictor.feature_matrix([])

@@ -1,0 +1,191 @@
+"""Cross-graph batching: GraphBatch packing and embed_many equivalence.
+
+The contract under test is the strongest one the batching layer makes:
+a batched ``embed_many`` over K graphs returns, for every member, the
+**bitwise-identical** embedding a sequential ``embed`` produces -- max
+absolute difference exactly ``0.0``, same dtype, same shape.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.ghn import (GHN2, GHNConfig, GHNRegistry, GraphBatch,
+                      sample_architecture, structure_cache)
+from repro.ghn.gated_gnn import GraphStructure
+from repro.graphs.zoo import get_model, list_models
+
+FAST = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+
+@pytest.fixture(scope="module")
+def ghn():
+    return GHN2(FAST)
+
+
+def _random_archs(seeds, num_features=8, num_classes=4):
+    return [sample_architecture(np.random.default_rng(s), num_features,
+                                num_classes) for s in seeds]
+
+
+class TestZooEquivalence:
+    def test_embed_many_bitwise_matches_sequential_across_zoo(self, ghn):
+        """Every zoo model, one batch: max abs diff must be exactly 0."""
+        graphs = [get_model(name) for name in list_models()]
+        sequential = [ghn.embed(g) for g in graphs]
+        batched = ghn.embed_many(graphs)
+        assert len(batched) == len(graphs)
+        for name, b, s in zip(list_models(), batched, sequential):
+            assert b.shape == s.shape, name
+            assert b.dtype == s.dtype, name
+            diff = float(np.max(np.abs(b - s))) if b.size else 0.0
+            assert diff == 0.0, f"{name}: max abs diff {diff}"
+
+    def test_duplicate_graphs_in_one_batch(self, ghn):
+        g = get_model("alexnet")
+        solo = ghn.embed(g)
+        batched = ghn.embed_many([g, g, g])
+        for b in batched:
+            np.testing.assert_array_equal(b, solo)
+
+    def test_empty_batch_returns_empty(self, ghn):
+        assert ghn.embed_many([]) == []
+
+    def test_singleton_batch_matches_embed(self, ghn):
+        g = get_model("vgg11")
+        np.testing.assert_array_equal(ghn.embed_many([g])[0],
+                                      ghn.embed(g))
+
+
+class TestPredictParametersMany:
+    def test_matches_sequential_per_arch(self, ghn):
+        archs = _random_archs([0, 1, 2])
+        batched = ghn.predict_parameters_many(archs)
+        for arch, params in zip(archs, batched):
+            solo = ghn.predict_parameters(arch)
+            assert set(params) == set(solo)
+            for node_id in params:
+                for key in params[node_id]:
+                    np.testing.assert_array_equal(
+                        params[node_id][key].data,
+                        solo[node_id][key].data)
+
+
+class TestGraphBatchPacking:
+    @settings(max_examples=20, deadline=None)
+    @given(seeds=st.lists(st.integers(0, 10_000), min_size=1,
+                          max_size=5))
+    def test_pack_unpack_roundtrip_random_dags(self, seeds):
+        graphs = _random_archs(seeds)
+        batch = GraphBatch.build(graphs, s_max=3)
+        # Offsets are the cumulative node counts.
+        sizes = [g.num_nodes for g in graphs]
+        np.testing.assert_array_equal(batch.offsets,
+                                      np.concatenate([[0],
+                                                      np.cumsum(sizes)]))
+        assert batch.num_nodes == sum(sizes)
+        # Segments partition the packed rows; split() inverts packing.
+        packed = np.arange(batch.num_nodes)[:, None] * 1.0
+        parts = batch.split(packed)
+        assert [len(p) for p in parts] == sizes
+        np.testing.assert_array_equal(np.concatenate(parts), packed)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds=st.lists(st.integers(0, 10_000), min_size=1,
+                          max_size=5))
+    def test_packed_schedule_is_block_diagonal(self, seeds):
+        """Level l of the batch is the concatenation of every member's
+        level l, and no packed edge crosses a segment boundary."""
+        graphs = _random_archs(seeds)
+        batch = GraphBatch.build(graphs, s_max=3)
+        for packed_schedule, attr in ((batch.schedule_fw, "schedule_fw"),
+                                      (batch.schedule_bw, "schedule_bw")):
+            member = [getattr(s, attr) for s in batch.structures]
+            assert len(packed_schedule.steps) == max(
+                len(s.steps) for s in member)
+            for level, step in enumerate(packed_schedule.steps):
+                expect_nodes = [s.steps[level].nodes + off
+                                for s, off in zip(member,
+                                                  batch.offsets[:-1])
+                                if level < len(s.steps)]
+                np.testing.assert_array_equal(
+                    step.nodes, np.concatenate(expect_nodes))
+                # msg_dst indexes into this level's receiver rows and
+                # msg_src into the packed state; both must stay inside
+                # the segment that owns the receiver.
+                for src, dst in zip(step.msg_src, step.msg_dst):
+                    seg = np.searchsorted(batch.offsets,
+                                          step.nodes[dst],
+                                          side="right") - 1
+                    lo, hi = batch.offsets[seg], batch.offsets[seg + 1]
+                    assert lo <= src < hi
+                    assert lo <= step.nodes[dst] < hi
+
+    def test_op_index_array_concatenates_members(self):
+        graphs = _random_archs([7, 8])
+        batch = GraphBatch.build(graphs, s_max=3)
+        from repro.graphs.ops import op_index
+        expect = [op_index(nd.op) for g in graphs for nd in g.nodes]
+        np.testing.assert_array_equal(batch.op_index_array, expect)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            GraphBatch.build([], s_max=3)
+
+    def test_structure_count_mismatch_raises(self):
+        graphs = _random_archs([0, 1])
+        structure = GraphStructure.cached(graphs[0], 3)
+        with pytest.raises(ValueError, match="one structure per graph"):
+            GraphBatch.build(graphs, s_max=3, structures=[structure])
+
+
+class TestStructureCache:
+    def test_hit_miss_counters(self):
+        structure_cache().clear()
+        graph = _random_archs([12345])[0]
+        with obs.observed(tracing=False) as (_, metrics):
+            GraphStructure.cached(graph, 3)
+            GraphStructure.cached(graph, 3)
+            counters = metrics.snapshot()["counters"]
+        assert counters["ghn.structure_cache.misses"] == 1
+        assert counters["ghn.structure_cache.hits"] == 1
+
+    def test_shared_across_model_instances(self):
+        graph = _random_archs([54321])[0]
+        s1 = GHN2(FAST).structure(graph)
+        s2 = GHN2(FAST).structure(graph)
+        assert s1 is s2
+
+    def test_s_max_keys_are_distinct(self):
+        graph = _random_archs([999])[0]
+        s3 = GraphStructure.cached(graph, 3)
+        s5 = GraphStructure.cached(graph, 5)
+        assert s3 is not s5
+
+
+class TestRegistryEmbedMany:
+    def test_dedupes_by_fingerprint_in_one_batched_pass(self):
+        reg = GHNRegistry(config=FAST, train_steps=5)
+        reg.get("cifar10")
+        g1, g2 = get_model("alexnet"), get_model("vgg11")
+        with obs.observed(tracing=False) as (_, metrics):
+            out = reg.embed_many("cifar10", [g1, g2, g1, g2, g1])
+            counters = metrics.snapshot()["counters"]
+        # One batched GHN pass served all five requests.
+        assert counters.get("ghn.embed_batches", 0) == 1
+        assert out[0] is out[2] and out[2] is out[4]
+        assert out[1] is out[3]
+        np.testing.assert_array_equal(out[0],
+                                      reg.embed("cifar10", g1))
+
+    def test_cache_hits_skip_the_model_entirely(self):
+        reg = GHNRegistry(config=FAST, train_steps=5)
+        g = get_model("alexnet")
+        warm = reg.embed("cifar10", g)
+        with obs.observed(tracing=False) as (_, metrics):
+            out = reg.embed_many("cifar10", [g, g])
+            counters = metrics.snapshot()["counters"]
+        assert counters.get("ghn.embed_batches", 0) == 0
+        assert out[0] is warm and out[1] is warm

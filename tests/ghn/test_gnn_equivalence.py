@@ -47,9 +47,8 @@ def test_batched_equals_sequential_on_random_architectures(seed):
     structure = GraphStructure.build(arch, s_max=3)
     states = rng.standard_normal((arch.num_nodes, 8))
     with no_grad():
-        batched = gnn._propagate(Tensor(states), structure.receive_fw,
-                                 structure.virtual_fw,
-                                 structure.levels_fw).data
+        batched = gnn._propagate(Tensor(states),
+                                 structure.schedule_fw).data
     reference = sequential_propagate(gnn, states, structure.receive_fw,
                                      structure.virtual_fw,
                                      structure.levels_fw)
@@ -64,9 +63,8 @@ def test_batched_equals_sequential_on_real_model():
     rng = np.random.default_rng(0)
     states = rng.standard_normal((graph.num_nodes, 8))
     with no_grad():
-        batched = gnn._propagate(Tensor(states), structure.receive_fw,
-                                 structure.virtual_fw,
-                                 structure.levels_fw).data
+        batched = gnn._propagate(Tensor(states),
+                                 structure.schedule_fw).data
     reference = sequential_propagate(gnn, states, structure.receive_fw,
                                      structure.virtual_fw,
                                      structure.levels_fw)
@@ -80,9 +78,8 @@ def test_backward_direction_equivalence():
     structure = GraphStructure.build(arch, s_max=3)
     states = rng.standard_normal((arch.num_nodes, 8))
     with no_grad():
-        batched = gnn._propagate(Tensor(states), structure.receive_bw,
-                                 structure.virtual_bw,
-                                 structure.levels_bw).data
+        batched = gnn._propagate(Tensor(states),
+                                 structure.schedule_bw).data
     reference = sequential_propagate(gnn, states, structure.receive_bw,
                                      structure.virtual_bw,
                                      structure.levels_bw)

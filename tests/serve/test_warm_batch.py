@@ -1,0 +1,127 @@
+"""Micro-batch embedding warm-up in the prediction server."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import make_cluster
+from repro.core import PredictionRequest
+from repro.core.requests import PredictionResult
+from repro.serve import PredictionServer, ServeConfig
+from repro.sim import DLWorkload
+
+
+def _request(model="resnet18", servers=2, batch=32):
+    return PredictionRequest(
+        workload=DLWorkload(model, "cifar10",
+                            batch_size_per_server=batch),
+        cluster=make_cluster(servers, "gpu-p100"))
+
+
+class _WarmTrackingPredictor:
+    """Predictor double recording warm_embeddings invocations."""
+
+    def __init__(self, fail=False):
+        self.warm_calls: list[int] = []
+        self.predict_calls = 0
+        self.fail = fail
+        self.lock = threading.Lock()
+
+    def warm_embeddings(self, requests):
+        with self.lock:
+            self.warm_calls.append(len(requests))
+        if self.fail:
+            raise RuntimeError("warm-up exploded")
+        return len(requests)
+
+    def predict(self, request):
+        with self.lock:
+            self.predict_calls += 1
+        return PredictionResult(
+            request=request, predicted_time=1.0, dataset_used="cifar10",
+            ghn_trained=False, embedding_seconds=0.0,
+            inference_seconds=0.0)
+
+
+def _burst(server, requests):
+    futures = [server.submit(r) for r in requests]
+    return [f.result(timeout=30.0) for f in futures]
+
+
+def _batched_config():
+    # A wide window so a queued burst coalesces into one batch.
+    return ServeConfig(workers=1, batch_window=0.05, max_batch=16,
+                      max_queue_depth=64)
+
+
+class TestWarmBatch:
+    def test_multi_group_batch_triggers_one_warm_call(self):
+        backend = _WarmTrackingPredictor()
+        with PredictionServer(backend, _batched_config()) as server:
+            requests = [_request(servers=s) for s in (2, 3, 4)]
+            results = _burst(server, requests)
+        assert len(results) == 3
+        assert backend.warm_calls == [3]
+        assert backend.predict_calls == 3
+
+    def test_single_group_skips_warm_up(self):
+        """Nothing to batch across: one group warms nothing."""
+        backend = _WarmTrackingPredictor()
+        with PredictionServer(backend, _batched_config()) as server:
+            _burst(server, [_request(), _request()])
+        assert backend.warm_calls == []
+
+    def test_warm_failure_does_not_fail_requests(self):
+        backend = _WarmTrackingPredictor(fail=True)
+        with obs.observed(tracing=False) as (_, metrics):
+            with PredictionServer(backend, _batched_config()) as server:
+                results = _burst(server,
+                                 [_request(servers=s) for s in (2, 3)])
+            counters = metrics.snapshot()["counters"]
+        assert all(r.predicted_time == 1.0 for r in results)
+        assert counters.get("serve.warm_failures", 0) >= 1
+
+    def test_predictor_without_warm_embeddings_still_served(self):
+        class Bare:
+            def predict(self, request):
+                return PredictionResult(
+                    request=request, predicted_time=2.0,
+                    dataset_used="cifar10", ghn_trained=False,
+                    embedding_seconds=0.0, inference_seconds=0.0)
+
+        with PredictionServer(Bare(), _batched_config()) as server:
+            results = _burst(server,
+                             [_request(servers=s) for s in (2, 3)])
+        assert all(r.predicted_time == 2.0 for r in results)
+
+
+class TestWarmWithRealPredictor:
+    @pytest.mark.slow
+    def test_cached_groups_are_not_rewarmed(self, predictor):
+        """After a burst populates the result cache, an identical burst
+        is answered from cache without another warm-up pass."""
+        with obs.observed(tracing=False) as (_, metrics):
+            with PredictionServer(predictor,
+                                  _batched_config()) as server:
+                first = _burst(server,
+                               [_request(servers=s) for s in (2, 4)])
+                second = _burst(server,
+                                [_request(servers=s) for s in (2, 4)])
+            counters = metrics.snapshot()["counters"]
+        assert counters.get("serve.cache.hits", 0) >= 2
+        for a, b in zip(first, second):
+            assert a.predicted_time == b.predicted_time
+
+    @pytest.mark.slow
+    def test_warmed_batch_results_match_sequential_predict(self,
+                                                           predictor):
+        requests = [_request(model=m, servers=s)
+                    for m in ("resnet18", "alexnet") for s in (2, 4)]
+        sequential = [predictor.predict(r).predicted_time
+                      for r in requests]
+        with PredictionServer(predictor, _batched_config()) as server:
+            served = [r.predicted_time for r in _burst(server, requests)]
+        np.testing.assert_array_equal(np.array(served),
+                                      np.array(sequential))

@@ -1,0 +1,47 @@
+"""Sharded trace generation must be bit-identical to the serial sweep."""
+
+import numpy as np
+
+from repro.sim import generate_trace
+
+MODELS = ["resnet18", "vgg11"]
+SIZES = [1, 2, 3, 4]
+
+
+def _records(workers):
+    points = generate_trace(MODELS, "cifar10", "gpu-p100", SIZES,
+                            seed=11, workers=workers)
+    return [p.as_record() for p in points]
+
+
+class TestWorkerDeterminism:
+    def test_workers_four_bitwise_equals_serial(self):
+        assert _records(4) == _records(1)
+
+    def test_workers_two_bitwise_equals_serial(self):
+        assert _records(2) == _records(1)
+
+    def test_more_workers_than_tasks(self):
+        points = generate_trace(["alexnet"], "cifar10", "gpu-p100",
+                                [1, 2], seed=0, workers=16)
+        serial = generate_trace(["alexnet"], "cifar10", "gpu-p100",
+                                [1, 2], seed=0, workers=1)
+        assert [p.as_record() for p in points] == \
+            [p.as_record() for p in serial]
+
+    def test_point_order_is_models_times_sizes(self):
+        points = generate_trace(MODELS, "cifar10", "gpu-p100", SIZES,
+                                seed=11, workers=4)
+        combos = [(m, s) for m in MODELS for s in SIZES]
+        got = [(p.workload.model_name, p.run.num_servers)
+               for p in points]
+        assert got == combos
+
+    def test_total_times_are_float_identical(self):
+        serial = generate_trace(MODELS, "cifar10", "gpu-p100", SIZES,
+                                seed=11, workers=1)
+        sharded = generate_trace(MODELS, "cifar10", "gpu-p100", SIZES,
+                                 seed=11, workers=4)
+        np.testing.assert_array_equal(
+            np.array([p.total_time for p in serial]),
+            np.array([p.total_time for p in sharded]))

@@ -1,0 +1,86 @@
+"""repro.parallel: deterministic sharded mapping."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.parallel import parallel_map, substreams
+
+
+def _square(x):
+    return x * x
+
+
+def _draw(stream):
+    """Task randomness comes only from the task's own substream."""
+    return np.random.default_rng(stream).standard_normal(4).tolist()
+
+
+def _boom(x):
+    if x == 1:
+        raise RuntimeError(f"task {x} failed")
+    return x
+
+
+class TestSerialPath:
+    def test_empty(self):
+        assert parallel_map(_square, []) == []
+
+    def test_ordered_results(self):
+        assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_single_task_never_pools(self):
+        # Even with workers > 1 a singleton runs in-process.
+        assert parallel_map(_square, [5], workers=8) == [25]
+
+
+class TestShardedPath:
+    def test_results_in_task_order(self):
+        tasks = list(range(10))
+        assert parallel_map(_square, tasks, workers=4) == \
+            [t * t for t in tasks]
+
+    def test_bit_identical_at_any_worker_count(self):
+        streams = substreams(42, 6)
+        serial = parallel_map(_draw, streams, workers=1)
+        for workers in (2, 4):
+            assert parallel_map(_draw, streams,
+                                workers=workers) == serial
+
+    def test_task_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="task 1 failed"):
+            parallel_map(_boom, [0, 1, 2], workers=2)
+
+
+class TestFallback:
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        captured = []
+        with obs.observed(tracing=False) as (_, metrics):
+            result = parallel_map(lambda x: captured.append(x) or -x,
+                                  [1, 2, 3], workers=2)
+            counters = metrics.snapshot()["counters"]
+        assert result == [-1, -2, -3]
+        assert captured == [1, 2, 3]
+        assert counters[
+            "parallel.fallbacks{reason=unpicklable}"] == 1
+
+    def test_serial_path_records_no_fallback(self):
+        with obs.observed(tracing=False) as (_, metrics):
+            parallel_map(_square, [1, 2], workers=1)
+            counters = metrics.snapshot()["counters"]
+        assert not any(k.startswith("parallel.fallbacks")
+                       for k in counters)
+
+
+class TestSubstreams:
+    def test_deterministic_and_independent_of_count_prefix(self):
+        first = substreams(7, 3)
+        second = substreams(7, 5)
+        for a, b in zip(first, second):
+            assert np.random.default_rng(a).integers(1 << 30) == \
+                np.random.default_rng(b).integers(1 << 30)
+
+    def test_accepts_seed_sequence(self):
+        root = np.random.SeedSequence(9)
+        children = substreams(root, 2)
+        assert len(children) == 2
