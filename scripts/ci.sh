@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Continuous-integration gate: tier-1 tests, zoo-wide graph lint, ruff.
+# Continuous-integration gate: tier-1 tests, zoo-wide graph lint + static
+# analysis, determinism code lint, planner determinism, ruff, mypy.
 #
 #   scripts/ci.sh          # run everything
 #   SKIP_TESTS=1 scripts/ci.sh   # lint gates only
@@ -20,8 +21,23 @@ if [[ "${SKIP_TESTS:-0}" != "1" ]]; then
     python -m pytest -x -q ${PYTEST_ARGS:-}
 fi
 
-echo "==> repro lint --all (graph IR static analysis)"
-python -c "import sys; from repro.cli import main; sys.exit(main(['lint', '--all']))"
+echo "==> repro lint --all --static (graph IR + symbolic-inference analysis)"
+python -c "import sys; from repro.cli import main; sys.exit(main(['lint', '--all', '--static']))"
+
+echo "==> repro lint --code (AST determinism lint over src/repro)"
+# Flags unseeded RNG calls, wall-clock reads and mutable default args;
+# exits non-zero on any finding not in scripts/determinism_allowlist.txt.
+python -c "import sys; from repro.cli import main; sys.exit(main(['lint', '--code']))"
+
+echo "==> repro plan --all --digest (static-planner determinism gate)"
+# Plans every zoo model twice from scratch; the digest lines must be
+# bitwise-identical or the planner has a nondeterminism bug.
+plan_cmd() {
+    python -c "import sys; from repro.cli import main; sys.exit(main(['plan', '--all', '--digest']))"
+}
+plan_cmd > /tmp/repro_plan_digests_a.txt
+plan_cmd > /tmp/repro_plan_digests_b.txt
+diff /tmp/repro_plan_digests_a.txt /tmp/repro_plan_digests_b.txt
 
 echo "==> repro profile resnet18 --json (observability smoke)"
 python -c "import sys; from repro.cli import main; sys.exit(main(['profile', 'resnet18', '--json']))" \
@@ -58,6 +74,14 @@ if command -v ruff >/dev/null 2>&1; then
 else
     echo "==> ruff not installed; skipping Python style gate" \
          "(pip install ruff)" >&2
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "==> mypy (strict on repro.static + repro.graphs)"
+    mypy src/repro/static src/repro/graphs
+else
+    echo "==> mypy not installed; skipping type-check gate" \
+         "(pip install mypy)" >&2
 fi
 
 echo "CI gates passed."

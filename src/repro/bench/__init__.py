@@ -19,9 +19,10 @@ from .experiments_serve import ServeScalePoint, serving_scalability
 from .harness import (EvalOutcome, ernest_design, evaluate_ernest,
                       evaluate_predictor, fit_ernest, fit_predictor,
                       per_workload_ratios, split_points)
-from .perf import (EmbedPerfPoint, ServePerfResult, TracegenPerfPoint,
-                   check_gates, embed_throughput, run_perf_suite,
-                   serve_latency, tracegen_throughput)
+from .perf import (EmbedPerfPoint, ServePerfResult, StaticPerfPoint,
+                   TracegenPerfPoint, check_gates, embed_throughput,
+                   run_perf_suite, serve_latency, static_planning,
+                   tracegen_throughput)
 from .reporting import format_table, render_report, write_report
 
 __all__ = [
@@ -39,7 +40,8 @@ __all__ = [
     "chaos_recovery", "ChaosRecoveryPoint",
     "embedding_dim_sweep", "ghn_config_ablation", "allreduce_ablation",
     "run_perf_suite", "check_gates", "embed_throughput",
-    "tracegen_throughput", "serve_latency", "EmbedPerfPoint",
-    "TracegenPerfPoint", "ServePerfResult",
+    "tracegen_throughput", "serve_latency", "static_planning",
+    "EmbedPerfPoint", "TracegenPerfPoint", "ServePerfResult",
+    "StaticPerfPoint",
     "format_table", "render_report", "write_report",
 ]

@@ -14,6 +14,9 @@ at the repo root is the committed baseline):
 * **serve**: p50/p99 latency and throughput of a
   :class:`~repro.serve.PredictionServer` burst driven by the existing
   :class:`~repro.serve.LoadGenerator`.
+* **static**: :func:`repro.static.plan_graph` latency per zoo model
+  plus a plan-digest determinism check (two independently-built plans
+  must hash identically).
 
 ``run_perf_suite`` composes them into one JSON payload;
 ``check_gates`` evaluates the regression gates (batched throughput >=
@@ -36,8 +39,9 @@ from ..obs import TRACER
 from ..sim import generate_trace
 
 __all__ = ["EmbedPerfPoint", "TracegenPerfPoint", "ServePerfResult",
-           "embed_throughput", "tracegen_throughput", "serve_latency",
-           "run_perf_suite", "check_gates"]
+           "StaticPerfPoint", "embed_throughput", "tracegen_throughput",
+           "serve_latency", "static_planning", "run_perf_suite",
+           "check_gates"]
 
 #: Batch sizes exercised by the full suite (the ISSUE's K in {1, 8, 32}).
 DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 8, 32)
@@ -96,6 +100,20 @@ class TracegenPerfPoint:
             "points_per_sec": self.points_per_sec,
             "identical_to_serial": self.identical_to_serial,
         }
+
+
+@dataclasses.dataclass(frozen=True)
+class StaticPerfPoint:
+    """Static-planner timing and determinism for one zoo model."""
+
+    model: str
+    steps: int
+    seconds: float
+    digest: str
+    deterministic: bool
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -228,6 +246,31 @@ def serve_latency(*, requests: int = 60, rate: float = 1000.0,
         throughput_rps=payload["throughput_rps"])
 
 
+def static_planning(models: Sequence[str] = ("alexnet", "resnet18",
+                                             "mobilenet_v2"), *,
+                    batch_size: int = 32) -> list[StaticPerfPoint]:
+    """Time :func:`repro.static.plan_graph` and check plan determinism.
+
+    Each model is planned twice from independently-built graphs; the
+    two content digests must match (the static planner's determinism
+    contract, gated both here and in ``scripts/ci.sh``).
+    """
+    from ..static import plan_graph
+
+    results: list[StaticPerfPoint] = []
+    for name in models:
+        with TRACER.span("bench.perf.static", model=name):
+            start = time.perf_counter()
+            plan = plan_graph(get_model(name), batch_size=batch_size)
+            seconds = time.perf_counter() - start
+        replan = plan_graph(get_model(name), batch_size=batch_size)
+        results.append(StaticPerfPoint(
+            model=name, steps=len(plan.steps), seconds=seconds,
+            digest=plan.digest,
+            deterministic=plan.digest == replan.digest))
+    return results
+
+
 def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
     """Run every perf benchmark and return the JSON payload.
 
@@ -241,10 +284,12 @@ def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
         tracegen = tracegen_throughput(
             (1, 4), cluster_sizes=tuple(range(1, 5)), seed=seed)
         serve = None
+        static = static_planning(("alexnet", "resnet18"))
     else:
         embed = embed_throughput(seed=seed)
         tracegen = tracegen_throughput(seed=seed)
         serve = serve_latency(seed=seed)
+        static = static_planning()
     return {
         "suite": "perf",
         "quick": quick,
@@ -252,6 +297,7 @@ def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
         "embed": [p.to_dict() for p in embed],
         "tracegen": [p.to_dict() for p in tracegen],
         "serve": serve.to_dict() if serve is not None else None,
+        "static": [p.to_dict() for p in static],
     }
 
 
@@ -283,4 +329,9 @@ def check_gates(payload: dict, *, min_speedup: float = 1.0,
             failures.append(
                 f"tracegen workers={point['workers']}: records differ "
                 f"from the serial sweep")
+    for point in payload.get("static") or []:
+        if not point["deterministic"]:
+            failures.append(
+                f"static {point['model']}: plan digest changed between "
+                f"two runs (planner is non-deterministic)")
     return failures

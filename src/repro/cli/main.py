@@ -10,7 +10,12 @@ Subcommands mirror the deployment workflow:
   (Fig. 7);
 * ``repro report``    -- summarize a stored trace;
 * ``repro lint``      -- statically verify computational graphs
-  (zoo models and/or serialized graph JSON files);
+  (zoo models and/or serialized graph JSON files); ``--static`` adds
+  the symbolic-inference analyzer (:mod:`repro.static`), ``--code``
+  runs the AST determinism linter over ``src/repro``;
+* ``repro plan``      -- lower graphs to a static execution plan
+  (pre-planned op schedule + preallocated buffer pool); ``--digest``
+  prints one content-hash line per model for determinism gating;
 * ``repro profile``   -- trace the full fit+predict pipeline of one
   model and render the span tree (see :mod:`repro.obs`);
 * ``repro serve``     -- run the concurrent prediction server against
@@ -289,6 +294,37 @@ def build_parser() -> argparse.ArgumentParser:
                              "(full, default)")
     p_lint.add_argument("--input-size", type=int, default=64,
                         help="input resolution for zoo graphs")
+    p_lint.add_argument("--static", action="store_true",
+                        help="additionally run the static analyzer "
+                             "(symbolic shape inference, dead-node and "
+                             "stored-annotation drift checks) on every "
+                             "graph")
+    p_lint.add_argument("--code", action="store_true",
+                        help="run the AST determinism linter over "
+                             "src/repro (unseeded RNG, wall-clock "
+                             "reads, mutable default args); exits 1 on "
+                             "non-allowlisted findings")
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="statically plan graph execution (schedule + preallocated "
+             "buffers) from inferred shapes")
+    p_plan.add_argument("models", nargs="*",
+                        help="zoo model names to plan")
+    p_plan.add_argument("--all", action="store_true",
+                        help="plan every model in the zoo registry")
+    p_plan.add_argument("--input-size", type=int, default=64,
+                        help="input resolution for zoo graphs")
+    p_plan.add_argument("--batch", type=int, default=1,
+                        help="batch size the buffer pool is sized for")
+    p_plan.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the full plan(s) as JSON")
+    p_plan.add_argument("--digest", action="store_true",
+                        help="print only '<model> <digest>' lines "
+                             "(for determinism diffing in CI)")
+    p_plan.add_argument("--max-steps", type=int, default=None,
+                        help="truncate the printed schedule after N "
+                             "steps (text output only)")
     return parser
 
 
@@ -733,6 +769,10 @@ def _cmd_bench(args) -> int:
                   f"p99 {s['p99_ms']:.2f}ms  "
                   f"{s['throughput_rps']:.1f} req/s "
                   f"({s['completed']}/{s['requests']} completed)")
+        for p in payload.get("static") or []:
+            match = "ok" if p["deterministic"] else "MISMATCH"
+            print(f"static {p['model']}: {p['steps']} steps planned in "
+                  f"{p['seconds'] * 1e3:.1f}ms (digest {match})")
         if args.out is not None:
             print(f"payload written to {args.out}")
     for failure in failures:
@@ -764,6 +804,34 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_code_lint(args) -> int:
+    """The `repro lint --code` determinism linter over src/repro."""
+    import json
+
+    from ..static import lint_tree
+
+    root = Path(__file__).resolve().parents[3]
+    findings = lint_tree(root)
+    blocking = [f for f in findings if not f.allowlisted]
+    if args.as_json:
+        print(json.dumps({
+            "findings": [{
+                "path": f.path, "line": f.line, "col": f.col,
+                "rule": f.rule, "qualname": f.qualname,
+                "message": f.message, "allowlisted": f.allowlisted,
+            } for f in findings],
+            "summary": {"total": len(findings),
+                        "blocking": len(blocking)},
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        print(f"determinism lint: {len(findings)} finding(s), "
+              f"{len(blocking)} blocking "
+              f"({len(findings) - len(blocking)} allowlisted)")
+    return 1 if blocking else 0
+
+
 def _cmd_lint(args) -> int:
     import json
 
@@ -774,17 +842,25 @@ def _cmd_lint(args) -> int:
     if args.all:
         names = list_models()
     if not names and not args.graph:
-        print("error: nothing to lint; pass model names, --all or "
-              "--graph PATH", file=sys.stderr)
+        if args.code:
+            return _cmd_code_lint(args)
+        print("error: nothing to lint; pass model names, --all, "
+              "--graph PATH or --code", file=sys.stderr)
         return 1
 
     reports = []
     for name in names:
         graph = get_model(name, input_size=args.input_size)
         reports.append(verify_graph(graph, level=args.level))
+        if args.static:
+            from ..static import analyze_graph
+            reports.append(analyze_graph(graph))
     for path in args.graph:
         payload = json.loads(Path(path).read_text())
         reports.append(verify_graph(payload, level=args.level))
+        if args.static:
+            from ..static import analyze_graph
+            reports.append(analyze_graph(payload))
 
     num_errors = sum(len(r.errors) for r in reports)
     num_warnings = sum(len(r.warnings) for r in reports)
@@ -806,7 +882,44 @@ def _cmd_lint(args) -> int:
         print(f"{len(reports)} graph(s) checked: "
               f"{len(reports) - failing} ok, {failing} failing "
               f"({num_errors} error(s), {num_warnings} warning(s))")
-    return 1 if num_errors else 0
+    code_rc = _cmd_code_lint(args) if args.code else 0
+    return 1 if (num_errors or code_rc) else 0
+
+
+def _cmd_plan(args) -> int:
+    import json
+
+    from ..graphs.zoo import get_model, list_models
+    from ..static import plan_graph
+
+    names = list(args.models)
+    if args.all:
+        names = list_models()
+    if not names:
+        print("error: nothing to plan; pass model names or --all",
+              file=sys.stderr)
+        return 1
+
+    plans = []
+    for name in names:
+        graph = get_model(name, input_size=args.input_size)
+        plans.append(plan_graph(graph, batch_size=args.batch))
+
+    if args.digest:
+        for plan in plans:
+            print(f"{plan.graph_name} {plan.digest}")
+        return 0
+    if args.as_json:
+        print(json.dumps(
+            [dict(plan.to_dict(), digest=plan.digest)
+             for plan in plans],
+            indent=2, sort_keys=True))
+        return 0
+    for index, plan in enumerate(plans):
+        if index:
+            print()
+        print(plan.format_text(max_steps=args.max_steps))
+    return 0
 
 
 _COMMANDS = {
@@ -823,6 +936,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "report": _cmd_report,
     "lint": _cmd_lint,
+    "plan": _cmd_plan,
 }
 
 

@@ -339,6 +339,31 @@ class GraphBuilder:
                               list(srcs), 0, 0)
 
     # ------------------------------------------------------------------
+    # generic op append (rule-driven)
+    # ------------------------------------------------------------------
+    def add_op(self, op: OpType, inputs: Sequence[int], *,
+               name: str | None = None, **attrs) -> int:
+        """Append a node of any op type, deriving its shape and cost
+        from the per-op rules in :mod:`repro.static.rules`.
+
+        Unlike the dedicated methods above, this needs no hand-written
+        arithmetic -- the static analyzer's registry is the single
+        source of truth.  Raises :class:`GraphValidationError` when the
+        rule cannot derive an output shape from ``inputs`` + ``attrs``.
+        """
+        from ..static.rules import infer_output_shape, recount_cost
+        in_shapes = [self.shape(src) for src in inputs]
+        out_shape = infer_output_shape(op, attrs, in_shapes)
+        if out_shape is None or any(s <= 0 for s in out_shape):
+            raise GraphValidationError(
+                f"cannot derive {op.value!r} output shape from inputs "
+                f"{in_shapes} and attrs {sorted(attrs)}")
+        cost = recount_cost(op, attrs, in_shapes)
+        params, flops = cost if cost is not None else (0, 0)
+        return self._add_node(op, name or op.value, out_shape,
+                              list(inputs), params, flops, **attrs)
+
+    # ------------------------------------------------------------------
     # finalization
     # ------------------------------------------------------------------
     def output(self, src: int) -> int:
@@ -346,16 +371,42 @@ class GraphBuilder:
         return self._add_node(OpType.OUTPUT, "output", self.shape(src),
                               [src], 0, 0)
 
-    def build(self, *, verify: bool = False,
-              level: str = "full") -> ComputationalGraph:
+    def build(self, *, verify: bool = False, level: str = "full",
+              infer_shapes: bool = False) -> ComputationalGraph:
         """Validate and return the immutable graph.
 
         With ``verify=True`` the full static-analysis rule set
         (:mod:`repro.graphs.verify`) additionally runs and a
         :class:`~repro.graphs.verify.GraphVerificationError` is raised
         on any ERROR-severity diagnostic.
+
+        With ``infer_shapes=True`` every node's ``out_shape`` /
+        ``params`` / ``flops`` annotation is re-derived from the INPUT
+        shape by the symbolic inference engine
+        (:mod:`repro.static.infer`), overwriting whatever the builder
+        methods stored -- so graphs assembled from partial information
+        still come out fully annotated, and drifted annotations are
+        healed rather than shipped.
         """
         graph = ComputationalGraph(self.name, self._nodes, self._edges)
+        if infer_shapes:
+            from ..static.infer import infer_shapes as run_inference
+            import dataclasses as _dc
+            result = run_inference(graph)
+            if not result.ok or result.underdetermined:
+                problems = [d.format() for d in result.diagnostics[:5]]
+                problems += [f"underdetermined shape at node {n}"
+                             for n in result.underdetermined[:5]]
+                raise GraphValidationError(
+                    f"shape inference failed for {self.name!r}:\n  "
+                    + "\n  ".join(problems))
+            nodes = [_dc.replace(nd,
+                                 out_shape=result.shapes[nd.node_id],
+                                 params=result.params[nd.node_id] or 0,
+                                 flops=result.flops[nd.node_id] or 0)
+                     for nd in graph.nodes]
+            graph = ComputationalGraph(self.name, nodes,
+                                       list(graph.edges))
         if verify:
             from .verify import assert_verified
             assert_verified(graph, level=level,

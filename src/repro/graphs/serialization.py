@@ -39,14 +39,20 @@ def graph_to_dict(graph: ComputationalGraph) -> dict:
     }
 
 
-def graph_from_dict(payload: dict, *,
-                    verify: bool = False) -> ComputationalGraph:
+def graph_from_dict(payload: dict, *, verify: bool = False,
+                    infer_shapes: bool = False) -> ComputationalGraph:
     """Reconstruct a graph from :func:`graph_to_dict` output.
 
     With ``verify=True`` the payload is statically verified *before*
     construction, so malformed wire data fails with a full diagnostic
     report (:class:`~repro.graphs.verify.GraphVerificationError`)
     instead of whichever invariant the constructor trips over first.
+
+    With ``infer_shapes=True`` per-node ``out_shape`` / ``params`` /
+    ``flops`` entries may be omitted from the wire payload: they are
+    re-derived from the INPUT node's shape by the symbolic inference
+    engine (:mod:`repro.static.infer`).  The INPUT node must still
+    carry its shape -- that is the one non-derivable ground truth.
     """
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
@@ -55,12 +61,33 @@ def graph_from_dict(payload: dict, *,
         from .verify import assert_verified
         assert_verified(payload, level="full",
                         context="deserializing graph")
-    nodes = [
-        Node(node_id=nd["id"], op=OpType(nd["op"]), name=nd["name"],
-             out_shape=tuple(nd["out_shape"]), params=nd["params"],
-             flops=nd["flops"], attrs=dict(nd.get("attrs", {})))
-        for nd in payload["nodes"]
-    ]
+    if infer_shapes:
+        from ..static.infer import infer_shapes as run_inference
+        from .verify import GraphView
+
+        result = run_inference(GraphView.from_payload(payload))
+        if not result.ok or result.underdetermined:
+            problems = [d.format() for d in result.diagnostics[:5]]
+            problems += [f"underdetermined shape at node {n}"
+                         for n in result.underdetermined[:5]]
+            raise ValueError(
+                "cannot infer shapes for deserialized graph "
+                f"{payload.get('name')!r}:\n  " + "\n  ".join(problems))
+        nodes = [
+            Node(node_id=nd["id"], op=OpType(nd["op"]), name=nd["name"],
+                 out_shape=result.shapes[nd["id"]],
+                 params=result.params[nd["id"]] or 0,
+                 flops=result.flops[nd["id"]] or 0,
+                 attrs=dict(nd.get("attrs", {})))
+            for nd in payload["nodes"]
+        ]
+    else:
+        nodes = [
+            Node(node_id=nd["id"], op=OpType(nd["op"]), name=nd["name"],
+                 out_shape=tuple(nd["out_shape"]), params=nd["params"],
+                 flops=nd["flops"], attrs=dict(nd.get("attrs", {})))
+            for nd in payload["nodes"]
+        ]
     edges = [tuple(e) for e in payload["edges"]]
     return ComputationalGraph(payload["name"], nodes, edges)
 

@@ -261,12 +261,19 @@ RuleCheck = Callable[[GraphView], Iterable[Diagnostic]]
 
 @dataclasses.dataclass(frozen=True)
 class Rule:
-    """A registered verifier rule."""
+    """A registered verifier rule.
+
+    ``max_diagnostics`` caps how many findings the rule may emit per
+    graph (``None`` = unlimited).  Annotation-drift rules report *all*
+    mismatches (collect-then-report) so one `repro lint` run shows the
+    full damage; structural rules keep the default cap for readability.
+    """
 
     rule_id: str
     description: str
     check: RuleCheck
     fast: bool = True
+    max_diagnostics: int | None = MAX_DIAGNOSTICS_PER_RULE
 
 
 _RULE_REGISTRY: dict[str, Rule] = {}
@@ -295,7 +302,9 @@ def rule_ids() -> tuple[str, ...]:
 
 
 def rule(rule_id: str, description: str, *, fast: bool = True,
-         replace: bool = False) -> Callable[[RuleCheck], RuleCheck]:
+         replace: bool = False,
+         max_diagnostics: int | None = MAX_DIAGNOSTICS_PER_RULE,
+         ) -> Callable[[RuleCheck], RuleCheck]:
     """Decorator registering a check function as a verifier rule.
 
     The check receives a :class:`GraphView` and yields
@@ -310,7 +319,9 @@ def rule(rule_id: str, description: str, *, fast: bool = True,
     """
     def decorator(check: RuleCheck) -> RuleCheck:
         register_rule(Rule(rule_id=rule_id, description=description,
-                           check=check, fast=fast), replace=replace)
+                           check=check, fast=fast,
+                           max_diagnostics=max_diagnostics),
+                      replace=replace)
         return check
     return decorator
 
@@ -394,193 +405,41 @@ class GraphVerificationError(GraphValidationError):
 
 
 # ----------------------------------------------------------------------
-# shape / cost recomputation engine
+# shape / cost recomputation (delegated to the static analyzer)
 # ----------------------------------------------------------------------
 _CONV_OPS = (OpType.CONV, OpType.DWCONV, OpType.GROUP_CONV)
-_POOL_OPS = (OpType.MAX_POOL, OpType.AVG_POOL)
-#: Builder FLOP cost per output element of each pointwise op.
-_POINTWISE_FLOPS: dict[OpType, int] = {
-    OpType.RELU: 1, OpType.RELU6: 1, OpType.SIGMOID: 4,
-    OpType.HARD_SIGMOID: 2, OpType.TANH: 4, OpType.SILU: 5,
-    OpType.HARD_SWISH: 3, OpType.GELU: 8, OpType.SOFTMAX: 5,
-    OpType.DROPOUT: 1,
-}
-#: Ops whose output shape equals their (single) input shape.
-_SHAPE_PRESERVING = frozenset(_POINTWISE_FLOPS) | {
-    OpType.BATCH_NORM, OpType.LAYER_NORM, OpType.LRN,
-    OpType.CHANNEL_SHUFFLE, OpType.BIAS_ADD, OpType.OUTPUT,
-}
-
-
-def _elements(shape: tuple[int, ...]) -> int:
-    total = 1
-    for s in shape:
-        total *= s
-    return total
-
-
-def _conv_size(size: int, kernel: int, stride: int, padding: int) -> int:
-    return (size + 2 * padding - kernel) // stride + 1
-
-
-def _mul_broadcast_shape(
-        shapes: list[tuple[int, ...]]) -> tuple[int, ...] | None:
-    """Mirror :meth:`GraphBuilder.mul` broadcast-shape selection."""
-    if not shapes:
-        return None
-    full = max(shapes, key=lambda s: len(s) * 10**9 + sum(s))
-    for shp in shapes:
-        if shp != full and not (len(shp) == len(full) == 3
-                                and shp[0] == full[0]
-                                and shp[1] == shp[2] == 1):
-            return None
-    return full
 
 
 def _infer_shape(nd: NodeView,
                  in_shapes: list[tuple[int, ...]]) -> tuple[int, ...] | None:
     """Recompute ``nd``'s output shape from predecessor shapes + attrs.
 
-    Returns ``None`` when the shape cannot be recomputed (missing attrs,
-    wrong input rank, unknown op) -- callers skip the cross-check then.
+    Delegates to the per-op rules in :mod:`repro.static.rules` -- the
+    single source of truth for op semantics.  Returns ``None`` when the
+    shape cannot be recomputed (missing attrs, wrong input rank,
+    unknown op); callers skip the cross-check then.
     """
-    op = nd.op
-    if op is OpType.INPUT:
-        return nd.out_shape  # the input shape is the graph's ground truth
-    if op is None or not in_shapes:
-        return None
-    first = in_shapes[0]
-    attrs = nd.attrs
-    if op in _CONV_OPS:
-        if len(first) != 3:
-            return None
-        try:
-            k, s, p = attrs["kernel_size"], attrs["stride"], attrs["padding"]
-            c_out = attrs["out_channels"]
-        except KeyError:
-            return None
-        return (c_out, _conv_size(first[1], k, s, p),
-                _conv_size(first[2], k, s, p))
-    if op in _POOL_OPS:
-        if len(first) != 3:
-            return None
-        try:
-            k, s, p = attrs["kernel_size"], attrs["stride"], attrs["padding"]
-        except KeyError:
-            return None
-        return (first[0], _conv_size(first[1], k, s, p),
-                _conv_size(first[2], k, s, p))
-    if op is OpType.LINEAR:
-        out_features = attrs.get("out_features")
-        return None if out_features is None else (int(out_features),)
-    if op is OpType.GLOBAL_AVG_POOL:
-        return (first[0], 1, 1) if len(first) == 3 else None
-    if op is OpType.ADAPTIVE_AVG_POOL:
-        size = attrs.get("output_size")
-        if size is None or len(first) != 3:
-            return None
-        return (first[0], int(size), int(size))
-    if op is OpType.FLATTEN:
-        return (_elements(first),)
-    if op is OpType.ZERO_PAD:
-        pad = attrs.get("padding")
-        if pad is None or len(first) != 3:
-            return None
-        return (first[0], first[1] + 2 * pad, first[2] + 2 * pad)
-    if op is OpType.UPSAMPLE:
-        scale = attrs.get("scale")
-        if scale is None or len(first) != 3:
-            return None
-        return (first[0], first[1] * scale, first[2] * scale)
-    if op is OpType.IDENTITY:
-        if "split" in attrs and len(first) == 3:
-            return (first[0] // 2, first[1], first[2])
-        return first
-    if op is OpType.SUM:
-        return first
-    if op is OpType.MUL:
-        return _mul_broadcast_shape(in_shapes)
-    if op is OpType.CONCAT:
-        if all(len(s) == 1 for s in in_shapes):
-            return (sum(s[0] for s in in_shapes),)
-        if all(len(s) == 3 for s in in_shapes):
-            return (sum(s[0] for s in in_shapes), first[1], first[2])
-        return None
-    if op in _SHAPE_PRESERVING:
-        return first
-    return None
+    from ..static.rules import infer_output_shape
+    return infer_output_shape(nd.op, nd.attrs, in_shapes,
+                              stored_shape=nd.out_shape)
 
 
 def _recount_cost(nd: NodeView, in_shapes: list[tuple[int, ...]],
                   ) -> tuple[int, int] | None:
     """Recompute ``(params, flops)`` using the builder's conventions.
 
-    Independent re-derivation of the formulas in
-    :mod:`repro.graphs.builder`; returns ``None`` when the op's cost is
-    not recomputable from attrs + input shapes.
+    Delegates to :mod:`repro.static.rules`; returns ``None`` when the
+    op's cost is not recomputable from attrs + input shapes.
     """
-    op = nd.op
-    if op in (OpType.INPUT, OpType.OUTPUT, OpType.FLATTEN, OpType.CONCAT,
-              OpType.ZERO_PAD, OpType.CHANNEL_SHUFFLE):
-        return 0, 0
-    if op is OpType.IDENTITY:
-        return 0, 0
-    if op is None or not in_shapes:
-        return None
-    first = in_shapes[0]
-    attrs = nd.attrs
-    if op in _CONV_OPS:
-        out = _infer_shape(nd, in_shapes)
-        if out is None or len(first) != 3 or len(out) != 3:
-            return None
-        k = attrs["kernel_size"]
-        groups = attrs.get("groups", 1)
-        c_in, (c_out, h, w) = first[0], out
-        if groups <= 0 or c_in % groups:
-            return None
-        weight = k * k * (c_in // groups) * c_out
-        bias = bool(attrs.get("bias", True))
-        params = weight + (c_out if bias else 0)
-        flops = 2 * weight * h * w + (c_out * h * w if bias else 0)
-        return params, flops
-    if op is OpType.LINEAR:
-        if len(first) != 1 or "out_features" not in attrs:
-            return None
-        in_f, out_f = first[0], attrs["out_features"]
-        bias = bool(attrs.get("bias", True))
-        params = in_f * out_f + (out_f if bias else 0)
-        flops = 2 * in_f * out_f + (out_f if bias else 0)
-        return params, flops
-    if op is OpType.BATCH_NORM:
-        return 2 * first[0], 4 * _elements(first)
-    if op is OpType.LAYER_NORM:
-        return 2 * _elements(first), 5 * _elements(first)
-    if op is OpType.LRN:
-        size = attrs.get("size")
-        if size is None:
-            return None
-        return 0, (2 * size + 3) * _elements(first)
-    if op in _POOL_OPS:
-        out = _infer_shape(nd, in_shapes)
-        if out is None or len(out) != 3:
-            return None
-        k = attrs["kernel_size"]
-        return 0, k * k * out[0] * out[1] * out[2]
-    if op in (OpType.GLOBAL_AVG_POOL, OpType.ADAPTIVE_AVG_POOL):
-        return (0, _elements(first)) if len(first) == 3 else None
-    if op is OpType.UPSAMPLE:
-        scale = attrs.get("scale")
-        if scale is None or len(first) != 3:
-            return None
-        return 0, _elements(first) * scale * scale
-    if op in (OpType.SUM, OpType.MUL):
-        out = _infer_shape(nd, in_shapes)
-        if out is None:
-            return None
-        return 0, (len(in_shapes) - 1) * _elements(out)
-    if op in _POINTWISE_FLOPS:
-        return 0, _POINTWISE_FLOPS[op] * _elements(first)
-    return None
+    from ..static.rules import recount_cost
+    return recount_cost(nd.op, nd.attrs, in_shapes)
+
+
+def _mul_broadcast_shape(
+        shapes: list[tuple[int, ...]]) -> tuple[int, ...] | None:
+    """Mirror :meth:`GraphBuilder.mul` broadcast-shape selection."""
+    from ..static.rules import broadcast_mul_shape
+    return broadcast_mul_shape(shapes)
 
 
 # ----------------------------------------------------------------------
@@ -715,7 +574,8 @@ def _check_count_sanity(view: GraphView) -> Iterator[Diagnostic]:
 
 
 @rule("shape-consistency",
-      "stored shapes match recomputation from inputs + attrs", fast=False)
+      "stored shapes match recomputation from inputs + attrs", fast=False,
+      max_diagnostics=None)
 def _check_shape_consistency(view: GraphView) -> Iterator[Diagnostic]:
     for nd in view.nodes:
         in_shapes = view.input_shapes(nd)
@@ -780,7 +640,8 @@ def _check_merge_compatibility(view: GraphView) -> Iterator[Diagnostic]:
 
 
 @rule("cost-recount",
-      "stored params/FLOPs match an independent recount", fast=False)
+      "stored params/FLOPs match an independent recount", fast=False,
+      max_diagnostics=None)
 def _check_cost_recount(view: GraphView) -> Iterator[Diagnostic]:
     for nd in view.nodes:
         recomputed = _recount_cost(nd, view.input_shapes(nd))
@@ -867,10 +728,15 @@ def _select_rules(rules: Iterable[str] | None, level: str,
     ignored = set(ignore)
     if rules is not None:
         selected = []
+        seen: set[str] = set()
         for rule_id in rules:
             if rule_id not in _RULE_REGISTRY:
                 raise KeyError(f"unknown verifier rule {rule_id!r}; "
                                f"registered: {sorted(_RULE_REGISTRY)}")
+            if rule_id in seen:
+                raise ValueError(f"rule {rule_id!r} requested more than "
+                                 f"once")
+            seen.add(rule_id)
             selected.append(_RULE_REGISTRY[rule_id])
     elif level == FAST_LEVEL:
         selected = [r for r in _RULE_REGISTRY.values() if r.fast]
@@ -906,15 +772,15 @@ def verify_graph(target: ComputationalGraph | GraphView | dict, *,
     diagnostics: list[Diagnostic] = []
     for rule_obj in selected:
         emitted = 0
+        cap = rule_obj.max_diagnostics
         for diag in rule_obj.check(view):
             diagnostics.append(
                 dataclasses.replace(diag, rule_id=rule_obj.rule_id))
             emitted += 1
-            if emitted >= MAX_DIAGNOSTICS_PER_RULE:
+            if cap is not None and emitted >= cap:
                 diagnostics.append(Diagnostic(
                     Severity.INFO,
-                    f"further findings suppressed after "
-                    f"{MAX_DIAGNOSTICS_PER_RULE}",
+                    f"further findings suppressed after {cap}",
                     rule_id=rule_obj.rule_id))
                 break
     return VerificationReport(

@@ -38,6 +38,14 @@ class TrainingRun:
     total_time: float
     breakdown: IterationBreakdown
     simulated_iterations: int
+    #: Static per-device training-memory estimate from the analyzer
+    #: (:func:`repro.static.training_memory_bytes`): weights + grads +
+    #: optimizer state + retained activations at this batch size.
+    peak_memory_bytes: int = 0
+    #: False when the estimate exceeds the device's memory capacity
+    #: (GPU memory when present, otherwise host RAM) -- the run would
+    #: OOM on real hardware.
+    memory_ok: bool = True
 
     def as_record(self) -> dict:
         """Flat dict for dataframe-style consumption."""
@@ -55,6 +63,8 @@ class TrainingRun:
             "compute_time": self.breakdown.compute,
             "communication_time": self.breakdown.communication,
             "data_stall_time": self.breakdown.data_stall,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "memory_ok": self.memory_ok,
         }
 
 
@@ -153,6 +163,7 @@ class TrainingSimulator:
                     labels={"component": component}).observe(seconds)
         server_class = (cluster.servers[0].name if cluster.is_homogeneous
                         else "heterogeneous")
+        peak_memory, memory_ok = self._memory_accounting(workload, cluster)
         return TrainingRun(
             workload=workload,
             num_servers=cluster.num_servers,
@@ -163,4 +174,26 @@ class TrainingSimulator:
             total_time=total,
             breakdown=breakdown,
             simulated_iterations=sample,
+            peak_memory_bytes=peak_memory,
+            memory_ok=memory_ok,
         )
+
+    @staticmethod
+    def _memory_accounting(workload: DLWorkload,
+                           cluster: Cluster) -> tuple[int, bool]:
+        """Static per-device memory estimate vs. device capacity.
+
+        Uses the static analyzer's training-memory model so the
+        simulator flags configurations that would OOM on the paper's
+        testbed (e.g. large batches of VGG on the 12 GB P100).
+        """
+        from ..static import training_memory_bytes
+
+        peak = training_memory_bytes(
+            workload.graph, workload.batch_size_per_server)
+        spec = cluster.servers[0]
+        capacity = spec.gpu.memory_bytes if spec.gpu else spec.ram_bytes
+        METRICS.gauge("sim.peak_memory_bytes").set_max(float(peak))
+        if peak > capacity:
+            METRICS.counter("sim.memory_overcommit").inc()
+        return peak, peak <= capacity

@@ -1,0 +1,98 @@
+"""Facade tying the static passes into the verifier's report format.
+
+:func:`analyze_graph` runs shape inference, stored-annotation
+cross-checks, dead-node detection and (optionally) a memory-budget
+check, and returns a standard
+:class:`~repro.graphs.verify.VerificationReport` -- so static-analysis
+findings render exactly like lint findings and flow through the same
+CLI/CI plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..graphs.verify import (Diagnostic, GraphView, VerificationReport,
+                             error)
+from .dataflow import dead_nodes, training_memory_bytes
+from .infer import infer_shapes
+
+__all__ = ["analyze_graph", "STATIC_RULE_IDS"]
+
+#: Rule ids stamped on diagnostics produced by :func:`analyze_graph`.
+STATIC_RULE_IDS = (
+    "static-shape-infer", "static-stored-drift", "static-dead-node",
+    "static-underdetermined", "static-memory-budget",
+)
+
+
+def _stamp(diags, rule_id: str) -> list[Diagnostic]:
+    return [dataclasses.replace(d, rule_id=rule_id) for d in diags]
+
+
+def analyze_graph(target, *, batch_size: int = 1,
+                  memory_budget_bytes: int | None = None,
+                  ) -> VerificationReport:
+    """Run the full static-analysis pipeline over one graph.
+
+    The report is empty (``clean``) for a well-formed graph whose stored
+    annotations match inference; every failure class surfaces as a
+    structured ERROR diagnostic:
+
+    * ``static-shape-infer`` -- rank errors and shape contradictions
+      from the constraint solver;
+    * ``static-stored-drift`` -- stored shape/params/flops disagreeing
+      with inference (**all** mismatches, collect-then-report);
+    * ``static-dead-node`` -- nodes off every INPUT -> OUTPUT path;
+    * ``static-underdetermined`` -- shapes not derivable from INPUT;
+    * ``static-memory-budget`` -- estimated training memory above
+      ``memory_budget_bytes`` (skipped when no budget is given).
+    """
+    view = target if isinstance(target, GraphView) \
+        else GraphView.from_payload(target) if isinstance(target, dict) \
+        else GraphView.from_graph(target)
+
+    diagnostics: list[Diagnostic] = []
+    result = infer_shapes(view)
+    diagnostics += _stamp(result.diagnostics, "static-shape-infer")
+    diagnostics += _stamp(result.check_against_stored(view),
+                          "static-stored-drift")
+
+    unreachable, no_sink = dead_nodes(view)
+    dead = set(unreachable) | set(no_sink)
+    for node_id in unreachable:
+        diagnostics += _stamp([error(
+            "dead node: unreachable from INPUT",
+            node=view.by_id[node_id],
+            hint="remove the node or wire it to the data flow")],
+            "static-dead-node")
+    for node_id in no_sink:
+        diagnostics += _stamp([error(
+            "dead node: result never reaches OUTPUT",
+            node=view.by_id[node_id],
+            hint="dangling branch; its result is never consumed")],
+            "static-dead-node")
+
+    for node_id in result.underdetermined:
+        if node_id in dead:
+            continue  # the dead-node finding is the root cause
+        diagnostics += _stamp([error(
+            "output shape not derivable from the INPUT shape",
+            node=view.by_id[node_id],
+            hint="missing attrs or malformed data flow upstream")],
+            "static-underdetermined")
+
+    if memory_budget_bytes is not None:
+        need = training_memory_bytes(view, batch_size,
+                                     shapes=result.shapes)
+        if need > memory_budget_bytes:
+            diagnostics += _stamp([error(
+                f"estimated training memory {need:,} B exceeds device "
+                f"budget {memory_budget_bytes:,} B at batch "
+                f"{batch_size}",
+                hint="reduce the batch size or pick hardware with more "
+                "memory")], "static-memory-budget")
+
+    return VerificationReport(graph_name=view.name,
+                              diagnostics=tuple(diagnostics),
+                              rules_run=STATIC_RULE_IDS)

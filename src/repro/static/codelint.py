@@ -1,0 +1,252 @@
+"""AST-based determinism linter over the library's own source code.
+
+The reproduction's contract is bit-for-bit determinism under a seed;
+the classic ways that contract rots are unseeded RNG entry points,
+wall-clock reads inside computation paths, and mutable default
+arguments (shared state across calls).  This linter walks ``src/repro``
+with :mod:`ast` (no imports, no execution) and flags:
+
+* ``unseeded-random``  -- calls into ``numpy.random.*`` / ``random.*``
+  module-level convenience functions (which use hidden global state),
+  and ``default_rng()`` / ``Random()`` called *without* a seed;
+* ``wall-clock``       -- ``time.time()`` / ``time.time_ns()`` calls
+  (``perf_counter`` is fine: durations, not timestamps);
+* ``mutable-default``  -- ``def f(x=[])``-style defaults (list / dict /
+  set literals or constructors).
+
+Sanctioned sites live in an allowlist file
+(``scripts/determinism_allowlist.txt``) keyed by
+``path::rule::qualname`` so exceptions are explicit and reviewed.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+
+__all__ = ["CodeFinding", "CODE_RULES", "lint_source", "lint_file",
+           "lint_tree", "load_allowlist", "DEFAULT_ALLOWLIST"]
+
+CODE_RULES = ("unseeded-random", "wall-clock", "mutable-default")
+
+#: Repo-relative path of the default allowlist file.
+DEFAULT_ALLOWLIST = "scripts/determinism_allowlist.txt"
+
+#: numpy.random / random attributes that are safe to *reference or call*
+#: (types, seeding machinery) rather than global-state draws.
+_SAFE_RANDOM_ATTRS = frozenset({
+    "Generator", "SeedSequence", "BitGenerator", "RandomState", "seed",
+    "Random", "SystemRandom",
+})
+#: Constructors that are unseeded (nondeterministic) when called with
+#: no positional arguments.
+_NEEDS_SEED = frozenset({"default_rng", "Random", "RandomState"})
+
+_WALL_CLOCK = frozenset({"time.time", "time.time_ns"})
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+@dataclasses.dataclass(frozen=True)
+class CodeFinding:
+    """One determinism-lint finding in a source file."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    qualname: str
+    message: str
+    allowlisted: bool = False
+
+    @property
+    def key(self) -> str:
+        """Allowlist key: ``path::rule::qualname``."""
+        return f"{self.path}::{self.rule}::{self.qualname}"
+
+    def format(self) -> str:
+        mark = " (allowlisted)" if self.allowlisted else ""
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule} "
+                f"[{self.qualname or '<module>'}] {self.message}{mark}")
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: list[CodeFinding] = []
+        self._scope: list[str] = []
+        # import alias -> canonical dotted module name
+        self._modules: dict[str, str] = {}
+        # bare name -> canonical dotted function name (from-imports)
+        self._names: dict[str, str] = {}
+
+    # -- import tracking ------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._modules[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}"
+                if full in ("numpy.random", "numpy.random.mtrand"):
+                    self._modules[alias.asname or alias.name] = \
+                        "numpy.random"
+                else:
+                    self._names[alias.asname or alias.name] = full
+        self.generic_visit(node)
+
+    # -- scope tracking -------------------------------------------------
+    def _visit_scoped(self, node, name: str) -> None:
+        self._scope.append(name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scoped(node, node.name)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._visit_scoped(node, node.name)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._visit_scoped(node, node.name)
+
+    @property
+    def _qualname(self) -> str:
+        return ".".join(self._scope)
+
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(CodeFinding(
+            path=self.path, line=node.lineno, col=node.col_offset,
+            rule=rule, qualname=self._qualname, message=message))
+
+    # -- rules ----------------------------------------------------------
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults
+                                          if d is not None]
+        for default in defaults:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if (not bad and isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CONSTRUCTORS
+                    and default.func.id not in self._names):
+                bad = True
+            if bad:
+                self._scope.append(node.name)
+                self._emit(default, "mutable-default",
+                           "mutable default argument is shared across "
+                           "calls; default to None instead")
+                self._scope.pop()
+
+    def _dotted(self, node: ast.expr) -> str | None:
+        """Resolve an attribute chain / name to a canonical dotted path
+        using the file's imports (``np.random.rand`` ->
+        ``numpy.random.rand``)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        parts.reverse()
+        if root in self._modules:
+            return ".".join([self._modules[root]] + parts)
+        if root in self._names and not parts:
+            return self._names[root]
+        if root in self._names:
+            return ".".join([self._names[root]] + parts)
+        return ".".join([root] + parts)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted is not None:
+            self._check_random_call(node, dotted)
+            if dotted in _WALL_CLOCK:
+                self._emit(node, "wall-clock",
+                           f"{dotted}() reads the wall clock; use "
+                           f"time.perf_counter() for durations or "
+                           f"inject the clock")
+        self.generic_visit(node)
+
+    def _check_random_call(self, node: ast.Call, dotted: str) -> None:
+        for prefix in ("numpy.random.", "random."):
+            if not dotted.startswith(prefix):
+                continue
+            attr = dotted[len(prefix):]
+            if "." in attr:  # e.g. Generator.standard_normal -- method
+                return
+            if attr in _NEEDS_SEED:
+                if not node.args:
+                    self._emit(node, "unseeded-random",
+                               f"{dotted}() without a seed is "
+                               f"nondeterministic; pass an explicit "
+                               f"seed")
+                return
+            if attr in _SAFE_RANDOM_ATTRS:
+                return
+            self._emit(node, "unseeded-random",
+                       f"{dotted}() draws from hidden global RNG "
+                       f"state; thread a seeded "
+                       f"numpy.random.Generator instead")
+            return
+
+
+def lint_source(source: str, path: str) -> list[CodeFinding]:
+    """Lint one file's source text; ``path`` labels the findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [CodeFinding(path=path, line=exc.lineno or 0,
+                            col=exc.offset or 0, rule="parse-error",
+                            qualname="",
+                            message=f"cannot parse: {exc.msg}")]
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    return visitor.findings
+
+
+def lint_file(file_path: pathlib.Path,
+              root: pathlib.Path) -> list[CodeFinding]:
+    rel = file_path.relative_to(root).as_posix()
+    return lint_source(file_path.read_text(encoding="utf-8"), rel)
+
+
+def load_allowlist(path: pathlib.Path) -> frozenset[str]:
+    """Read ``path::rule::qualname`` keys (``#`` comments allowed)."""
+    if not path.is_file():
+        return frozenset()
+    keys = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            keys.add(line)
+    return frozenset(keys)
+
+
+def lint_tree(root: pathlib.Path, *,
+              subdir: str = "src/repro",
+              allowlist: frozenset[str] | None = None,
+              ) -> list[CodeFinding]:
+    """Lint every ``*.py`` under ``root/subdir``.
+
+    Findings matching the allowlist are returned with
+    ``allowlisted=True`` rather than dropped, so reports can show the
+    sanctioned sites; callers gate on the non-allowlisted subset.
+    """
+    root = root.resolve()
+    if allowlist is None:
+        allowlist = load_allowlist(root / DEFAULT_ALLOWLIST)
+    findings: list[CodeFinding] = []
+    for file_path in sorted((root / subdir).rglob("*.py")):
+        for finding in lint_file(file_path, root):
+            if finding.key in allowlist:
+                finding = dataclasses.replace(finding, allowlisted=True)
+            findings.append(finding)
+    return findings

@@ -1,0 +1,255 @@
+"""Static execution planner: lower a graph to a pre-planned schedule.
+
+The planner is the "compile" half of the pluggable-backend work: given a
+graph it produces an :class:`ExecutionPlan` -- a fixed topological op
+schedule with every output buffer preassigned from a preallocated pool.
+An executor can then run the model with zero allocation decisions at
+run time.  Everything is derived from *inferred* shapes (never stored
+annotations), so planning doubles as an end-to-end check of the static
+analyzer.
+
+Buffer assignment is greedy best-fit over a free list: when an op needs
+an output buffer, the smallest free pool buffer that fits is reused
+(deterministic tie-break on buffer id); otherwise a new buffer of
+exactly the needed size is allocated.  Buffers return to the free list
+at their producing node's last use.  The plan is fully deterministic --
+:attr:`ExecutionPlan.digest` (sha256 over the canonical JSON form) is
+bitwise-stable across reruns and is gated in CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from ..graphs.verify import Diagnostic, GraphView, Severity
+from .dataflow import (BYTES_PER_SCALAR, liveness, peak_activation_memory,
+                       schedule)
+from .infer import infer_shapes
+
+__all__ = ["PlanStep", "BufferSpec", "ExecutionPlan", "PlanningError",
+           "StaticPlanner", "plan_graph"]
+
+Shape = tuple[int, ...]
+
+
+class PlanningError(ValueError):
+    """The graph cannot be statically planned.
+
+    Carries the blocking :class:`Diagnostic` records as
+    ``.diagnostics`` so callers can render them like lint output.
+    """
+
+    def __init__(self, graph_name: str,
+                 diagnostics: tuple[Diagnostic, ...]):
+        self.graph_name = graph_name
+        self.diagnostics = diagnostics
+        shown = [d.format() for d in diagnostics[:5]]
+        extra = len(diagnostics) - len(shown)
+        if extra > 0:
+            shown.append(f"... and {extra} more")
+        super().__init__(
+            f"cannot plan graph {graph_name!r} "
+            f"({len(diagnostics)} blocking diagnostic(s)):\n  "
+            + "\n  ".join(shown))
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferSpec:
+    """One preallocated buffer in the plan's memory pool."""
+
+    buffer_id: int
+    size_bytes: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanStep:
+    """One scheduled op: where its inputs live and where output goes."""
+
+    step: int
+    node_id: int
+    name: str
+    op: str
+    out_shape: Shape
+    out_buffer: int
+    in_buffers: tuple[int, ...]
+    frees: tuple[int, ...]  # buffer ids released after this step
+    flops: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionPlan:
+    """A fully pre-planned execution of one graph."""
+
+    graph_name: str
+    batch_size: int
+    steps: tuple[PlanStep, ...]
+    buffers: tuple[BufferSpec, ...]
+    pool_bytes: int        # sum of preallocated buffer sizes
+    peak_bytes: int        # liveness lower bound (free-at-last-use)
+    naive_bytes: int       # keep-everything activation footprint
+    total_flops: int
+    total_params: int
+
+    @property
+    def digest(self) -> str:
+        """sha256 over the canonical JSON plan (determinism witness)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "graph": self.graph_name,
+            "batch_size": self.batch_size,
+            "pool_bytes": self.pool_bytes,
+            "peak_bytes": self.peak_bytes,
+            "naive_bytes": self.naive_bytes,
+            "total_flops": self.total_flops,
+            "total_params": self.total_params,
+            "buffers": [{"id": b.buffer_id, "size_bytes": b.size_bytes}
+                        for b in self.buffers],
+            "steps": [{
+                "step": s.step, "node": s.node_id, "name": s.name,
+                "op": s.op, "out_shape": list(s.out_shape),
+                "out_buffer": s.out_buffer,
+                "in_buffers": list(s.in_buffers),
+                "frees": list(s.frees), "flops": s.flops,
+            } for s in self.steps],
+        }
+
+    def format_text(self, *, max_steps: int | None = None) -> str:
+        lines = [
+            f"plan for {self.graph_name} (batch={self.batch_size})",
+            f"  steps: {len(self.steps)}   buffers: {len(self.buffers)}",
+            f"  pool:  {_fmt_bytes(self.pool_bytes)} preallocated "
+            f"(peak {_fmt_bytes(self.peak_bytes)}, naive "
+            f"{_fmt_bytes(self.naive_bytes)})",
+            f"  cost:  {self.total_flops:,} FLOPs, "
+            f"{self.total_params:,} params",
+            f"  digest: {self.digest[:16]}",
+            "",
+            f"  {'step':>4} {'op':<18} {'name':<26} "
+            f"{'out_shape':<16} {'buf':>4}  frees",
+        ]
+        steps = self.steps if max_steps is None \
+            else self.steps[:max_steps]
+        for s in steps:
+            shape = "x".join(str(d) for d in s.out_shape)
+            frees = ",".join(str(b) for b in s.frees) or "-"
+            lines.append(
+                f"  {s.step:>4} {s.op:<18} {s.name:<26.26} "
+                f"{shape:<16} {s.out_buffer:>4}  {frees}")
+        if max_steps is not None and len(self.steps) > max_steps:
+            lines.append(f"  ... {len(self.steps) - max_steps} more "
+                         f"step(s)")
+        return "\n".join(lines)
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" \
+                else f"{int(value)}B"
+        value /= 1024
+    return f"{int(n)}B"  # pragma: no cover
+
+
+class StaticPlanner:
+    """Lower graphs into :class:`ExecutionPlan` objects."""
+
+    def plan(self, target, *, batch_size: int = 1) -> ExecutionPlan:
+        """Plan one graph; raises :class:`PlanningError` when inference
+        reports blocking (ERROR) diagnostics or shapes stay unknown."""
+        view = target if isinstance(target, GraphView) \
+            else GraphView.from_graph(target) if not isinstance(target, dict) \
+            else GraphView.from_payload(target)
+        batch = max(1, int(batch_size))
+
+        result = infer_shapes(view)
+        blocking = tuple(d for d in result.diagnostics
+                         if d.severity is Severity.ERROR)
+        if blocking:
+            raise PlanningError(view.name, blocking)
+        if result.underdetermined:
+            missing = ", ".join(
+                f"{view.by_id[n].name}#{n}"
+                for n in result.underdetermined[:5])
+            raise PlanningError(view.name, tuple(
+                [Diagnostic(Severity.ERROR,
+                            f"shape underdetermined for node(s) "
+                            f"{missing}",
+                            hint="add attrs or fix the data flow so "
+                            "every shape is derivable from INPUT")]))
+
+        order = schedule(view)
+        live = liveness(view, order)
+        mem = peak_activation_memory(view, shapes=result.shapes,
+                                     live=live)
+
+        sizes = {
+            node_id: BYTES_PER_SCALAR * batch * _elements(shape)
+            for node_id, shape in result.shapes.items()
+        }
+        frees_at: dict[int, list[int]] = {}
+        for node_id in order:
+            frees_at.setdefault(live.last_use[node_id], []).append(node_id)
+
+        buffers: list[BufferSpec] = []
+        free_list: list[int] = []  # buffer ids currently unassigned
+        assignment: dict[int, int] = {}  # node id -> buffer id
+        steps: list[PlanStep] = []
+        for step, node_id in enumerate(order):
+            nd = view.by_id[node_id]
+            need = sizes[node_id]
+            chosen: int | None = None
+            for buffer_id in sorted(
+                    free_list,
+                    key=lambda b: (buffers[b].size_bytes, b)):
+                if buffers[buffer_id].size_bytes >= need:
+                    chosen = buffer_id
+                    break
+            if chosen is None:
+                chosen = len(buffers)
+                buffers.append(BufferSpec(buffer_id=chosen,
+                                          size_bytes=need))
+            else:
+                free_list.remove(chosen)
+            assignment[node_id] = chosen
+            freed: list[int] = []
+            for dead in frees_at.get(step, ()):
+                free_list.append(assignment[dead])
+                freed.append(assignment[dead])
+            steps.append(PlanStep(
+                step=step, node_id=node_id, name=nd.name, op=nd.raw_op,
+                out_shape=result.shapes[node_id] or (),
+                out_buffer=chosen,
+                in_buffers=tuple(assignment[p]
+                                 for p in sorted(view.pred[node_id])),
+                frees=tuple(sorted(freed)),
+                flops=result.flops.get(node_id) or 0))
+
+        return ExecutionPlan(
+            graph_name=view.name,
+            batch_size=batch,
+            steps=tuple(steps),
+            buffers=tuple(buffers),
+            pool_bytes=sum(b.size_bytes for b in buffers),
+            peak_bytes=mem.peak_bytes * batch,
+            naive_bytes=mem.total_bytes * batch,
+            total_flops=result.total_flops,
+            total_params=result.total_params)
+
+
+def _elements(shape: Shape | None) -> int:
+    total = 1
+    for s in shape or ():
+        total *= s
+    return total
+
+
+def plan_graph(target, *, batch_size: int = 1) -> ExecutionPlan:
+    """Convenience wrapper: run :class:`StaticPlanner` once."""
+    return StaticPlanner().plan(target, batch_size=batch_size)

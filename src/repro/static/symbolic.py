@@ -1,0 +1,382 @@
+"""Symbolic dimensions and the constraint store for shape inference.
+
+The static analyzer reasons about tensor shapes whose dimensions may be
+unknown.  A :class:`Dim` is either a concrete non-negative integer or a
+symbolic variable; a :class:`ShapeEnv` owns the variables, unifies them
+(union-find with integer bindings) and hosts deferred arithmetic
+constraints -- sums (concat channels), products (flatten), and the
+convolution output-size relation.  Contradictions never raise mid-solve;
+they are recorded as :class:`Contradiction` records so the caller can
+surface *every* inconsistency in a graph, not just the first.
+
+Propagation is run to a fixpoint by :meth:`ShapeEnv.solve`: each deferred
+constraint re-fires whenever one of its dimensions becomes known, solving
+forward (all inputs known -> output) and backward (output plus all-but-one
+input known -> the missing input) where the arithmetic is invertible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+__all__ = ["Dim", "SymShape", "Contradiction", "ShapeEnv",
+           "shape_of", "concrete"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Dim:
+    """One tensor dimension: a known value or a symbolic variable.
+
+    Instances are value objects; identity of a *variable* dim is its
+    ``var`` id within the owning :class:`ShapeEnv`.
+    """
+
+    value: int | None = None
+    var: int | None = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.value is None) == (self.var is None):
+            raise ValueError("Dim needs exactly one of value / var")
+        if self.value is not None and self.value < 0:
+            raise ValueError(f"negative dimension {self.value}")
+
+    @property
+    def known(self) -> bool:
+        return self.value is not None
+
+    @staticmethod
+    def of(value: int) -> "Dim":
+        return Dim(value=int(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.known:
+            return str(self.value)
+        return self.label or f"?{self.var}"
+
+
+#: A (possibly partially symbolic) tensor shape.
+SymShape = tuple[Dim, ...]
+
+
+def shape_of(dims: Iterable[int]) -> SymShape:
+    """Lift a concrete shape into a :data:`SymShape`."""
+    return tuple(Dim.of(d) for d in dims)
+
+
+def concrete(shape: SymShape | None,
+             env: "ShapeEnv | None" = None) -> tuple[int, ...] | None:
+    """Resolve a symbolic shape to integers, or ``None`` if any dim is
+    still unknown (resolving through ``env`` bindings when given)."""
+    if shape is None:
+        return None
+    out: list[int] = []
+    for dim in shape:
+        if env is not None:
+            dim = env.resolve(dim)
+        if dim.value is None:
+            return None
+        out.append(dim.value)
+    return tuple(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class Contradiction:
+    """One inconsistency discovered while solving.
+
+    ``site`` names the graph location that introduced the failing
+    constraint (e.g. ``"conv1 (node 3)"``) so diagnostics can point at
+    the offending node.
+    """
+
+    site: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.site}: {self.message}"
+
+
+class _Constraint:
+    """A deferred arithmetic relation between dims.
+
+    ``propagate`` returns True when it made progress (bound a variable);
+    implementations record contradictions through the env and then
+    report themselves as ``done`` so they stop firing.
+    """
+
+    done: bool = False
+
+    def propagate(self, env: "ShapeEnv") -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _SumConstraint(_Constraint):
+    """``total == sum(parts)`` -- concat channel arithmetic."""
+
+    def __init__(self, total: Dim, parts: Sequence[Dim], site: str):
+        self.total = total
+        self.parts = list(parts)
+        self.site = site
+
+    def propagate(self, env: "ShapeEnv") -> bool:
+        total = env.resolve(self.total)
+        parts = [env.resolve(p) for p in self.parts]
+        unknown = [p for p in parts if not p.known]
+        if not unknown:
+            self.done = True
+            return env.unify(
+                self.total, Dim.of(sum(p.value for p in parts)),
+                site=self.site)
+        if total.known and len(unknown) == 1:
+            rest = sum(p.value for p in parts if p.known)
+            if total.value < rest:
+                env.record_contradiction(
+                    self.site,
+                    f"sum constraint insoluble: total {total.value} < "
+                    f"sum of known parts {rest}")
+                self.done = True
+                return False
+            self.done = True
+            return env.unify(unknown[0], Dim.of(total.value - rest),
+                             site=self.site)
+        return False
+
+
+class _ProductConstraint(_Constraint):
+    """``total == prod(parts)`` -- flatten arithmetic."""
+
+    def __init__(self, total: Dim, parts: Sequence[Dim], site: str):
+        self.total = total
+        self.parts = list(parts)
+        self.site = site
+
+    def propagate(self, env: "ShapeEnv") -> bool:
+        total = env.resolve(self.total)
+        parts = [env.resolve(p) for p in self.parts]
+        unknown = [p for p in parts if not p.known]
+        if not unknown:
+            product = 1
+            for p in parts:
+                product *= p.value
+            self.done = True
+            return env.unify(self.total, Dim.of(product), site=self.site)
+        if total.known and len(unknown) == 1:
+            rest = 1
+            for p in parts:
+                if p.known:
+                    rest *= p.value
+            if rest == 0 or total.value % rest:
+                env.record_contradiction(
+                    self.site,
+                    f"product constraint insoluble: {total.value} is not "
+                    f"divisible by known factor {rest}")
+                self.done = True
+                return False
+            self.done = True
+            return env.unify(unknown[0], Dim.of(total.value // rest),
+                             site=self.site)
+        return False
+
+
+class _ConvConstraint(_Constraint):
+    """``out == (in + 2*padding - kernel) // stride + 1``.
+
+    Forward always; backward only for ``stride == 1`` where the floor
+    division is exactly invertible (``in = out + kernel - 1 - 2*padding``).
+    """
+
+    def __init__(self, out: Dim, inp: Dim, kernel: int, stride: int,
+                 padding: int, site: str):
+        self.out = out
+        self.inp = inp
+        self.kernel = int(kernel)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.site = site
+
+    def propagate(self, env: "ShapeEnv") -> bool:
+        inp = env.resolve(self.inp)
+        if inp.known:
+            span = inp.value + 2 * self.padding - self.kernel
+            if span < 0 or self.stride <= 0:
+                env.record_contradiction(
+                    self.site,
+                    f"window does not fit: input {inp.value}, kernel "
+                    f"{self.kernel}, stride {self.stride}, padding "
+                    f"{self.padding}")
+                self.done = True
+                return False
+            self.done = True
+            return env.unify(self.out, Dim.of(span // self.stride + 1),
+                             site=self.site)
+        out = env.resolve(self.out)
+        if out.known and self.stride == 1:
+            inferred = out.value + self.kernel - 1 - 2 * self.padding
+            if inferred < 0:
+                env.record_contradiction(
+                    self.site,
+                    f"backward conv arithmetic yields negative input "
+                    f"size {inferred} from output {out.value}")
+                self.done = True
+                return False
+            self.done = True
+            return env.unify(self.inp, Dim.of(inferred), site=self.site)
+        return False
+
+
+class _ScaleConstraint(_Constraint):
+    """``out == in * factor`` -- upsample (and its exact inverse)."""
+
+    def __init__(self, out: Dim, inp: Dim, factor: int, site: str):
+        self.out = out
+        self.inp = inp
+        self.factor = int(factor)
+        self.site = site
+
+    def propagate(self, env: "ShapeEnv") -> bool:
+        inp = env.resolve(self.inp)
+        if inp.known:
+            self.done = True
+            return env.unify(self.out, Dim.of(inp.value * self.factor),
+                             site=self.site)
+        out = env.resolve(self.out)
+        if out.known:
+            if self.factor <= 0 or out.value % self.factor:
+                env.record_contradiction(
+                    self.site,
+                    f"output size {out.value} is not a multiple of "
+                    f"scale factor {self.factor}")
+                self.done = True
+                return False
+            self.done = True
+            return env.unify(self.inp, Dim.of(out.value // self.factor),
+                             site=self.site)
+        return False
+
+
+class ShapeEnv:
+    """Union-find over symbolic dims plus a deferred-constraint queue.
+
+    All mutation goes through :meth:`unify` and the ``require_*``
+    methods; :meth:`solve` runs constraint propagation to a fixpoint.
+    """
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._binding: dict[int, int] = {}
+        self._labels: list[str] = []
+        self._constraints: list[_Constraint] = []
+        self.contradictions: list[Contradiction] = []
+
+    # -- variables ------------------------------------------------------
+    def fresh(self, label: str = "") -> Dim:
+        """Allocate a new unbound dimension variable."""
+        var = len(self._parent)
+        self._parent.append(var)
+        self._labels.append(label)
+        return Dim(var=var, label=label)
+
+    def _find(self, var: int) -> int:
+        root = var
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[var] != root:  # path compression
+            self._parent[var], var = root, self._parent[var]
+        return root
+
+    def resolve(self, dim: Dim) -> Dim:
+        """Canonical form of ``dim``: its bound value, or its root var."""
+        if dim.known:
+            return dim
+        root = self._find(dim.var)
+        if root in self._binding:
+            return Dim.of(self._binding[root])
+        return Dim(var=root, label=self._labels[root])
+
+    def value(self, dim: Dim) -> int | None:
+        return self.resolve(dim).value
+
+    # -- unification ----------------------------------------------------
+    def record_contradiction(self, site: str, message: str) -> None:
+        self.contradictions.append(Contradiction(site=site,
+                                                 message=message))
+
+    def unify(self, a: Dim, b: Dim, *, site: str = "") -> bool:
+        """Assert ``a == b``; returns False (and records) on conflict."""
+        a = self.resolve(a)
+        b = self.resolve(b)
+        if a.known and b.known:
+            if a.value != b.value:
+                self.record_contradiction(
+                    site, f"dimension mismatch: {a.value} != {b.value}")
+                return False
+            return True
+        if a.known:
+            a, b = b, a  # a is the variable now
+        root = self._find(a.var)
+        if b.known:
+            self._binding[root] = b.value
+            return True
+        other = self._find(b.var)
+        if root != other:
+            self._parent[other] = root
+        return True
+
+    def unify_shapes(self, a: SymShape, b: SymShape, *,
+                     site: str = "") -> bool:
+        if len(a) != len(b):
+            self.record_contradiction(
+                site, f"rank mismatch: {len(a)} != {len(b)}")
+            return False
+        ok = True
+        for da, db in zip(a, b):
+            ok = self.unify(da, db, site=site) and ok
+        return ok
+
+    # -- deferred constraints -------------------------------------------
+    def add_constraint(self, constraint: "_Constraint") -> None:
+        """Attach a custom deferred constraint (duck-typed: ``done``
+        attribute plus ``propagate(env) -> bool``)."""
+        self._constraints.append(constraint)
+
+    def require_sum(self, total: Dim, parts: Sequence[Dim], *,
+                    site: str = "") -> None:
+        self._constraints.append(_SumConstraint(total, parts, site))
+
+    def require_product(self, total: Dim, parts: Sequence[Dim], *,
+                        site: str = "") -> None:
+        self._constraints.append(_ProductConstraint(total, parts, site))
+
+    def require_conv(self, out: Dim, inp: Dim, *, kernel: int,
+                     stride: int, padding: int, site: str = "") -> None:
+        self._constraints.append(
+            _ConvConstraint(out, inp, kernel, stride, padding, site))
+
+    def require_scale(self, out: Dim, inp: Dim, factor: int, *,
+                      site: str = "") -> None:
+        self._constraints.append(_ScaleConstraint(out, inp, factor, site))
+
+    # -- solving --------------------------------------------------------
+    def solve(self, max_rounds: int = 10_000) -> None:
+        """Propagate deferred constraints to a fixpoint.
+
+        Termination: each constraint fires at most once per new binding
+        and marks itself done once resolved; ``max_rounds`` is a safety
+        net, not a tuning knob.
+        """
+        for _ in range(max_rounds):
+            progress = False
+            for constraint in self._constraints:
+                if constraint.done:
+                    continue
+                if constraint.propagate(self):
+                    progress = True
+            self._constraints = [c for c in self._constraints
+                                 if not c.done]
+            if not progress:
+                return
+
+    @property
+    def consistent(self) -> bool:
+        return not self.contradictions

@@ -294,6 +294,59 @@ class TestCostRecountRule:
         assert any("stored params" in d.message for d in report.errors)
 
 
+def long_drifted_chain(length=16):
+    """input -> relu*length -> output with every relu shape corrupted."""
+    nodes = [node(0, "input", "input", (4,))]
+    edges = []
+    for i in range(1, length + 1):
+        nodes.append(node(i, "relu", f"relu{i}", (4 + i,), flops=4))
+        edges.append([i - 1, i])
+    nodes.append(node(length + 1, "output", "output", (4 + length,)))
+    edges.append([length, length + 1])
+    return {"name": "drifted", "nodes": nodes, "edges": edges}
+
+
+class TestCollectThenReport:
+    """shape-consistency and cost-recount are uncapped: every mismatch
+    in the graph is reported, not just the first ten."""
+
+    def test_shape_consistency_reports_all_mismatches(self):
+        payload = long_drifted_chain(16)
+        report = verify_graph(payload, rules=["shape-consistency"])
+        mismatches = [d for d in report.errors
+                      if "!= recomputed" in d.message]
+        assert len(mismatches) == 16
+        assert not any("suppressed" in d.message
+                       for d in report.diagnostics)
+
+    def test_cost_recount_is_uncapped_too(self):
+        payload = graph_to_dict(small_graph())
+        for nd in payload["nodes"]:
+            if nd["op"] not in ("input", "output", "flatten"):
+                nd["flops"] += 1
+        report = verify_graph(payload, rules=["cost-recount"])
+        assert not any("suppressed" in d.message
+                       for d in report.diagnostics)
+        assert len(report.errors) >= 5
+
+    def test_capped_rules_still_suppress(self):
+        # count-sanity keeps the default cap: 16 negative-flop nodes
+        # report 10 findings plus one suppression notice.
+        payload = long_drifted_chain(16)
+        for nd in payload["nodes"]:
+            if nd["op"] == "relu":
+                nd["flops"] = -1
+        report = verify_graph(payload, rules=["count-sanity"])
+        assert len(report.errors) == 10
+        assert any("suppressed after 10" in d.message
+                   for d in report.diagnostics)
+
+    def test_duplicate_rule_id_in_selection_rejected(self):
+        with pytest.raises(ValueError, match="more than once"):
+            verify_graph(small_graph(),
+                         rules=["acyclic", "acyclic"])
+
+
 class TestVirtualEdgesRule:
     def test_pass(self):
         assert verify_graph(small_graph(), rules=["virtual-edges"]).clean

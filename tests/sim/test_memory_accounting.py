@@ -1,0 +1,51 @@
+"""Static-analysis memory accounting surfaced on TrainingRun."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.sim import DLWorkload, TrainingSimulator
+from repro.static import training_memory_bytes
+
+
+@pytest.fixture
+def simulator():
+    return TrainingSimulator(max_simulated_iterations=4)
+
+
+class TestMemoryAccounting:
+    def test_run_carries_static_estimate(self, simulator):
+        wl = DLWorkload("resnet18", "cifar10", batch_size_per_server=32)
+        run = simulator.run(wl, make_cluster(2, "gpu-p100"), 0)
+        assert run.peak_memory_bytes == training_memory_bytes(
+            wl.graph, 32)
+        assert run.memory_ok  # resnet18@32 fits a 12 GB P100
+        record = run.as_record()
+        assert record["peak_memory_bytes"] == run.peak_memory_bytes
+        assert record["memory_ok"] is True
+
+    def test_oversized_batch_flags_oom(self, simulator):
+        wl = DLWorkload("vgg16", "tiny-imagenet",
+                        batch_size_per_server=4096)
+        cluster = make_cluster(2, "gpu-p100")
+        run = simulator.run(wl, cluster, 0)
+        capacity = cluster.servers[0].gpu.memory_bytes
+        assert run.peak_memory_bytes > capacity
+        assert run.memory_ok is False
+        assert run.as_record()["memory_ok"] is False
+
+    def test_capacity_falls_back_to_ram_without_gpu(self, simulator):
+        wl = DLWorkload("alexnet", "cifar10", batch_size_per_server=8)
+        cluster = make_cluster(2, "cpu-e5-2630")
+        run = simulator.run(wl, cluster, 0)
+        assert cluster.servers[0].gpu is None
+        assert run.memory_ok  # 128 GB of host RAM
+
+    def test_overcommit_metric_increments(self, simulator):
+        from repro import obs
+
+        wl = DLWorkload("vgg16", "tiny-imagenet",
+                        batch_size_per_server=4096)
+        with obs.observed(fresh=True):
+            simulator.run(wl, make_cluster(2, "gpu-p100"), 0)
+            count = obs.METRICS.counter("sim.memory_overcommit").value
+        assert count > 0

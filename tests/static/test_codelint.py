@@ -1,0 +1,170 @@
+"""AST determinism linter: one fixture per rule, allowlist semantics,
+and the repo-wide zero-findings gate."""
+
+import pathlib
+import textwrap
+
+from repro.static import lint_source, lint_tree, load_allowlist
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def findings_for(source, path="mod.py"):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestUnseededRandom:
+    def test_global_numpy_draw_flagged(self):
+        found = findings_for("""
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)
+        """)
+        assert [f.rule for f in found] == ["unseeded-random"]
+        assert found[0].qualname == "sample"
+        assert "hidden global RNG" in found[0].message
+
+    def test_stdlib_random_flagged(self):
+        found = findings_for("""
+            import random
+
+            def roll():
+                return random.randint(1, 6)
+        """)
+        assert [f.rule for f in found] == ["unseeded-random"]
+
+    def test_default_rng_without_seed_flagged(self):
+        found = findings_for("""
+            import numpy as np
+
+            def make():
+                return np.random.default_rng()
+        """)
+        assert [f.rule for f in found] == ["unseeded-random"]
+        assert "without a seed" in found[0].message
+
+    def test_default_rng_with_seed_ok(self):
+        found = findings_for("""
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+        """)
+        assert found == []
+
+    def test_from_import_resolved(self):
+        found = findings_for("""
+            from numpy import random as nprand
+
+            def sample():
+                return nprand.normal()
+        """)
+        assert [f.rule for f in found] == ["unseeded-random"]
+
+    def test_generator_methods_ok(self):
+        found = findings_for("""
+            import numpy as np
+
+            def sample(rng: np.random.Generator):
+                return rng.standard_normal(4)
+        """)
+        assert found == []
+
+    def test_seed_sequence_ok(self):
+        found = findings_for("""
+            import numpy as np
+
+            def spawn(n):
+                return np.random.SeedSequence(0).spawn(n)
+        """)
+        assert found == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        found = findings_for("""
+            import time
+
+            class Span:
+                def __enter__(self):
+                    self.start = time.time()
+        """)
+        assert [f.rule for f in found] == ["wall-clock"]
+        assert found[0].qualname == "Span.__enter__"
+
+    def test_perf_counter_ok(self):
+        found = findings_for("""
+            import time
+
+            def duration():
+                return time.perf_counter()
+        """)
+        assert found == []
+
+
+class TestMutableDefault:
+    def test_list_literal_flagged(self):
+        found = findings_for("""
+            def collect(items=[]):
+                return items
+        """)
+        assert [f.rule for f in found] == ["mutable-default"]
+        assert found[0].qualname == "collect"
+
+    def test_dict_constructor_flagged(self):
+        found = findings_for("""
+            def configure(options=dict()):
+                return options
+        """)
+        assert [f.rule for f in found] == ["mutable-default"]
+
+    def test_none_default_ok(self):
+        found = findings_for("""
+            def collect(items=None, n=3, name="x"):
+                return items
+        """)
+        assert found == []
+
+
+class TestParseError:
+    def test_syntax_error_becomes_finding(self):
+        found = findings_for("def broken(:\n")
+        assert [f.rule for f in found] == ["parse-error"]
+
+
+class TestAllowlist:
+    def test_load_skips_comments(self, tmp_path):
+        listing = tmp_path / "allow.txt"
+        listing.write_text("# comment\n\na.py::wall-clock::f\n")
+        assert load_allowlist(listing) == {"a.py::wall-clock::f"}
+        assert load_allowlist(tmp_path / "missing.txt") == frozenset()
+
+    def test_allowlisted_findings_kept_but_marked(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "clock.py").write_text(
+            "import time\n\n\ndef now():\n    return time.time()\n")
+        allow = frozenset({"src/repro/clock.py::wall-clock::now"})
+        found = lint_tree(tmp_path, allowlist=allow)
+        assert len(found) == 1
+        assert found[0].allowlisted
+        assert "(allowlisted)" in found[0].format()
+        # Without the allowlist the same finding blocks.
+        found = lint_tree(tmp_path, allowlist=frozenset())
+        assert not found[0].allowlisted
+
+
+class TestRepoIsClean:
+    def test_no_blocking_findings_in_src_repro(self):
+        """The repo's own determinism contract: every finding in
+        src/repro is explicitly allowlisted."""
+        findings = lint_tree(REPO_ROOT)
+        blocking = [f.format() for f in findings if not f.allowlisted]
+        assert blocking == []
+
+    def test_known_sanctioned_site_is_reported(self):
+        findings = lint_tree(REPO_ROOT)
+        assert any(f.allowlisted and f.rule == "wall-clock"
+                   and f.path == "src/repro/obs/tracing.py"
+                   for f in findings)

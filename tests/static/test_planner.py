@@ -1,0 +1,108 @@
+"""Static planner: determinism, buffer reuse, refusal semantics."""
+
+import json
+
+import pytest
+
+from repro.graphs import GraphBuilder
+from repro.graphs.zoo import get_model
+from repro.static import ExecutionPlan, PlanningError, plan_graph
+
+
+def small_graph():
+    g = GraphBuilder("plannable", (3, 16, 16))
+    x = g.conv_bn_act(g.input_id, 8, 3, padding=1)
+    y = g.conv(x, 8, 3, padding=1, name="branch")
+    x = g.add([x, y])
+    x = g.global_avg_pool(x)
+    x = g.flatten(x)
+    x = g.linear(x, 10)
+    g.output(x)
+    return g.build()
+
+
+class TestDeterminism:
+    def test_digest_stable_across_reruns(self):
+        a = plan_graph(small_graph())
+        b = plan_graph(small_graph())
+        assert a.digest == b.digest
+        assert a.to_dict() == b.to_dict()
+
+    def test_digest_stable_for_zoo_model(self):
+        a = plan_graph(get_model("resnet18"), batch_size=32)
+        b = plan_graph(get_model("resnet18"), batch_size=32)
+        assert a.digest == b.digest
+
+    def test_digest_changes_with_batch(self):
+        assert (plan_graph(small_graph()).digest
+                != plan_graph(small_graph(), batch_size=8).digest)
+
+    def test_to_dict_is_json_canonical(self):
+        plan = plan_graph(small_graph())
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert payload["graph"] == "plannable"
+        assert len(payload["steps"]) == len(plan.steps)
+
+
+class TestPlanShape:
+    def test_schedule_covers_every_node_once(self):
+        graph = small_graph()
+        plan = plan_graph(graph)
+        assert sorted(s.node_id for s in plan.steps) == \
+            [nd.node_id for nd in graph.nodes]
+        assert [s.step for s in plan.steps] == \
+            list(range(len(graph.nodes)))
+
+    def test_buffer_reuse_beats_naive(self):
+        plan = plan_graph(get_model("resnet18"))
+        assert plan.pool_bytes < plan.naive_bytes
+        assert plan.peak_bytes <= plan.pool_bytes
+
+    def test_inputs_read_live_buffers(self):
+        """Every step's input buffers were written by a predecessor
+        and not freed before this step consumed them."""
+        plan = plan_graph(small_graph())
+        freed: set[int] = set()
+        written: dict[int, int] = {}
+        for step in plan.steps:
+            for buf in step.in_buffers:
+                assert buf in written.values()
+                assert buf not in freed
+            written[step.node_id] = step.out_buffer
+            freed -= {step.out_buffer}
+            freed |= set(step.frees)
+
+    def test_costs_match_graph_totals(self):
+        graph = small_graph()
+        plan = plan_graph(graph)
+        assert plan.total_params == sum(n.params for n in graph.nodes)
+        assert plan.total_flops == sum(n.flops for n in graph.nodes)
+
+    def test_batch_scales_buffers_linearly(self):
+        one = plan_graph(small_graph(), batch_size=1)
+        eight = plan_graph(small_graph(), batch_size=8)
+        assert eight.pool_bytes == 8 * one.pool_bytes
+        assert eight.peak_bytes == 8 * one.peak_bytes
+
+
+class TestRefusal:
+    def test_underdetermined_graph_refused(self):
+        # A MUL whose second operand's shape cannot be derived: splice
+        # an attr-less conv into the payload.
+        from repro.graphs import graph_to_dict
+
+        payload = graph_to_dict(small_graph())
+        for node in payload["nodes"]:
+            if node["name"] == "branch":
+                node["attrs"] = {}  # conv without kernel/channel attrs
+        with pytest.raises(PlanningError):
+            plan_graph(payload)
+
+    def test_format_text_truncates(self):
+        plan = plan_graph(get_model("alexnet"))
+        text = plan.format_text(max_steps=5)
+        assert "more step(s)" in text
+        assert plan.digest[:16] in text
+
+    def test_plan_is_execution_plan(self):
+        assert isinstance(plan_graph(small_graph()), ExecutionPlan)

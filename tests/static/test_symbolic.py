@@ -1,0 +1,152 @@
+"""Unit tests for the symbolic dimension store and constraint solver."""
+
+import pytest
+
+from repro.static import Dim, ShapeEnv, concrete, shape_of
+
+
+class TestDim:
+    def test_needs_exactly_one_of_value_var(self):
+        with pytest.raises(ValueError):
+            Dim()
+        with pytest.raises(ValueError):
+            Dim(value=3, var=0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Dim.of(-1)
+
+    def test_shape_of_round_trips(self):
+        shape = shape_of((3, 32, 32))
+        assert all(d.known for d in shape)
+        assert concrete(shape) == (3, 32, 32)
+
+    def test_concrete_none_for_unknown(self):
+        env = ShapeEnv()
+        shape = (Dim.of(3), env.fresh("h"))
+        assert concrete(shape, env) is None
+
+
+class TestUnify:
+    def test_var_binds_to_value(self):
+        env = ShapeEnv()
+        a = env.fresh("a")
+        assert env.unify(a, Dim.of(7))
+        assert env.value(a) == 7
+
+    def test_transitive_through_union(self):
+        env = ShapeEnv()
+        a, b, c = env.fresh("a"), env.fresh("b"), env.fresh("c")
+        env.unify(a, b)
+        env.unify(b, c)
+        env.unify(c, Dim.of(5))
+        assert env.value(a) == 5
+
+    def test_conflict_records_contradiction(self):
+        env = ShapeEnv()
+        a = env.fresh("a")
+        env.unify(a, Dim.of(3))
+        assert not env.unify(a, Dim.of(4), site="here")
+        assert not env.consistent
+        assert "3 != 4" in env.contradictions[0].message
+        assert env.contradictions[0].site == "here"
+
+    def test_rank_mismatch_records(self):
+        env = ShapeEnv()
+        env.unify_shapes(shape_of((1, 2)), shape_of((1, 2, 3)))
+        assert any("rank mismatch" in c.message
+                   for c in env.contradictions)
+
+
+class TestConstraints:
+    def test_sum_forward(self):
+        env = ShapeEnv()
+        total = env.fresh("total")
+        env.require_sum(total, [Dim.of(16), Dim.of(8)])
+        env.solve()
+        assert env.value(total) == 24
+
+    def test_sum_backward_one_unknown(self):
+        env = ShapeEnv()
+        part = env.fresh("part")
+        env.require_sum(Dim.of(24), [Dim.of(16), part])
+        env.solve()
+        assert env.value(part) == 8
+
+    def test_sum_insoluble(self):
+        env = ShapeEnv()
+        part = env.fresh("part")
+        env.require_sum(Dim.of(10), [Dim.of(16), part])
+        env.solve()
+        assert any("insoluble" in c.message for c in env.contradictions)
+
+    def test_product_backward_with_divisibility(self):
+        env = ShapeEnv()
+        c = env.fresh("c")
+        env.require_product(Dim.of(512), [c, Dim.of(4), Dim.of(4)])
+        env.solve()
+        assert env.value(c) == 32
+
+    def test_product_indivisible_contradicts(self):
+        env = ShapeEnv()
+        c = env.fresh("c")
+        env.require_product(Dim.of(100), [c, Dim.of(3)])
+        env.solve()
+        assert any("not" in c_.message and "divisible" in c_.message
+                   for c_ in env.contradictions)
+
+    def test_conv_forward(self):
+        env = ShapeEnv()
+        out = env.fresh("out")
+        env.require_conv(out, Dim.of(32), kernel=3, stride=2, padding=1)
+        env.solve()
+        assert env.value(out) == 16
+
+    def test_conv_backward_only_at_stride_one(self):
+        env = ShapeEnv()
+        inp = env.fresh("in")
+        env.require_conv(Dim.of(32), inp, kernel=3, stride=1, padding=1)
+        env.solve()
+        assert env.value(inp) == 32
+
+        env2 = ShapeEnv()
+        inp2 = env2.fresh("in")
+        env2.require_conv(Dim.of(16), inp2, kernel=3, stride=2,
+                          padding=1)
+        env2.solve()
+        assert env2.value(inp2) is None  # floor-div not invertible
+
+    def test_conv_window_does_not_fit(self):
+        env = ShapeEnv()
+        out = env.fresh("out")
+        env.require_conv(out, Dim.of(2), kernel=5, stride=1, padding=0)
+        env.solve()
+        assert any("window does not fit" in c.message
+                   for c in env.contradictions)
+
+    def test_scale_forward_and_exact_inverse(self):
+        env = ShapeEnv()
+        out, inp = env.fresh("out"), env.fresh("in")
+        env.require_scale(out, Dim.of(8), 2)
+        env.require_scale(Dim.of(14), inp, 2)
+        env.solve()
+        assert env.value(out) == 16
+        assert env.value(inp) == 7
+
+    def test_scale_indivisible_contradicts(self):
+        env = ShapeEnv()
+        inp = env.fresh("in")
+        env.require_scale(Dim.of(15), inp, 2)
+        env.solve()
+        assert any("not a multiple" in c.message
+                   for c in env.contradictions)
+
+    def test_chained_constraints_reach_fixpoint(self):
+        # total = a + b; a = 2*x; x bound late -- needs multiple rounds.
+        env = ShapeEnv()
+        total, a, x = env.fresh("t"), env.fresh("a"), env.fresh("x")
+        env.require_sum(total, [a, Dim.of(4)])
+        env.require_scale(a, x, 2)
+        env.unify(x, Dim.of(10))
+        env.solve()
+        assert env.value(total) == 24
