@@ -51,11 +51,22 @@ echo "==> repro serve --self-test --json (serving smoke)"
 python -c "import sys; from repro.cli import main; sys.exit(main(['serve', '--self-test', '--json']))" \
     | python -m json.tool > /dev/null
 
+echo "==> repro obs report --self-test (telemetry/tracing smoke)"
+# Runs a traced in-process serving burst and asserts the telemetry
+# invariants: every completed request carries a trace id, the stitched
+# trace trees are well-formed and span ingress -> batch -> execute ->
+# predict, and the flight recorder saw admissions, batches and cache
+# traffic.  Exits non-zero on any violated invariant.
+python -c "import sys; from repro.cli import main; sys.exit(main(['obs', 'report', '--self-test', '--json']))" \
+    | python -m json.tool > /dev/null
+
 echo "==> repro bench --suite perf --quick (perf-regression gate)"
 # Batched GHN embedding must be bitwise-identical to sequential and at
-# least as fast (speedup >= 1x at K>=8), and sharded trace generation
-# must be bit-identical to serial.  The command exits non-zero on any
-# gate violation; json.tool checks the payload is well-formed JSON.
+# least as fast (speedup >= 1x at K>=8), sharded trace generation
+# must be bit-identical to serial, and full observability must cost
+# <= 5% serve p50 with bitwise-identical predictions.  The command
+# exits non-zero on any gate violation; json.tool checks the payload
+# is well-formed JSON.
 python -c "import sys; from repro.cli import main; sys.exit(main(['bench', '--suite', 'perf', '--quick', '--json']))" \
     | python -m json.tool > /dev/null
 

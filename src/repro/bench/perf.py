@@ -17,6 +17,11 @@ at the repo root is the committed baseline):
 * **static**: :func:`repro.static.plan_graph` latency per zoo model
   plus a plan-digest determinism check (two independently-built plans
   must hash identically).
+* **obs**: serving p50 with observability fully on (tracing + metrics
+  + flight recorder) vs fully off, gating the ``repro.obs`` overhead
+  contract -- instrumentation must stay within a few percent of the
+  uninstrumented path, and enabling it must leave predictions
+  bitwise-identical.
 
 ``run_perf_suite`` composes them into one JSON payload;
 ``check_gates`` evaluates the regression gates (batched throughput >=
@@ -39,9 +44,9 @@ from ..obs import TRACER
 from ..sim import generate_trace
 
 __all__ = ["EmbedPerfPoint", "TracegenPerfPoint", "ServePerfResult",
-           "StaticPerfPoint", "embed_throughput", "tracegen_throughput",
-           "serve_latency", "static_planning", "run_perf_suite",
-           "check_gates"]
+           "StaticPerfPoint", "ObsOverheadResult", "embed_throughput",
+           "tracegen_throughput", "serve_latency", "static_planning",
+           "obs_overhead", "run_perf_suite", "check_gates"]
 
 #: Batch sizes exercised by the full suite (the ISSUE's K in {1, 8, 32}).
 DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 8, 32)
@@ -111,6 +116,21 @@ class StaticPerfPoint:
     seconds: float
     digest: str
     deterministic: bool
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsOverheadResult:
+    """Serving-latency cost of full observability (on vs off)."""
+
+    requests: int
+    off_p50_ms: float       # p50 with tracing/metrics/flight disabled
+    on_p50_ms: float        # p50 with all three enabled
+    overhead_ratio: float   # on/off (1.0 = free)
+    predictions_identical: bool  # bitwise contract: obs never changes
+                                 # a prediction
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -246,6 +266,78 @@ def serve_latency(*, requests: int = 60, rate: float = 1000.0,
         throughput_rps=payload["throughput_rps"])
 
 
+def obs_overhead(*, requests: int = 60, rate: float = 2000.0,
+                 seed: int = 0, ghn_dim: int = 8, ghn_steps: int = 8,
+                 workers: int = 2) -> ObsOverheadResult:
+    """Serve p50 with observability fully off vs fully on.
+
+    The :mod:`repro.obs` contract (DESIGN.md): disabled instrumentation
+    is a single attribute check on the hot path, and enabling it never
+    changes a prediction.  Both claims are measured here and enforced
+    by :func:`check_gates` -- the on/off p50 ratio must stay within the
+    overhead budget and direct ``predict`` results under observability
+    must be bitwise-identical to the uninstrumented ones.
+
+    One untimed warm-up burst precedes the measurements, then the two
+    modes run as alternating matched pairs (off burst immediately
+    followed by an on burst) and the reported numbers come from the
+    pair with the **median** on/off ratio.  Pairing cancels slow drift
+    in the ambient load between bursts, and the median is robust to a
+    single lucky-fast or GC-stalled burst -- either of which would
+    otherwise dominate a sub-5% gate at millisecond p50s.
+    """
+    from .. import obs
+    from ..core import PredictDDL
+    from ..ghn import GHNRegistry
+    from ..serve import (LoadGenerator, PredictionServer, ServeConfig,
+                         TrafficSpec)
+
+    registry = GHNRegistry(
+        config=GHNConfig(hidden_dim=ghn_dim, seed=seed),
+        train_steps=ghn_steps)
+    points = generate_trace(["resnet18", "alexnet"], "cifar10",
+                            "gpu-p100", [1, 2, 4], seed=seed)
+    predictor = PredictDDL(registry=registry, seed=seed).fit(points)
+    spec = TrafficSpec(models=("resnet18", "alexnet"), dataset="cifar10",
+                       cluster_sizes=(2, 4), server_class="gpu-p100",
+                       batch_size=32, num_requests=requests, rate=rate,
+                       seed=seed)
+    probe = spec.build_requests()[:8]
+
+    def burst():
+        config = ServeConfig(workers=workers,
+                             max_queue_depth=max(1, requests))
+        with PredictionServer(predictor, config) as server:
+            return LoadGenerator(server, spec).run()
+
+    prev = (obs.TRACER.enabled, obs.METRICS.enabled,
+            obs.RECORDER.enabled)
+    pairs: list[tuple[float, float]] = []
+    try:
+        obs.disable()
+        burst()  # warm predictor/embedding caches off the clock
+        preds_off = [predictor.predict(r).predicted_time for r in probe]
+        obs.enable()
+        preds_on = [predictor.predict(r).predicted_time for r in probe]
+        for _ in range(5):
+            obs.disable()
+            off = burst().p50
+            obs.enable()
+            pairs.append((off, burst().p50))
+    finally:
+        (obs.TRACER.enabled, obs.METRICS.enabled,
+         obs.RECORDER.enabled) = prev
+    pairs.sort(key=lambda p: (p[1] / p[0]) if p[0] > 0 else 1.0)
+    off_p50, on_p50 = pairs[len(pairs) // 2]
+    ratio = (on_p50 / off_p50) if off_p50 > 0 else 1.0
+    return ObsOverheadResult(
+        requests=requests,
+        off_p50_ms=off_p50 * 1e3,
+        on_p50_ms=on_p50 * 1e3,
+        overhead_ratio=ratio,
+        predictions_identical=preds_on == preds_off)
+
+
 def static_planning(models: Sequence[str] = ("alexnet", "resnet18",
                                              "mobilenet_v2"), *,
                     batch_size: int = 32) -> list[StaticPerfPoint]:
@@ -285,11 +377,13 @@ def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
             (1, 4), cluster_sizes=tuple(range(1, 5)), seed=seed)
         serve = None
         static = static_planning(("alexnet", "resnet18"))
+        obs_cost = obs_overhead(requests=32, seed=seed)
     else:
         embed = embed_throughput(seed=seed)
         tracegen = tracegen_throughput(seed=seed)
         serve = serve_latency(seed=seed)
         static = static_planning()
+        obs_cost = obs_overhead(seed=seed)
     return {
         "suite": "perf",
         "quick": quick,
@@ -298,18 +392,26 @@ def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
         "tracegen": [p.to_dict() for p in tracegen],
         "serve": serve.to_dict() if serve is not None else None,
         "static": [p.to_dict() for p in static],
+        "obs": obs_cost.to_dict(),
     }
 
 
 def check_gates(payload: dict, *, min_speedup: float = 1.0,
-                min_speedup_k: int = 8) -> list[str]:
+                min_speedup_k: int = 8,
+                max_obs_overhead: float = 1.05,
+                obs_slack_ms: float = 0.25) -> list[str]:
     """Regression gates over a ``run_perf_suite`` payload.
 
     * batched embedding must be bitwise-identical to sequential;
     * batched throughput must be at least ``min_speedup`` x sequential
       for every batch size ``k >= min_speedup_k`` (singleton batches
       are allowed to tie -- there is nothing to amortize at K=1);
-    * sharded trace generation must be bit-identical to serial.
+    * sharded trace generation must be bit-identical to serial;
+    * observability-on predictions must be bitwise-identical to
+      observability-off, and the obs-on serve p50 must stay within
+      ``max_obs_overhead`` x the obs-off p50 (an absolute slack of
+      ``obs_slack_ms`` absorbs scheduler jitter at sub-millisecond
+      p50s, where a 5% ratio would gate on noise).
 
     Returns human-readable violation strings (empty = pass).
     """
@@ -334,4 +436,17 @@ def check_gates(payload: dict, *, min_speedup: float = 1.0,
             failures.append(
                 f"static {point['model']}: plan digest changed between "
                 f"two runs (planner is non-deterministic)")
+    obs_point = payload.get("obs")
+    if obs_point:
+        if not obs_point["predictions_identical"]:
+            failures.append(
+                "obs: enabling observability changed served "
+                "predictions (bitwise contract broken)")
+        ratio = obs_point["overhead_ratio"]
+        extra_ms = obs_point["on_p50_ms"] - obs_point["off_p50_ms"]
+        if ratio > max_obs_overhead and extra_ms > obs_slack_ms:
+            failures.append(
+                f"obs: serve p50 with observability on is "
+                f"{ratio:.2f}x the off-path p50 "
+                f"(+{extra_ms:.3f}ms, gate {max_obs_overhead:.2f}x)")
     return failures

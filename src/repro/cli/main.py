@@ -31,7 +31,13 @@ Subcommands mirror the deployment workflow:
   fault-injection plan (:mod:`repro.faults`: worker crashes/hangs,
   message drops/delays/duplicates) and audit exactly-once delivery
   and recovery (``--self-test`` additionally asserts the schedule and
-  summary are bitwise-identical across two runs).
+  summary are bitwise-identical across two runs);
+* ``repro obs``       -- serving observability tooling:
+  ``obs report`` runs a traced burst and renders the per-workload-
+  family latency/prediction-error/drift telemetry report with
+  exemplar trace ids on the p99 samples (``--self-test`` asserts the
+  trace-tree and flight-recorder invariants), ``obs dump`` renders a
+  flight-recorder JSONL dump file.
 
 ``simulate``, ``trace`` and ``predict`` additionally accept
 ``--profile`` (print the span tree after the command output) and
@@ -251,6 +257,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--ghn-steps", type=int, default=8)
     p_chaos.add_argument("--json", action="store_true", dest="as_json",
                          help="emit the chaos report as JSON")
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability tooling: drift-aware serving telemetry "
+             "report and flight-recorder dump inspection")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_rep = obs_sub.add_parser(
+        "report",
+        help="run a traced serving burst and render the per-family "
+             "latency/error/drift telemetry report (p99 samples carry "
+             "exemplar trace ids)")
+    p_obs_rep.add_argument("--artifact", type=Path,
+                           help="trained predictor from 'repro train' "
+                                "(omit with --self-test)")
+    p_obs_rep.add_argument("--self-test", action="store_true",
+                           help="build a small throwaway predictor and "
+                                "assert the telemetry invariants: every "
+                                "sample traced, one well-formed stitched "
+                                "tree per request, ingress->execute->"
+                                "predict span chain present, flight "
+                                "accounting consistent (non-zero exit "
+                                "on violation)")
+    p_obs_rep.add_argument("--ghn-dim", type=int, default=8)
+    p_obs_rep.add_argument("--ghn-steps", type=int, default=8)
+    p_obs_rep.add_argument("--trace-out", type=Path, default=None,
+                           help="write the exported span records as "
+                                "JSONL to PATH")
+    p_obs_rep.add_argument("--flight-out", type=Path, default=None,
+                           help="write the flight-recorder ring as "
+                                "JSONL to PATH")
+    add_traffic_flags(p_obs_rep, requests=60, rate=1000.0)
+    p_obs_dump = obs_sub.add_parser(
+        "dump",
+        help="render a flight-recorder JSONL dump (from --flight-out "
+             "or an automatic crash dump) as text")
+    p_obs_dump.add_argument("path", type=Path,
+                            help="flight-recorder JSONL file")
+    p_obs_dump.add_argument("--limit", type=int, default=None,
+                            help="only show the last N events")
 
     p_bench = sub.add_parser(
         "bench",
@@ -722,6 +767,144 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _obs_ground_truth(samples, spec):
+    """Fill ``actual`` on samples from simulator ground truth.
+
+    The simulated total training time is the quantity the predictor was
+    trained to predict, so it doubles as the drift tracker's reference
+    signal.  Memoized per (model, cluster size).
+    """
+    import dataclasses
+
+    from ..cluster import make_cluster
+    from ..sim import DLWorkload, TrainingSimulator
+
+    simulator = TrainingSimulator()
+    memo: dict[tuple[str, int], float] = {}
+    filled = []
+    for sample in samples:
+        if sample.predicted is None or sample.cluster_size is None:
+            filled.append(sample)
+            continue
+        key = (sample.family, sample.cluster_size)
+        if key not in memo:
+            workload = DLWorkload(
+                sample.family, spec.dataset,
+                batch_size_per_server=spec.batch_size,
+                epochs=spec.epochs)
+            cluster = make_cluster(sample.cluster_size,
+                                   spec.server_class)
+            memo[key] = simulator.run(workload, cluster,
+                                      spec.seed).total_time
+        filled.append(dataclasses.replace(sample, actual=memo[key]))
+    return filled
+
+
+def _obs_report_self_test(report, trees, flight_counts) -> list[str]:
+    """Telemetry invariants behind ``repro obs report --self-test``."""
+    from ..obs import check_report
+
+    failures = list(check_report(report))
+    if report.sample_count == 0:
+        failures.append("no completed samples")
+    if report.traced_count != report.sample_count:
+        failures.append(
+            f"untraced samples: {report.traced_count}/"
+            f"{report.sample_count} carry a trace id")
+    chain = ("serve.ingress", "serve.batch", "serve.execute",
+             "predictddl.predict")
+    if not any(all(name in tree.span_names() for name in chain)
+               for tree in trees):
+        failures.append(
+            "no stitched trace contains the full ingress->batch->"
+            "execute->predict span chain")
+    if not flight_counts.get("request_admitted"):
+        failures.append("flight recorder saw no request_admitted events")
+    if not flight_counts.get("batch_formed"):
+        failures.append("flight recorder saw no batch_formed events")
+    if not flight_counts.get("cache_hit"):
+        failures.append("no cache_hit flight events on a repeating mix")
+    if not any(f.mean_error is not None for f in report.families):
+        failures.append("no family has a prediction-error series")
+    return failures
+
+
+def _cmd_obs_report(args) -> int:
+    from .. import obs
+    from ..core.persistence import load_predictor
+    from ..serve import LoadGenerator, PredictionServer
+
+    if args.self_test:
+        predictor = _throwaway_predictor(args)
+    elif args.artifact is not None:
+        predictor = load_predictor(args.artifact)
+    else:
+        print("error: pass --artifact PATH or --self-test",
+              file=sys.stderr)
+        return 1
+    spec = _traffic_spec(args)
+    with obs.observed() as (tracer, _):
+        with PredictionServer(predictor, _serve_config(args)) as server:
+            load_report = LoadGenerator(server, spec).run()
+        records = tracer.records()
+        flight_counts = obs.RECORDER.counts()
+        if args.flight_out is not None:
+            count = obs.RECORDER.dump(args.flight_out)
+            print(f"{count} flight event(s) written to "
+                  f"{args.flight_out}", file=sys.stderr)
+    if args.trace_out is not None:
+        count = obs.export.write_jsonl(records, args.trace_out)
+        print(f"{count} span record(s) written to {args.trace_out}",
+              file=sys.stderr)
+    samples = _obs_ground_truth(load_report.samples, spec)
+    report = obs.build_report(samples, trace_records=records,
+                              recorder=obs.RECORDER)
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.format_text())
+    if args.self_test:
+        trees = obs.export.stitch(records)
+        failures = _obs_report_self_test(report, trees, flight_counts)
+        for failure in failures:
+            print(f"obs self-test FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+def _cmd_obs_dump(args) -> int:
+    import json
+
+    if not args.path.exists():
+        print(f"error: no such dump file: {args.path}", file=sys.stderr)
+        return 1
+    events = []
+    for line in args.path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    shown = events if args.limit is None else events[-args.limit:]
+    for event in shown:
+        seq = event.get("seq", "?")
+        kind = event.get("kind", "?")
+        body = " ".join(f"{k}={v}" for k, v in sorted(event.items())
+                        if k not in ("seq", "wall", "kind"))
+        print(f"#{seq:<6} {kind:<28} {body}")
+    tally: dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        tally[kind] = tally.get(kind, 0) + 1
+    summary = "  ".join(f"{k}={v}" for k, v in sorted(tally.items()))
+    print(f"-- {len(events)} event(s): {summary}")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    return _cmd_obs_dump(args)
+
+
 def _cmd_loadgen(args) -> int:
     from ..core.persistence import load_predictor
 
@@ -773,6 +956,13 @@ def _cmd_bench(args) -> int:
             match = "ok" if p["deterministic"] else "MISMATCH"
             print(f"static {p['model']}: {p['steps']} steps planned in "
                   f"{p['seconds'] * 1e3:.1f}ms (digest {match})")
+        o = payload.get("obs")
+        if o:
+            match = ("bitwise ok" if o["predictions_identical"]
+                     else "PREDICTIONS CHANGED")
+            print(f"obs overhead: p50 off {o['off_p50_ms']:.2f}ms "
+                  f"-> on {o['on_p50_ms']:.2f}ms "
+                  f"({o['overhead_ratio']:.2f}x, {match})")
         if args.out is not None:
             print(f"payload written to {args.out}")
     for failure in failures:
@@ -933,6 +1123,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "chaos": _cmd_chaos,
+    "obs": _cmd_obs,
     "bench": _cmd_bench,
     "report": _cmd_report,
     "lint": _cmd_lint,

@@ -19,6 +19,13 @@ The report is split into two sections by design:
 * ``timing`` holds wall-clock observables (durations, recovery
   latency percentiles, requeue counts, which depend on batch
   composition) that are reported but never compared.
+
+An ``observability`` section (also outside the determinism gate --
+batch compositions and cache interleavings are timing-dependent)
+carries the flight recorder's event tallies, the injected-fault event
+sequence, and the automatic crash-dump count; with
+``ChaosSpec.tracing`` on it additionally summarizes and
+well-formedness-checks the exported request traces.
 """
 
 from __future__ import annotations
@@ -64,6 +71,9 @@ class ChaosSpec:
     client_timeout: float = 2.0
     client_retries: int = 16
     max_worker_restarts: int | None = None
+    # Request tracing during the campaign (off by default: the
+    # determinism gate compares summaries, not traces).
+    tracing: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +84,7 @@ class ChaosReport:
     plan_counts: dict
     summary: dict
     timing: dict
+    observability: dict = dataclasses.field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -81,6 +92,7 @@ class ChaosReport:
                      "scheduled": self.plan_counts},
             "summary": self.summary,
             "timing": self.timing,
+            "observability": self.observability,
         }
 
     def format_text(self) -> str:
@@ -145,7 +157,7 @@ def run_chaos(predictor, spec: ChaosSpec | None = None) -> ChaosReport:
 
     results: list[tuple[int, float]] = []
     failures: list[tuple[int, str]] = []
-    with obs.observed(tracing=False) as (_, metrics):
+    with obs.observed(tracing=spec.tracing) as (tracer, metrics):
         fabric = FaultyFabric(plan)
         injector = WorkerFaultInjector(plan)
         config = ServeConfig(
@@ -172,6 +184,21 @@ def run_chaos(predictor, spec: ChaosSpec | None = None) -> ChaosReport:
         fabric.drain_timers()
         counters = metrics.snapshot()["counters"]
         stale = client.stale_replies
+        # Flight/trace evidence -- reported outside ``summary`` because
+        # batch sizes and cache interleavings are timing-dependent.
+        observability = {
+            "flight_counts": obs.RECORDER.counts(),
+            "fault_events": obs.RECORDER.kinds("fault."),
+            "auto_dumps": len(obs.RECORDER.dumps()),
+        }
+        if spec.tracing:
+            records = tracer.records()
+            observability["trace"] = {
+                "records": len(records),
+                "traces": len({r.trace_id for r in records
+                               if r.trace_id}),
+                "problems": obs.export.validate(records),
+            }
 
     mismatched = sum(1 for index, value in results
                      if value != expected[index])
@@ -216,7 +243,8 @@ def run_chaos(predictor, spec: ChaosSpec | None = None) -> ChaosReport:
     }
     return ChaosReport(plan_digest=plan.digest(),
                        plan_counts=plan.counts(),
-                       summary=summary, timing=timing)
+                       summary=summary, timing=timing,
+                       observability=observability)
 
 
 def self_test(predictor,

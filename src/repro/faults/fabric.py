@@ -29,7 +29,7 @@ from __future__ import annotations
 import threading
 
 from ..cluster.messaging import Fabric, FabricError, Message, MessageDropped
-from ..obs import METRICS
+from ..obs import METRICS, RECORDER
 from .plan import FaultPlan
 
 __all__ = ["FaultyFabric"]
@@ -65,6 +65,7 @@ class FaultyFabric(Fabric):
         if action == "drop":
             METRICS.counter("faults.injected.message_drop",
                             labels={"tag": message.tag}).inc()
+            RECORDER.record("fault.message_drop", tag=message.tag)
             if self.plan.spec.signal_drops:
                 raise MessageDropped(
                     f"injected drop of {message.tag!r} message "
@@ -73,6 +74,7 @@ class FaultyFabric(Fabric):
         if action == "delay":
             METRICS.counter("faults.injected.message_delay",
                             labels={"tag": message.tag}).inc()
+            RECORDER.record("fault.message_delay", tag=message.tag)
             timer = threading.Timer(self.plan.spec.delay_seconds,
                                     self._deliver_late, args=(dst, message))
             timer.daemon = True
@@ -83,6 +85,7 @@ class FaultyFabric(Fabric):
         if action == "duplicate":
             METRICS.counter("faults.injected.message_duplicate",
                             labels={"tag": message.tag}).inc()
+            RECORDER.record("fault.message_duplicate", tag=message.tag)
             try:
                 super().deliver(dst, message)
             except FabricError:

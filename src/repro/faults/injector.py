@@ -25,7 +25,7 @@ from __future__ import annotations
 import threading
 import time
 
-from ..obs import METRICS
+from ..obs import METRICS, RECORDER
 from .plan import FaultPlan
 
 __all__ = ["InjectedWorkerCrash", "WorkerFaultInjector"]
@@ -65,6 +65,8 @@ class WorkerFaultInjector:
         extra = self._slow.get(worker_slot, 0.0)
         if extra > 0.0:
             METRICS.counter("faults.injected.slow_sleep").inc()
+            RECORDER.record("fault.slow_sleep", slot=worker_slot,
+                            seconds=extra)
             self._sleep(extra)
 
     def on_execute(self, seq: int, attempt: int, worker_slot: int) -> None:
@@ -78,10 +80,13 @@ class WorkerFaultInjector:
         if (seq in self.plan.worker_hang_seqs
                 and self._consume("hang", seq)):
             METRICS.counter("faults.injected.worker_hang").inc()
+            RECORDER.record("fault.worker_hang", request=seq)
             self._sleep(self.plan.spec.hang_seconds)
         if (seq in self.plan.worker_crash_seqs
                 and self._consume("crash", seq)):
             METRICS.counter("faults.injected.worker_crash").inc()
+            RECORDER.record("fault.worker_crash", request=seq,
+                            slot=worker_slot)
             raise InjectedWorkerCrash(
                 f"injected crash on worker slot {worker_slot} "
                 f"executing request seq {seq} (attempt {attempt})")

@@ -1,14 +1,23 @@
 """`repro.obs`: zero-dependency observability for the whole pipeline.
 
-One span tracer (:data:`TRACER`) and one metrics registry
-(:data:`METRICS`) are shared process-wide; every instrumented layer
-(`core`, `ghn`, `sim`, `cluster`, `bench`) reports into them and every
-consumer (`repro profile`, ``--profile`` / ``--metrics-json`` CLI flags,
-the Fig. 13 bench) reads from them.
+Three process-wide instruments share one lifecycle:
+
+* :data:`TRACER` -- span tracer with cross-thread trace-context
+  propagation (:mod:`~repro.obs.context`, stitched by
+  :mod:`~repro.obs.export`);
+* :data:`METRICS` -- metrics registry with bounded label cardinality;
+* :data:`RECORDER` -- the flight recorder, a bounded ring of
+  structured serving/fault events (:mod:`~repro.obs.recorder`).
+
+Every instrumented layer (`core`, `ghn`, `sim`, `cluster`, `serve`,
+`faults`, `bench`) reports into them and every consumer
+(`repro profile`, `repro obs report`, ``--profile`` /
+``--metrics-json`` CLI flags, the perf bench) reads from them.
 
 Observability is **off by default** -- instrumented code paths cost one
-attribute check when disabled (see DESIGN.md Sec. 5).  Enable
-programmatically::
+attribute check when disabled (see DESIGN.md Sec. 5), and disabling it
+(``REPRO_OBS=0`` or simply unset) leaves predictions bitwise-identical
+to the uninstrumented pipeline.  Enable programmatically::
 
     from repro import obs
 
@@ -16,6 +25,7 @@ programmatically::
     ...                       # run the pipeline
     print(obs.TRACER.render_tree())
     print(obs.METRICS.render_text())
+    print(obs.RECORDER.render_text())
     obs.disable()
 
 or scoped::
@@ -24,8 +34,10 @@ or scoped::
         predictor.predict(request)
     print(tracer.render_tree())
 
-or via the environment: ``REPRO_OBS=1`` enables both subsystems at
+or via the environment: ``REPRO_OBS=1`` enables all three subsystems at
 import time (anything else, or unset, leaves them off).
+``REPRO_OBS_DUMP=/path/prefix`` additionally points the flight
+recorder's automatic crash dumps at ``/path/prefix.<n>.jsonl``.
 """
 
 from __future__ import annotations
@@ -33,15 +45,27 @@ from __future__ import annotations
 import contextlib
 import os
 
-from .metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
-                      MetricsRegistry)
+from . import export
+from .context import ALWAYS_SAMPLE, TraceContext, TraceSampler
+from .drift import DriftStat, DriftTracker, ErrorWindow
+from .metrics import (Counter, DEFAULT_BUCKETS, DEFAULT_MAX_SERIES,
+                      DROPPED_SERIES, Gauge, Histogram, MetricsRegistry)
+from .recorder import DEFAULT_CAPACITY, FlightEvent, FlightRecorder
+from .report import (FamilyReport, RequestSample, TelemetryReport,
+                     build_report, check_report)
 from .tracing import Span, SpanRecord, Stopwatch, Tracer, render_tree
 
 __all__ = [
-    "TRACER", "METRICS",
+    "TRACER", "METRICS", "RECORDER",
     "enable", "disable", "is_enabled", "reset", "observed",
     "Tracer", "Span", "SpanRecord", "Stopwatch", "render_tree",
-    "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "TraceContext", "TraceSampler", "ALWAYS_SAMPLE",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_BUCKETS", "DEFAULT_MAX_SERIES", "DROPPED_SERIES",
+    "FlightRecorder", "FlightEvent", "DEFAULT_CAPACITY",
+    "DriftTracker", "DriftStat", "ErrorWindow",
+    "RequestSample", "FamilyReport", "TelemetryReport",
+    "build_report", "check_report", "export",
 ]
 
 #: Process-global default tracer every instrumented layer reports into.
@@ -50,50 +74,64 @@ TRACER = Tracer()
 #: Process-global default metrics registry.
 METRICS = MetricsRegistry()
 
+#: Process-global flight recorder (serving/fault event ring).
+RECORDER = FlightRecorder()
 
-def enable(*, tracing: bool = True, metrics: bool = True) -> None:
-    """Turn on span collection and/or metric recording."""
+
+def enable(*, tracing: bool = True, metrics: bool = True,
+           flight: bool = True) -> None:
+    """Turn on span collection, metric recording and/or the recorder."""
     if tracing:
         TRACER.enable()
     if metrics:
         METRICS.enable()
+    if flight:
+        RECORDER.enable()
 
 
 def disable() -> None:
-    """Turn off both subsystems (collected data is kept until reset)."""
+    """Turn off all subsystems (collected data is kept until reset)."""
     TRACER.disable()
     METRICS.disable()
+    RECORDER.disable()
 
 
 def is_enabled() -> bool:
-    return TRACER.enabled or METRICS.enabled
+    return TRACER.enabled or METRICS.enabled or RECORDER.enabled
 
 
 def reset() -> None:
-    """Drop all collected spans and metric series."""
+    """Drop all collected spans, metric series and flight events."""
     TRACER.reset()
     METRICS.reset()
+    RECORDER.reset()
 
 
 @contextlib.contextmanager
 def observed(*, tracing: bool = True, metrics: bool = True,
-             fresh: bool = True):
+             flight: bool = True, fresh: bool = True):
     """Enable observability for a ``with`` block; restore state after.
 
-    With ``fresh=True`` (default) previously collected spans/metrics are
-    cleared on entry so the block's data stands alone.  Yields
-    ``(TRACER, METRICS)``.
+    With ``fresh=True`` (default) previously collected spans/metrics/
+    events are cleared on entry so the block's data stands alone.
+    Yields ``(TRACER, METRICS)`` (the flight recorder is reachable as
+    :data:`RECORDER`).
     """
-    prev_tracing, prev_metrics = TRACER.enabled, METRICS.enabled
+    prev_tracing = TRACER.enabled
+    prev_metrics = METRICS.enabled
+    prev_flight = RECORDER.enabled
     if fresh:
         reset()
-    enable(tracing=tracing, metrics=metrics)
+    enable(tracing=tracing, metrics=metrics, flight=flight)
     try:
         yield TRACER, METRICS
     finally:
         TRACER.enabled = prev_tracing
         METRICS.enabled = prev_metrics
+        RECORDER.enabled = prev_flight
 
 
 if os.environ.get("REPRO_OBS") == "1":  # pragma: no cover - env-dependent
     enable()
+if os.environ.get("REPRO_OBS_DUMP"):  # pragma: no cover - env-dependent
+    RECORDER.configure(dump_path=os.environ["REPRO_OBS_DUMP"])

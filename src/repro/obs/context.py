@@ -1,0 +1,97 @@
+"""Trace-context propagation: carry a trace across threads and fabrics.
+
+The span tracer's ambient context is a *thread-local* stack, so a span
+opened in one thread does not automatically parent spans opened in
+another.  A :class:`TraceContext` is the explicit, serializable handoff
+object that bridges that gap: it names a trace (``trace_id``), the span
+to parent under (``span_id``) and a sampling decision, and travels
+wherever the work goes -- inside a
+:class:`~repro.serve.server.RequestEnvelope` over the fabric, or inside
+a work item handed to a worker thread.
+
+The receiving side calls :meth:`repro.obs.tracing.Tracer.attach` (or
+the ``attached`` context manager) before opening spans; the spans it
+opens then record the remote trace/parent ids and the exported records
+stitch into one tree (:mod:`repro.obs.export`) even though the span
+*objects* live in different threads.
+
+Sampling is seeded and deterministic: a :class:`TraceSampler` draws a
+pre-seeded decision sequence, so the same seed samples the same request
+indices on every run -- the property every other repro subsystem
+already guarantees for its randomness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+
+__all__ = ["TraceContext", "TraceSampler", "ALWAYS_SAMPLE"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """One point in a distributed trace, ready to hand to another thread.
+
+    Attributes
+    ----------
+    trace_id:
+        Identifier shared by every span of one logical request.
+    span_id:
+        The span new work should parent under.
+    sampled:
+        Seeded sampling decision; when False, spans opened under an
+        attached context are suppressed (the shared no-op span), so an
+        unsampled request costs the same as tracing-disabled.
+    """
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def child_of(self, span_id: str) -> "TraceContext":
+        """The context for work parented under ``span_id`` instead."""
+        return dataclasses.replace(self, span_id=span_id)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        return cls(trace_id=payload["trace_id"],
+                   span_id=payload["span_id"],
+                   sampled=bool(payload.get("sampled", True)))
+
+
+class TraceSampler:
+    """Deterministic head-based sampler.
+
+    Draws one uniform per :meth:`decide` call from a seeded PCG64
+    stream; the decision sequence is a pure function of ``(rate,
+    seed)``, so two identically-seeded load runs sample the same
+    request positions.  ``rate=1.0`` short-circuits to always-sample
+    without consuming randomness.
+    """
+
+    def __init__(self, rate: float = 1.0, seed: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.seed = seed
+        self._rng = np.random.default_rng([seed, 0x5A17])
+        self._lock = threading.Lock()
+
+    def decide(self) -> bool:
+        """The next seeded sampling decision."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        with self._lock:
+            return bool(self._rng.random() < self.rate)
+
+
+#: Shared always-on sampler (the default everywhere).
+ALWAYS_SAMPLE = TraceSampler(1.0)

@@ -1,0 +1,180 @@
+"""Drift-aware serving telemetry: per-family prediction-error tracking.
+
+The ROADMAP's continual-refit item needs a signal that says *when* the
+regression stage has gone stale for some slice of traffic.  Runtime-
+based predictors (Habitat, PerfSeer) make the same point from the other
+side: telemetry about prediction quality is itself model input.  This
+module provides the statistic the future refit loop will consume:
+
+* :class:`ErrorWindow` -- one workload family's bounded error history,
+  split into a frozen **reference window** (the first ``window``
+  observations, the behaviour the serving tier was validated at) and a
+  rolling **recent window** (the last ``window``);
+* :class:`DriftTracker` -- the per-family registry.  ``observe(family,
+  predicted, actual)`` records one served prediction;
+  ``statistic(family)`` returns a :class:`DriftStat` whose ``score``
+  is the recent-vs-reference mean shift in units of the reference
+  standard deviation (a windowed z-statistic: 0 = no drift, and
+  ``score > threshold`` flips ``drifted``).
+
+Everything is deterministic given the observation sequence -- no clocks,
+no RNG -- so two identically-seeded serving runs produce identical
+drift snapshots, and the statistic can sit inside determinism-gated
+reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+from collections import deque
+
+__all__ = ["DriftStat", "ErrorWindow", "DriftTracker",
+           "DEFAULT_WINDOW", "DEFAULT_THRESHOLD"]
+
+#: Default window length (observations) for reference and recent.
+DEFAULT_WINDOW = 32
+
+#: Default drift threshold in reference standard deviations.
+DEFAULT_THRESHOLD = 3.0
+
+#: Variance floor: families whose reference errors are near-constant
+#: still produce a finite score.
+_STD_FLOOR = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftStat:
+    """Windowed drift verdict for one workload family."""
+
+    family: str
+    observations: int
+    reference_mean: float
+    recent_mean: float
+    score: float          # |recent - reference| / max(ref std, floor)
+    drifted: bool
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class ErrorWindow:
+    """Bounded error history for one family: frozen reference + recent."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        self.window = window
+        self.reference: list[float] = []
+        self.recent: deque[float] = deque(maxlen=window)
+        self.count = 0
+
+    def add(self, error: float) -> None:
+        self.count += 1
+        if len(self.reference) < self.window:
+            self.reference.append(error)
+        self.recent.append(error)
+
+    @property
+    def ready(self) -> bool:
+        """Enough data for a meaningful comparison: a full reference
+        window plus at least a half-full recent window of *newer*
+        observations."""
+        return (len(self.reference) == self.window
+                and self.count >= self.window + self.window // 2)
+
+    def stats(self) -> tuple[float, float, float]:
+        """``(reference_mean, reference_std, recent_mean)``."""
+        ref = self.reference
+        ref_mean = sum(ref) / len(ref) if ref else 0.0
+        if len(ref) > 1:
+            var = sum((e - ref_mean) ** 2 for e in ref) / (len(ref) - 1)
+            ref_std = math.sqrt(var)
+        else:
+            ref_std = 0.0
+        rec = list(self.recent)
+        rec_mean = sum(rec) / len(rec) if rec else 0.0
+        return ref_mean, ref_std, rec_mean
+
+
+class DriftTracker:
+    """Per-workload-family prediction-error drift registry.
+
+    Families are arbitrary strings (the serving layer uses the model
+    name).  All methods are thread-safe; observation order within one
+    family determines the statistic, so serial (or per-family ordered)
+    feeding keeps results deterministic.
+    """
+
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 threshold: float = DEFAULT_THRESHOLD):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        self.window = window
+        self.threshold = threshold
+        self._lock = threading.Lock()
+        self._families: dict[str, ErrorWindow] = {}
+
+    def observe(self, family: str, predicted: float,
+                actual: float) -> float:
+        """Record one served prediction; returns the relative error.
+
+        The error metric is absolute relative error
+        ``|predicted - actual| / max(|actual|, eps)`` -- scale-free, so
+        families with second-scale and hour-scale training times share
+        one threshold.
+        """
+        denom = max(abs(actual), 1e-12)
+        error = abs(predicted - actual) / denom
+        self.observe_error(family, error)
+        return error
+
+    def observe_error(self, family: str, error: float) -> None:
+        """Record a pre-computed error value for ``family``."""
+        with self._lock:
+            window = self._families.get(family)
+            if window is None:
+                window = ErrorWindow(self.window)
+                self._families[family] = window
+            window.add(float(error))
+
+    def families(self) -> list[str]:
+        with self._lock:
+            return sorted(self._families)
+
+    def statistic(self, family: str) -> DriftStat:
+        """The windowed drift statistic for one family.
+
+        Families never observed, or without a complete reference +
+        recent split yet, report ``score=0`` and ``drifted=False`` --
+        no drift alarm before there is evidence.
+        """
+        with self._lock:
+            window = self._families.get(family)
+            if window is None:
+                return DriftStat(family=family, observations=0,
+                                 reference_mean=0.0, recent_mean=0.0,
+                                 score=0.0, drifted=False)
+            ref_mean, ref_std, rec_mean = window.stats()
+            count = window.count
+            ready = window.ready
+        score = (abs(rec_mean - ref_mean) / max(ref_std, _STD_FLOOR)
+                 if ready else 0.0)
+        return DriftStat(family=family, observations=count,
+                         reference_mean=ref_mean, recent_mean=rec_mean,
+                         score=score,
+                         drifted=ready and score > self.threshold)
+
+    def snapshot(self) -> dict:
+        """JSON-ready drift state for every family (sorted keys)."""
+        return {family: self.statistic(family).to_dict()
+                for family in self.families()}
+
+    def drifted_families(self) -> list[str]:
+        """Families whose drift score currently exceeds the threshold."""
+        return [f for f in self.families() if self.statistic(f).drifted]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families = {}

@@ -1,0 +1,190 @@
+"""Trace export: JSONL serialization and cross-thread tree stitching.
+
+Spans opened in different threads of one request (client, ingress pump,
+worker, predictor) live as separate *local* span trees inside the
+tracer -- the thread-local stack cannot link them.  What does link them
+is the id triple every span carries (``trace_id``, ``span_id``,
+``parent_id``), planted by :meth:`~repro.obs.tracing.Tracer.attach` at
+each handoff.  This module turns flat :class:`SpanRecord` lists into
+
+* **JSONL** -- one compact JSON object per span
+  (:func:`to_jsonl` / :func:`write_jsonl` / :func:`load_jsonl`), the
+  interchange format of ``repro obs report --trace-out``;
+* **stitched trees** -- :func:`stitch` groups records by trace id and
+  rebuilds the parent/child structure from ids, yielding one
+  :class:`TraceNode` tree per trace regardless of which threads the
+  spans ran in;
+* **well-formedness verdicts** -- :func:`validate` reports traces with
+  no root, several roots, dangling parent ids or parent cycles, the
+  invariant the chaos-tracing tests gate on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from collections.abc import Iterable, Sequence
+
+from .tracing import SpanRecord
+
+__all__ = ["TraceNode", "to_jsonl", "write_jsonl", "load_jsonl",
+           "stitch", "validate", "render_stitched"]
+
+
+@dataclasses.dataclass
+class TraceNode:
+    """One span inside a stitched (cross-thread) trace tree."""
+
+    record: SpanRecord
+    children: list["TraceNode"] = dataclasses.field(default_factory=list)
+
+    def walk(self, depth: int = 0):
+        """Yield ``(node, depth)`` depth-first."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def span_names(self) -> list[str]:
+        """All span names in the tree, depth-first."""
+        return [node.record.name for node, _ in self.walk()]
+
+
+# ----------------------------------------------------------------------
+# JSONL serialization
+# ----------------------------------------------------------------------
+def to_jsonl(records: Iterable[SpanRecord]) -> str:
+    """One compact, key-sorted JSON object per span record."""
+    return "\n".join(json.dumps(r.to_dict(), sort_keys=True)
+                     for r in records)
+
+def write_jsonl(records: Iterable[SpanRecord], path) -> int:
+    """Write records as JSONL to ``path``; returns the record count."""
+    records = list(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return len(records)
+
+def load_jsonl(path) -> list[SpanRecord]:
+    """Read span records back from a :func:`write_jsonl` file."""
+    out: list[SpanRecord] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            out.append(SpanRecord(**payload))
+    return out
+
+
+# ----------------------------------------------------------------------
+# stitching
+# ----------------------------------------------------------------------
+def _by_trace(records: Sequence[SpanRecord]
+              ) -> dict[str, list[SpanRecord]]:
+    grouped: dict[str, list[SpanRecord]] = {}
+    for record in records:
+        grouped.setdefault(record.trace_id, []).append(record)
+    return grouped
+
+
+def stitch(records: Sequence[SpanRecord]) -> list[TraceNode]:
+    """Rebuild one tree per trace id from parent-id links.
+
+    Records whose ``parent_id`` is unknown within their trace become
+    additional roots (so a partially-exported trace still renders);
+    :func:`validate` is the strict well-formedness check.  Roots are
+    ordered by trace id then start time; children keep record order
+    (start-time sorted within each parent).
+    """
+    roots: list[TraceNode] = []
+    grouped = _by_trace(records)
+    for trace_id in sorted(grouped):
+        group = sorted(grouped[trace_id],
+                       key=lambda r: (r.start_wall, r.span_id))
+        nodes = {r.span_id: TraceNode(r) for r in group}
+        for record in group:
+            parent = (nodes.get(record.parent_id)
+                      if record.parent_id is not None else None)
+            if parent is not None and parent is not nodes[record.span_id]:
+                parent.children.append(nodes[record.span_id])
+            else:
+                roots.append(nodes[record.span_id])
+    return roots
+
+
+def validate(records: Sequence[SpanRecord]) -> list[str]:
+    """Well-formedness problems over exported records (empty = ok).
+
+    Checks, per trace id: exactly one root (``parent_id is None``),
+    every non-root's parent id resolves inside the same trace, span
+    ids are unique, and parent links are acyclic.
+    """
+    problems: list[str] = []
+    for trace_id, group in sorted(_by_trace(records).items()):
+        if not trace_id:
+            problems.append(f"{len(group)} span(s) with an empty "
+                            f"trace id")
+            continue
+        ids = [r.span_id for r in group]
+        if len(set(ids)) != len(ids):
+            problems.append(f"trace {trace_id}: duplicate span ids")
+        by_id = {r.span_id: r for r in group}
+        roots = [r for r in group if r.parent_id is None]
+        if len(roots) != 1:
+            problems.append(f"trace {trace_id}: {len(roots)} root "
+                            f"span(s), expected exactly 1")
+        for record in group:
+            if (record.parent_id is not None
+                    and record.parent_id not in by_id):
+                problems.append(
+                    f"trace {trace_id}: span {record.span_id} "
+                    f"({record.name}) has dangling parent "
+                    f"{record.parent_id}")
+        # Cycle check: follow parents; a well-formed chain terminates.
+        for record in group:
+            seen = set()
+            cursor = record
+            while cursor.parent_id is not None:
+                if cursor.span_id in seen:
+                    problems.append(f"trace {trace_id}: parent cycle "
+                                    f"through span {cursor.span_id}")
+                    break
+                seen.add(cursor.span_id)
+                nxt = by_id.get(cursor.parent_id)
+                if nxt is None:
+                    break
+                cursor = nxt
+    return problems
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_stitched(root: TraceNode) -> str:
+    """ASCII rendering of one stitched trace tree."""
+    lines = [f"trace {root.record.trace_id}"]
+
+    def visit(node: TraceNode, prefix: str, is_last: bool):
+        head = prefix + ("└─ " if is_last else "├─ ")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+        record = node.record
+        attrs = (" [" + " ".join(f"{k}={v}" for k, v in
+                                 record.attrs.items()) + "]"
+                 if record.attrs else "")
+        marker = " !ERROR" if record.status == "error" else ""
+        lines.append(f"{head}{record.name} "
+                     f"({_format_duration(record.duration)})"
+                     f"{marker}{attrs}")
+        for i, child in enumerate(node.children):
+            visit(child, child_prefix, i == len(node.children) - 1)
+
+    visit(root, "", True)
+    return "\n".join(lines)

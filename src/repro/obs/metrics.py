@@ -11,6 +11,14 @@ histogram contents.
 Like the tracer, the registry is **off by default**: every accessor
 (``counter``/``gauge``/``histogram``) is guarded by one ``enabled``
 attribute check and returns a shared no-op metric on the disabled path.
+
+**Label cardinality is bounded.**  A label value drawn from a
+per-request id would otherwise grow the registry without limit (the
+classic metrics-cardinality explosion).  Each logical metric name may
+fan out into at most ``max_series_per_name`` label combinations; the
+first access past the bound gets the shared no-op metric back and the
+``obs.metrics.dropped_series`` counter increments, so the overflow is
+loud in every snapshot instead of silently eating memory.
 """
 
 from __future__ import annotations
@@ -20,7 +28,13 @@ import json
 import threading
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS"]
+           "DEFAULT_BUCKETS", "DEFAULT_MAX_SERIES", "DROPPED_SERIES"]
+
+#: Default bound on label-series per metric name.
+DEFAULT_MAX_SERIES = 64
+
+#: Name of the overflow counter (never subject to the bound itself).
+DROPPED_SERIES = "obs.metrics.dropped_series"
 
 #: Default histogram buckets (seconds): log-ish spread from 100us to ~2min.
 DEFAULT_BUCKETS: tuple[float, ...] = (
@@ -154,10 +168,16 @@ class MetricsRegistry:
     methods are thread-safe.
     """
 
-    def __init__(self):
+    def __init__(self, max_series_per_name: int = DEFAULT_MAX_SERIES):
+        if max_series_per_name < 1:
+            raise ValueError(f"max_series_per_name must be >= 1, got "
+                             f"{max_series_per_name}")
         self.enabled = False
+        self.max_series_per_name = max_series_per_name
         self._lock = threading.Lock()
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._series_per_name: dict[str, int] = {}
+        self._dropped = Counter()
 
     # -- lifecycle ------------------------------------------------------
     def enable(self) -> None:
@@ -169,6 +189,13 @@ class MetricsRegistry:
     def reset(self) -> None:
         with self._lock:
             self._metrics = {}
+            self._series_per_name = {}
+            self._dropped = Counter()
+
+    @property
+    def dropped_series(self) -> int:
+        """Series refused by the per-name cardinality bound so far."""
+        return int(self._dropped.value)
 
     # -- accessors ------------------------------------------------------
     def _get_or_create(self, name: str, labels: dict | None, factory,
@@ -177,8 +204,17 @@ class MetricsRegistry:
         with self._lock:
             metric = self._metrics.get(key)
             if metric is None:
+                if (self._series_per_name.get(name, 0)
+                        >= self.max_series_per_name):
+                    # Cardinality bound hit: refuse the new series but
+                    # count the refusal, so unbounded per-request labels
+                    # show up in snapshots instead of in memory graphs.
+                    self._dropped.inc()
+                    return NULL_METRIC
                 metric = factory()
                 self._metrics[key] = metric
+                self._series_per_name[name] = (
+                    self._series_per_name.get(name, 0) + 1)
             elif not isinstance(metric, kind):
                 raise TypeError(
                     f"metric {key!r} already registered as "
@@ -205,10 +241,18 @@ class MetricsRegistry:
 
     # -- export ---------------------------------------------------------
     def snapshot(self) -> dict:
-        """JSON-serializable snapshot grouped by metric type."""
+        """JSON-serializable snapshot grouped by metric type.
+
+        When the cardinality bound has refused any series, the
+        ``obs.metrics.dropped_series`` counter appears among the
+        counters so the overflow is visible in every export.
+        """
         with self._lock:
             items = sorted(self._metrics.items())
+            dropped = self._dropped.value
         out = {"counters": {}, "gauges": {}, "histograms": {}}
+        if dropped:
+            out["counters"][DROPPED_SERIES] = dropped
         for key, metric in items:
             if isinstance(metric, Counter):
                 out["counters"][key] = metric.snapshot()

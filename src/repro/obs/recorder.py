@@ -1,0 +1,223 @@
+"""Flight recorder: a bounded ring buffer of structured serving events.
+
+Chaos runs and production incidents need a forensic record of what the
+serving stack did *before* a crash -- which requests were admitted,
+which batches formed, which faults landed, which workers died.  The
+:class:`FlightRecorder` is that black box: a lock-protected ring of
+:class:`FlightEvent` records that :mod:`repro.serve` and
+:mod:`repro.faults` write into, bounded so an always-on recorder can
+never grow without limit.
+
+Like the tracer and the metrics registry it is **off by default** and
+one attribute check when disabled.  When enabled, recording one event
+is an O(1) append under a lock; the ring evicts the oldest event past
+``capacity`` and counts the evictions.
+
+Dumps come in two flavours:
+
+* **on demand** -- :meth:`FlightRecorder.to_jsonl` /
+  :meth:`FlightRecorder.dump` (the ``repro obs dump`` CLI renders the
+  resulting JSONL file);
+* **automatic** -- :meth:`FlightRecorder.auto_dump`, called by the
+  server's worker supervisor when it detects a crashed worker.  Each
+  auto-dump snapshots the ring (bounded to the last
+  ``_MAX_AUTO_DUMPS``) and, when a dump path is configured
+  (``configure(dump_path=...)`` or the ``REPRO_OBS_DUMP`` environment
+  variable), additionally writes ``<path>.<n>.jsonl``.
+
+Determinism: event *kinds* and payloads are functions of the seeded
+workload and fault plan; the wall-clock stamp and the interleaving of
+timing-dependent kinds (batch sizes, cache hits) are not.  Tests that
+assert cross-run determinism filter to the deterministic kinds (see
+``kinds(prefix=...)``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import threading
+import time
+from collections import Counter as _TallyCounter
+from collections import deque
+
+__all__ = ["FlightEvent", "FlightRecorder", "DEFAULT_CAPACITY"]
+
+#: Default ring capacity (events).
+DEFAULT_CAPACITY = 4096
+
+#: Auto-dumps retained in memory (oldest evicted first).
+_MAX_AUTO_DUMPS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class FlightEvent:
+    """One structured event: monotonic seq, wall stamp, kind, payload."""
+
+    seq: int
+    wall: float
+    kind: str
+    data: dict
+
+    def to_dict(self) -> dict:
+        # Event fields win over payload keys of the same name, so a
+        # careless ``record(kind, seq=...)`` cannot corrupt the ring's
+        # own sequencing in dumps.
+        out = dict(self.data)
+        out.update(seq=self.seq, wall=self.wall, kind=self.kind)
+        return out
+
+
+class FlightRecorder:
+    """Bounded, lock-protected ring of serving/fault events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.enabled = False
+        self.capacity = capacity
+        self.dump_path: str | None = None
+        self._lock = threading.Lock()
+        self._events: deque[FlightEvent] = deque(maxlen=capacity)
+        self._seq = itertools.count()
+        self._evicted = 0
+        self._dumps: list[dict] = []
+        self._dump_base = 0
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def configure(self, *, dump_path: str | None = None,
+                  capacity: int | None = None) -> None:
+        """Set the auto-dump file target and/or resize the ring."""
+        with self._lock:
+            if dump_path is not None:
+                self.dump_path = dump_path
+            if capacity is not None and capacity != self.capacity:
+                if capacity < 1:
+                    raise ValueError(
+                        f"capacity must be >= 1, got {capacity}")
+                self.capacity = capacity
+                self._events = deque(self._events, maxlen=capacity)
+
+    def reset(self) -> None:
+        """Drop all events, auto-dumps and the eviction count."""
+        with self._lock:
+            self._events.clear()
+            self._seq = itertools.count()
+            self._evicted = 0
+            self._dumps = []
+            self._dump_base = 0
+
+    # -- recording ------------------------------------------------------
+    def record(self, kind: str, **data) -> None:
+        """Append one event; a single attribute check when disabled."""
+        if not self.enabled:
+            return
+        event = FlightEvent(seq=next(self._seq), wall=time.time(),
+                            kind=kind, data=data)
+        with self._lock:
+            if len(self._events) == self._events.maxlen:
+                self._evicted += 1
+            self._events.append(event)
+
+    # -- reading --------------------------------------------------------
+    def events(self, prefix: str | None = None) -> list[FlightEvent]:
+        """Snapshot of the ring, optionally filtered by kind prefix."""
+        with self._lock:
+            out = list(self._events)
+        if prefix is not None:
+            out = [e for e in out if e.kind.startswith(prefix)]
+        return out
+
+    def kinds(self, prefix: str | None = None) -> list[str]:
+        """Event kinds in ring order (determinism-test helper)."""
+        return [e.kind for e in self.events(prefix)]
+
+    def counts(self) -> dict[str, int]:
+        """Event tallies by kind (sorted keys)."""
+        tally = _TallyCounter(e.kind for e in self.events())
+        return dict(sorted(tally.items()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring since the last reset."""
+        return self._evicted
+
+    # -- dumping --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable state: events + ring accounting."""
+        with self._lock:
+            events = [e.to_dict() for e in self._events]
+            evicted = self._evicted
+        return {"capacity": self.capacity, "evicted": evicted,
+                "events": events}
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per event, ring order."""
+        return "\n".join(json.dumps(e.to_dict(), sort_keys=True)
+                         for e in self.events())
+
+    def dump(self, path) -> int:
+        """Write the ring as JSONL to ``path``; returns the event count."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event.to_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(events)
+
+    def auto_dump(self, reason: str) -> dict | None:
+        """Snapshot the ring after a supervisor-detected crash.
+
+        Keeps the last ``_MAX_AUTO_DUMPS`` snapshots in memory (see
+        :meth:`dumps`); when a ``dump_path`` is configured the snapshot
+        is also written to ``<dump_path>.<n>.jsonl``.  Returns the
+        snapshot, or None when the recorder is disabled.
+        """
+        if not self.enabled:
+            return None
+        payload = dict(self.snapshot(), reason=reason)
+        with self._lock:
+            payload["dump_index"] = len(self._dumps) + self._dump_base
+            self._dumps.append(payload)
+            while len(self._dumps) > _MAX_AUTO_DUMPS:
+                self._dumps.pop(0)
+                self._dump_base += 1
+            path = self.dump_path
+            index = payload["dump_index"]
+        if path is not None:
+            target = f"{path}.{index}.jsonl"
+            with open(target, "w", encoding="utf-8") as handle:
+                for event in payload["events"]:
+                    handle.write(json.dumps(event, sort_keys=True))
+                    handle.write("\n")
+            payload["path"] = target
+        return payload
+
+    def dumps(self) -> list[dict]:
+        """Auto-dump snapshots captured so far (bounded)."""
+        with self._lock:
+            return list(self._dumps)
+
+    # -- rendering ------------------------------------------------------
+    def render_text(self, limit: int | None = None) -> str:
+        """Human-readable one-line-per-event dump (most recent last)."""
+        events = self.events()
+        if limit is not None:
+            events = events[-limit:]
+        lines = []
+        for event in events:
+            body = " ".join(f"{k}={v}" for k, v in
+                            sorted(event.data.items()))
+            lines.append(f"#{event.seq:<6} {event.kind:<28} {body}")
+        return "\n".join(lines)

@@ -1,0 +1,237 @@
+"""Serving telemetry report: per-family latency, error and drift series.
+
+The serving tier's consumers (the ROADMAP's continual-refit loop, the
+``repro obs report`` CLI, dashboards) need one artifact that answers
+"how is each workload family being served, and can I see a bad
+request?".  :func:`build_report` assembles it from four sources:
+
+* **request samples** -- one :class:`RequestSample` per completed
+  request (the load generator emits them), carrying the workload
+  family, the measured latency, the **trace id** of the request's
+  stitched trace, and optionally the predicted and ground-truth values;
+* **drift** -- a :class:`~repro.obs.drift.DriftTracker` fed from the
+  samples' prediction errors (per-family windowed z-statistic);
+* **trace records** -- the tracer's exported spans, summarized and
+  well-formedness-checked via :mod:`repro.obs.export`;
+* **flight recorder** -- event tallies from the bounded ring.
+
+The signature feature is **exemplar trace ids on the tail**: each
+family's report attaches the trace ids of its slowest (>= p99)
+requests, so a latency regression in a dashboard is one id away from
+the stitched client/ingress/batch/worker span tree that explains it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from collections.abc import Sequence
+
+from .drift import DriftTracker
+from .export import validate as validate_traces
+
+__all__ = ["RequestSample", "FamilyReport", "TelemetryReport",
+           "build_report", "check_report", "nearest_rank"]
+
+#: Exemplar trace ids kept per family (slowest first).
+DEFAULT_EXEMPLARS = 3
+
+
+def nearest_rank(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestSample:
+    """One completed request as the telemetry layer sees it."""
+
+    family: str               # workload family (the model name)
+    latency: float            # client-observed seconds
+    trace_id: str = ""        # stitched-trace handle ("" = untraced)
+    predicted: float | None = None   # served prediction (seconds)
+    actual: float | None = None      # ground truth, when known
+    cluster_size: int | None = None  # lets callers resolve ground truth
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class FamilyReport:
+    """Latency/error/drift series for one workload family."""
+
+    family: str
+    count: int
+    latency_p50: float
+    latency_p99: float
+    latency_max: float
+    p99_exemplars: tuple[str, ...]   # trace ids of >=p99 samples
+    mean_error: float | None         # mean |pred-actual|/|actual|
+    max_error: float | None
+    drift_score: float
+    drifted: bool
+
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["p99_exemplars"] = list(self.p99_exemplars)
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryReport:
+    """The full serving telemetry artifact (JSON-ready)."""
+
+    families: tuple[FamilyReport, ...]
+    sample_count: int
+    traced_count: int                # samples carrying a trace id
+    trace_summary: dict              # records/traces/problems accounting
+    flight_counts: dict              # event tallies by kind
+    drift: dict                      # DriftTracker.snapshot()
+
+    def to_dict(self) -> dict:
+        return {
+            "families": [f.to_dict() for f in self.families],
+            "sample_count": self.sample_count,
+            "traced_count": self.traced_count,
+            "trace_summary": self.trace_summary,
+            "flight_counts": self.flight_counts,
+            "drift": self.drift,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def format_text(self) -> str:
+        lines = [f"samples {self.sample_count} "
+                 f"(traced {self.traced_count})"]
+        for fam in self.families:
+            drift = (f"drift={fam.drift_score:.2f}"
+                     f"{' DRIFTED' if fam.drifted else ''}")
+            err = (f"err mean={fam.mean_error:.3f} "
+                   f"max={fam.max_error:.3f}  "
+                   if fam.mean_error is not None else "")
+            lines.append(
+                f"  {fam.family:<16} n={fam.count:<4} "
+                f"p50={fam.latency_p50 * 1e3:.2f}ms "
+                f"p99={fam.latency_p99 * 1e3:.2f}ms  {err}{drift}")
+            if fam.p99_exemplars:
+                lines.append("    p99 exemplar traces: "
+                             + ", ".join(fam.p99_exemplars))
+        ts = self.trace_summary
+        lines.append(f"traces: {ts.get('traces', 0)} "
+                     f"({ts.get('records', 0)} spans, "
+                     f"{len(ts.get('problems', []))} problems)")
+        if self.flight_counts:
+            body = " ".join(f"{k}={v}" for k, v in
+                            sorted(self.flight_counts.items()))
+            lines.append(f"flight: {body}")
+        return "\n".join(lines)
+
+
+def _family_report(family: str, samples: list[RequestSample],
+                   tracker: DriftTracker,
+                   exemplars: int) -> FamilyReport:
+    latencies = [s.latency for s in samples]
+    p99 = nearest_rank(latencies, 99)
+    # Exemplars: traced samples at or above the p99 latency, slowest
+    # first -- the ids a tail-latency investigation starts from.
+    tail = sorted((s for s in samples
+                   if s.trace_id and s.latency >= p99),
+                  key=lambda s: -s.latency)
+    errors = [abs(s.predicted - s.actual) / max(abs(s.actual), 1e-12)
+              for s in samples
+              if s.predicted is not None and s.actual is not None]
+    stat = tracker.statistic(family)
+    return FamilyReport(
+        family=family,
+        count=len(samples),
+        latency_p50=nearest_rank(latencies, 50),
+        latency_p99=p99,
+        latency_max=max(latencies) if latencies else 0.0,
+        p99_exemplars=tuple(s.trace_id for s in tail[:exemplars]),
+        mean_error=sum(errors) / len(errors) if errors else None,
+        max_error=max(errors) if errors else None,
+        drift_score=stat.score,
+        drifted=stat.drifted,
+    )
+
+
+def build_report(samples: Sequence[RequestSample], *,
+                 drift_tracker: DriftTracker | None = None,
+                 trace_records=None,
+                 recorder=None,
+                 exemplars: int = DEFAULT_EXEMPLARS) -> TelemetryReport:
+    """Assemble the telemetry report from one serving run's evidence.
+
+    When ``drift_tracker`` is None a fresh tracker is fed from the
+    samples that carry both a prediction and a ground truth (sample
+    order = observation order, so seeded runs stay deterministic).
+    ``trace_records`` (a list of SpanRecords) and ``recorder`` (a
+    FlightRecorder) are optional; their sections are empty when absent.
+    """
+    samples = list(samples)
+    tracker = drift_tracker
+    if tracker is None:
+        tracker = DriftTracker()
+        for sample in samples:
+            if sample.predicted is not None and sample.actual is not None:
+                tracker.observe(sample.family, sample.predicted,
+                                sample.actual)
+
+    by_family: dict[str, list[RequestSample]] = {}
+    for sample in samples:
+        by_family.setdefault(sample.family, []).append(sample)
+    families = tuple(_family_report(family, by_family[family],
+                                    tracker, exemplars)
+                     for family in sorted(by_family))
+
+    if trace_records is not None:
+        records = list(trace_records)
+        trace_ids = {r.trace_id for r in records if r.trace_id}
+        trace_summary = {
+            "records": len(records),
+            "traces": len(trace_ids),
+            "problems": validate_traces(records),
+        }
+    else:
+        trace_summary = {"records": 0, "traces": 0, "problems": []}
+
+    flight_counts = recorder.counts() if recorder is not None else {}
+
+    return TelemetryReport(
+        families=families,
+        sample_count=len(samples),
+        traced_count=sum(1 for s in samples if s.trace_id),
+        trace_summary=trace_summary,
+        flight_counts=flight_counts,
+        drift=tracker.snapshot(),
+    )
+
+
+def check_report(report: TelemetryReport) -> list[str]:
+    """Internal-consistency problems of a report (empty = ok).
+
+    The ``repro obs report --self-test`` gate runs this plus
+    scenario-specific assertions.
+    """
+    problems: list[str] = []
+    if report.sample_count != sum(f.count for f in report.families):
+        problems.append("family counts do not sum to sample_count")
+    for fam in report.families:
+        if fam.count <= 0:
+            problems.append(f"{fam.family}: empty family report")
+        if fam.latency_p50 > fam.latency_p99 + 1e-12:
+            problems.append(f"{fam.family}: p50 > p99")
+        if fam.latency_p99 > fam.latency_max + 1e-12:
+            problems.append(f"{fam.family}: p99 > max")
+        if fam.mean_error is not None and fam.mean_error < 0:
+            problems.append(f"{fam.family}: negative mean error")
+    problems.extend(f"trace: {p}"
+                    for p in report.trace_summary.get("problems", []))
+    return problems

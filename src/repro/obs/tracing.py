@@ -6,6 +6,16 @@ call boundaries: ``PredictDDL.predict`` opens a root span, and the spans
 opened inside ``WorkloadEmbeddingsGenerator.generate`` or ``GHN2.embed``
 attach themselves as children without any plumbing.
 
+Cross-thread propagation: a thread-local stack cannot follow a request
+through a queue into a worker pool, so the tracer also carries an
+explicit **ambient context** (:class:`~repro.obs.context.TraceContext`).
+:meth:`Tracer.current_context` captures the active span's position;
+:meth:`Tracer.attach` installs it in another thread, and the next root
+span opened there records the remote trace/parent ids instead of
+starting a new trace.  The span *objects* stay thread-local;
+:mod:`repro.obs.export` stitches the id-linked records back into one
+tree.
+
 Design constraints (DESIGN.md Sec. 5):
 
 * **Off by default, near-free when disabled.**  ``Tracer.span`` is
@@ -13,7 +23,8 @@ Design constraints (DESIGN.md Sec. 5):
   no-op object on the disabled path -- no allocation, no clock reads.
 * **Deterministic content.**  Span names, nesting structure and
   attribute values are functions of the (seeded) workload; only the
-  measured durations vary between runs.
+  measured durations (and the arbitrarily thread-ordered ids) vary
+  between runs.
 * **Two clocks.**  ``time.perf_counter`` measures durations (monotonic,
   high resolution); ``time.time`` stamps the wall-clock start so
   exported records can be correlated with external logs.
@@ -21,10 +32,14 @@ Design constraints (DESIGN.md Sec. 5):
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import itertools
 import threading
 import time
 from collections.abc import Iterator
+
+from .context import TraceContext
 
 __all__ = ["Span", "SpanRecord", "Stopwatch", "Tracer", "render_tree"]
 
@@ -41,6 +56,9 @@ class SpanRecord:
     attrs: dict
     status: str          # "ok" | "error"
     error: str | None = None
+    trace_id: str = ""        # shared by every span of one request
+    span_id: str = ""         # unique within the process
+    parent_id: str | None = None  # None: a true trace root
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -106,7 +124,8 @@ class Span:
     """
 
     __slots__ = ("name", "attrs", "children", "duration", "start_wall",
-                 "status", "error", "_tracer", "_start", "_is_root")
+                 "status", "error", "trace_id", "span_id", "parent_id",
+                 "_tracer", "_start", "_is_root")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self.name = name
@@ -116,6 +135,9 @@ class Span:
         self.start_wall = 0.0
         self.status = "ok"
         self.error: str | None = None
+        self.trace_id = ""
+        self.span_id = ""
+        self.parent_id: str | None = None
         self._tracer = tracer
 
     def set_attr(self, key: str, value) -> None:
@@ -161,6 +183,9 @@ class Tracer:
         self._local = threading.local()
         self._lock = threading.Lock()
         self._roots: list[Span] = []
+        # Monotonic id sources; itertools.count is atomic in CPython.
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
 
     # -- lifecycle ------------------------------------------------------
     def enable(self) -> None:
@@ -180,6 +205,10 @@ class Tracer:
         """Open a named child span of the current thread's active span."""
         if not self.enabled:
             return NULL_SPAN
+        if not self._stack():
+            ambient = getattr(self._local, "ambient", None)
+            if ambient is not None and not ambient.sampled:
+                return NULL_SPAN
         return Span(self, name, attrs)
 
     def timed(self, name: str, **attrs):
@@ -188,6 +217,55 @@ class Tracer:
         if not self.enabled:
             return Stopwatch()
         return Span(self, name, attrs)
+
+    # -- cross-thread context propagation -------------------------------
+    def current_context(self) -> TraceContext | None:
+        """The active span's position as a handoff-able context.
+
+        Returns the topmost open span of *this* thread, or the attached
+        ambient context if no span is open, or None when tracing is
+        disabled / nothing is active.  Hand the result to another
+        thread (or serialize it over the fabric) and :meth:`attach` it
+        there before opening spans.
+        """
+        if not self.enabled:
+            return None
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            return TraceContext(trace_id=top.trace_id,
+                                span_id=top.span_id)
+        return getattr(self._local, "ambient", None)
+
+    def attach(self, ctx: TraceContext | None):
+        """Install ``ctx`` as this thread's ambient trace context.
+
+        The next root span this thread opens becomes a child of
+        ``ctx.span_id`` inside ``ctx.trace_id`` instead of starting a
+        new trace.  Returns an opaque token for :meth:`detach` (None
+        when nothing was attached -- tracing disabled or ``ctx`` is
+        None -- which :meth:`detach` accepts as a no-op).
+        """
+        if not self.enabled or ctx is None:
+            return None
+        previous = getattr(self._local, "ambient", None)
+        self._local.ambient = ctx
+        return (previous,)
+
+    def detach(self, token) -> None:
+        """Restore the ambient context saved by :meth:`attach`."""
+        if token is None:
+            return
+        self._local.ambient = token[0]
+
+    @contextlib.contextmanager
+    def attached(self, ctx: TraceContext | None):
+        """``with tracer.attached(ctx):`` -- scoped :meth:`attach`."""
+        token = self.attach(ctx)
+        try:
+            yield
+        finally:
+            self.detach(token)
 
     # -- internal stack maintenance ------------------------------------
     def _stack(self) -> list:
@@ -200,8 +278,20 @@ class Tracer:
     def _push(self, span: Span) -> None:
         stack = self._stack()
         span._is_root = not stack
+        span.span_id = f"s{next(self._span_ids):08x}"
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            parent.children.append(span)
+            span.trace_id = parent.trace_id
+            span.parent_id = parent.span_id
+        else:
+            ambient = getattr(self._local, "ambient", None)
+            if ambient is not None:
+                span.trace_id = ambient.trace_id
+                span.parent_id = ambient.span_id
+            else:
+                span.trace_id = f"t{next(self._trace_ids):08x}"
+                span.parent_id = None
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -231,7 +321,8 @@ class Tracer:
                     name=span.name, path=path, depth=depth,
                     start_wall=span.start_wall, duration=span.duration,
                     attrs=dict(span.attrs), status=span.status,
-                    error=span.error))
+                    error=span.error, trace_id=span.trace_id,
+                    span_id=span.span_id, parent_id=span.parent_id))
         return out
 
     def render_tree(self) -> str:

@@ -20,7 +20,7 @@ import time
 from collections.abc import Callable
 from typing import Any
 
-from ..obs import METRICS
+from ..obs import METRICS, RECORDER
 
 __all__ = ["AdmissionError", "QueueFullError", "DeadlineExceededError",
            "ServerClosedError", "DegradedError", "AdmissionController",
@@ -106,6 +106,7 @@ class AdmissionController:
         if (time.monotonic() if now is None else now) > expires_at:
             METRICS.counter("serve.admission.rejected",
                             labels={"reason": "deadline"}).inc()
+            RECORDER.record("request_expired")
             raise DeadlineExceededError(
                 "request deadline expired before execution")
 

@@ -27,7 +27,7 @@ import queue
 import time
 from typing import Any
 
-from ..obs import METRICS
+from ..obs import METRICS, RECORDER
 
 __all__ = ["MicroBatcher"]
 
@@ -69,4 +69,6 @@ class MicroBatcher:
                 break
         METRICS.histogram("serve.batch_size",
                           buckets=BATCH_SIZE_BUCKETS).observe(len(batch))
+        if RECORDER.enabled:
+            RECORDER.record("batch_formed", size=len(batch))
         return batch

@@ -20,6 +20,7 @@ import dataclasses
 
 from ..caching import LRUCache
 from ..cluster import Cluster
+from ..obs import RECORDER
 from ..core.requests import PredictionRequest, PredictionResult
 # graph_fingerprint moved to repro.graphs.fingerprint (the GHN structure
 # cache needs it below the serve layer); re-exported here for callers.
@@ -89,6 +90,9 @@ class ResultCache:
         if key is None:
             key = request_cache_key(request)
         hit = self._cache.get(key)
+        if RECORDER.enabled:
+            RECORDER.record("cache_hit" if hit is not None
+                            else "cache_miss")
         if hit is None:
             return None
         return dataclasses.replace(hit, request=request)

@@ -7,6 +7,13 @@ measures the server rather than its own back-pressure).  Completion
 times are captured by future callbacks in the worker threads; the
 resulting :class:`LoadReport` carries latency percentiles, throughput
 and the accept/reject/error accounting the CI smoke gate checks.
+
+When tracing is on, each submission runs inside a ``loadgen.request``
+span whose trace id is kept on the completed request's
+:class:`~repro.obs.report.RequestSample`, and the report's per-family
+breakdown attaches those ids to its p99 (and slower) samples -- tail
+latency investigations start from an exemplar trace id, not from a
+histogram bucket.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ import numpy as np
 
 from ..cluster import make_cluster
 from ..core.requests import PredictionRequest
+from ..obs import TRACER
+from ..obs.report import FamilyReport, RequestSample, build_report
 from ..sim import DLWorkload
 from .admission import AdmissionError, DeadlineExceededError
 
@@ -89,6 +98,7 @@ class LoadReport:
     errors: int         # any other per-request failure
     duration: float     # wall seconds from first submit to last reply
     latencies: tuple[float, ...]  # seconds, completed requests only
+    samples: tuple[RequestSample, ...] = ()  # completed, w/ trace ids
 
     @property
     def throughput(self) -> float:
@@ -106,8 +116,15 @@ class LoadReport:
     def p99(self) -> float:
         return percentile(list(self.latencies), 99)
 
+    def family_reports(self) -> tuple[FamilyReport, ...]:
+        """Per-workload-family latency series with p99 exemplar trace
+        ids (empty when the run collected no samples)."""
+        if not self.samples:
+            return ()
+        return build_report(self.samples).families
+
     def to_dict(self) -> dict:
-        return {
+        out = {
             "sent": self.sent,
             "completed": self.completed,
             "rejected": self.rejected,
@@ -121,17 +138,31 @@ class LoadReport:
             "max_ms": (max(self.latencies) * 1e3
                        if self.latencies else 0.0),
         }
+        families = self.family_reports()
+        if families:
+            out["families"] = [f.to_dict() for f in families]
+        return out
 
     def format_text(self) -> str:
         d = self.to_dict()
-        return (f"sent {d['sent']}  completed {d['completed']}  "
-                f"rejected {d['rejected']}  expired {d['expired']}  "
-                f"errors {d['errors']}\n"
-                f"throughput {d['throughput_rps']:.1f} req/s over "
-                f"{d['duration_seconds']:.2f}s\n"
-                f"latency p50 {d['p50_ms']:.2f}ms  "
-                f"p90 {d['p90_ms']:.2f}ms  p99 {d['p99_ms']:.2f}ms  "
-                f"max {d['max_ms']:.2f}ms")
+        lines = [
+            f"sent {d['sent']}  completed {d['completed']}  "
+            f"rejected {d['rejected']}  expired {d['expired']}  "
+            f"errors {d['errors']}",
+            f"throughput {d['throughput_rps']:.1f} req/s over "
+            f"{d['duration_seconds']:.2f}s",
+            f"latency p50 {d['p50_ms']:.2f}ms  "
+            f"p90 {d['p90_ms']:.2f}ms  p99 {d['p99_ms']:.2f}ms  "
+            f"max {d['max_ms']:.2f}ms",
+        ]
+        for fam in self.family_reports():
+            line = (f"  {fam.family}: n={fam.count} "
+                    f"p50={fam.latency_p50 * 1e3:.2f}ms "
+                    f"p99={fam.latency_p99 * 1e3:.2f}ms")
+            if fam.p99_exemplars:
+                line += " p99-traces=" + ",".join(fam.p99_exemplars)
+            lines.append(line)
+        return "\n".join(lines)
 
 
 class LoadGenerator:
@@ -148,7 +179,7 @@ class LoadGenerator:
         """Replay the spec's traffic and collect the report."""
         requests = self.spec.build_requests()
         gaps = self.spec.arrival_gaps()
-        completions: list[tuple[float, float, object]] = []
+        completions: list[tuple] = []
         futures = []
         rejected = 0
         start = self._clock()
@@ -156,28 +187,45 @@ class LoadGenerator:
             self._sleep(gap)
             submit_at = self._clock()
             try:
-                future = self.server.submit(request,
-                                            deadline=self.spec.deadline)
+                # The loadgen span is the request's trace root; its
+                # trace id labels the sample so the report can point
+                # tail latencies at their stitched trace trees.
+                with TRACER.span("loadgen.request") as span:
+                    future = self.server.submit(
+                        request, deadline=self.spec.deadline)
+                    trace_id = getattr(span, "trace_id", "")
             except AdmissionError:
                 rejected += 1
                 continue
             future.add_done_callback(
                 lambda f, t0=submit_at: completions.append(
                     (t0, self._clock(), f)))
-            futures.append(future)
+            futures.append((future, request, trace_id))
         wait_until = time.monotonic() + wait_timeout
-        for future in futures:
+        for future, _, _ in futures:
             # exception() waits for completion without raising on
             # per-request failures; those are tallied below.
             future.exception(max(0.01, wait_until - time.monotonic()))
         duration = self._clock() - start
+        meta = {id(future): (request, trace_id)
+                for future, request, trace_id in futures}
         completed, expired, errors = 0, 0, 0
         latencies = []
+        samples = []
         for t0, t1, future in completions:
             exc = future.exception(0)
             if exc is None:
                 completed += 1
                 latencies.append(t1 - t0)
+                request, trace_id = meta[id(future)]
+                result = future.result(0)
+                samples.append(RequestSample(
+                    family=request.workload.model_name,
+                    latency=t1 - t0, trace_id=trace_id,
+                    predicted=getattr(result, "predicted_time", None),
+                    cluster_size=(request.cluster.num_servers
+                                  if request.cluster is not None
+                                  else None)))
             elif isinstance(exc, DeadlineExceededError):
                 expired += 1
             else:
@@ -185,4 +233,5 @@ class LoadGenerator:
         return LoadReport(sent=len(requests), completed=completed,
                           rejected=rejected, expired=expired,
                           errors=errors, duration=duration,
-                          latencies=tuple(latencies))
+                          latencies=tuple(latencies),
+                          samples=tuple(samples))

@@ -60,7 +60,8 @@ from collections.abc import Callable
 from ..cluster import Fabric, FabricError
 from ..cluster.messaging import MessageDropped
 from ..core.requests import PredictionRequest, PredictionResult
-from ..obs import METRICS, TRACER
+from ..obs import METRICS, RECORDER, TRACER
+from ..obs.context import TraceContext
 from .admission import (AdmissionController, AdmissionError,
                         DeadlineExceededError, DegradedError,
                         QueueFullError, ServerClosedError,
@@ -152,10 +153,16 @@ class RequestEnvelope:
     request); resends of the same logical request reuse the id, which
     is what lets the server suppress duplicate executions and replay
     the recorded reply.
+
+    ``trace`` is the client's trace context (None when tracing is
+    off): the server's ingress pump attaches it before admitting the
+    request, so the server-side spans join the client's trace instead
+    of starting their own.
     """
 
     request_id: int
     request: PredictionRequest
+    trace: TraceContext | None = None
 
 
 class ServeFuture:
@@ -227,6 +234,9 @@ class _WorkItem:
     expires_at: float | None
     seq: int = 0
     attempt: int = 0
+    # Ingress-span context: the worker attaches it so the execution
+    # spans join the request's trace across the thread handoff.
+    trace: TraceContext | None = None
 
 
 class PredictionServer:
@@ -393,7 +403,24 @@ class PredictionServer:
         and :class:`DegradedError` when the worker pool is lost and the
         request is not answerable from cache.  ``deadline`` is seconds
         from now (falls back to ``config.default_deadline``).
+
+        When tracing is on, admission runs inside a ``serve.ingress``
+        span (a child of the caller's active span or attached remote
+        context), and the admitted work item carries that span's
+        context to the executing worker.  Admissions and refusals are
+        recorded in the flight recorder.
         """
+        with TRACER.span("serve.ingress"):
+            try:
+                return self._admit(request, deadline)
+            except AdmissionError as exc:
+                if RECORDER.enabled:
+                    RECORDER.record("request_rejected",
+                                    reason=type(exc).__name__)
+                raise
+
+    def _admit(self, request: PredictionRequest,
+               deadline: float | None) -> ServeFuture:
         if not self.running:
             raise ServerClosedError("server is not accepting requests")
         if deadline is None:
@@ -418,7 +445,9 @@ class PredictionServer:
             request=request, future=ServeFuture(),
             key=key, enqueued_at=now,
             expires_at=None if deadline is None else now + deadline,
-            seq=next(self._seq))
+            seq=next(self._seq), trace=TRACER.current_context())
+        if RECORDER.enabled:
+            RECORDER.record("request_admitted", request=item.seq)
         self._queue.put(item)
         return item.future
 
@@ -455,6 +484,7 @@ class PredictionServer:
             with self._state_lock:
                 self._crash_times[slot] = time.monotonic()
             METRICS.counter("serve.worker_deaths").inc()
+            RECORDER.record("worker_crash", slot=slot)
             return
         self._retire(slot)
 
@@ -546,24 +576,34 @@ class PredictionServer:
             for item in live:
                 self._injector.on_execute(item.seq, item.attempt, slot)
         leader = live[0]
-        result = (self.cache.lookup(leader.request, key)
-                  if key is not None else None)
-        if result is None:
-            try:
-                with TRACER.span("serve.execute",
-                                 batched=len(live)):
-                    result = self.predictor.predict(leader.request)
-            except Exception as exc:  # noqa: BLE001 - reported per item
-                for item in live:
-                    self._complete(item, error=exc, outcome="error")
-                return
-            if key is not None:
-                self.cache.store(result, key)
-        for item in live:
-            self._complete(
-                item,
-                result=dataclasses.replace(result, request=item.request),
-                outcome="ok")
+        # Join the leader's trace across the queue handoff: the batch
+        # and execute spans below become children of its ingress span.
+        token = TRACER.attach(leader.trace)
+        try:
+            result = (self.cache.lookup(leader.request, key)
+                      if key is not None else None)
+            if result is None:
+                try:
+                    with TRACER.span("serve.batch", size=len(live),
+                                     slot=slot):
+                        with TRACER.span("serve.execute",
+                                         batched=len(live)):
+                            result = self.predictor.predict(
+                                leader.request)
+                except Exception as exc:  # noqa: BLE001 - per item
+                    for item in live:
+                        self._complete(item, error=exc, outcome="error")
+                    return
+                if key is not None:
+                    self.cache.store(result, key)
+            for item in live:
+                self._complete(
+                    item,
+                    result=dataclasses.replace(result,
+                                               request=item.request),
+                    outcome="ok")
+        finally:
+            TRACER.detach(token)
 
     def _complete(self, item: _WorkItem, *, result=None, error=None,
                   outcome: str) -> None:
@@ -609,6 +649,11 @@ class PredictionServer:
         for slot, _ in dead:
             self._requeue_orphans(orphan_map[slot])
             self._respawn(slot, crash_times[slot])
+        if RECORDER.enabled:
+            # The black box earns its keep here: snapshot the ring
+            # after the crash *and* the recovery events are in it.
+            RECORDER.auto_dump("worker_crash:slots="
+                               + ",".join(str(s) for s, _ in dead))
         if self._all_workers_lost():
             self._enter_degraded()
 
@@ -639,12 +684,15 @@ class PredictionServer:
         with self._state_lock:
             if budget is not None and self._restarts >= budget:
                 self._worker_slots[slot] = None  # budget spent: retire
+                RECORDER.record("worker_retired", slot=slot,
+                                reason="restart_budget_spent")
                 return
             self._restarts += 1
             if crashed_at is not None:
                 self.restart_latencies.append(
                     time.monotonic() - crashed_at)
         METRICS.counter("serve.worker_restarts").inc()
+        RECORDER.record("worker_respawn", slot=slot)
         self._spawn_worker(slot)
 
     def _all_workers_lost(self) -> bool:
@@ -659,6 +707,7 @@ class PredictionServer:
             return
         self._degraded = True
         METRICS.counter("serve.degraded_entered").inc()
+        RECORDER.record("degraded_enter")
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -725,6 +774,9 @@ class PredictionServer:
         if recorded is not None:
             self._reply(sender, recorded[0], recorded[1])
             return
+        # Attach the client's trace context for the admission call so
+        # the ingress span joins the client's trace across the fabric.
+        token = TRACER.attach(envelope.trace)
         try:
             future = self.submit(envelope.request)
         except (AdmissionError, ValueError) as exc:
@@ -733,6 +785,8 @@ class PredictionServer:
                 (envelope.request_id,
                  f"rejected: {type(exc).__name__}: {exc}"))
             return
+        finally:
+            TRACER.detach(token)
         future.add_done_callback(
             lambda f, rpc=rpc, rid=envelope.request_id:
             self._rpc_from_future(rpc, rid, f))
@@ -842,37 +896,43 @@ class ServeClient:
 
     def _predict_reliable(self, rid: int, request: PredictionRequest,
                           timeout: float) -> PredictionResult:
-        self.endpoint.send(self.server_address, "predict",
-                           RequestEnvelope(rid, request))
-        deadline = time.monotonic() + timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise TimeoutError(
-                    f"no reply for request id {rid} from "
-                    f"{self.server_address!r} within {timeout}s")
-            try:
-                msg = self.endpoint.recv(timeout=remaining)
-            except queue.Empty:
-                raise TimeoutError(
-                    f"no reply for request id {rid} from "
-                    f"{self.server_address!r} within {timeout}s"
-                ) from None
-            if msg.tag not in ("result", "error"):
-                continue
-            payload = msg.payload
-            if not (isinstance(payload, tuple) and len(payload) == 2):
-                continue  # legacy un-enveloped reply: not for this call
-            reply_id, body = payload
-            if reply_id != rid:
-                # A duplicate or late reply for an earlier request:
-                # discard, never hand it to the caller.
-                self.stale_replies += 1
-                METRICS.counter("serve.client.stale_discarded").inc()
-                continue
-            if msg.tag == "result":
-                return body
-            raise _classify_server_error(str(body))
+        # The client span is the trace root; its context rides in the
+        # envelope so the server-side spans join the same trace.
+        with TRACER.span("serve.client.predict", rid=rid):
+            self.endpoint.send(
+                self.server_address, "predict",
+                RequestEnvelope(rid, request,
+                                trace=TRACER.current_context()))
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"no reply for request id {rid} from "
+                        f"{self.server_address!r} within {timeout}s")
+                try:
+                    msg = self.endpoint.recv(timeout=remaining)
+                except queue.Empty:
+                    raise TimeoutError(
+                        f"no reply for request id {rid} from "
+                        f"{self.server_address!r} within {timeout}s"
+                    ) from None
+                if msg.tag not in ("result", "error"):
+                    continue
+                payload = msg.payload
+                if not (isinstance(payload, tuple)
+                        and len(payload) == 2):
+                    continue  # legacy un-enveloped reply: not for us
+                reply_id, body = payload
+                if reply_id != rid:
+                    # A duplicate or late reply for an earlier request:
+                    # discard, never hand it to the caller.
+                    self.stale_replies += 1
+                    METRICS.counter("serve.client.stale_discarded").inc()
+                    continue
+                if msg.tag == "result":
+                    return body
+                raise _classify_server_error(str(body))
 
     def close(self) -> None:
         self.endpoint.close()

@@ -28,6 +28,12 @@ def _embed_point(k=8, speedup=2.0, diff=0.0):
             "max_abs_diff": diff}
 
 
+def _obs_point(ratio=1.0, off_ms=2.0, identical=True):
+    return {"requests": 32, "off_p50_ms": off_ms,
+            "on_p50_ms": off_ms * ratio, "overhead_ratio": ratio,
+            "predictions_identical": identical}
+
+
 class TestCheckGates:
     def test_clean_payload_passes(self):
         payload = _payload(
@@ -73,6 +79,27 @@ class TestCheckGates:
         del payload["static"]
         assert check_gates(payload) == []
 
+    def test_obs_within_budget_passes(self):
+        payload = dict(_payload(), obs=_obs_point(ratio=1.03))
+        assert check_gates(payload) == []
+
+    def test_obs_overhead_beyond_budget_fails(self):
+        payload = dict(_payload(), obs=_obs_point(ratio=1.50))
+        assert any("observability on" in f
+                   for f in check_gates(payload))
+
+    def test_obs_slack_absorbs_jitter_at_tiny_p50(self):
+        # 50% over budget but only 0.05ms absolute: scheduler noise,
+        # not a regression.
+        payload = dict(_payload(), obs=_obs_point(ratio=1.50,
+                                                  off_ms=0.1))
+        assert check_gates(payload) == []
+
+    def test_obs_changed_predictions_always_fail(self):
+        payload = dict(_payload(), obs=_obs_point(identical=False))
+        failures = check_gates(payload)
+        assert any("bitwise contract" in f for f in failures)
+
 
 @pytest.mark.slow
 class TestPerfSuiteEndToEnd:
@@ -98,5 +125,7 @@ class TestPerfSuiteEndToEnd:
         payload = json.loads(out.read_text())
         assert payload["gates"]["status"] == "pass"
         assert {p["k"] for p in payload["embed"]} == {1, 8}
+        assert payload["obs"]["predictions_identical"] is True
         text = capsys.readouterr().out
         assert "perf suite (quick" in text
+        assert "obs overhead" in text

@@ -62,8 +62,10 @@ class TestProfileCommand:
                 "feature-assembly", "regress"} <= span_names
         for span in payload["spans"]:
             assert set(span) == {"name", "path", "depth", "start_wall",
-                                 "duration", "attrs", "status", "error"}
+                                 "duration", "attrs", "status", "error",
+                                 "trace_id", "span_id", "parent_id"}
             assert span["duration"] >= 0.0
+            assert span["trace_id"] and span["span_id"]
         assert "sim.events_processed" in payload["metrics"]["counters"]
 
     def test_unknown_model_exits_nonzero(self, capsys):

@@ -38,9 +38,10 @@ class TestSelfTest:
     def test_report_is_json_shaped_and_printable(self, predictor):
         report = run_chaos(predictor, SMALL)
         d = report.to_dict()
-        assert set(d) == {"plan", "summary", "timing"}
+        assert set(d) == {"plan", "summary", "timing", "observability"}
         assert d["plan"]["digest"] == report.plan_digest
         assert "recovery" in d["timing"]
+        assert "flight_counts" in d["observability"]
         text = report.format_text()
         assert report.plan_digest in text
         assert "worker restarts" in text

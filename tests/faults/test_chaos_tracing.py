@@ -1,0 +1,89 @@
+"""Chaos x observability: fault events, crash dumps, trace health.
+
+The flight recorder and tracer must tell the truth under fire: every
+injected fault shows up as a structured event, supervisor-detected
+crashes trigger automatic dumps containing the crash AND the recovery,
+trace trees stay well-formed across worker deaths, and the recorded
+fault-event sequence is bitwise-deterministic across seeded runs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.faults import ChaosSpec, FaultSpec, run_chaos
+from repro.faults.chaos import DEFAULT_TRAFFIC
+
+pytestmark = pytest.mark.slow
+
+TRAFFIC = dataclasses.replace(DEFAULT_TRAFFIC, num_requests=16)
+FAULTS = FaultSpec(seed=3, num_requests=16, num_messages=256,
+                   worker_crash_rate=0.25, worker_hang_rate=0.10,
+                   message_drop_rate=0.10, signal_drops=True,
+                   hang_seconds=0.005, faulty_tags=("predict",))
+SPEC = ChaosSpec(traffic=TRAFFIC, faults=FAULTS, tracing=True)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestFaultEvents:
+    def test_injected_faults_appear_as_flight_events(self, predictor):
+        report = run_chaos(predictor, SPEC)
+        injected = report.summary["injected"]
+        events = report.observability["fault_events"]
+        assert injected["worker_crash"] > 0
+        assert (events.count("fault.worker_crash")
+                == injected["worker_crash"])
+        assert (events.count("fault.message_drop")
+                == injected["message_drop"])
+        flight = report.observability["flight_counts"]
+        assert flight["request_admitted"] >= 16
+        assert flight["worker_crash"] == injected["worker_crash"]
+        assert flight["worker_respawn"] == report.summary[
+            "worker_restarts"]
+
+    def test_fault_event_sequence_is_deterministic(self, predictor):
+        first = run_chaos(predictor, SPEC)
+        second = run_chaos(predictor, SPEC)
+        events = first.observability["fault_events"]
+        assert events                      # non-vacuous
+        assert events == second.observability["fault_events"]
+
+
+class TestCrashDumps:
+    def test_crash_triggers_dump_with_crash_and_respawn(self, predictor):
+        report = run_chaos(predictor, SPEC)
+        assert report.observability["auto_dumps"] >= 1
+        # The recorder's data survives the campaign (observed() only
+        # restores the enabled flags), so the dumps stay inspectable.
+        dumps = obs.RECORDER.dumps()
+        assert len(dumps) == report.observability["auto_dumps"]
+        last = dumps[-1]
+        assert last["reason"].startswith("worker_crash")
+        kinds = {event["kind"] for event in last["events"]}
+        assert "worker_crash" in kinds
+        assert "worker_respawn" in kinds
+        assert "fault.worker_crash" in kinds
+
+
+class TestTraceHealth:
+    def test_trace_trees_stay_well_formed_under_faults(self, predictor):
+        report = run_chaos(predictor, SPEC)
+        trace = report.observability["trace"]
+        assert trace["records"] > 0
+        assert trace["traces"] > 0
+        assert trace["problems"] == []
+
+    def test_tracing_off_spec_omits_trace_section(self, predictor):
+        spec = dataclasses.replace(SPEC, tracing=False)
+        report = run_chaos(predictor, spec)
+        assert "trace" not in report.observability
+        assert report.observability["flight_counts"]

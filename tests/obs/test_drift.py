@@ -1,0 +1,104 @@
+"""Drift tracker: windowed prediction-error shift detection."""
+
+import pytest
+
+from repro.obs.drift import (DEFAULT_THRESHOLD, DEFAULT_WINDOW,
+                             DriftTracker, ErrorWindow)
+
+
+class TestErrorWindow:
+    def test_reference_freezes_after_window(self):
+        window = ErrorWindow(window=4)
+        for value in [1.0, 2.0, 3.0, 4.0, 100.0, 200.0]:
+            window.add(value)
+        assert window.reference == [1.0, 2.0, 3.0, 4.0]
+        assert list(window.recent) == [3.0, 4.0, 100.0, 200.0]
+
+    def test_ready_needs_reference_plus_half_recent(self):
+        window = ErrorWindow(window=4)
+        for _ in range(5):
+            window.add(1.0)
+        assert not window.ready     # needs 4 + 2 observations
+        window.add(1.0)
+        assert window.ready
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            ErrorWindow(window=1)
+
+
+class TestDriftTracker:
+    def test_unknown_family_reports_no_drift(self):
+        stat = DriftTracker().statistic("never-seen")
+        assert stat.observations == 0
+        assert stat.score == 0.0
+        assert not stat.drifted
+
+    def test_stable_errors_do_not_drift(self):
+        tracker = DriftTracker(window=8)
+        for i in range(40):
+            tracker.observe("resnet18", 1.0 + 0.01 * (i % 3), 1.0)
+        stat = tracker.statistic("resnet18")
+        assert not stat.drifted
+        assert stat.score <= tracker.threshold
+
+    def test_shifted_errors_drift(self):
+        tracker = DriftTracker(window=8)
+        # Reference regime: small, slightly-varying errors.
+        for i in range(8):
+            tracker.observe_error("resnet18", 0.01 + 0.001 * (i % 2))
+        # Regime change: errors jump an order of magnitude.
+        for _ in range(8):
+            tracker.observe_error("resnet18", 0.5)
+        stat = tracker.statistic("resnet18")
+        assert stat.drifted
+        assert stat.score > DEFAULT_THRESHOLD
+        assert stat.recent_mean > stat.reference_mean
+
+    def test_families_are_independent(self):
+        tracker = DriftTracker(window=4)
+        for _ in range(8):
+            tracker.observe_error("stable", 0.1)
+            tracker.observe_error("shifting", 0.1)
+        for _ in range(4):
+            tracker.observe_error("shifting", 5.0)
+        assert tracker.drifted_families() == ["shifting"]
+
+    def test_observe_returns_relative_error(self):
+        tracker = DriftTracker()
+        assert tracker.observe("m", predicted=1.5,
+                               actual=1.0) == pytest.approx(0.5)
+
+    def test_snapshot_is_json_shaped(self):
+        tracker = DriftTracker(window=4)
+        for _ in range(6):
+            tracker.observe_error("alexnet", 0.2)
+        snap = tracker.snapshot()
+        assert set(snap) == {"alexnet"}
+        assert set(snap["alexnet"]) == {
+            "family", "observations", "reference_mean", "recent_mean",
+            "score", "drifted"}
+
+    def test_deterministic_given_observation_sequence(self):
+        def feed():
+            tracker = DriftTracker(window=8)
+            for i in range(30):
+                tracker.observe("m", 1.0 + (i % 7) * 0.05, 1.0)
+            return tracker.snapshot()
+
+        assert feed() == feed()
+
+    def test_reset(self):
+        tracker = DriftTracker()
+        tracker.observe_error("m", 1.0)
+        tracker.reset()
+        assert tracker.families() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftTracker(threshold=0.0)
+
+    def test_defaults_exported(self):
+        tracker = DriftTracker()
+        assert tracker.window == DEFAULT_WINDOW
+        assert tracker.threshold == DEFAULT_THRESHOLD

@@ -1,0 +1,117 @@
+"""Trace export: JSONL round-trip, stitching, well-formedness."""
+
+from repro.obs.export import (load_jsonl, render_stitched, stitch,
+                              to_jsonl, validate, write_jsonl)
+from repro.obs.tracing import SpanRecord, Tracer
+
+
+def rec(name, trace_id, span_id, parent_id=None, start=0.0,
+        status="ok"):
+    return SpanRecord(name=name, path=name, depth=0, start_wall=start,
+                      duration=0.001, attrs={}, status=status,
+                      trace_id=trace_id, span_id=span_id,
+                      parent_id=parent_id)
+
+
+class TestJsonl:
+    def test_file_roundtrip(self, tmp_path):
+        records = [rec("a", "t1", "s1"),
+                   rec("b", "t1", "s2", parent_id="s1", start=1.0)]
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(records, path) == 2
+        assert load_jsonl(path) == records
+
+    def test_to_jsonl_is_one_object_per_line(self):
+        text = to_jsonl([rec("a", "t1", "s1"), rec("b", "t2", "s2")])
+        assert len(text.splitlines()) == 2
+
+
+class TestStitch:
+    def test_rebuilds_cross_thread_tree_from_ids(self):
+        # Three spans of one request recorded by different threads:
+        # only the id triple links them.
+        records = [
+            rec("client", "t1", "s1"),
+            rec("ingress", "t1", "s2", parent_id="s1", start=1.0),
+            rec("execute", "t1", "s3", parent_id="s2", start=2.0),
+        ]
+        trees = stitch(records)
+        assert len(trees) == 1
+        assert trees[0].span_names() == ["client", "ingress", "execute"]
+        depths = [d for _, d in trees[0].walk()]
+        assert depths == [0, 1, 2]
+
+    def test_groups_by_trace_id(self):
+        records = [rec("a", "t1", "s1"), rec("b", "t2", "s2")]
+        trees = stitch(records)
+        assert len(trees) == 2
+        assert {t.record.trace_id for t in trees} == {"t1", "t2"}
+
+    def test_dangling_parent_becomes_extra_root(self):
+        records = [rec("a", "t1", "s1"),
+                   rec("lost", "t1", "s2", parent_id="sX", start=1.0)]
+        trees = stitch(records)
+        assert len(trees) == 2          # renders even when broken
+
+    def test_children_sorted_by_start_time(self):
+        records = [
+            rec("root", "t1", "s1"),
+            rec("late", "t1", "s3", parent_id="s1", start=5.0),
+            rec("early", "t1", "s2", parent_id="s1", start=1.0),
+        ]
+        (tree,) = stitch(records)
+        assert [c.record.name for c in tree.children] == ["early",
+                                                          "late"]
+
+    def test_render_stitched_mentions_every_span(self):
+        (tree,) = stitch([rec("root", "t1", "s1"),
+                          rec("child", "t1", "s2", parent_id="s1",
+                              start=1.0, status="error")])
+        text = render_stitched(tree)
+        assert "trace t1" in text
+        assert "root" in text and "child" in text
+        assert "!ERROR" in text
+
+
+class TestValidate:
+    def test_well_formed_trace_passes(self):
+        records = [rec("a", "t1", "s1"),
+                   rec("b", "t1", "s2", parent_id="s1")]
+        assert validate(records) == []
+
+    def test_multiple_roots_flagged(self):
+        records = [rec("a", "t1", "s1"), rec("b", "t1", "s2")]
+        assert any("2 root" in p for p in validate(records))
+
+    def test_dangling_parent_flagged(self):
+        records = [rec("a", "t1", "s1"),
+                   rec("b", "t1", "s2", parent_id="sX")]
+        assert any("dangling parent" in p for p in validate(records))
+
+    def test_duplicate_span_ids_flagged(self):
+        records = [rec("a", "t1", "s1"), rec("b", "t1", "s1")]
+        assert any("duplicate span ids" in p for p in validate(records))
+
+    def test_empty_trace_id_flagged(self):
+        assert any("empty trace id" in p
+                   for p in validate([rec("a", "", "s1")]))
+
+    def test_parent_cycle_flagged(self):
+        records = [rec("a", "t1", "s1", parent_id="s2"),
+                   rec("b", "t1", "s2", parent_id="s1")]
+        assert any("cycle" in p for p in validate(records))
+
+
+class TestTracerIntegration:
+    def test_nested_spans_stitch_without_export_loss(self, tmp_path):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer.records(), path)
+        loaded = load_jsonl(path)
+        assert validate(loaded) == []
+        (tree,) = stitch(loaded)
+        assert tree.span_names() == ["outer", "inner"]

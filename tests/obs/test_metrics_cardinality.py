@@ -1,0 +1,70 @@
+"""Metrics label-cardinality cap: bounded series, counted overflow."""
+
+import pytest
+
+from repro.obs.metrics import (DEFAULT_MAX_SERIES, DROPPED_SERIES,
+                               MetricsRegistry, NULL_METRIC)
+
+
+@pytest.fixture
+def registry():
+    r = MetricsRegistry(max_series_per_name=4)
+    r.enable()
+    return r
+
+
+class TestCardinalityCap:
+    def test_overflow_series_become_null_metrics(self, registry):
+        for i in range(4):
+            registry.counter("hits", labels={"key": i}).inc()
+        overflow = registry.counter("hits", labels={"key": "boom"})
+        assert overflow is NULL_METRIC
+        overflow.inc()          # must be a safe no-op
+
+    def test_dropped_series_counter_increments(self, registry):
+        for i in range(10):
+            registry.counter("hits", labels={"key": i}).inc()
+        assert registry.dropped_series == 6
+        counters = registry.snapshot()["counters"]
+        assert counters[DROPPED_SERIES] == 6.0
+
+    def test_existing_series_stay_writable_past_the_cap(self, registry):
+        first = registry.counter("hits", labels={"key": 0})
+        for i in range(10):
+            registry.counter("hits", labels={"key": i}).inc()
+        first.inc(5)
+        counters = registry.snapshot()["counters"]
+        assert counters["hits{key=0}"] == 6.0
+
+    def test_cap_is_per_metric_name(self, registry):
+        for i in range(4):
+            registry.counter("a", labels={"k": i}).inc()
+        fresh = registry.counter("b", labels={"k": 0})
+        assert fresh is not NULL_METRIC
+        assert registry.dropped_series == 0
+
+    def test_unlabelled_series_count_toward_the_cap(self, registry):
+        registry.counter("hits").inc()
+        for i in range(3):
+            registry.counter("hits", labels={"key": i}).inc()
+        assert registry.counter("hits",
+                                labels={"key": 9}) is NULL_METRIC
+
+    def test_no_dropped_series_key_when_nothing_dropped(self, registry):
+        registry.counter("hits").inc()
+        assert DROPPED_SERIES not in registry.snapshot()["counters"]
+
+    def test_default_cap_is_generous(self):
+        assert MetricsRegistry().max_series_per_name == DEFAULT_MAX_SERIES
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_series_per_name=0)
+
+    def test_reset_clears_drop_accounting(self, registry):
+        for i in range(10):
+            registry.counter("hits", labels={"key": i}).inc()
+        registry.reset()
+        assert registry.dropped_series == 0
+        assert registry.counter("hits",
+                                labels={"key": 0}) is not NULL_METRIC

@@ -1,0 +1,144 @@
+"""Flight recorder: bounded ring, event integrity, dumps."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import FlightEvent, FlightRecorder
+
+
+@pytest.fixture
+def rec():
+    recorder = FlightRecorder(capacity=8)
+    recorder.enable()
+    return recorder
+
+
+class TestRing:
+    def test_disabled_is_a_noop(self):
+        recorder = FlightRecorder()
+        recorder.record("cache_hit")
+        assert len(recorder) == 0
+        assert recorder.events() == []
+
+    def test_records_in_order_with_payloads(self, rec):
+        rec.record("cache_hit")
+        rec.record("batch_formed", size=3)
+        events = rec.events()
+        assert [e.kind for e in events] == ["cache_hit", "batch_formed"]
+        assert [e.seq for e in events] == [0, 1]
+        assert events[1].data == {"size": 3}
+
+    def test_ring_bounds_and_counts_evictions(self, rec):
+        for i in range(20):
+            rec.record("event", i=i)
+        assert len(rec) == 8
+        assert rec.evicted == 12
+        assert [e.data["i"] for e in rec.events()] == list(range(12, 20))
+
+    def test_kind_prefix_filter(self, rec):
+        rec.record("fault.message_drop")
+        rec.record("cache_hit")
+        rec.record("fault.worker_crash")
+        assert rec.kinds("fault.") == ["fault.message_drop",
+                                       "fault.worker_crash"]
+
+    def test_counts_tally_by_kind(self, rec):
+        for _ in range(3):
+            rec.record("cache_hit")
+        rec.record("cache_miss")
+        assert rec.counts() == {"cache_hit": 3, "cache_miss": 1}
+
+    def test_reset_clears_everything(self, rec):
+        for i in range(20):
+            rec.record("event")
+        rec.auto_dump("test")
+        rec.reset()
+        assert len(rec) == 0
+        assert rec.evicted == 0
+        assert rec.dumps() == []
+        rec.record("fresh")
+        assert rec.events()[0].seq == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_configure_resizes_keeping_newest(self, rec):
+        for i in range(8):
+            rec.record("event", i=i)
+        rec.configure(capacity=4)
+        assert [e.data["i"] for e in rec.events()] == [4, 5, 6, 7]
+
+
+class TestSerialization:
+    def test_event_fields_win_over_payload_keys(self):
+        event = FlightEvent(seq=5, wall=1.0, kind="real",
+                            data={"seq": 99, "kind": "bogus",
+                                  "slot": 2})
+        d = event.to_dict()
+        assert d["seq"] == 5
+        assert d["kind"] == "real"
+        assert d["slot"] == 2
+
+    def test_dump_writes_jsonl(self, rec, tmp_path):
+        rec.record("request_admitted", request=7)
+        rec.record("batch_formed", size=2)
+        path = tmp_path / "flight.jsonl"
+        assert rec.dump(path) == 2
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [line["kind"] for line in lines] == ["request_admitted",
+                                                    "batch_formed"]
+        assert lines[0]["request"] == 7
+
+    def test_to_jsonl_matches_snapshot_events(self, rec):
+        rec.record("cache_hit")
+        parsed = [json.loads(line)
+                  for line in rec.to_jsonl().splitlines()]
+        assert parsed == rec.snapshot()["events"]
+
+    def test_snapshot_shape(self, rec):
+        rec.record("cache_hit")
+        snap = rec.snapshot()
+        assert snap["capacity"] == 8
+        assert snap["evicted"] == 0
+        assert len(snap["events"]) == 1
+
+    def test_render_text_shows_kind_and_payload(self, rec):
+        rec.record("worker_crash", slot=3)
+        text = rec.render_text()
+        assert "worker_crash" in text
+        assert "slot=3" in text
+
+
+class TestAutoDump:
+    def test_disabled_returns_none(self):
+        assert FlightRecorder().auto_dump("crash") is None
+
+    def test_snapshots_carry_reason_and_events(self, rec):
+        rec.record("worker_crash", slot=1)
+        payload = rec.auto_dump("worker_crash:slots=1")
+        assert payload["reason"] == "worker_crash:slots=1"
+        assert payload["events"][0]["kind"] == "worker_crash"
+        assert rec.dumps() == [payload]
+
+    def test_in_memory_dumps_are_bounded(self, rec):
+        for i in range(12):
+            rec.auto_dump(f"crash-{i}")
+        dumps = rec.dumps()
+        assert len(dumps) == 8          # _MAX_AUTO_DUMPS
+        assert dumps[0]["reason"] == "crash-4"
+        assert dumps[-1]["reason"] == "crash-11"
+        assert dumps[-1]["dump_index"] == 11
+
+    def test_configured_path_writes_numbered_files(self, rec, tmp_path):
+        rec.configure(dump_path=str(tmp_path / "dump"))
+        rec.record("worker_crash", slot=0)
+        first = rec.auto_dump("crash-a")
+        second = rec.auto_dump("crash-b")
+        assert first["path"] == str(tmp_path / "dump.0.jsonl")
+        assert second["path"] == str(tmp_path / "dump.1.jsonl")
+        line = json.loads(
+            (tmp_path / "dump.0.jsonl").read_text().splitlines()[0])
+        assert line["kind"] == "worker_crash"

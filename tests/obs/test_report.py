@@ -1,0 +1,141 @@
+"""Telemetry report assembly: family stats, exemplars, consistency."""
+
+import json
+
+from repro.obs.drift import DriftTracker
+from repro.obs.recorder import FlightRecorder
+from repro.obs.report import (RequestSample, build_report, check_report,
+                              nearest_rank)
+from repro.obs.tracing import SpanRecord
+
+
+def sample(family="resnet18", latency=0.001, trace_id="t1",
+           predicted=None, actual=None):
+    return RequestSample(family=family, latency=latency,
+                         trace_id=trace_id, predicted=predicted,
+                         actual=actual)
+
+
+def span(name, trace_id, span_id, parent_id=None):
+    return SpanRecord(name=name, path=name, depth=0, start_wall=0.0,
+                      duration=0.0, attrs={}, status="ok",
+                      trace_id=trace_id, span_id=span_id,
+                      parent_id=parent_id)
+
+
+class TestNearestRank:
+    def test_empty_is_zero(self):
+        assert nearest_rank([], 50) == 0.0
+
+    def test_matches_definition(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(values, 50) == 2.0
+        assert nearest_rank(values, 99) == 4.0
+        assert nearest_rank(values, 100) == 4.0
+
+
+class TestFamilyStats:
+    def test_groups_and_sorts_families(self):
+        report = build_report([sample(family="vgg11"),
+                               sample(family="alexnet"),
+                               sample(family="vgg11")])
+        assert [f.family for f in report.families] == ["alexnet",
+                                                       "vgg11"]
+        assert [f.count for f in report.families] == [1, 2]
+        assert report.sample_count == 3
+
+    def test_p99_exemplars_are_slowest_traced_samples(self):
+        samples = [sample(latency=0.001 * (i + 1), trace_id=f"t{i}")
+                   for i in range(10)]
+        (fam,) = build_report(samples).families
+        # Nearest-rank p99 of 10 samples is the max; the exemplar is
+        # the slowest sample's trace id.
+        assert fam.p99_exemplars == ("t9",)
+        assert fam.latency_p99 == 0.010
+
+    def test_untraced_samples_yield_no_exemplars(self):
+        (fam,) = build_report([sample(trace_id="")]).families
+        assert fam.p99_exemplars == ()
+
+    def test_error_stats_require_both_values(self):
+        (fam,) = build_report([sample(predicted=1.2, actual=1.0),
+                               sample(predicted=None, actual=None)]
+                              ).families
+        assert fam.mean_error is not None
+        assert abs(fam.mean_error - 0.2) < 1e-9
+        assert abs(fam.max_error - 0.2) < 1e-9
+
+    def test_no_ground_truth_means_no_error_stats(self):
+        (fam,) = build_report([sample()]).families
+        assert fam.mean_error is None
+        assert fam.max_error is None
+
+
+class TestSections:
+    def test_drift_section_fed_from_samples(self):
+        samples = [sample(predicted=1.0 + 0.01 * (i % 2), actual=1.0)
+                   for i in range(10)]
+        report = build_report(samples)
+        assert "resnet18" in report.drift
+        assert report.drift["resnet18"]["observations"] == 10
+
+    def test_external_drift_tracker_is_used_verbatim(self):
+        tracker = DriftTracker(window=2)
+        for _ in range(4):
+            tracker.observe_error("resnet18", 0.1)
+        report = build_report([sample()], drift_tracker=tracker)
+        assert report.drift["resnet18"]["observations"] == 4
+
+    def test_trace_summary_counts_and_validates(self):
+        records = [span("a", "t1", "s1"),
+                   span("b", "t1", "s2", parent_id="s1"),
+                   span("c", "t2", "s3")]
+        report = build_report([sample()], trace_records=records)
+        assert report.trace_summary == {"records": 3, "traces": 2,
+                                        "problems": []}
+
+    def test_flight_counts_from_recorder(self):
+        recorder = FlightRecorder()
+        recorder.enable()
+        recorder.record("cache_hit")
+        report = build_report([sample()], recorder=recorder)
+        assert report.flight_counts == {"cache_hit": 1}
+
+    def test_traced_count(self):
+        report = build_report([sample(trace_id="t1"),
+                               sample(trace_id="")])
+        assert report.traced_count == 1
+
+
+class TestRendering:
+    def test_to_json_roundtrips(self):
+        report = build_report([sample(predicted=1.1, actual=1.0)])
+        parsed = json.loads(report.to_json())
+        assert parsed["sample_count"] == 1
+        assert parsed["families"][0]["family"] == "resnet18"
+
+    def test_format_text_mentions_exemplars(self):
+        text = build_report([sample(trace_id="tDEAD")]).format_text()
+        assert "resnet18" in text
+        assert "tDEAD" in text
+
+
+class TestCheckReport:
+    def test_clean_report_passes(self):
+        report = build_report([sample(predicted=1.1, actual=1.0)])
+        assert check_report(report) == []
+
+    def test_trace_problems_propagate(self):
+        # Two roots in one trace: ill-formed.
+        records = [span("a", "t1", "s1"), span("b", "t1", "s2")]
+        report = build_report([sample()], trace_records=records)
+        assert any(p.startswith("trace:") for p in check_report(report))
+
+    def test_count_mismatch_detected(self):
+        report = build_report([sample()])
+        broken = type(report)(
+            families=report.families, sample_count=99,
+            traced_count=report.traced_count,
+            trace_summary=report.trace_summary,
+            flight_counts=report.flight_counts, drift=report.drift)
+        assert any("sum" in p for p in check_report(broken))
