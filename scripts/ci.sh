@@ -70,6 +70,16 @@ echo "==> repro bench --suite perf --quick (perf-regression gate)"
 python -c "import sys; from repro.cli import main; sys.exit(main(['bench', '--suite', 'perf', '--quick', '--json']))" \
     | python -m json.tool > /dev/null
 
+echo "==> repro refit --self-test --json (continual-refit loop gate)"
+# Runs the closed loop twice end to end: drift trips the tracker, a
+# candidate is refit from a store snapshot, shadows mirrored traffic,
+# wins the per-family promotion gate and is hot-swapped in with
+# exactly-once request accounting.  Both runs must produce identical
+# summaries (store snapshot digest and candidate version included);
+# the command exits non-zero on any violated invariant.
+python -c "import sys; from repro.cli import main; sys.exit(main(['refit', '--self-test', '--json']))" \
+    | python -m json.tool > /dev/null
+
 echo "==> repro chaos --self-test --json (fault-injection gate)"
 # Runs the serving stack twice under the same seeded fault plan
 # (worker crashes/hangs + message drops/delays/duplicates) and exits

@@ -19,9 +19,10 @@ from .experiments_serve import ServeScalePoint, serving_scalability
 from .harness import (EvalOutcome, ernest_design, evaluate_ernest,
                       evaluate_predictor, fit_ernest, fit_predictor,
                       per_workload_ratios, split_points)
-from .perf import (EmbedPerfPoint, ServePerfResult, StaticPerfPoint,
-                   TracegenPerfPoint, check_gates, embed_throughput,
-                   run_perf_suite, serve_latency, static_planning,
+from .perf import (EmbedPerfPoint, RefitPerfResult, ServePerfResult,
+                   StaticPerfPoint, TracegenPerfPoint, check_gates,
+                   continual_refit, embed_throughput, run_perf_suite,
+                   serve_latency, static_planning,
                    tracegen_throughput)
 from .reporting import format_table, render_report, write_report
 
@@ -41,7 +42,8 @@ __all__ = [
     "embedding_dim_sweep", "ghn_config_ablation", "allreduce_ablation",
     "run_perf_suite", "check_gates", "embed_throughput",
     "tracegen_throughput", "serve_latency", "static_planning",
+    "continual_refit",
     "EmbedPerfPoint", "TracegenPerfPoint", "ServePerfResult",
-    "StaticPerfPoint",
+    "StaticPerfPoint", "RefitPerfResult",
     "format_table", "render_report", "write_report",
 ]

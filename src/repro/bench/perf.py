@@ -22,6 +22,11 @@ at the repo root is the committed baseline):
   contract -- instrumentation must stay within a few percent of the
   uninstrumented path, and enabling it must leave predictions
   bitwise-identical.
+* **refit**: the continual-refit loop's quality/cost contract -- a
+  candidate refit from drifted store records must win the promotion
+  gate in every family, two refits from the same snapshot must be
+  bit-identical, and shadow mirroring must keep serve p50 inside the
+  observability overhead budget.
 
 ``run_perf_suite`` composes them into one JSON payload;
 ``check_gates`` evaluates the regression gates (batched throughput >=
@@ -44,9 +49,10 @@ from ..obs import TRACER
 from ..sim import generate_trace
 
 __all__ = ["EmbedPerfPoint", "TracegenPerfPoint", "ServePerfResult",
-           "StaticPerfPoint", "ObsOverheadResult", "embed_throughput",
-           "tracegen_throughput", "serve_latency", "static_planning",
-           "obs_overhead", "run_perf_suite", "check_gates"]
+           "StaticPerfPoint", "ObsOverheadResult", "RefitPerfResult",
+           "embed_throughput", "tracegen_throughput", "serve_latency",
+           "static_planning", "obs_overhead", "continual_refit",
+           "run_perf_suite", "check_gates"]
 
 #: Batch sizes exercised by the full suite (the ISSUE's K in {1, 8, 32}).
 DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 8, 32)
@@ -131,6 +137,31 @@ class ObsOverheadResult:
     overhead_ratio: float   # on/off (1.0 = free)
     predictions_identical: bool  # bitwise contract: obs never changes
                                  # a prediction
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class RefitPerfResult:
+    """Continual-refit quality and shadow-mirroring cost.
+
+    ``families`` maps workload family to incumbent/candidate MAE on the
+    eval window; ``deterministic`` asserts two refits from the same
+    store snapshot produced the same version id and bitwise-identical
+    eval predictions; the ``shadow_*`` fields compare serve p50 with
+    and without a shadow scorer mirroring every executed group.
+    """
+
+    store_records: int
+    snapshot_digest: str
+    candidate_version: str
+    promoted: bool
+    families: dict
+    deterministic: bool
+    shadow_off_p50_ms: float
+    shadow_on_p50_ms: float
+    shadow_overhead_ratio: float
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -338,6 +369,122 @@ def obs_overhead(*, requests: int = 60, rate: float = 2000.0,
         predictions_identical=preds_on == preds_off)
 
 
+def continual_refit(*, requests: int = 48, rate: float = 2000.0,
+                    seed: int = 0, ghn_dim: int = 8, ghn_steps: int = 8,
+                    workers: int = 2, drift_factor: float = 1.6
+                    ) -> RefitPerfResult:
+    """Refit quality, determinism, and shadow-mirroring serve cost.
+
+    Three contracts from the continual-refit loop (DESIGN.md §13),
+    measured without the full drift scenario (``repro refit
+    --self-test`` covers that end to end):
+
+    * **quality** -- after the cluster "drifts" (ground truth scaled by
+      ``drift_factor``), a candidate refit from the store's newest
+      records must match or beat the incumbent MAE in every family on
+      the promotion gate's eval window;
+    * **determinism** -- two refits from the same snapshot must yield
+      the same version id and bitwise-identical predictions;
+    * **cost** -- attaching an async :class:`~repro.refit.ShadowScorer`
+      adds only an enqueue to the serving path, so mirrored-burst p50
+      must stay inside the same overhead budget as observability
+      (matched off/on burst pairs, median ratio -- the
+      :func:`obs_overhead` protocol).
+    """
+    import os
+    import tempfile
+
+    from ..core import PredictDDL
+    from ..ghn import GHNRegistry
+    from ..refit import PromotionGate, RefitConfig, ShadowScorer
+    from ..refit import refit_from_snapshot
+    from ..serve import (LoadGenerator, PredictionServer, ServeConfig,
+                         TrafficSpec)
+    from ..store import StoredObservation, TraceStore, ingest_trace
+
+    registry = GHNRegistry(
+        config=GHNConfig(hidden_dim=ghn_dim, seed=seed),
+        train_steps=ghn_steps)
+    points = generate_trace(["resnet18", "alexnet"], "cifar10",
+                            "gpu-p100", [1, 2, 4], seed=seed)
+    predictor = PredictDDL(registry=registry, seed=seed).fit(points)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(os.path.join(tmp, "store"))
+        ingest_trace(store, points)
+        # Served ground truth after the cluster drifted: same workload
+        # mix, actual times scaled -- the incumbent is now wrong by
+        # ~drift_factor while the refit window sees only drifted rows.
+        drifted = [
+            dataclasses.replace(
+                StoredObservation.from_trace_point(p), kind="served",
+                actual_time=p.total_time * drift_factor,
+                model_version="v0")
+            for _ in range(3) for p in points]
+        store.append_many(drifted)
+        snapshot = store.snapshot()
+        config = RefitConfig(regressor_name="PR",
+                             train_window=len(drifted),
+                             eval_window=len(drifted), seed=seed)
+        with TRACER.span("bench.perf.refit", rows=len(snapshot)):
+            first = refit_from_snapshot(predictor, snapshot, config,
+                                        parent="v0")
+            second = refit_from_snapshot(predictor, snapshot, config,
+                                         parent="v0")
+        eval_points = [rec.training_point() for _, rec in
+                       snapshot.records(trainable_only=True)]
+        feats = predictor.feature_matrix(eval_points)
+        deterministic = (
+            first.meta.version == second.meta.version
+            and np.array_equal(first.engine.predict(feats),
+                               second.engine.predict(feats)))
+        gate = PromotionGate(predictor, eval_window=config.eval_window)
+        decision = gate.evaluate(snapshot, incumbent=predictor.engine,
+                                 candidate=first.engine)
+        store_records = len(snapshot)
+        snapshot_digest = snapshot.digest
+
+    spec = TrafficSpec(models=("resnet18", "alexnet"), dataset="cifar10",
+                       cluster_sizes=(2, 4), server_class="gpu-p100",
+                       batch_size=32, num_requests=requests, rate=rate,
+                       seed=seed)
+
+    def burst(shadow_engine=None):
+        cfg = ServeConfig(workers=workers,
+                          max_queue_depth=max(1, requests))
+        with PredictionServer(predictor, cfg) as server:
+            scorer = None
+            if shadow_engine is not None:
+                scorer = ShadowScorer(predictor, shadow_engine,
+                                      first.meta.version)
+                server.attach_shadow(scorer)
+            try:
+                return LoadGenerator(server, spec).run()
+            finally:
+                if scorer is not None:
+                    server.attach_shadow(None)
+                    scorer.close()
+
+    burst()  # warm predictor/embedding caches off the clock
+    pairs: list[tuple[float, float]] = []
+    for _ in range(5):
+        off = burst().p50
+        pairs.append((off, burst(first.engine).p50))
+    pairs.sort(key=lambda p: (p[1] / p[0]) if p[0] > 0 else 1.0)
+    off_p50, on_p50 = pairs[len(pairs) // 2]
+    return RefitPerfResult(
+        store_records=store_records,
+        snapshot_digest=snapshot_digest,
+        candidate_version=first.meta.version,
+        promoted=decision.promote,
+        families={c.family: c.to_dict() for c in decision.families},
+        deterministic=deterministic,
+        shadow_off_p50_ms=off_p50 * 1e3,
+        shadow_on_p50_ms=on_p50 * 1e3,
+        shadow_overhead_ratio=(on_p50 / off_p50) if off_p50 > 0
+        else 1.0)
+
+
 def static_planning(models: Sequence[str] = ("alexnet", "resnet18",
                                              "mobilenet_v2"), *,
                     batch_size: int = 32) -> list[StaticPerfPoint]:
@@ -378,12 +525,14 @@ def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
         serve = None
         static = static_planning(("alexnet", "resnet18"))
         obs_cost = obs_overhead(requests=32, seed=seed)
+        refit = continual_refit(requests=24, seed=seed)
     else:
         embed = embed_throughput(seed=seed)
         tracegen = tracegen_throughput(seed=seed)
         serve = serve_latency(seed=seed)
         static = static_planning()
         obs_cost = obs_overhead(seed=seed)
+        refit = continual_refit(seed=seed)
     return {
         "suite": "perf",
         "quick": quick,
@@ -393,6 +542,7 @@ def run_perf_suite(*, quick: bool = False, seed: int = 0) -> dict:
         "serve": serve.to_dict() if serve is not None else None,
         "static": [p.to_dict() for p in static],
         "obs": obs_cost.to_dict(),
+        "refit": refit.to_dict(),
     }
 
 
@@ -411,7 +561,11 @@ def check_gates(payload: dict, *, min_speedup: float = 1.0,
       observability-off, and the obs-on serve p50 must stay within
       ``max_obs_overhead`` x the obs-off p50 (an absolute slack of
       ``obs_slack_ms`` absorbs scheduler jitter at sub-millisecond
-      p50s, where a 5% ratio would gate on noise).
+      p50s, where a 5% ratio would gate on noise);
+    * the continual-refit candidate must win promotion (per-family MAE
+      <= incumbent on the eval window), refits must be deterministic,
+      and shadow mirroring must keep serve p50 inside the same
+      ``max_obs_overhead`` budget (same absolute slack).
 
     Returns human-readable violation strings (empty = pass).
     """
@@ -448,5 +602,29 @@ def check_gates(payload: dict, *, min_speedup: float = 1.0,
             failures.append(
                 f"obs: serve p50 with observability on is "
                 f"{ratio:.2f}x the off-path p50 "
+                f"(+{extra_ms:.3f}ms, gate {max_obs_overhead:.2f}x)")
+    refit_point = payload.get("refit")
+    if refit_point:
+        if not refit_point["promoted"]:
+            failures.append(
+                "refit: candidate lost the promotion gate after drift "
+                "(per-family MAE must be <= incumbent)")
+        for family, stats in sorted(refit_point["families"].items()):
+            if stats["candidate_mae"] > stats["incumbent_mae"]:
+                failures.append(
+                    f"refit {family}: candidate MAE "
+                    f"{stats['candidate_mae']:.4g} above incumbent "
+                    f"{stats['incumbent_mae']:.4g} on the eval window")
+        if not refit_point["deterministic"]:
+            failures.append(
+                "refit: two refits from the same snapshot diverged "
+                "(version id or predictions)")
+        ratio = refit_point["shadow_overhead_ratio"]
+        extra_ms = (refit_point["shadow_on_p50_ms"]
+                    - refit_point["shadow_off_p50_ms"])
+        if ratio > max_obs_overhead and extra_ms > obs_slack_ms:
+            failures.append(
+                f"refit: serve p50 with shadow mirroring on is "
+                f"{ratio:.2f}x the unmirrored p50 "
                 f"(+{extra_ms:.3f}ms, gate {max_obs_overhead:.2f}x)")
     return failures

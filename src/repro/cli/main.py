@@ -370,6 +370,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--max-steps", type=int, default=None,
                         help="truncate the printed schedule after N "
                              "steps (text output only)")
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect, verify and compact an append-only trace store "
+             "(repro.store)")
+    store_sub = p_store.add_subparsers(dest="store_command",
+                                       required=True)
+    p_st_ins = store_sub.add_parser(
+        "inspect",
+        help="summarize a store: segments, record kinds, families, "
+             "retention and the snapshot digest")
+    p_st_ins.add_argument("path", type=Path,
+                          help="trace store directory")
+    p_st_ins.add_argument("--json", action="store_true",
+                          dest="as_json",
+                          help="emit the summary as JSON")
+    p_st_ver = store_sub.add_parser(
+        "verify-digest",
+        help="re-digest every record from disk and check sequence "
+             "density; exits 1 on any mismatch (like 'repro lint')")
+    p_st_ver.add_argument("path", type=Path,
+                          help="trace store directory")
+    p_st_ver.add_argument("--json", action="store_true",
+                          dest="as_json",
+                          help="emit problems as JSON")
+    p_st_cmp = store_sub.add_parser(
+        "compact",
+        help="deterministically repack segments and enforce bounded "
+             "retention (drops oldest records beyond the cap)")
+    p_st_cmp.add_argument("path", type=Path,
+                          help="trace store directory")
+    p_st_cmp.add_argument("--max-records", type=int, default=None,
+                          help="retention cap override (default: the "
+                               "store's persisted setting)")
+    p_st_cmp.add_argument("--json", action="store_true",
+                          dest="as_json",
+                          help="emit the compaction summary as JSON")
+
+    p_refit = sub.add_parser(
+        "refit",
+        help="refit the regression stage from a trace store and gate "
+             "the candidate against the incumbent (repro.refit)")
+    p_refit.add_argument("--store", type=Path, default=None,
+                         help="trace store directory to refit from")
+    p_refit.add_argument("--artifact", type=Path, default=None,
+                         help="trained predictor from 'repro train' "
+                              "(omit with --self-test)")
+    p_refit.add_argument("--out", type=Path, default=None,
+                         help="write the predictor (with the promoted "
+                              "regressor swapped in) to PATH")
+    p_refit.add_argument("--self-test", action="store_true",
+                         help="run the full closed loop twice on a toy "
+                              "zoo slice -- served drift trips the "
+                              "tracker, refit from the store, shadow "
+                              "A/B, promote via hot-swap -- and assert "
+                              "exactly-once accounting plus a bitwise-"
+                              "identical summary across runs (non-zero "
+                              "exit on violation)")
+    p_refit.add_argument("--regressor", default="PR",
+                         help="candidate regressor family "
+                              "(PR/LR/SVR/MLP/auto)")
+    p_refit.add_argument("--train-window", type=int, default=None,
+                         help="newest trainable records to fit "
+                              "(default: all)")
+    p_refit.add_argument("--eval-window", type=int, default=16,
+                         help="newest ground-truthed records the "
+                              "promotion gate scores on")
+    p_refit.add_argument("--seed", type=int, default=0)
+    p_refit.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the refit summary as JSON")
     return parser
 
 
@@ -963,6 +1033,16 @@ def _cmd_bench(args) -> int:
             print(f"obs overhead: p50 off {o['off_p50_ms']:.2f}ms "
                   f"-> on {o['on_p50_ms']:.2f}ms "
                   f"({o['overhead_ratio']:.2f}x, {match})")
+        r = payload.get("refit")
+        if r:
+            verdict = "promoted" if r["promoted"] else "REJECTED"
+            det = "ok" if r["deterministic"] else "NONDETERMINISTIC"
+            print(f"refit: candidate {r['candidate_version']} "
+                  f"{verdict} over {len(r['families'])} families "
+                  f"(determinism {det})")
+            print(f"refit shadow: p50 off {r['shadow_off_p50_ms']:.2f}"
+                  f"ms -> on {r['shadow_on_p50_ms']:.2f}ms "
+                  f"({r['shadow_overhead_ratio']:.2f}x)")
         if args.out is not None:
             print(f"payload written to {args.out}")
     for failure in failures:
@@ -1112,6 +1192,141 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _open_store(path: Path):
+    """Open an existing trace store, refusing to create one."""
+    from ..store import TraceStore
+
+    if not path.is_dir():
+        raise FileNotFoundError(f"no such trace store: {path}")
+    return TraceStore(str(path))
+
+
+def _cmd_store(args) -> int:
+    import json
+
+    store = _open_store(args.path)
+    if args.store_command == "inspect":
+        summary = store.describe()
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"store: {summary['path']}")
+            print(f"records: {summary['live_records']} live "
+                  f"({summary['trainable_records']} trainable, "
+                  f"{summary['dropped_records']} dropped by retention)")
+            print(f"segments: {len(summary['segments'])}  "
+                  f"next seq: {summary['next_seq']}")
+            kinds = "  ".join(f"{k}={v}"
+                              for k, v in summary["kinds"].items())
+            fams = "  ".join(f"{k}={v}"
+                             for k, v in summary["families"].items())
+            print(f"kinds: {kinds or '-'}")
+            print(f"families: {fams or '-'}")
+            print(f"snapshot digest: {summary['snapshot_digest']}")
+        return 0
+    if args.store_command == "verify-digest":
+        problems = store.verify()
+        if args.as_json:
+            print(json.dumps({
+                "problems": problems,
+                "summary": {"records": len(store),
+                            "problems": len(problems)},
+            }, indent=2, sort_keys=True))
+        else:
+            for problem in problems:
+                print(problem)
+            print(f"{len(store)} record(s) verified: "
+                  f"{len(problems)} problem(s)")
+        return 1 if problems else 0
+    # compact
+    if args.max_records is not None:
+        store.max_records = args.max_records
+    summary = store.compact()
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"segments {summary['segments_before']} -> "
+              f"{summary['segments_after']}  records "
+              f"{summary['records_before']} -> "
+              f"{summary['records_after']} "
+              f"({summary['records_dropped']} dropped)")
+        print(f"snapshot digest: {summary['snapshot_digest']}")
+    return 0
+
+
+def _cmd_refit(args) -> int:
+    import json
+
+    from ..refit import self_test
+
+    if args.self_test:
+        payload, failures = self_test(seed=args.seed)
+        if args.as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            s = payload["summary"]
+            det = payload["determinism"]
+            print(f"snapshot {s['snapshot_digest']}  candidate "
+                  f"{s['candidate']['version']}  (2 runs, determinism "
+                  f"{'ok' if det['summary_match'] else 'BROKEN'})")
+            print(f"drift tripped: "
+                  f"{', '.join(s['drifted_after_b']) or 'NO'}")
+            for fam in s["decision"]["families"]:
+                print(f"  {fam['family']}: candidate MAE "
+                      f"{fam['candidate_mae']:.4g} vs incumbent "
+                      f"{fam['incumbent_mae']:.4g}")
+            print(f"promoted: {s['decision']['promote']}  active: "
+                  f"{s['active_version']}")
+        for failure in failures:
+            print(f"refit self-test FAILED: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+
+    from ..core.persistence import load_predictor, save_predictor
+    from ..refit import PromotionGate, RefitConfig, refit_from_snapshot
+
+    if args.store is None or args.artifact is None:
+        print("error: pass --store DIR and --artifact PATH, or "
+              "--self-test", file=sys.stderr)
+        return 1
+    predictor = load_predictor(args.artifact)
+    store = _open_store(args.store)
+    snapshot = store.snapshot()
+    config = RefitConfig(regressor_name=args.regressor,
+                         train_window=args.train_window,
+                         eval_window=args.eval_window, seed=args.seed)
+    result = refit_from_snapshot(predictor, snapshot, config)
+    gate = PromotionGate(predictor, eval_window=args.eval_window)
+    decision = gate.evaluate(snapshot, incumbent=predictor.engine,
+                             candidate=result.engine)
+    promoted = decision.promote
+    if promoted:
+        predictor.engine = result.engine
+        if args.out is not None:
+            save_predictor(predictor, args.out)
+    summary = {
+        "snapshot_digest": snapshot.digest,
+        "candidate": result.meta.to_dict(),
+        "decision": decision.to_dict(),
+        "promoted": promoted,
+        "artifact_out": (str(args.out)
+                         if promoted and args.out is not None else None),
+    }
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"snapshot {snapshot.digest}  candidate "
+              f"{result.meta.version} "
+              f"(trained on {result.meta.train_rows} records)")
+        for fam in decision.families:
+            print(f"  {fam.family}: candidate MAE "
+                  f"{fam.candidate_mae:.4g} vs incumbent "
+                  f"{fam.incumbent_mae:.4g}")
+        print(f"promoted: {promoted}  ({decision.reason})")
+        if promoted and args.out is not None:
+            print(f"updated predictor written to {args.out}")
+    return 0 if promoted else 1
+
+
 _COMMANDS = {
     "models": _cmd_models,
     "datasets": _cmd_datasets,
@@ -1128,6 +1343,8 @@ _COMMANDS = {
     "report": _cmd_report,
     "lint": _cmd_lint,
     "plan": _cmd_plan,
+    "store": _cmd_store,
+    "refit": _cmd_refit,
 }
 
 

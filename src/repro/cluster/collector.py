@@ -25,6 +25,7 @@ _JOIN = "join"
 _LEAVE = "leave"
 _PROBE = "probe"
 _REPORT = "report"
+_TRACE = "trace"
 _STOP = "stop"
 
 
@@ -59,6 +60,11 @@ class ServerAgent:
         self._thread.join(timeout=5.0)
         self.endpoint.close()
 
+    def report_trace(self, trace) -> None:
+        """Report a completed measurement sweep (list of trace points)
+        to the collector, which appends it to its attached trace store."""
+        self.endpoint.send(self.collector_address, _TRACE, list(trace))
+
     def _run(self) -> None:
         while self._running:
             msg = self.endpoint.recv()
@@ -79,6 +85,8 @@ class ClusterResourceCollector:
         self.num_pollers = max(1, num_pollers)
         self.endpoint: Endpoint = fabric.register(address)
         self._members: dict[str, ResourceSnapshot] = {}
+        self._trace_store = None
+        self.trace_points_ingested = 0
         self._lock = threading.Lock()
         self._running = False
         self._listener: threading.Thread | None = None
@@ -125,6 +133,8 @@ class ClusterResourceCollector:
                 with self._lock:
                     if msg.sender in self._members:
                         self._members[msg.sender] = msg.payload
+            elif msg.tag == _TRACE:
+                self._ingest_trace(msg.payload)
 
     def _poll(self, poller_id: int) -> None:
         """Poller ``i`` probes members with index ``i mod num_pollers``."""
@@ -142,6 +152,39 @@ class ClusterResourceCollector:
                         with self._lock:
                             self._members.pop(member, None)
             time.sleep(self.poll_interval)
+
+    # -- trace ingestion ------------------------------------------------
+    def attach_store(self, store) -> None:
+        """Attach a :class:`repro.store.TraceStore` (or None to detach).
+
+        With a store attached, agents can send ``("trace", [points])``
+        messages -- completed simulation sweeps -- and the collector
+        appends them as ``sim`` records.  This is the head-node
+        ingestion seam of the continual-refit loop: workers report
+        finished measurements the same way they report resources.
+        """
+        with self._lock:
+            self._trace_store = store
+
+    def ingest_trace(self, trace) -> int:
+        """Append a completed trace directly (same path as ``trace``
+        messages); returns the number of points ingested."""
+        return self._ingest_trace(trace)
+
+    def _ingest_trace(self, trace) -> int:
+        with self._lock:
+            store = self._trace_store
+        if store is None or not trace:
+            return 0
+        # Lazy import: repro.store sits above repro.cluster in the
+        # layering (store -> sim -> cluster), so a module-level import
+        # here would be a cycle.
+        from ..store import ingest_trace
+        count = len(ingest_trace(store, trace))
+        with self._lock:
+            self.trace_points_ingested += count
+        METRICS.counter("cluster.collector.trace_points").inc(count)
+        return count
 
     # ------------------------------------------------------------------
     def inventory(self) -> dict[str, ResourceSnapshot]:

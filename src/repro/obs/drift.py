@@ -178,3 +178,19 @@ class DriftTracker:
     def reset(self) -> None:
         with self._lock:
             self._families = {}
+
+    def refreeze(self, family: str | None = None) -> None:
+        """Discard history so the *next* observations become the new
+        frozen reference window.
+
+        Called after a model promotion: the incumbent's error
+        distribution no longer describes the serving tier, so keeping
+        the old reference would alarm on the (hopefully lower) errors
+        of the freshly promoted regressor.  With ``family=None`` every
+        family is re-frozen.
+        """
+        with self._lock:
+            if family is None:
+                self._families = {}
+            else:
+                self._families.pop(family, None)

@@ -1,0 +1,37 @@
+"""repro.refit -- continual refit, shadow A/B, and promotion.
+
+The decision half of the ROADMAP's "Close the loop" item: windowed,
+bit-reproducible refits of the regression stage from
+:mod:`repro.store` snapshots, a versioned model registry with lineage,
+shadow scoring of candidates on mirrored serving traffic, and a
+per-family promotion gate that hot-swaps winners into the
+:class:`~repro.serve.server.PredictionServer`.  See DESIGN.md §13.
+"""
+
+from .engine import RefitConfig, RefitResult, refit_from_snapshot
+from .loop import RefitController
+from .registry import ModelRegistry, ModelVersion
+from .selftest import run_refit_scenario, self_test
+from .shadow import (
+    FamilyComparison,
+    GateDecision,
+    PromotionGate,
+    ShadowSample,
+    ShadowScorer,
+)
+
+__all__ = [
+    "FamilyComparison",
+    "GateDecision",
+    "ModelRegistry",
+    "ModelVersion",
+    "PromotionGate",
+    "RefitConfig",
+    "RefitController",
+    "RefitResult",
+    "ShadowSample",
+    "ShadowScorer",
+    "refit_from_snapshot",
+    "run_refit_scenario",
+    "self_test",
+]

@@ -1,0 +1,114 @@
+"""Windowed refit of the regression stage from a store snapshot.
+
+A refit never reads the live store: it takes a
+:class:`~repro.store.store.StoreSnapshot`, whose digest pins exactly
+which records existed, selects the training window (the most recent
+``train_window`` trainable records, in seq order), and fits a fresh
+:class:`~repro.core.engine.InferenceEngine` on features assembled by
+the *serving* predictor's embedding stage -- the GHN is reusable and is
+deliberately not retrained; only the regressor refreshes (the paper's
+split between the transferable embedding and the cheap downstream
+stage).
+
+Reproducibility contract: the candidate's version id and fitted
+coefficients are functions of ``(snapshot digest, parent version,
+config)`` only.  The engine seed is derived from the snapshot digest,
+so "refit the same data" and "refit different data" are distinguishable
+even for seed-sensitive regressors (SVR/MLP/auto).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..core.engine import REGRESSOR_NAMES, InferenceEngine
+from ..store.store import StoreSnapshot
+from .registry import ModelVersion
+
+__all__ = ["RefitConfig", "RefitResult", "refit_from_snapshot"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RefitConfig:
+    """Knobs for one refit run.
+
+    ``train_window`` bounds how many of the newest trainable records
+    are fit (None = all); ``eval_window`` is how many of the newest
+    records the promotion gate scores on; ``min_train_points`` refuses
+    refits that would fit on too little data to mean anything.
+    """
+
+    regressor_name: str = "PR"
+    train_window: int | None = None
+    eval_window: int = 16
+    min_train_points: int = 6
+    seed: int = 0
+
+    def __post_init__(self):
+        if (self.regressor_name != "auto"
+                and self.regressor_name not in REGRESSOR_NAMES):
+            raise KeyError(f"unknown regressor {self.regressor_name!r}")
+        if self.train_window is not None and self.train_window < 1:
+            raise ValueError("train_window must be >= 1 or None")
+        if self.eval_window < 1:
+            raise ValueError("eval_window must be >= 1")
+        if self.min_train_points < 2:
+            raise ValueError("min_train_points must be >= 2")
+
+
+@dataclasses.dataclass(frozen=True)
+class RefitResult:
+    """A fitted candidate plus the provenance that reproduces it."""
+
+    engine: InferenceEngine
+    meta: ModelVersion
+    train_seqs: tuple[int, ...]
+
+
+def derive_seed(base_seed: int, snapshot_digest: str) -> int:
+    """Fold the snapshot digest into the refit seed (stable, content-
+    addressed: same data => same seed => same candidate)."""
+    return base_seed ^ int(snapshot_digest[:8], 16)
+
+
+def refit_from_snapshot(predictor, snapshot: StoreSnapshot,
+                        config: RefitConfig | None = None,
+                        parent: str | None = None) -> RefitResult:
+    """Fit a candidate regressor from one store snapshot.
+
+    ``predictor`` supplies the (frozen) embedding + feature-assembly
+    stages via ``feature_matrix``; its serving engine is untouched --
+    the caller decides what to do with the returned candidate (shadow
+    it, gate it, promote it).
+    """
+    config = config or RefitConfig()
+    rows = snapshot.records(trainable_only=True)
+    if config.train_window is not None:
+        rows = rows[-config.train_window:]
+    if len(rows) < config.min_train_points:
+        raise ValueError(
+            f"refit window has {len(rows)} trainable records; "
+            f"need >= {config.min_train_points}")
+    train_seqs = [seq for seq, _ in rows]
+    points = [rec.training_point() for _, rec in rows]
+    x = predictor.feature_matrix(points)
+    y = np.array([p.total_time for p in points])
+    engine = InferenceEngine(
+        config.regressor_name,
+        seed=derive_seed(config.seed, snapshot.digest))
+    engine.fit(x, y)
+    meta = ModelVersion(
+        version=ModelVersion.version_id(
+            parent, snapshot.digest, config.regressor_name,
+            train_seqs, config.seed),
+        parent=parent,
+        snapshot_digest=snapshot.digest,
+        regressor_name=config.regressor_name,
+        train_first_seq=train_seqs[0],
+        train_last_seq=train_seqs[-1],
+        train_rows=len(train_seqs),
+    )
+    return RefitResult(engine=engine, meta=meta,
+                       train_seqs=tuple(train_seqs))

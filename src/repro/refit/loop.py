@@ -1,0 +1,174 @@
+"""The continual-refit control loop: observe -> refit -> shadow -> promote.
+
+:class:`RefitController` ties the pieces together behind one serving
+tier: served samples land in the trace store and feed the per-family
+:class:`~repro.obs.drift.DriftTracker`; a drift breach (or an explicit
+``repro refit``) proposes a candidate from a store snapshot; the
+candidate shadows mirrored traffic, the :class:`PromotionGate` compares
+it to the incumbent per family, and a winning candidate is hot-swapped
+into the server without dropping in-flight requests.  Every decision is
+recorded in the model registry with full lineage, and the drift
+reference re-freezes on promotion so the tracker baselines against the
+model actually serving.
+"""
+
+from __future__ import annotations
+
+from ..obs import METRICS, RECORDER
+from ..obs.drift import DriftTracker
+from ..store import StoredObservation, TraceStore
+from .engine import RefitConfig, RefitResult, refit_from_snapshot
+from .registry import ModelRegistry, ModelVersion
+from .shadow import GateDecision, PromotionGate, ShadowScorer
+
+__all__ = ["RefitController"]
+
+
+class RefitController:
+    """Drives the closed loop for one :class:`PredictionServer`.
+
+    Parameters
+    ----------
+    server:
+        The serving tier (``swap_regressor`` / ``attach_shadow`` seams).
+    store:
+        The append-only observation store refits snapshot from.
+    registry:
+        Model registry recording every candidate and the active version.
+    tracker:
+        Per-family drift tracker; ``None`` builds a default one.
+    config:
+        Refit window/regressor/seed knobs.
+    gate:
+        Promotion gate; ``None`` builds one from ``config.eval_window``.
+    """
+
+    def __init__(self, server, store: TraceStore,
+                 registry: ModelRegistry | None = None,
+                 tracker: DriftTracker | None = None,
+                 config: RefitConfig | None = None,
+                 gate: PromotionGate | None = None):
+        self.server = server
+        self.store = store
+        self.registry = registry or ModelRegistry()
+        self.tracker = tracker or DriftTracker()
+        self.config = config or RefitConfig()
+        self.gate = gate or PromotionGate(
+            server.predictor, eval_window=self.config.eval_window)
+        self.promotions: list[str] = []
+
+    # -- observation ingestion ------------------------------------------
+    def observe_served(self, request, predicted: float,
+                       actual: float | None = None) -> int | None:
+        """Record one answered request: store append + drift update.
+
+        Returns the store seq (None when the request has no resolved
+        cluster and is therefore not storable).
+        """
+        if request.cluster is None:
+            return None
+        seq = self.store.append(StoredObservation.from_served(
+            request, predicted, actual=actual,
+            model_version=self.server.model_version))
+        if actual is not None:
+            self.tracker.observe(request.workload.model_name,
+                                 predicted, actual)
+        return seq
+
+    def on_sample(self, truth=None):
+        """A ``LoadGenerator(on_sample=...)`` hook bound to this loop.
+
+        ``truth(request)`` supplies ground truth for each completed
+        request (None records the prediction without a target -- still
+        auditable, not trainable).
+        """
+        def hook(request, result) -> None:
+            actual = truth(request) if truth is not None else None
+            self.observe_served(request, result.predicted_time,
+                                actual=actual)
+        return hook
+
+    def drifted_families(self) -> list[str]:
+        return self.tracker.drifted_families()
+
+    # -- refit / shadow / promote ---------------------------------------
+    def propose(self) -> tuple[RefitResult, object]:
+        """Refit a candidate from a fresh store snapshot.
+
+        Returns ``(result, snapshot)``; the candidate is registered
+        (not promoted) with the current serving version as its parent.
+        """
+        snapshot = self.store.snapshot()
+        result = refit_from_snapshot(
+            self.server.predictor, snapshot, self.config,
+            parent=self.server.model_version)
+        self.registry.register(result.meta, result.engine)
+        METRICS.counter("refit.candidates").inc()
+        RECORDER.record("refit_candidate",
+                        version=result.meta.version,
+                        snapshot=snapshot.digest)
+        return result, snapshot
+
+    def shadow(self, result: RefitResult, *,
+               sync: bool = True) -> ShadowScorer:
+        """Attach a shadow scorer for the candidate to the server."""
+        scorer = ShadowScorer(self.server.predictor, result.engine,
+                              result.meta.version, sync=sync)
+        self.server.attach_shadow(scorer)
+        return scorer
+
+    def unshadow(self, scorer: ShadowScorer) -> None:
+        self.server.attach_shadow(None)
+        scorer.close()
+
+    def decide(self, result: RefitResult, snapshot) -> GateDecision:
+        """Gate the candidate; promote (hot-swap) when it wins."""
+        decision = self.gate.evaluate(
+            snapshot, incumbent=self.server.predictor.engine,
+            candidate=result.engine)
+        if decision.promote:
+            self.server.swap_regressor(result.engine,
+                                       result.meta.version)
+            self.registry.promote(result.meta.version)
+            self.tracker.refreeze()
+            self.promotions.append(result.meta.version)
+            METRICS.counter("refit.promotions").inc()
+            RECORDER.record("refit_promoted",
+                            version=result.meta.version)
+        else:
+            METRICS.counter("refit.rejections").inc()
+            RECORDER.record("refit_rejected",
+                            version=result.meta.version,
+                            reason=decision.reason)
+        return decision
+
+    def refit(self) -> dict:
+        """On-demand refit: propose -> gate -> (maybe) promote.
+
+        The ``repro refit`` CLI path; shadowing live traffic between
+        propose and decide is the caller's choice (the self-test does).
+        Returns a JSON-able summary.
+        """
+        result, snapshot = self.propose()
+        decision = self.decide(result, snapshot)
+        return {
+            "snapshot_digest": snapshot.digest,
+            "candidate": result.meta.to_dict(),
+            "decision": decision.to_dict(),
+            "active_version": self.server.model_version,
+        }
+
+    # -- bootstrap -------------------------------------------------------
+    def register_incumbent(self, snapshot_digest: str = "",
+                           train_rows: int = 0) -> str:
+        """Record the currently serving engine as the lineage root."""
+        meta = ModelVersion(
+            version=self.server.model_version, parent=None,
+            snapshot_digest=snapshot_digest,
+            regressor_name=getattr(self.server.predictor.engine,
+                                   "regressor_name", "?"),
+            train_first_seq=-1, train_last_seq=-1,
+            train_rows=train_rows)
+        self.registry.register(meta, self.server.predictor.engine)
+        self.registry.promote(meta.version)
+        return meta.version

@@ -1,0 +1,118 @@
+"""Versioned regressor registry with lineage.
+
+Every refit produces a :class:`ModelVersion`: a content-addressed
+version id plus the provenance needed to reproduce the artifact --
+parent version, store snapshot digest, regressor family and training
+window (the seq range and row count it trained on).  The
+:class:`ModelRegistry` keeps the artifacts and the promotion pointer;
+``lineage()`` walks parents back to the root so an audit can answer
+"what data produced the model now serving traffic" from metadata alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..graphs.fingerprint import payload_digest
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelVersion:
+    """Provenance of one regressor artifact."""
+
+    version: str
+    parent: str | None
+    snapshot_digest: str
+    regressor_name: str
+    train_first_seq: int
+    train_last_seq: int
+    train_rows: int
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def version_id(parent: str | None, snapshot_digest: str,
+                   regressor_name: str, train_seqs: list[int],
+                   seed: int) -> str:
+        """Deterministic version id: same lineage + same training
+        window + same seed => same id, which is what lets the two-run
+        determinism audit compare versions by string equality."""
+        return "v-" + payload_digest({
+            "parent": parent,
+            "snapshot": snapshot_digest,
+            "regressor": regressor_name,
+            "train_seqs": train_seqs,
+            "seed": seed,
+        })[:12]
+
+
+class ModelRegistry:
+    """In-memory registry of regressor artifacts keyed by version id."""
+
+    def __init__(self):
+        self._artifacts: dict[str, object] = {}
+        self._meta: dict[str, ModelVersion] = {}
+        self._order: list[str] = []
+        self._active: str | None = None
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def register(self, meta: ModelVersion, artifact) -> str:
+        """File one artifact under its version id (idempotent for the
+        same id; a clashing id with different metadata is an error)."""
+        existing = self._meta.get(meta.version)
+        if existing is not None:
+            if existing != meta:
+                raise ValueError(
+                    f"version id collision for {meta.version}: "
+                    f"{existing} != {meta}")
+            return meta.version
+        self._meta[meta.version] = meta
+        self._artifacts[meta.version] = artifact
+        self._order.append(meta.version)
+        return meta.version
+
+    def get(self, version: str):
+        return self._artifacts[version]
+
+    def meta(self, version: str) -> ModelVersion:
+        return self._meta[version]
+
+    def versions(self) -> list[str]:
+        """Version ids in registration order."""
+        return list(self._order)
+
+    @property
+    def active(self) -> str | None:
+        """The promoted (serving) version, if any."""
+        return self._active
+
+    def promote(self, version: str) -> None:
+        if version not in self._meta:
+            raise KeyError(f"unknown version {version!r}")
+        self._active = version
+
+    def lineage(self, version: str) -> list[ModelVersion]:
+        """Metadata chain from ``version`` back to its root ancestor.
+
+        Parents registered elsewhere (e.g. the bootstrap model, which
+        has no stored artifact) terminate the walk.
+        """
+        chain = []
+        cursor: str | None = version
+        while cursor is not None and cursor in self._meta:
+            meta = self._meta[cursor]
+            chain.append(meta)
+            cursor = meta.parent
+        return chain
+
+    def describe(self) -> dict:
+        """JSON-able registry state."""
+        return {
+            "active": self._active,
+            "versions": [self._meta[v].to_dict() for v in self._order],
+        }

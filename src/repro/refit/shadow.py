@@ -1,0 +1,267 @@
+"""Shadow A/B scoring and the promotion gate.
+
+The candidate regressor earns promotion by *shadowing*: the serving
+tier mirrors every executed request to a :class:`ShadowScorer`, which
+scores the candidate on identical features without touching the reply
+path (replies always come from the incumbent; a shadow failure is a
+counter, never an error).  The :class:`PromotionGate` then compares
+candidate vs incumbent per workload family on the newest ground-truthed
+records of a store snapshot, with Ernest and a CherryPick-style GP fit
+on the same window as non-gating reference points -- the gate's verdict
+is relative to the incumbent, the baselines locate both on the accuracy
+map (Fig. 10's comparison, replayed online).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import deque
+
+import numpy as np
+
+from ..baselines import ErnestModel, GaussianProcess
+from ..obs import METRICS
+from ..store.store import StoreSnapshot
+
+__all__ = ["ShadowSample", "ShadowScorer", "FamilyComparison",
+           "GateDecision", "PromotionGate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShadowSample:
+    """One mirrored request scored by both models."""
+
+    family: str
+    cluster_size: int
+    incumbent: float
+    candidate: float
+
+
+class ShadowScorer:
+    """Scores a candidate engine on mirrored serving traffic.
+
+    Attached via ``PredictionServer.attach_shadow``; the server calls
+    :meth:`mirror` once per executed group leader.  ``sync=True``
+    scores inline (deterministic sample order -- what the self-test and
+    bench use); the default queues the request onto a background thread
+    with a bounded buffer so mirroring adds only an enqueue to the
+    serving path, dropping (and counting) mirrors beyond ``max_pending``
+    instead of applying back-pressure.
+    """
+
+    def __init__(self, predictor, engine, version: str, *,
+                 sync: bool = False, max_pending: int = 256):
+        self.predictor = predictor
+        self.engine = engine
+        self.version = version
+        self.sync = sync
+        self.max_pending = max_pending
+        self.samples: list[ShadowSample] = []
+        self.mirrored = 0
+        self.skipped = 0
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._pending: deque = deque()
+        self._wakeup = threading.Condition(self._lock)
+        self._thread: threading.Thread | None = None
+        self._stopping = False
+        if not sync:
+            self._thread = threading.Thread(target=self._drain,
+                                            name="shadow-scorer",
+                                            daemon=True)
+            self._thread.start()
+
+    # -- serving-path entry point ---------------------------------------
+    def mirror(self, request, result) -> None:
+        """Mirror one served request (incumbent's result attached)."""
+        if request.cluster is None:
+            # Inventory-resolved requests are not reproducibly keyed;
+            # the serving path resolves them, the shadow skips them.
+            with self._lock:
+                self.skipped += 1
+            return
+        if self.sync:
+            self._score(request, result)
+            return
+        with self._wakeup:
+            if len(self._pending) >= self.max_pending:
+                self.dropped += 1
+                METRICS.counter("serve.shadow.dropped").inc()
+                return
+            self._pending.append((request, result))
+            self._wakeup.notify()
+
+    def _drain(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._pending and not self._stopping:
+                    self._wakeup.wait(timeout=0.5)
+                if self._stopping and not self._pending:
+                    return
+                request, result = self._pending.popleft()
+            self._score(request, result)
+
+    def _score(self, request, result) -> None:
+        row = self.predictor.features_for(request.workload,
+                                          request.cluster)
+        candidate = float(self.engine.predict(row.reshape(1, -1))[0])
+        sample = ShadowSample(
+            family=request.workload.model_name,
+            cluster_size=request.cluster.num_servers,
+            incumbent=float(result.predicted_time),
+            candidate=candidate)
+        with self._lock:
+            self.samples.append(sample)
+            self.mirrored += 1
+        METRICS.counter("serve.shadow.mirrored").inc()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain the pending queue and stop the background thread."""
+        if self._thread is None:
+            return
+        with self._wakeup:
+            self._stopping = True
+            self._wakeup.notify()
+        self._thread.join(timeout=timeout)
+
+    def snapshot(self) -> dict:
+        """JSON-able mirroring summary (per-family sample counts)."""
+        with self._lock:
+            families: dict[str, int] = {}
+            for sample in self.samples:
+                families[sample.family] = families.get(sample.family,
+                                                       0) + 1
+            return {
+                "version": self.version,
+                "mirrored": self.mirrored,
+                "skipped": self.skipped,
+                "dropped": self.dropped,
+                "families": dict(sorted(families.items())),
+            }
+
+
+@dataclasses.dataclass(frozen=True)
+class FamilyComparison:
+    """Per-family eval-window accuracy, candidate vs incumbent."""
+
+    family: str
+    rows: int
+    incumbent_mae: float
+    candidate_mae: float
+    ernest_mae: float | None
+    gp_mae: float | None
+
+    @property
+    def candidate_wins(self) -> bool:
+        return self.candidate_mae <= self.incumbent_mae
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class GateDecision:
+    """The promotion verdict over every family in the eval window."""
+
+    promote: bool
+    families: tuple[FamilyComparison, ...]
+    eval_rows: int
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "promote": self.promote,
+            "eval_rows": self.eval_rows,
+            "reason": self.reason,
+            "families": [f.to_dict() for f in self.families],
+        }
+
+
+class PromotionGate:
+    """Decides promotion from a store snapshot's newest ground truth.
+
+    The eval window is the last ``eval_window`` trainable records of
+    the snapshot (seq order -- deterministic given the digest).  For
+    each family present, both engines predict every eval row on
+    identical features; the candidate must match or beat the incumbent
+    MAE in *every* family to promote.  Ernest / GP reference MAEs are
+    fit per family on ``(machines -> time)`` over the same rows and
+    reported for context only (they see none of the GHN features, so
+    beating them is expected -- trailing them is a red flag worth
+    surfacing even when the relative gate passes).
+    """
+
+    def __init__(self, predictor, eval_window: int = 16,
+                 min_eval_rows: int = 4):
+        if min_eval_rows < 1:
+            raise ValueError("min_eval_rows must be >= 1")
+        self.predictor = predictor
+        self.eval_window = eval_window
+        self.min_eval_rows = min_eval_rows
+
+    def evaluate(self, snapshot: StoreSnapshot, incumbent,
+                 candidate) -> GateDecision:
+        rows = snapshot.records(trainable_only=True)[-self.eval_window:]
+        if len(rows) < self.min_eval_rows:
+            return GateDecision(
+                promote=False, families=(), eval_rows=len(rows),
+                reason=f"eval window has {len(rows)} rows; "
+                       f"need >= {self.min_eval_rows}")
+        points = [rec.training_point() for _, rec in rows]
+        x = self.predictor.feature_matrix(points)
+        y = np.array([p.total_time for p in points])
+        pred_inc = incumbent.predict(x)
+        pred_cand = candidate.predict(x)
+        comparisons = []
+        families = sorted({rec.family for _, rec in rows})
+        for family in families:
+            idx = np.array([i for i, (_, rec) in enumerate(rows)
+                            if rec.family == family])
+            machines = np.array([len(rows[i][1].servers) for i in idx],
+                                dtype=np.float64)
+            actual = y[idx]
+            comparisons.append(FamilyComparison(
+                family=family,
+                rows=len(idx),
+                incumbent_mae=float(
+                    np.abs(pred_inc[idx] - actual).mean()),
+                candidate_mae=float(
+                    np.abs(pred_cand[idx] - actual).mean()),
+                ernest_mae=self._ernest_mae(machines, actual),
+                gp_mae=self._gp_mae(machines, actual),
+            ))
+        losers = [c.family for c in comparisons if not c.candidate_wins]
+        promote = not losers
+        reason = ("candidate MAE <= incumbent in every family"
+                  if promote else
+                  "candidate loses in: " + ", ".join(losers))
+        return GateDecision(promote=promote,
+                            families=tuple(comparisons),
+                            eval_rows=len(rows), reason=reason)
+
+    @staticmethod
+    def _ernest_mae(machines: np.ndarray,
+                    actual: np.ndarray) -> float | None:
+        if len(machines) < 2:
+            return None
+        try:
+            model = ErnestModel()
+            x = ErnestModel.pack(np.ones_like(machines), machines)
+            model.fit(x, actual)
+            return float(np.abs(model.predict(x) - actual).mean())
+        except (ValueError, RuntimeError):
+            return None
+
+    @staticmethod
+    def _gp_mae(machines: np.ndarray,
+                actual: np.ndarray) -> float | None:
+        if len(machines) < 2:
+            return None
+        try:
+            gp = GaussianProcess()
+            x = machines.reshape(-1, 1)
+            gp.fit(x, actual)
+            return float(np.abs(gp.predict(x) - actual).mean())
+        except (ValueError, RuntimeError, np.linalg.LinAlgError):
+            return None

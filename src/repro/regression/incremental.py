@@ -1,0 +1,120 @@
+"""Incremental ridge regression over sufficient statistics.
+
+The refit engine replays trace-store windows into the regression stage
+without re-materializing the full design matrix: an
+:class:`IncrementalRidge` accumulates the Gram matrix ``X^T X`` and
+moment vector ``X^T y`` (plus row/target sums for centering) across
+``partial_fit`` batches, then solves the same standardized, unpenalized-
+intercept ridge system as :class:`~repro.regression.linear.
+LinearRegression`.  Because the sufficient statistics are exact (no
+forgetting factor), a sequence of ``partial_fit`` calls over any
+partition of the data matches one batch ``fit`` to machine precision --
+which is what keeps incremental refits bit-comparable with the
+from-scratch fit the determinism audit performs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Regressor, check_fitted
+
+__all__ = ["IncrementalRidge"]
+
+
+class IncrementalRidge(Regressor):
+    """Ridge regression fit from accumulated sufficient statistics.
+
+    Matches ``LinearRegression(alpha)`` on the same data: features are
+    standardized from the accumulated moments, the target is centered,
+    and the intercept is unpenalized.  ``alpha == 0`` is allowed only
+    for well-conditioned systems (it solves the normal equations
+    directly rather than falling back to an SVD least-squares).
+    """
+
+    def __init__(self, alpha: float = 1e-8):
+        if alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._n = 0
+        self._xtx: np.ndarray | None = None  # raw X^T X
+        self._xty: np.ndarray | None = None  # raw X^T y
+        self._xsum: np.ndarray | None = None
+        self._x2sum: np.ndarray | None = None
+        self._ysum = 0.0
+
+    # -- accumulation ---------------------------------------------------
+    def partial_fit(self, x, y) -> "IncrementalRidge":
+        """Fold one batch into the sufficient statistics and re-solve."""
+        x, y = self._validate_xy(x, y)
+        if self._xtx is None:
+            d = x.shape[1]
+            self._xtx = np.zeros((d, d))
+            self._xty = np.zeros(d)
+            self._xsum = np.zeros(d)
+            self._x2sum = np.zeros(d)
+        elif x.shape[1] != self._xtx.shape[0]:
+            raise ValueError(
+                f"feature dimension changed: {x.shape[1]} != "
+                f"{self._xtx.shape[0]}")
+        self._xtx += x.T @ x
+        self._xty += x.T @ y
+        self._xsum += x.sum(axis=0)
+        self._x2sum += (x * x).sum(axis=0)
+        self._ysum += float(y.sum())
+        self._n += x.shape[0]
+        self._solve()
+        return self
+
+    def fit(self, x, y) -> "IncrementalRidge":
+        """Batch fit: reset statistics, then one ``partial_fit``."""
+        self._n = 0
+        self._xtx = None
+        self._xty = None
+        self._xsum = None
+        self._x2sum = None
+        self._ysum = 0.0
+        return self.partial_fit(x, y)
+
+    # -- solve ----------------------------------------------------------
+    def _moments(self) -> tuple[np.ndarray, np.ndarray]:
+        mean = self._xsum / self._n
+        var = self._x2sum / self._n - mean * mean
+        # Population std, constant-safe, mirroring StandardScaler.
+        scale = np.sqrt(np.maximum(var, 0.0))
+        scale[scale == 0.0] = 1.0
+        return mean, scale
+
+    def _solve(self) -> None:
+        mean, scale = self._moments()
+        y_mean = self._ysum / self._n
+        # Standardize the accumulated moments instead of the rows:
+        #   Xs = (X - 1 mean^T) / scale  (columnwise)
+        # Xs^T Xs and Xs^T yc expand into raw-moment terms below.
+        d = len(mean)
+        outer = np.outer(self._xsum, mean)
+        xtx_c = (self._xtx - outer - outer.T
+                 + self._n * np.outer(mean, mean))
+        xtx_s = xtx_c / np.outer(scale, scale)
+        xty_c = (self._xty - mean * self._ysum
+                 - self._xsum * y_mean + self._n * mean * y_mean)
+        xty_s = xty_c / scale
+        gram = xtx_s + self.alpha * np.eye(d)
+        self.coef_ = np.linalg.solve(gram, xty_s)
+        self._mean = mean
+        self._scale = scale
+        self.intercept_ = float(y_mean)
+        self.fitted_ = True
+
+    # -- inference ------------------------------------------------------
+    @property
+    def n_samples_(self) -> int:
+        """Rows folded into the statistics so far."""
+        return self._n
+
+    def predict(self, x) -> np.ndarray:
+        check_fitted(self)
+        xs = (self._validate_x(x) - self._mean) / self._scale
+        return xs @ self.coef_ + self.intercept_

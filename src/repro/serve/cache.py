@@ -73,13 +73,44 @@ def request_cache_key(request: PredictionRequest) -> tuple[str, str]:
 
 
 class ResultCache:
-    """Bounded LRU of :class:`PredictionResult` keyed by request content."""
+    """Bounded LRU of :class:`PredictionResult` keyed by request content.
 
-    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE):
+    Entries are additionally scoped by the **regressor model version**
+    that computed them: the internal key is ``(fingerprint, cluster
+    signature, version)``.  Without that third component a hot-swapped
+    regressor would keep serving the incumbent's cached predictions --
+    the promotion would silently not take effect for any warm key.
+    Callers that computed a key *before* a concurrent swap (in-flight
+    batches) pass the version they executed under explicitly so their
+    results are never filed under the wrong model.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_SIZE,
+                 version: str = "v0"):
         self._cache = LRUCache(capacity, metrics_prefix="serve.cache")
+        self._version = version
+
+    @property
+    def version(self) -> str:
+        """The model version new lookups/stores are scoped to."""
+        return self._version
+
+    def set_version(self, version: str) -> None:
+        """Scope the cache to a newly promoted model version.
+
+        Old-version entries are left to age out of the LRU naturally
+        (they can no longer be hit); flushing is not required for
+        correctness and would discard cross-version metrics.
+        """
+        self._version = version
+
+    def _scoped(self, key: tuple[str, str],
+                version: str | None) -> tuple[str, str, str]:
+        return (*key, self._version if version is None else version)
 
     def lookup(self, request: PredictionRequest,
-               key: tuple[str, str] | None = None) -> PredictionResult | None:
+               key: tuple[str, str] | None = None,
+               version: str | None = None) -> PredictionResult | None:
         """Cached result for ``request``, re-bound to this request.
 
         The stored result's ``request`` field is replaced by the
@@ -89,7 +120,7 @@ class ResultCache:
         """
         if key is None:
             key = request_cache_key(request)
-        hit = self._cache.get(key)
+        hit = self._cache.get(self._scoped(key, version))
         if RECORDER.enabled:
             RECORDER.record("cache_hit" if hit is not None
                             else "cache_miss")
@@ -97,20 +128,22 @@ class ResultCache:
             return None
         return dataclasses.replace(hit, request=request)
 
-    def contains(self, key: tuple[str, str]) -> bool:
+    def contains(self, key: tuple[str, str],
+                 version: str | None = None) -> bool:
         """Membership probe that does not touch hit/miss counters.
 
         Used by the server's micro-batch warm-up to decide which groups
         still need a GHN pass without distorting the cache stats the
         real lookups report.
         """
-        return key in self._cache
+        return self._scoped(key, version) in self._cache
 
     def store(self, result: PredictionResult,
-              key: tuple[str, str] | None = None) -> None:
+              key: tuple[str, str] | None = None,
+              version: str | None = None) -> None:
         if key is None:
             key = request_cache_key(result.request)
-        self._cache.put(key, result)
+        self._cache.put(self._scoped(key, version), result)
 
     def stats(self) -> dict:
         return self._cache.stats()

@@ -169,17 +169,25 @@ class LoadGenerator:
     """Drives one :class:`~repro.serve.server.PredictionServer`."""
 
     def __init__(self, server, spec: TrafficSpec, *,
-                 clock=time.perf_counter, sleep=time.sleep):
+                 clock=time.perf_counter, sleep=time.sleep,
+                 on_sample=None):
         self.server = server
         self.spec = spec
         self._clock = clock
         self._sleep = sleep
+        # Per-completed-request hook ``on_sample(request, result)``,
+        # fired in *submission* order after the burst drains -- the
+        # ingestion seam the trace store and refit controller hang off.
+        # Submission order (not completion order, which is thread-timing
+        # dependent) is what keeps downstream store digests and drift
+        # statistics bit-reproducible across runs.
+        self._on_sample = on_sample
 
     def run(self, wait_timeout: float = 60.0) -> LoadReport:
         """Replay the spec's traffic and collect the report."""
         requests = self.spec.build_requests()
         gaps = self.spec.arrival_gaps()
-        completions: list[tuple] = []
+        completions: dict[int, tuple[float, float]] = {}
         futures = []
         rejected = 0
         start = self._clock()
@@ -198,8 +206,8 @@ class LoadGenerator:
                 rejected += 1
                 continue
             future.add_done_callback(
-                lambda f, t0=submit_at: completions.append(
-                    (t0, self._clock(), f)))
+                lambda f, t0=submit_at: completions.setdefault(
+                    id(f), (t0, self._clock())))
             futures.append((future, request, trace_id))
         wait_until = time.monotonic() + wait_timeout
         for future, _, _ in futures:
@@ -207,17 +215,23 @@ class LoadGenerator:
             # per-request failures; those are tallied below.
             future.exception(max(0.01, wait_until - time.monotonic()))
         duration = self._clock() - start
-        meta = {id(future): (request, trace_id)
-                for future, request, trace_id in futures}
         completed, expired, errors = 0, 0, 0
         latencies = []
         samples = []
-        for t0, t1, future in completions:
+        # Walk futures in submission order (the completions dict only
+        # supplies timestamps): samples, latencies and on_sample calls
+        # then come out in the seeded request order regardless of which
+        # worker finished first.
+        for future, request, trace_id in futures:
+            timing = completions.get(id(future))
+            if timing is None:
+                errors += 1
+                continue
+            t0, t1 = timing
             exc = future.exception(0)
             if exc is None:
                 completed += 1
                 latencies.append(t1 - t0)
-                request, trace_id = meta[id(future)]
                 result = future.result(0)
                 samples.append(RequestSample(
                     family=request.workload.model_name,
@@ -226,6 +240,8 @@ class LoadGenerator:
                     cluster_size=(request.cluster.num_servers
                                   if request.cluster is not None
                                   else None)))
+                if self._on_sample is not None:
+                    self._on_sample(request, result)
             elif isinstance(exc, DeadlineExceededError):
                 expired += 1
             else:

@@ -268,7 +268,11 @@ class PredictionServer:
                  fabric: Fabric | None = None, fault_injector=None):
         self.config = config or ServeConfig()
         self.predictor = predictor
-        self.cache = ResultCache(self.config.cache_size)
+        self._model_version = "v0"
+        self.cache = ResultCache(self.config.cache_size,
+                                 version=self._model_version)
+        self._shadow = None
+        self._swap_lock = threading.Lock()
         self.admission = AdmissionController(self.config.max_queue_depth)
         self._batcher = MicroBatcher(self.config.batch_window,
                                      self.config.max_batch)
@@ -298,6 +302,55 @@ class PredictionServer:
         self._rpc_inflight: set[tuple[str, int]] = set()
         self._rpc_replied: OrderedDict[tuple[str, int],
                                        tuple[str, object]] = OrderedDict()
+
+    # -- model versioning ----------------------------------------------
+    @property
+    def model_version(self) -> str:
+        """Version tag of the regressor currently answering traffic."""
+        return self._model_version
+
+    def swap_regressor(self, engine, version: str) -> None:
+        """Hot-swap the regression stage without dropping requests.
+
+        Atomically (one attribute store each, under a lock so version
+        and engine cannot be observed torn by another swapper) replaces
+        ``predictor.engine`` and re-scopes the result cache to the new
+        version.  In-flight batches that snapshotted the old cache
+        version keep filing their results under it (see
+        ``_execute_group``), so a promotion can never serve the
+        incumbent's cached predictions under the candidate's version --
+        the ResultCache-staleness bug this seam exists to prevent.
+        """
+        if not hasattr(self.predictor, "engine"):
+            raise TypeError("predictor has no swappable regression "
+                            "engine")
+        with self._swap_lock:
+            old = self._model_version
+            self.predictor.engine = engine
+            self._model_version = version
+            self.cache.set_version(version)
+        METRICS.counter("serve.model_swaps").inc()
+        RECORDER.record("model_swap", old=old, new=version)
+
+    def attach_shadow(self, scorer) -> None:
+        """Attach (or detach, with ``None``) a shadow scorer.
+
+        The scorer's ``mirror(request, result)`` is called for every
+        executed group leader -- cache hits included, so the candidate
+        sees the same traffic mix the incumbent answers.  Mirroring is
+        fire-and-forget: scorer failures are counted, never propagated
+        to the reply path.
+        """
+        self._shadow = scorer
+
+    def _mirror(self, request, result) -> None:
+        shadow = self._shadow
+        if shadow is None:
+            return
+        try:
+            shadow.mirror(request, result)
+        except Exception:  # noqa: BLE001 - shadow must not affect replies
+            METRICS.counter("serve.shadow.errors").inc()
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "PredictionServer":
@@ -576,11 +629,17 @@ class PredictionServer:
             for item in live:
                 self._injector.on_execute(item.seq, item.attempt, slot)
         leader = live[0]
+        # Snapshot the cache version once per group: if a promotion
+        # lands mid-execution, this group still files its result under
+        # the version whose engine semantics it started with, and the
+        # freshly promoted version begins with a clean keyspace.
+        version = self.cache.version
         # Join the leader's trace across the queue handoff: the batch
         # and execute spans below become children of its ingress span.
         token = TRACER.attach(leader.trace)
         try:
-            result = (self.cache.lookup(leader.request, key)
+            result = (self.cache.lookup(leader.request, key,
+                                        version=version)
                       if key is not None else None)
             if result is None:
                 try:
@@ -595,7 +654,8 @@ class PredictionServer:
                         self._complete(item, error=exc, outcome="error")
                     return
                 if key is not None:
-                    self.cache.store(result, key)
+                    self.cache.store(result, key, version=version)
+            self._mirror(leader.request, result)
             for item in live:
                 self._complete(
                     item,

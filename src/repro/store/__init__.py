@@ -1,0 +1,28 @@
+"""repro.store -- append-only, content-digested observation store.
+
+The persistence half of the continual-refit loop (ROADMAP "Close the
+loop"): simulation traces and served prediction/ground-truth pairs
+land here as schema-versioned JSONL segments whose snapshot digest
+pins exactly what a refit trained on.  See DESIGN.md §12.
+"""
+
+from .ingest import ServedSampleSink, ingest_trace
+from .records import (
+    RECORD_SCHEMA_VERSION,
+    RefitPoint,
+    StoredObservation,
+    record_digest,
+)
+from .store import SEGMENT_PREFIX, StoreSnapshot, TraceStore
+
+__all__ = [
+    "RECORD_SCHEMA_VERSION",
+    "SEGMENT_PREFIX",
+    "RefitPoint",
+    "ServedSampleSink",
+    "StoreSnapshot",
+    "StoredObservation",
+    "TraceStore",
+    "ingest_trace",
+    "record_digest",
+]

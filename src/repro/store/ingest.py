@@ -1,0 +1,55 @@
+"""Ingestion seams: simulation traces and served traffic into the store.
+
+Two producers feed the trace store:
+
+* :func:`ingest_trace` -- a completed simulation trace (list of
+  ``TracePoint``), e.g. straight from ``generate_trace`` or via the
+  Cluster Resource Collector's ``trace`` message (workers report
+  finished sweeps to the head node, which appends them here);
+* :class:`ServedSampleSink` -- a callable for the LoadGenerator's
+  ``on_sample`` hook; every answered request whose ground truth is
+  known becomes a ``served`` record tagged with the regressor version
+  that produced the prediction.
+"""
+
+from __future__ import annotations
+
+from .records import StoredObservation
+from .store import TraceStore
+
+__all__ = ["ingest_trace", "ServedSampleSink"]
+
+
+def ingest_trace(store: TraceStore, trace) -> list[int]:
+    """Append every point of a simulation trace; returns their seqs."""
+    return store.append_many(
+        StoredObservation.from_trace_point(point) for point in trace)
+
+
+class ServedSampleSink:
+    """LoadGenerator ``on_sample`` hook that appends served records.
+
+    ``sink(request, predicted, actual)`` appends one ``served`` record.
+    ``model_version`` is resolved per call via the optional
+    ``version_of`` callable (typically ``lambda: server.model_version``)
+    so records written after a hot-swap carry the new version.
+    Requests without a resolved cluster are counted, not stored -- the
+    store only holds rows the refit engine could train on or audit.
+    """
+
+    def __init__(self, store: TraceStore, version_of=None):
+        self.store = store
+        self.version_of = version_of
+        self.appended = 0
+        self.skipped = 0
+
+    def __call__(self, request, predicted: float,
+                 actual: float | None = None) -> int | None:
+        if request.cluster is None:
+            self.skipped += 1
+            return None
+        version = self.version_of() if self.version_of else None
+        seq = self.store.append(StoredObservation.from_served(
+            request, predicted, actual=actual, model_version=version))
+        self.appended += 1
+        return seq

@@ -1,0 +1,193 @@
+"""Schema-versioned observation records for the trace store.
+
+One record shape covers both inputs of the continual-refit loop:
+
+* **sim** records -- completed simulation trace points (the offline
+  training data of Fig. 8), ingested via the Cluster Resource
+  Collector's trace seam or :func:`repro.store.ingest_trace`;
+* **served** records -- prediction/ground-truth pairs observed behind
+  the serving tier (the LoadGenerator's ``on_sample`` hook feeds them),
+  carrying the regressor version that produced the prediction.
+
+Records are deliberately minimal: exactly the fields the regression
+stage needs to re-assemble a feature row (workload + cluster) plus the
+target (``actual_time``) and, for served records, the prediction that
+was answered.  No wall-clock timestamps -- ordering comes from the
+store's monotonic sequence numbers, which is what keeps snapshot
+digests bit-reproducible across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster import Cluster, get_server_class
+from ..graphs.fingerprint import payload_digest
+from ..sim import DLWorkload
+
+__all__ = ["RECORD_SCHEMA_VERSION", "StoredObservation", "RefitPoint",
+           "record_digest"]
+
+#: Bump when the record payload shape changes; the store refuses to
+#: read segments written at a newer schema than it understands.
+RECORD_SCHEMA_VERSION = 1
+
+_KINDS = ("sim", "served")
+
+
+@dataclasses.dataclass(frozen=True)
+class RefitPoint:
+    """Training-row view of a stored observation.
+
+    Duck-type compatible with :class:`repro.sim.TracePoint` as far as
+    ``PredictDDL.feature_matrix``/``fit`` are concerned: ``workload``,
+    ``cluster`` and ``total_time`` are all the regression stage reads.
+    """
+
+    workload: DLWorkload
+    cluster: Cluster
+    total_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class StoredObservation:
+    """One trace-store record (see module docstring for the two kinds).
+
+    Attributes
+    ----------
+    kind:
+        ``"sim"`` (simulation trace point) or ``"served"`` (prediction
+        / ground-truth pair from the serving tier).
+    model_name / dataset_name / batch_size_per_server / epochs:
+        The workload, by value (reconstructable via the zoo).
+    servers / net_latency / nfs_throughput:
+        The cluster, by server-class names plus shared parameters.
+    actual_time:
+        Ground-truth total training time in seconds (None when the
+        served pair has no resolved ground truth yet; such records are
+        kept for accounting but excluded from refit windows).
+    predicted_time:
+        The served prediction (``None`` for sim records).
+    model_version:
+        Regressor version that produced ``predicted_time`` (``None``
+        for sim records).
+    """
+
+    kind: str
+    model_name: str
+    dataset_name: str
+    batch_size_per_server: int
+    epochs: int
+    servers: tuple[str, ...]
+    net_latency: float
+    nfs_throughput: float
+    actual_time: float | None = None
+    predicted_time: float | None = None
+    model_version: str | None = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown record kind {self.kind!r}; "
+                             f"expected one of {_KINDS}")
+        if not self.servers:
+            raise ValueError("record must name at least one server")
+
+    @property
+    def family(self) -> str:
+        """The workload family the drift tracker groups by."""
+        return self.model_name
+
+    @property
+    def trainable(self) -> bool:
+        """True when the record can contribute a regression row."""
+        return self.actual_time is not None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_trace_point(cls, point) -> "StoredObservation":
+        """A ``sim`` record from a completed simulation trace point."""
+        workload = point.workload
+        return cls(
+            kind="sim",
+            model_name=workload.model_name,
+            dataset_name=workload.dataset_name,
+            batch_size_per_server=workload.batch_size_per_server,
+            epochs=workload.epochs,
+            servers=tuple(s.name for s in point.cluster.servers),
+            net_latency=point.cluster.net_latency,
+            nfs_throughput=point.cluster.nfs_throughput,
+            actual_time=float(point.total_time),
+        )
+
+    @classmethod
+    def from_served(cls, request, predicted: float,
+                    actual: float | None = None,
+                    model_version: str | None = None
+                    ) -> "StoredObservation":
+        """A ``served`` record from one answered prediction request."""
+        if request.cluster is None:
+            raise ValueError("served record needs a resolved cluster")
+        workload = request.workload
+        return cls(
+            kind="served",
+            model_name=workload.model_name,
+            dataset_name=workload.dataset_name,
+            batch_size_per_server=workload.batch_size_per_server,
+            epochs=workload.epochs,
+            servers=tuple(s.name for s in request.cluster.servers),
+            net_latency=request.cluster.net_latency,
+            nfs_throughput=request.cluster.nfs_throughput,
+            actual_time=None if actual is None else float(actual),
+            predicted_time=float(predicted),
+            model_version=model_version,
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        out = dataclasses.asdict(self)
+        out["servers"] = list(self.servers)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StoredObservation":
+        data = dict(payload)
+        data["servers"] = tuple(data["servers"])
+        return cls(**data)
+
+    # -- refit view ------------------------------------------------------
+    def workload(self) -> DLWorkload:
+        return DLWorkload(
+            model_name=self.model_name,
+            dataset_name=self.dataset_name,
+            batch_size_per_server=self.batch_size_per_server,
+            epochs=self.epochs)
+
+    def cluster(self) -> Cluster:
+        return Cluster(
+            servers=tuple(get_server_class(name)
+                          for name in self.servers),
+            net_latency=self.net_latency,
+            nfs_throughput=self.nfs_throughput)
+
+    def training_point(self) -> RefitPoint:
+        """The regression row this record contributes."""
+        if self.actual_time is None:
+            raise ValueError("record has no ground truth; cannot build "
+                             "a training point")
+        return RefitPoint(workload=self.workload(),
+                          cluster=self.cluster(),
+                          total_time=self.actual_time)
+
+
+def record_digest(seq: int, observation: StoredObservation) -> str:
+    """Content digest of one record at its sequence position.
+
+    Folding ``seq`` in means reordered or renumbered records change
+    the digest -- the snapshot digest (a hash over record digests in
+    sequence order) then pins both content *and* order.
+    """
+    return payload_digest({
+        "schema": RECORD_SCHEMA_VERSION,
+        "seq": seq,
+        "record": observation.to_dict(),
+    })

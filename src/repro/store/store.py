@@ -1,0 +1,398 @@
+"""Append-only, content-digested trace store.
+
+Layout on disk (all files under one directory)::
+
+    store/
+      segment-00000000.jsonl    <- records, one canonical-JSON line each
+      segment-00000001.jsonl
+      index.json                <- derived: segment list, seq ranges,
+                                   per-segment digests, retention state
+
+Each JSONL line is ``{"schema": 1, "seq": N, "digest": D, "record":
+{...}}`` with the payload serialized through the same canonical JSON
+(sorted keys, tight separators) as every other digest in the repo, so
+a byte-level diff of two stores is meaningful and the snapshot digest
+is reproducible from content alone.
+
+Invariants:
+
+* **append-only** -- records are never rewritten in place; ``seq`` is
+  a dense monotonic counter starting at 0.  Compaction writes *new*
+  segments and retires old ones, preserving the seq of every surviving
+  record (so digests survive compaction unchanged).
+* **schema-versioned** -- every line carries the record schema; the
+  store refuses lines from a future schema rather than misreading them.
+* **content-digested** -- each record stores its own digest (over
+  ``(schema, seq, record)``) and :meth:`TraceStore.snapshot` folds the
+  per-record digests, in seq order, into one store-level digest.  Two
+  stores with the same snapshot digest contain bitwise the same
+  trainable history, which is what makes refits reproducible.
+* **bounded retention** -- ``max_records`` caps live history; when
+  compaction runs, the oldest records beyond the cap are dropped
+  deterministically (lowest seq first) and the count of dropped
+  records is kept in the index for auditability.
+
+No wall-clock timestamps anywhere: ordering and identity come from
+``seq`` and content digests only, so ``repro lint --code`` stays clean
+and two runs of the same scenario produce byte-identical stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections.abc import Iterator
+
+from ..graphs.fingerprint import payload_digest
+from .records import RECORD_SCHEMA_VERSION, StoredObservation, record_digest
+
+__all__ = ["TraceStore", "StoreSnapshot", "SEGMENT_PREFIX"]
+
+SEGMENT_PREFIX = "segment-"
+_INDEX_NAME = "index.json"
+_INDEX_SCHEMA = 1
+
+DEFAULT_SEGMENT_RECORDS = 256
+DEFAULT_MAX_RECORDS = 100_000
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _segment_name(segment_id: int) -> str:
+    return f"{SEGMENT_PREFIX}{segment_id:08d}.jsonl"
+
+
+class StoreSnapshot:
+    """An immutable view of the store at one snapshot digest.
+
+    Holds ``(seq, StoredObservation)`` pairs in seq order plus the
+    digest that pins them.  Refits take a snapshot, never the live
+    store, so a concurrent append cannot change what was trained on.
+    """
+
+    def __init__(self, digest: str,
+                 rows: list[tuple[int, StoredObservation]]):
+        self.digest = digest
+        self._rows = rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[tuple[int, StoredObservation]]:
+        return iter(self._rows)
+
+    def records(self, kind: str | None = None,
+                family: str | None = None,
+                trainable_only: bool = False,
+                ) -> list[tuple[int, StoredObservation]]:
+        out = []
+        for seq, rec in self._rows:
+            if kind is not None and rec.kind != kind:
+                continue
+            if family is not None and rec.family != family:
+                continue
+            if trainable_only and not rec.trainable:
+                continue
+            out.append((seq, rec))
+        return out
+
+    def families(self) -> tuple[str, ...]:
+        return tuple(sorted({rec.family for _, rec in self._rows}))
+
+
+class TraceStore:
+    """The append-only observation store (see module docstring)."""
+
+    def __init__(self, path: str, segment_records: int | None = None,
+                 max_records: int | None = None):
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        # Explicit arguments win; an existing store's persisted
+        # settings come next; library defaults last.
+        persisted: dict = {}
+        if os.path.exists(self._index_path()):
+            with open(self._index_path(), encoding="utf-8") as fh:
+                persisted = json.load(fh)
+        self.segment_records = (
+            segment_records if segment_records is not None
+            else int(persisted.get("segment_records",
+                                   DEFAULT_SEGMENT_RECORDS)))
+        self.max_records = (
+            max_records if max_records is not None
+            else int(persisted.get("max_records", DEFAULT_MAX_RECORDS)))
+        if self.segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        if self.max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self._lock = threading.Lock()
+        self._load()
+
+    # -- persistence ----------------------------------------------------
+    def _index_path(self) -> str:
+        return os.path.join(self.path, _INDEX_NAME)
+
+    def _load(self) -> None:
+        """Rebuild in-memory state from segments (index is derived).
+
+        Unreadable lines are skipped (and remembered in
+        ``load_problems``) rather than fatal, so ``verify()`` can still
+        run against a damaged store and report every defect.
+        """
+        self._rows: list[tuple[int, StoredObservation]] = []
+        self._digests: list[str] = []
+        self._segments: list[dict] = []
+        self._dropped = 0
+        self.load_problems: list[str] = []
+        index = {}
+        if os.path.exists(self._index_path()):
+            with open(self._index_path(), encoding="utf-8") as fh:
+                index = json.load(fh)
+            if index.get("index_schema", _INDEX_SCHEMA) > _INDEX_SCHEMA:
+                raise ValueError(
+                    "store index written by a newer index schema "
+                    f"({index['index_schema']} > {_INDEX_SCHEMA})")
+            self._dropped = int(index.get("dropped_records", 0))
+        names = sorted(
+            n for n in os.listdir(self.path)
+            if n.startswith(SEGMENT_PREFIX) and n.endswith(".jsonl"))
+        for name in names:
+            seg_path = os.path.join(self.path, name)
+            first_seq = last_seq = None
+            count = 0
+            with open(seg_path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        row = json.loads(line)
+                        if row["schema"] > RECORD_SCHEMA_VERSION:
+                            raise ValueError(
+                                f"record schema {row['schema']} is "
+                                f"newer than supported "
+                                f"{RECORD_SCHEMA_VERSION}")
+                        rec = StoredObservation.from_dict(
+                            row["record"])
+                        seq = int(row["seq"])
+                    except (ValueError, KeyError, TypeError) as exc:
+                        self.load_problems.append(
+                            f"{name}:{lineno}: unreadable ({exc})")
+                        continue
+                    self._rows.append((seq, rec))
+                    self._digests.append(row["digest"])
+                    first_seq = seq if first_seq is None else first_seq
+                    last_seq = seq
+                    count += 1
+            self._segments.append({
+                "name": name, "first_seq": first_seq,
+                "last_seq": last_seq, "records": count})
+        # Segments are written in seq order and named monotonically, so
+        # the sorted-by-name read above already yields seq order; guard
+        # against a corrupted layout anyway.
+        if any(self._rows[i][0] >= self._rows[i + 1][0]
+               for i in range(len(self._rows) - 1)):
+            raise ValueError("store segments out of sequence order; "
+                             "run `repro store verify`")
+
+    def _write_index(self) -> None:
+        index = {
+            "index_schema": _INDEX_SCHEMA,
+            "record_schema": RECORD_SCHEMA_VERSION,
+            "segment_records": self.segment_records,
+            "max_records": self.max_records,
+            "live_records": len(self._rows),
+            "next_seq": self._next_seq(),
+            "dropped_records": self._dropped,
+            "segments": self._segments,
+            "snapshot_digest": self._snapshot_digest(),
+        }
+        tmp = self._index_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_canonical(index) + "\n")
+        os.replace(tmp, self._index_path())
+
+    def _next_seq(self) -> int:
+        if self._rows:
+            return self._rows[-1][0] + 1
+        return self._dropped
+
+    # -- append ---------------------------------------------------------
+    def append(self, observation: StoredObservation) -> int:
+        """Append one record; returns its sequence number."""
+        with self._lock:
+            seq = self._next_seq()
+            digest = record_digest(seq, observation)
+            line = _canonical({
+                "schema": RECORD_SCHEMA_VERSION,
+                "seq": seq,
+                "digest": digest,
+                "record": observation.to_dict(),
+            })
+            tail = self._segments[-1] if self._segments else None
+            if tail is None or tail["records"] >= self.segment_records:
+                tail = {"name": _segment_name(self._next_segment_id()),
+                        "first_seq": seq, "last_seq": seq, "records": 0}
+                self._segments.append(tail)
+            seg_path = os.path.join(self.path, tail["name"])
+            with open(seg_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+            tail["last_seq"] = seq
+            tail["records"] += 1
+            self._rows.append((seq, observation))
+            self._digests.append(digest)
+            self._write_index()
+            return seq
+
+    def append_many(self, observations) -> list[int]:
+        return [self.append(obs) for obs in observations]
+
+    def _next_segment_id(self) -> int:
+        # Segment ids never repeat, even across compactions that retire
+        # files: the next id is one past the highest id ever on disk.
+        ids = [int(n[len(SEGMENT_PREFIX):-len(".jsonl")])
+               for n in os.listdir(self.path)
+               if n.startswith(SEGMENT_PREFIX) and n.endswith(".jsonl")]
+        return max(ids) + 1 if ids else 0
+
+    # -- reads ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def records(self, kind: str | None = None,
+                family: str | None = None,
+                trainable_only: bool = False,
+                ) -> list[tuple[int, StoredObservation]]:
+        with self._lock:
+            snap = StoreSnapshot("", list(self._rows))
+        return snap.records(kind=kind, family=family,
+                            trainable_only=trainable_only)
+
+    def _snapshot_digest(self) -> str:
+        return payload_digest({
+            "record_schema": RECORD_SCHEMA_VERSION,
+            "dropped": self._dropped,
+            "digests": self._digests,
+        })
+
+    def snapshot(self) -> StoreSnapshot:
+        """Immutable view + digest of the store right now."""
+        with self._lock:
+            return StoreSnapshot(self._snapshot_digest(),
+                                 list(self._rows))
+
+    # -- verification ---------------------------------------------------
+    def verify(self) -> list[str]:
+        """Re-digest every record from disk; returns problem strings."""
+        problems: list[str] = []
+        with self._lock:
+            segments = list(self._segments)
+        expect_seq: int | None = None
+        for seg in segments:
+            seg_path = os.path.join(self.path, seg["name"])
+            if not os.path.exists(seg_path):
+                problems.append(f"{seg['name']}: segment file missing")
+                continue
+            with open(seg_path, encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    where = f"{seg['name']}:{lineno}"
+                    try:
+                        row = json.loads(line)
+                        rec = StoredObservation.from_dict(row["record"])
+                    except (ValueError, KeyError, TypeError) as exc:
+                        problems.append(f"{where}: unreadable ({exc})")
+                        continue
+                    seq = int(row["seq"])
+                    if expect_seq is not None and seq != expect_seq:
+                        problems.append(
+                            f"{where}: seq {seq}, expected {expect_seq}")
+                    expect_seq = seq + 1
+                    want = record_digest(seq, rec)
+                    if row.get("digest") != want:
+                        problems.append(
+                            f"{where}: digest mismatch "
+                            f"({row.get('digest')} != {want})")
+        return problems
+
+    # -- compaction -----------------------------------------------------
+    def compact(self) -> dict:
+        """Deterministically rewrite segments; enforce retention.
+
+        Drops the oldest records beyond ``max_records`` (lowest seq
+        first), then repacks the survivors into full segments.  Record
+        seqs and per-record digests survive compaction unchanged; the
+        store-level snapshot digest only changes when records were
+        actually dropped (it folds in the dropped count).  Returns a
+        summary dict (segments before/after, records dropped).
+        """
+        with self._lock:
+            before_segments = len(self._segments)
+            before_records = len(self._rows)
+            keep = self._rows[-self.max_records:]
+            dropped = before_records - len(keep)
+            self._dropped += dropped
+            old_names = [s["name"] for s in self._segments]
+            next_id = self._next_segment_id()
+            self._rows = keep
+            self._digests = self._digests[before_records - len(keep):]
+            self._segments = []
+            for start in range(0, len(keep), self.segment_records):
+                chunk = keep[start:start + self.segment_records]
+                name = _segment_name(next_id)
+                next_id += 1
+                seg_path = os.path.join(self.path, name)
+                tmp = seg_path + ".tmp"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for offset, (seq, rec) in enumerate(chunk):
+                        fh.write(_canonical({
+                            "schema": RECORD_SCHEMA_VERSION,
+                            "seq": seq,
+                            "digest": self._digests[start + offset],
+                            "record": rec.to_dict(),
+                        }) + "\n")
+                os.replace(tmp, seg_path)
+                self._segments.append({
+                    "name": name,
+                    "first_seq": chunk[0][0],
+                    "last_seq": chunk[-1][0],
+                    "records": len(chunk)})
+            for name in old_names:
+                os.remove(os.path.join(self.path, name))
+            self._write_index()
+            return {
+                "segments_before": before_segments,
+                "segments_after": len(self._segments),
+                "records_before": before_records,
+                "records_after": len(keep),
+                "records_dropped": dropped,
+                "snapshot_digest": self._snapshot_digest(),
+            }
+
+    # -- introspection --------------------------------------------------
+    def describe(self) -> dict:
+        """JSON-able summary used by ``repro store inspect``."""
+        with self._lock:
+            kinds: dict[str, int] = {}
+            families: dict[str, int] = {}
+            trainable = 0
+            for _, rec in self._rows:
+                kinds[rec.kind] = kinds.get(rec.kind, 0) + 1
+                families[rec.family] = families.get(rec.family, 0) + 1
+                trainable += 1 if rec.trainable else 0
+            return {
+                "path": self.path,
+                "record_schema": RECORD_SCHEMA_VERSION,
+                "live_records": len(self._rows),
+                "trainable_records": trainable,
+                "dropped_records": self._dropped,
+                "next_seq": self._next_seq(),
+                "segments": [dict(s) for s in self._segments],
+                "kinds": dict(sorted(kinds.items())),
+                "families": dict(sorted(families.items())),
+                "snapshot_digest": self._snapshot_digest(),
+            }

@@ -34,6 +34,23 @@ def _obs_point(ratio=1.0, off_ms=2.0, identical=True):
             "predictions_identical": identical}
 
 
+def _refit_point(promoted=True, deterministic=True, ratio=1.0,
+                 off_ms=2.0, candidate_mae=0.01, incumbent_mae=5.0):
+    return {
+        "store_records": 24, "snapshot_digest": "a" * 20,
+        "candidate_version": "v-" + "b" * 12, "promoted": promoted,
+        "families": {"alexnet": {"family": "alexnet",
+                                 "candidate_mae": candidate_mae,
+                                 "incumbent_mae": incumbent_mae,
+                                 "ernest_mae": 1.0, "gp_mae": 0.5,
+                                 "rows": 6, "candidate_wins": True}},
+        "deterministic": deterministic,
+        "shadow_off_p50_ms": off_ms,
+        "shadow_on_p50_ms": off_ms * ratio,
+        "shadow_overhead_ratio": ratio,
+    }
+
+
 class TestCheckGates:
     def test_clean_payload_passes(self):
         payload = _payload(
@@ -99,6 +116,39 @@ class TestCheckGates:
         payload = dict(_payload(), obs=_obs_point(identical=False))
         failures = check_gates(payload)
         assert any("bitwise contract" in f for f in failures)
+
+    def test_refit_clean_point_passes(self):
+        payload = dict(_payload(), refit=_refit_point())
+        assert check_gates(payload) == []
+
+    def test_refit_not_promoted_fails(self):
+        payload = dict(_payload(), refit=_refit_point(promoted=False))
+        assert any("promotion gate" in f for f in check_gates(payload))
+
+    def test_refit_family_mae_regression_fails(self):
+        payload = dict(_payload(),
+                       refit=_refit_point(candidate_mae=9.0,
+                                          incumbent_mae=5.0))
+        assert any("above incumbent" in f for f in check_gates(payload))
+
+    def test_refit_nondeterminism_fails(self):
+        payload = dict(_payload(),
+                       refit=_refit_point(deterministic=False))
+        assert any("diverged" in f for f in check_gates(payload))
+
+    def test_refit_shadow_over_budget_fails(self):
+        payload = dict(_payload(), refit=_refit_point(ratio=1.50))
+        assert any("shadow mirroring" in f
+                   for f in check_gates(payload))
+
+    def test_refit_shadow_slack_absorbs_tiny_p50(self):
+        # Over the ratio budget but only 0.05ms absolute: noise.
+        payload = dict(_payload(), refit=_refit_point(ratio=1.50,
+                                                      off_ms=0.1))
+        assert check_gates(payload) == []
+
+    def test_legacy_payload_without_refit_key_passes(self):
+        assert check_gates(_payload()) == []
 
 
 @pytest.mark.slow

@@ -1,0 +1,97 @@
+"""`repro store` and `repro refit` CLI commands."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.store import SEGMENT_PREFIX, StoredObservation, TraceStore
+
+
+def _obs(actual=1.0):
+    return StoredObservation(
+        kind="sim", model_name="resnet18", dataset_name="cifar10",
+        batch_size_per_server=32, epochs=1, servers=("gpu-p100",),
+        net_latency=1e-4, nfs_throughput=5e8, actual_time=actual)
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = str(tmp_path / "store")
+    store = TraceStore(path, segment_records=2)
+    store.append_many(_obs(float(i)) for i in range(5))
+    return path
+
+
+class TestStoreCli:
+    def test_inspect_json(self, store_path, capsys):
+        assert main(["store", "inspect", store_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["live_records"] == 5
+        assert payload["snapshot_digest"]
+
+    def test_inspect_text(self, store_path, capsys):
+        assert main(["store", "inspect", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "digest" in out
+
+    def test_verify_digest_clean_store_exits_zero(self, store_path,
+                                                  capsys):
+        assert main(["store", "verify-digest", store_path,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["problems"] == []
+
+    def test_verify_digest_corrupt_store_exits_one(self, store_path,
+                                                   capsys):
+        segment = sorted(n for n in os.listdir(store_path)
+                         if n.startswith(SEGMENT_PREFIX))[0]
+        seg_path = os.path.join(store_path, segment)
+        text = open(seg_path, encoding="utf-8").read()
+        with open(seg_path, "w", encoding="utf-8") as fh:
+            fh.write(text.replace('"actual_time":0.0',
+                                  '"actual_time":9.9'))
+        assert main(["store", "verify-digest", store_path,
+                     "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert any("digest mismatch" in p for p in payload["problems"])
+
+    def test_compact_enforces_retention(self, store_path, capsys):
+        assert main(["store", "compact", store_path,
+                     "--max-records", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records_dropped"] == 2
+        assert payload["records_after"] == 3
+        assert len(TraceStore(store_path)) == 3
+
+    def test_missing_store_exits_one(self, tmp_path, capsys):
+        assert main(["store", "inspect",
+                     str(tmp_path / "nowhere")]) == 1
+        assert "no such trace store" in capsys.readouterr().err
+
+
+class TestRefitCli:
+    def test_on_demand_refit_requires_store_and_artifact(self, capsys):
+        assert main(["refit"]) == 1
+        assert "--store" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_self_test_passes_and_reports_json(self, capsys):
+        assert main(["refit", "--self-test", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["self_test"] == "pass"
+        determinism = payload["determinism"]
+        assert determinism["summary_match"] is True
+        assert determinism["snapshot_digest_match"] is True
+        assert determinism["candidate_version_match"] is True
+        summary = payload["summary"]
+        assert summary["decision"]["promote"] is True
+        assert summary["active_version"] == summary["candidate"][
+            "version"]
+
+    @pytest.mark.slow
+    def test_self_test_text_mode(self, capsys):
+        assert main(["refit", "--self-test"]) == 0
+        out = capsys.readouterr().out
+        assert "promoted" in out or "promote" in out

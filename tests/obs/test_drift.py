@@ -102,3 +102,84 @@ class TestDriftTracker:
         tracker = DriftTracker()
         assert tracker.window == DEFAULT_WINDOW
         assert tracker.threshold == DEFAULT_THRESHOLD
+
+
+class TestDriftEdgeCases:
+    """Windows the refit loop must survive: empty, short, degenerate."""
+
+    def test_empty_window_never_drifts(self):
+        tracker = DriftTracker(window=4)
+        assert tracker.drifted_families() == []
+        stat = tracker.statistic("m")
+        assert stat.observations == 0
+        assert stat.score == 0.0 and not stat.drifted
+
+    def test_window_shorter_than_reference_never_drifts(self):
+        tracker = DriftTracker(window=8)
+        for _ in range(7):  # reference (8) not even frozen yet
+            tracker.observe_error("m", 100.0)
+        stat = tracker.statistic("m")
+        assert not stat.drifted and stat.score == 0.0
+
+    def test_reference_full_but_recent_short_never_drifts(self):
+        tracker = DriftTracker(window=8)
+        for _ in range(10):  # needs 8 + 4 before scoring
+            tracker.observe_error("m", 0.1)
+        assert not tracker.statistic("m").drifted
+
+    def test_zero_variance_reference_still_detects_shift(self):
+        """A constant reference (std == 0) must not divide by zero --
+        and any real shift against it must register as drift."""
+        tracker = DriftTracker(window=4)
+        for _ in range(4):
+            tracker.observe_error("m", 0.1)  # frozen, zero variance
+        for _ in range(4):
+            tracker.observe_error("m", 0.2)
+        stat = tracker.statistic("m")
+        assert stat.drifted
+        assert stat.score > tracker.threshold
+        assert stat.score < float("inf")
+
+    def test_zero_variance_reference_with_identical_recent_is_quiet(
+            self):
+        tracker = DriftTracker(window=4)
+        for _ in range(12):
+            tracker.observe_error("m", 0.1)
+        stat = tracker.statistic("m")
+        assert stat.score == pytest.approx(0.0)
+        assert not stat.drifted
+
+    def test_refreeze_one_family_resets_only_it(self):
+        tracker = DriftTracker(window=4)
+        for _ in range(8):
+            tracker.observe_error("a", 0.1)
+            tracker.observe_error("b", 0.1)
+        for _ in range(4):
+            tracker.observe_error("a", 5.0)
+            tracker.observe_error("b", 5.0)
+        assert tracker.drifted_families() == ["a", "b"]
+        tracker.refreeze("a")
+        assert tracker.drifted_families() == ["b"]
+        assert tracker.statistic("a").observations == 0
+
+    def test_refreeze_all_after_promotion_rebaselines(self):
+        """Post-promotion the *next* observations become the new
+        reference -- the old regime must not keep tripping drift."""
+        tracker = DriftTracker(window=4)
+        for _ in range(8):
+            tracker.observe_error("m", 0.05)
+        for _ in range(4):
+            tracker.observe_error("m", 2.0)
+        assert tracker.drifted_families() == ["m"]
+        tracker.refreeze()
+        assert tracker.families() == []
+        # New regime's errors freeze as the new reference: no drift.
+        for _ in range(12):
+            tracker.observe_error("m", 0.04)
+        assert not tracker.statistic("m").drifted
+
+    def test_refreeze_unknown_family_is_a_noop(self):
+        tracker = DriftTracker()
+        tracker.observe_error("m", 0.1)
+        tracker.refreeze("ghost")
+        assert tracker.families() == ["m"]

@@ -1,0 +1,1 @@
+"""Continual-refit tests: engine, registry, shadow, gate, e2e loop."""

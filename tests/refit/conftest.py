@@ -1,0 +1,45 @@
+"""Shared fixtures for the continual-refit tests."""
+
+import pytest
+
+from repro.core import PredictDDL
+from repro.ghn import GHNConfig, GHNRegistry
+from repro.sim import generate_trace
+from repro.store import StoredObservation, TraceStore, ingest_trace
+
+FAST_GHN = GHNConfig(hidden_dim=8, num_passes=1, s_max=3, chunk_size=16)
+
+MODELS = ["resnet18", "alexnet"]
+SIZES = [1, 2, 4]
+
+
+@pytest.fixture(scope="package")
+def trace():
+    return generate_trace(MODELS, "cifar10", "gpu-p100", SIZES, seed=0)
+
+
+@pytest.fixture(scope="package")
+def predictor(trace):
+    """One small trained predictor shared across refit tests."""
+    registry = GHNRegistry(config=FAST_GHN, train_steps=5)
+    return PredictDDL(registry=registry, seed=0).fit(trace)
+
+
+@pytest.fixture
+def drifted_store(tmp_path, trace):
+    """A store holding the training trace plus drifted served truth."""
+    store = TraceStore(str(tmp_path / "store"))
+    ingest_trace(store, trace)
+    store.append_many(
+        StoredObservation.from_served(
+            _as_request(point), point.total_time,
+            actual=point.total_time * 1.6, model_version="v0")
+        for point in trace)
+    return store
+
+
+def _as_request(point):
+    from repro.core import PredictionRequest
+
+    return PredictionRequest(workload=point.workload,
+                             cluster=point.cluster)

@@ -1,0 +1,137 @@
+"""Refit engine reproducibility and the versioned model registry."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.refit import (ModelRegistry, ModelVersion, RefitConfig,
+                         refit_from_snapshot)
+
+
+def _eval_features(predictor, snapshot):
+    points = [rec.training_point() for _, rec in
+              snapshot.records(trainable_only=True)]
+    return predictor.feature_matrix(points)
+
+
+class TestRefitEngine:
+    def test_same_snapshot_same_candidate(self, predictor,
+                                          drifted_store):
+        snapshot = drifted_store.snapshot()
+        config = RefitConfig(regressor_name="PR", seed=0)
+        first = refit_from_snapshot(predictor, snapshot, config)
+        second = refit_from_snapshot(predictor, snapshot, config)
+        assert first.meta.version == second.meta.version
+        feats = _eval_features(predictor, snapshot)
+        assert np.array_equal(first.engine.predict(feats),
+                              second.engine.predict(feats))
+
+    def test_different_data_different_version(self, predictor,
+                                              drifted_store):
+        before = drifted_store.snapshot()
+        config = RefitConfig(regressor_name="PR", seed=0)
+        a = refit_from_snapshot(predictor, before, config)
+        _, rec = drifted_store.records()[0]
+        drifted_store.append(dataclasses.replace(rec, actual_time=99.0))
+        b = refit_from_snapshot(predictor, drifted_store.snapshot(),
+                                config)
+        assert a.meta.version != b.meta.version
+
+    def test_train_window_selects_newest_rows(self, predictor,
+                                              drifted_store):
+        snapshot = drifted_store.snapshot()
+        all_seqs = [seq for seq, _ in
+                    snapshot.records(trainable_only=True)]
+        result = refit_from_snapshot(
+            predictor, snapshot,
+            RefitConfig(regressor_name="PR", train_window=6))
+        assert list(result.train_seqs) == all_seqs[-6:]
+        assert result.meta.train_rows == 6
+        assert result.meta.train_first_seq == all_seqs[-6]
+        assert result.meta.train_last_seq == all_seqs[-1]
+
+    def test_too_few_trainable_rows_refused(self, predictor,
+                                            drifted_store):
+        with pytest.raises(ValueError, match="trainable"):
+            refit_from_snapshot(
+                predictor, drifted_store.snapshot(),
+                RefitConfig(regressor_name="PR", train_window=2,
+                            min_train_points=6))
+
+    def test_unknown_regressor_rejected(self):
+        with pytest.raises(KeyError):
+            RefitConfig(regressor_name="made-up")
+
+    def test_candidate_learns_the_drift(self, predictor,
+                                        drifted_store):
+        """Trained on drifted truth, the candidate must track it."""
+        snapshot = drifted_store.snapshot()
+        served = snapshot.records(kind="served", trainable_only=True)
+        result = refit_from_snapshot(
+            predictor, snapshot,
+            RefitConfig(regressor_name="PR",
+                        train_window=len(served)))
+        points = [rec.training_point() for _, rec in served]
+        feats = predictor.feature_matrix(points)
+        actual = np.array([p.total_time for p in points])
+        candidate_err = np.abs(result.engine.predict(feats) - actual)
+        incumbent_err = np.abs(predictor.engine.predict(feats) - actual)
+        assert candidate_err.mean() < incumbent_err.mean()
+
+
+class TestModelRegistry:
+    def _meta(self, version="v-a", parent=None):
+        return ModelVersion(version=version, parent=parent,
+                            snapshot_digest="d" * 20,
+                            regressor_name="PR", train_first_seq=0,
+                            train_last_seq=5, train_rows=6)
+
+    def test_register_get_promote(self):
+        registry = ModelRegistry()
+        registry.register(self._meta(), artifact="engine")
+        assert registry.get("v-a") == "engine"
+        assert registry.active is None
+        registry.promote("v-a")
+        assert registry.active == "v-a"
+
+    def test_register_is_idempotent_for_identical_meta(self):
+        registry = ModelRegistry()
+        registry.register(self._meta(), "x")
+        registry.register(self._meta(), "x")
+        assert len(registry) == 1
+
+    def test_colliding_version_id_with_new_meta_rejected(self):
+        registry = ModelRegistry()
+        registry.register(self._meta(), "x")
+        other = dataclasses.replace(self._meta(), train_rows=99)
+        with pytest.raises(ValueError, match="collision"):
+            registry.register(other, "y")
+
+    def test_promote_unknown_version_rejected(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().promote("v-ghost")
+
+    def test_lineage_walks_parents(self):
+        registry = ModelRegistry()
+        registry.register(self._meta("v-root"), "a")
+        registry.register(self._meta("v-child", parent="v-root"), "b")
+        registry.register(self._meta("v-grand", parent="v-child"), "c")
+        chain = [m.version for m in registry.lineage("v-grand")]
+        assert chain == ["v-grand", "v-child", "v-root"]
+
+    def test_lineage_stops_at_unregistered_parent(self):
+        registry = ModelRegistry()
+        registry.register(self._meta("v-child", parent="v0"), "b")
+        assert [m.version for m in registry.lineage("v-child")] == [
+            "v-child"]
+
+    def test_version_id_is_content_addressed(self):
+        base = ModelVersion.version_id("v0", "d" * 20, "PR",
+                                       [0, 1, 2], 0)
+        assert base == ModelVersion.version_id("v0", "d" * 20, "PR",
+                                               [0, 1, 2], 0)
+        assert base != ModelVersion.version_id("v0", "d" * 20, "PR",
+                                               [0, 1, 3], 0)
+        assert base != ModelVersion.version_id("v0", "d" * 20, "PR",
+                                               [0, 1, 2], 1)

@@ -1,0 +1,97 @@
+"""RefitController + the end-to-end closed-loop scenario."""
+
+import pytest
+
+from repro.obs.drift import DriftTracker
+from repro.refit import (RefitConfig, RefitController,
+                         run_refit_scenario, self_test)
+from repro.serve import PredictionServer, ServeConfig
+from repro.store import TraceStore, ingest_trace
+
+
+@pytest.fixture
+def loop(predictor, trace, tmp_path):
+    store = TraceStore(str(tmp_path / "store"))
+    ingest_trace(store, trace)
+    server = PredictionServer(predictor, ServeConfig(workers=1))
+    server.start()
+    controller = RefitController(
+        server, store, tracker=DriftTracker(window=4, threshold=3.0),
+        config=RefitConfig(regressor_name="PR",
+                           train_window=len(trace), eval_window=6))
+    incumbent_engine = predictor.engine
+    yield controller, server, store, trace
+    server.stop()
+    # The package-scoped predictor outlives this test; undo any
+    # promotion's hot swap so later tests see the original engine.
+    predictor.engine = incumbent_engine
+
+
+class TestRefitController:
+    def test_observe_served_lands_in_store_and_tracker(self, loop):
+        controller, server, store, trace = loop
+        from repro.core import PredictionRequest
+
+        point = trace[0]
+        request = PredictionRequest(workload=point.workload,
+                                    cluster=point.cluster)
+        before = len(store)
+        seq = controller.observe_served(request, 10.0,
+                                        actual=point.total_time)
+        assert seq == before
+        _, rec = store.records()[-1]
+        assert rec.kind == "served"
+        assert rec.model_version == server.model_version
+        stat = controller.tracker.statistic(point.workload.model_name)
+        assert stat.observations == 1
+
+    def test_refit_promotes_and_hot_swaps(self, loop):
+        controller, server, store, trace = loop
+        incumbent_version = server.model_version
+        controller.register_incumbent()
+        summary = controller.refit()
+        assert summary["decision"]["promote"]
+        candidate = summary["candidate"]["version"]
+        assert server.model_version == candidate
+        assert controller.registry.active == candidate
+        assert controller.promotions == [candidate]
+        # Lineage: candidate -> bootstrap incumbent.
+        chain = [m.version for m in
+                 controller.registry.lineage(candidate)]
+        assert chain == [candidate, incumbent_version]
+
+    def test_promotion_refreezes_the_drift_reference(self, loop):
+        controller, server, store, trace = loop
+        family = trace[0].workload.model_name
+        for _ in range(12):
+            controller.tracker.observe_error(family, 0.5)
+        assert controller.tracker.statistic(family).observations > 0
+        controller.register_incumbent()
+        controller.refit()
+        assert controller.tracker.statistic(family).observations == 0
+
+
+@pytest.mark.slow
+class TestClosedLoopScenario:
+    def test_scenario_promotes_with_exactly_once_accounting(self):
+        summary = run_refit_scenario(seed=0)
+        assert not summary["drifted_after_a"]
+        assert summary["drifted_after_b"]
+        for burst in ("burst_a", "burst_b", "burst_m", "burst_c"):
+            assert summary[burst]["exactly_once"], summary[burst]
+        assert summary["shadow_mirrored_any"]
+        assert summary["decision"]["promote"]
+        assert summary["active_version"] == summary["candidate"][
+            "version"]
+        # The promoted regressor answers burst C: a version-blind
+        # result cache would replay burst A's predictions verbatim.
+        assert summary["predictions_changed"]
+
+    def test_self_test_is_deterministic_and_green(self):
+        payload, failures = self_test(seed=0)
+        assert failures == []
+        assert payload["self_test"] == "pass"
+        determinism = payload["determinism"]
+        assert determinism["summary_match"]
+        assert determinism["snapshot_digest_match"]
+        assert determinism["candidate_version_match"]

@@ -1,0 +1,125 @@
+"""Shadow scorer semantics and the per-family promotion gate."""
+
+import pytest
+
+from repro.core import PredictionRequest
+from repro.core.requests import PredictionResult
+from repro.refit import (PromotionGate, RefitConfig, ShadowScorer,
+                         refit_from_snapshot)
+from repro.sim import DLWorkload
+from repro.cluster import make_cluster
+
+
+def _request(model="resnet18", size=2, cluster=True):
+    return PredictionRequest(
+        workload=DLWorkload(model, "cifar10", batch_size_per_server=32),
+        cluster=make_cluster(size, "gpu-p100") if cluster else None)
+
+
+def _result(request, predicted=30.0):
+    return PredictionResult(request=request, predicted_time=predicted,
+                            dataset_used="cifar10", ghn_trained=False,
+                            embedding_seconds=0.0,
+                            inference_seconds=0.0)
+
+
+class TestShadowScorer:
+    def test_sync_mirror_scores_both_models(self, predictor):
+        scorer = ShadowScorer(predictor, predictor.engine, "v-x",
+                              sync=True)
+        request = _request()
+        scorer.mirror(request, _result(request, predicted=30.0))
+        assert scorer.mirrored == 1
+        (sample,) = scorer.samples
+        assert sample.family == "resnet18"
+        assert sample.cluster_size == 2
+        assert sample.incumbent == 30.0
+        # Candidate == incumbent engine here, so the score must match
+        # a direct prediction on the same features.
+        row = predictor.features_for(request.workload, request.cluster)
+        assert sample.candidate == pytest.approx(
+            float(predictor.engine.predict(row.reshape(1, -1))[0]))
+
+    def test_cluster_less_requests_are_skipped(self, predictor):
+        scorer = ShadowScorer(predictor, predictor.engine, "v-x",
+                              sync=True)
+        request = _request(cluster=False)
+        scorer.mirror(request, _result(request))
+        assert scorer.mirrored == 0
+        assert scorer.skipped == 1
+
+    def test_async_mirror_drains_on_close(self, predictor):
+        scorer = ShadowScorer(predictor, predictor.engine, "v-x")
+        for _ in range(4):
+            request = _request()
+            scorer.mirror(request, _result(request))
+        scorer.close()
+        assert scorer.mirrored == 4
+        assert scorer.dropped == 0
+
+    def test_async_bounded_queue_drops_and_counts(self, predictor):
+        # max_pending=0 would never enqueue; use 1 and flood before the
+        # drain thread can keep up by pre-stopping it.
+        scorer = ShadowScorer(predictor, predictor.engine, "v-x",
+                              max_pending=1)
+        scorer.close()  # drain thread gone; queue bound still enforced
+        request = _request()
+        scorer.mirror(request, _result(request))
+        scorer.mirror(request, _result(request))
+        assert scorer.dropped >= 1
+
+    def test_snapshot_summarizes_per_family(self, predictor):
+        scorer = ShadowScorer(predictor, predictor.engine, "v-x",
+                              sync=True)
+        for model in ("resnet18", "resnet18", "alexnet"):
+            request = _request(model=model)
+            scorer.mirror(request, _result(request))
+        summary = scorer.snapshot()
+        assert summary["version"] == "v-x"
+        assert summary["families"] == {"alexnet": 1, "resnet18": 2}
+
+
+class TestPromotionGate:
+    def test_accurate_candidate_promotes(self, predictor,
+                                         drifted_store):
+        snapshot = drifted_store.snapshot()
+        served = len(snapshot.records(kind="served"))
+        result = refit_from_snapshot(
+            predictor, snapshot,
+            RefitConfig(regressor_name="PR", train_window=served))
+        gate = PromotionGate(predictor, eval_window=served)
+        decision = gate.evaluate(snapshot,
+                                 incumbent=predictor.engine,
+                                 candidate=result.engine)
+        assert decision.promote
+        assert decision.eval_rows == served
+        for comparison in decision.families:
+            assert comparison.candidate_wins
+            assert comparison.candidate_mae <= comparison.incumbent_mae
+            # Baselines are reference points, present on >= 2 rows.
+            assert comparison.ernest_mae is not None
+            assert comparison.gp_mae is not None
+
+    def test_incumbent_never_loses_to_itself(self, predictor,
+                                             drifted_store):
+        gate = PromotionGate(predictor, eval_window=8)
+        decision = gate.evaluate(drifted_store.snapshot(),
+                                 incumbent=predictor.engine,
+                                 candidate=predictor.engine)
+        # Ties promote (<=): a bit-identical candidate is never worse.
+        assert decision.promote
+
+    def test_short_eval_window_blocks_promotion(self, predictor,
+                                                drifted_store):
+        gate = PromotionGate(predictor, eval_window=16,
+                             min_eval_rows=10_000)
+        decision = gate.evaluate(drifted_store.snapshot(),
+                                 incumbent=predictor.engine,
+                                 candidate=predictor.engine)
+        assert not decision.promote
+        assert "need >=" in decision.reason
+        assert decision.families == ()
+
+    def test_min_eval_rows_validated(self, predictor):
+        with pytest.raises(ValueError):
+            PromotionGate(predictor, min_eval_rows=0)

@@ -1,0 +1,76 @@
+"""IncrementalRidge: exact sufficient-statistics windowed refits."""
+
+import numpy as np
+import pytest
+
+from repro.regression import IncrementalRidge, LinearRegression
+from repro.regression.base import NotFittedError
+
+
+def _data(n=40, d=5, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    coef = rng.normal(size=d)
+    y = x @ coef + 3.0 + rng.normal(scale=0.01, size=n)
+    return x, y
+
+
+class TestEquivalence:
+    def test_partial_fit_stream_matches_batch_fit(self):
+        x, y = _data()
+        batch = LinearRegression(alpha=0.5).fit(x, y)
+        stream = IncrementalRidge(alpha=0.5)
+        for start in range(0, len(x), 7):  # uneven chunks on purpose
+            stream.partial_fit(x[start:start + 7], y[start:start + 7])
+        np.testing.assert_allclose(stream.predict(x), batch.predict(x),
+                                   rtol=1e-9, atol=1e-9)
+        assert stream.n_samples_ == len(x)
+
+    def test_one_shot_fit_matches_batch_fit(self):
+        x, y = _data(seed=1)
+        np.testing.assert_allclose(
+            IncrementalRidge(alpha=0.5).fit(x, y).predict(x),
+            LinearRegression(alpha=0.5).fit(x, y).predict(x),
+            rtol=1e-9, atol=1e-9)
+
+    def test_chunk_order_is_irrelevant(self):
+        """Sufficient statistics are a sum: any ingestion order of the
+        same rows yields the same model."""
+        x, y = _data(seed=2)
+        forward = IncrementalRidge().fit(x, y)
+        backward = IncrementalRidge()
+        for start in reversed(range(0, len(x), 10)):
+            backward.partial_fit(x[start:start + 10],
+                                 y[start:start + 10])
+        np.testing.assert_allclose(backward.predict(x),
+                                   forward.predict(x),
+                                   rtol=1e-9, atol=1e-9)
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            IncrementalRidge().predict(np.ones((2, 3)))
+
+    def test_dimension_change_between_chunks_rejected(self):
+        model = IncrementalRidge()
+        model.partial_fit(np.ones((4, 3)), np.ones(4))
+        with pytest.raises(ValueError):
+            model.partial_fit(np.ones((4, 5)), np.ones(4))
+
+    def test_fit_resets_accumulated_state(self):
+        x, y = _data(seed=3)
+        model = IncrementalRidge(alpha=0.5)
+        model.partial_fit(np.ones((6, x.shape[1])), np.zeros(6))
+        model.fit(x, y)  # must forget the junk chunk
+        assert model.n_samples_ == len(x)
+        np.testing.assert_allclose(
+            model.predict(x),
+            LinearRegression(alpha=0.5).fit(x, y).predict(x),
+            rtol=1e-9, atol=1e-9)
+
+    def test_constant_feature_is_stable(self):
+        x, y = _data(seed=4)
+        x[:, 0] = 7.0  # zero variance column
+        model = IncrementalRidge(alpha=0.5).fit(x, y)
+        assert np.isfinite(model.predict(x)).all()

@@ -146,3 +146,54 @@ class TestResultCache:
         cache = ResultCache(4)
         cache.store(self._result(_request(size=2)))
         assert cache.lookup(_request(size=4)) is None
+
+
+class TestResultCacheVersioning:
+    """Regression: cache keys must fold in the regressor version.
+
+    Before the continual-refit work, a hot-swapped regressor kept
+    serving the *old* model's cached predictions -- same workload +
+    cluster, same key, stale value.
+    """
+
+    def _result(self, request) -> PredictionResult:
+        return PredictionResult(request=request, predicted_time=42.5,
+                                dataset_used="cifar10",
+                                ghn_trained=False,
+                                embedding_seconds=0.01,
+                                inference_seconds=0.001)
+
+    def test_swap_invalidates_old_entries(self):
+        cache = ResultCache(4, version="v0")
+        cache.store(self._result(_request()))
+        assert cache.lookup(_request()) is not None
+        cache.set_version("v1")
+        # The v0 entry must NOT answer v1 traffic.
+        assert cache.lookup(_request()) is None
+
+    def test_versions_do_not_collide(self):
+        cache = ResultCache(4, version="v0")
+        cache.store(self._result(_request()))
+        cache.set_version("v1")
+        cache.store(self._result(_request()))
+        assert cache.contains(request_cache_key(_request()))
+        # Explicit version pins reach either keyspace.
+        assert cache.contains(request_cache_key(_request()),
+                              version="v0")
+
+    def test_in_flight_batch_files_under_its_starting_version(self):
+        """A batch that began under v0 must store under v0 even if a
+        promotion lands mid-flight (the server snapshots the version
+        at `_execute_group` entry and passes it through)."""
+        cache = ResultCache(4, version="v0")
+        key = request_cache_key(_request())
+        cache.set_version("v1")  # promotion happens mid-flight
+        cache.store(self._result(_request()), key, version="v0")
+        assert cache.lookup(_request(), key, version="v0") is not None
+        assert cache.lookup(_request(), key) is None
+
+    def test_version_property_tracks_swaps(self):
+        cache = ResultCache(4)
+        assert cache.version == "v0"
+        cache.set_version("v-abc")
+        assert cache.version == "v-abc"

@@ -1,0 +1,1 @@
+"""Trace-store tests: records, segments, digests, ingestion."""

@@ -1,0 +1,93 @@
+"""Ingestion seams: traces, served samples, and the cluster collector."""
+
+import time
+
+import pytest
+
+from repro.cluster import ClusterResourceCollector, Fabric, ServerAgent
+from repro.cluster import make_cluster
+from repro.core import PredictionRequest
+from repro.sim import DLWorkload, generate_trace
+from repro.store import ServedSampleSink, TraceStore, ingest_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(["alexnet"], "cifar10", "gpu-p100", [1, 2],
+                          seed=0)
+
+
+def _request(cluster=True):
+    return PredictionRequest(
+        workload=DLWorkload("alexnet", "cifar10",
+                            batch_size_per_server=32),
+        cluster=make_cluster(2, "gpu-p100") if cluster else None)
+
+
+class TestIngestTrace:
+    def test_every_point_lands_as_sim_record(self, tmp_path, trace):
+        store = TraceStore(str(tmp_path / "s"))
+        seqs = ingest_trace(store, trace)
+        assert seqs == list(range(len(trace)))
+        rows = store.records(kind="sim", trainable_only=True)
+        assert len(rows) == len(trace)
+        assert [r.actual_time for _, r in rows] == pytest.approx(
+            [p.total_time for p in trace])
+
+    def test_ingest_is_digest_deterministic(self, tmp_path, trace):
+        a = TraceStore(str(tmp_path / "a"))
+        b = TraceStore(str(tmp_path / "b"))
+        ingest_trace(a, trace)
+        ingest_trace(b, trace)
+        assert a.snapshot().digest == b.snapshot().digest
+
+
+class TestServedSampleSink:
+    def test_appends_with_resolved_version(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        sink = ServedSampleSink(store, version_of=lambda: "v-live")
+        seq = sink(_request(), 42.0, actual=40.0)
+        assert seq == 0
+        assert sink.appended == 1
+        _, rec = store.records()[0]
+        assert rec.kind == "served"
+        assert rec.model_version == "v-live"
+        assert rec.trainable
+
+    def test_cluster_less_requests_are_counted_not_stored(self,
+                                                          tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        sink = ServedSampleSink(store)
+        assert sink(_request(cluster=False), 42.0) is None
+        assert sink.skipped == 1
+        assert len(store) == 0
+
+
+class TestCollectorIngestion:
+    def test_agent_reported_trace_reaches_the_store(self, tmp_path,
+                                                    trace):
+        store = TraceStore(str(tmp_path / "s"))
+        fabric = Fabric()
+        collector = ClusterResourceCollector(fabric,
+                                             poll_interval=0.005,
+                                             num_pollers=1)
+        collector.attach_store(store)
+        collector.start()
+        agent = ServerAgent(fabric, "worker0", collector.address,
+                            lambda: None)
+        try:
+            agent.report_trace(trace)
+            deadline = time.monotonic() + 5.0
+            while (collector.trace_points_ingested < len(trace)
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+        finally:
+            collector.stop()
+        assert collector.trace_points_ingested == len(trace)
+        assert len(store.records(kind="sim")) == len(trace)
+
+    def test_direct_ingest_without_store_is_a_noop(self, trace):
+        fabric = Fabric()
+        collector = ClusterResourceCollector(fabric, num_pollers=1)
+        assert collector.ingest_trace(trace) == 0
+        collector.endpoint.close()

@@ -1,0 +1,95 @@
+"""StoredObservation schema: validation, round-trips, digests."""
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core import PredictionRequest
+from repro.sim import DLWorkload, generate_trace
+from repro.store import RefitPoint, StoredObservation, record_digest
+
+
+def _obs(model="resnet18", size=2, actual=12.5, kind="sim", **kwargs):
+    return StoredObservation(
+        kind=kind, model_name=model, dataset_name="cifar10",
+        batch_size_per_server=32, epochs=1,
+        servers=("gpu-p100",) * size, net_latency=1e-4,
+        nfs_throughput=5e8, actual_time=actual, **kwargs)
+
+
+def _request(model="resnet18", size=2):
+    return PredictionRequest(
+        workload=DLWorkload(model, "cifar10", batch_size_per_server=32),
+        cluster=make_cluster(size, "gpu-p100"))
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            _obs(kind="mystery")
+
+    def test_empty_servers_rejected(self):
+        with pytest.raises(ValueError, match="server"):
+            _obs(size=0)
+
+    def test_served_record_requires_resolved_cluster(self):
+        request = PredictionRequest(
+            workload=DLWorkload("resnet18", "cifar10",
+                                batch_size_per_server=32),
+            cluster=None)
+        with pytest.raises(ValueError, match="cluster"):
+            StoredObservation.from_served(request, 10.0)
+
+
+class TestConstruction:
+    def test_from_trace_point_is_trainable_sim(self):
+        trace = generate_trace(["alexnet"], "cifar10", "gpu-p100", [2],
+                               seed=0)
+        obs = StoredObservation.from_trace_point(trace[0])
+        assert obs.kind == "sim"
+        assert obs.trainable
+        assert obs.family == "alexnet"
+        assert obs.servers == ("gpu-p100", "gpu-p100")
+        assert obs.actual_time == pytest.approx(trace[0].total_time)
+
+    def test_from_served_carries_prediction_and_version(self):
+        obs = StoredObservation.from_served(
+            _request(), 42.0, actual=40.0, model_version="v-abc")
+        assert obs.kind == "served"
+        assert obs.predicted_time == 42.0
+        assert obs.model_version == "v-abc"
+        assert obs.trainable
+
+    def test_served_without_ground_truth_is_not_trainable(self):
+        obs = StoredObservation.from_served(_request(), 42.0)
+        assert not obs.trainable
+        with pytest.raises(ValueError, match="ground truth"):
+            obs.training_point()
+
+
+class TestRoundTrips:
+    def test_dict_round_trip(self):
+        obs = _obs(actual=3.5)
+        clone = StoredObservation.from_dict(obs.to_dict())
+        assert clone == obs
+        assert isinstance(clone.servers, tuple)
+
+    def test_training_point_rebuilds_workload_and_cluster(self):
+        obs = _obs(model="alexnet", size=4, actual=7.0)
+        point = obs.training_point()
+        assert isinstance(point, RefitPoint)
+        assert point.workload.model_name == "alexnet"
+        assert point.cluster.num_servers == 4
+        assert point.total_time == 7.0
+
+
+class TestDigests:
+    def test_digest_is_deterministic(self):
+        assert record_digest(3, _obs()) == record_digest(3, _obs())
+
+    def test_digest_pins_content(self):
+        assert record_digest(3, _obs(actual=1.0)) != record_digest(
+            3, _obs(actual=2.0))
+
+    def test_digest_pins_position(self):
+        """Reordered records must change digests (seq is folded in)."""
+        assert record_digest(3, _obs()) != record_digest(4, _obs())

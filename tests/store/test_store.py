@@ -1,0 +1,212 @@
+"""TraceStore: append/reload, snapshot digests, verify, compaction."""
+
+import json
+import os
+
+import pytest
+
+from repro.store import SEGMENT_PREFIX, StoredObservation, TraceStore
+
+
+def _obs(model="resnet18", actual=12.5, kind="sim"):
+    return StoredObservation(
+        kind=kind, model_name=model, dataset_name="cifar10",
+        batch_size_per_server=32, epochs=1, servers=("gpu-p100",),
+        net_latency=1e-4, nfs_throughput=5e8, actual_time=actual)
+
+
+def _fill(store, n, model="resnet18"):
+    return store.append_many(_obs(model=model, actual=float(i))
+                             for i in range(n))
+
+
+def _segments(path):
+    return sorted(n for n in os.listdir(path)
+                  if n.startswith(SEGMENT_PREFIX))
+
+
+class TestAppend:
+    def test_seqs_are_dense_from_zero(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        assert _fill(store, 5) == [0, 1, 2, 3, 4]
+        assert len(store) == 5
+
+    def test_segments_roll_at_segment_records(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), segment_records=2)
+        _fill(store, 5)
+        assert len(_segments(store.path)) == 3
+
+    def test_records_filters(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        store.append(_obs(model="alexnet"))
+        store.append(_obs(model="resnet18"))
+        store.append(StoredObservation(
+            kind="served", model_name="alexnet", dataset_name="cifar10",
+            batch_size_per_server=32, epochs=1, servers=("gpu-p100",),
+            net_latency=1e-4, nfs_throughput=5e8, predicted_time=9.0))
+        assert len(store.records(kind="sim")) == 2
+        assert len(store.records(family="alexnet")) == 2
+        assert len(store.records(trainable_only=True)) == 2
+
+    def test_invalid_knobs_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TraceStore(str(tmp_path / "a"), segment_records=0)
+        with pytest.raises(ValueError):
+            TraceStore(str(tmp_path / "b"), max_records=0)
+
+
+class TestReload:
+    def test_reopen_preserves_rows_and_digest(self, tmp_path):
+        path = str(tmp_path / "s")
+        first = TraceStore(path, segment_records=2)
+        _fill(first, 5)
+        digest = first.snapshot().digest
+        second = TraceStore(path)
+        assert len(second) == 5
+        assert second.snapshot().digest == digest
+        assert second.segment_records == 2  # persisted knob
+
+    def test_append_continues_after_reopen(self, tmp_path):
+        path = str(tmp_path / "s")
+        _fill(TraceStore(path), 3)
+        assert TraceStore(path).append(_obs()) == 3
+
+    def test_corrupt_line_is_skipped_not_fatal(self, tmp_path):
+        path = str(tmp_path / "s")
+        _fill(TraceStore(path), 3)
+        segment = os.path.join(path, _segments(path)[0])
+        lines = open(segment, encoding="utf-8").read().splitlines()
+        lines[1] = "{not json"
+        with open(segment, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        reopened = TraceStore(path)
+        assert len(reopened) == 2
+        assert len(reopened.load_problems) == 1
+        assert "unreadable" in reopened.load_problems[0]
+
+    def test_future_record_schema_is_refused(self, tmp_path):
+        path = str(tmp_path / "s")
+        _fill(TraceStore(path), 1)
+        segment = os.path.join(path, _segments(path)[0])
+        row = json.loads(open(segment, encoding="utf-8").readline())
+        row["schema"] = 999
+        with open(segment, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(row) + "\n")
+        reopened = TraceStore(path)
+        assert len(reopened) == 0
+        assert any("newer" in p for p in reopened.load_problems)
+
+
+class TestSnapshot:
+    def test_digest_changes_with_content(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        empty = store.snapshot().digest
+        store.append(_obs(actual=1.0))
+        one = store.snapshot().digest
+        store.append(_obs(actual=2.0))
+        assert len({empty, one, store.snapshot().digest}) == 3
+
+    def test_same_content_same_digest_across_stores(self, tmp_path):
+        a = TraceStore(str(tmp_path / "a"))
+        b = TraceStore(str(tmp_path / "b"), segment_records=2)
+        _fill(a, 5)
+        _fill(b, 5)
+        # Segment layout differs; content-addressed digest does not.
+        assert a.snapshot().digest == b.snapshot().digest
+
+    def test_snapshot_is_immune_to_later_appends(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        _fill(store, 3)
+        snap = store.snapshot()
+        store.append(_obs())
+        assert len(snap) == 3
+        assert snap.digest != store.snapshot().digest
+
+    def test_snapshot_families(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        store.append(_obs(model="resnet18"))
+        store.append(_obs(model="alexnet"))
+        assert store.snapshot().families() == ("alexnet", "resnet18")
+
+
+class TestVerify:
+    def test_clean_store_verifies(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), segment_records=2)
+        _fill(store, 5)
+        assert store.verify() == []
+
+    def test_tampered_record_is_reported(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"))
+        _fill(store, 2)
+        segment = os.path.join(store.path, _segments(store.path)[0])
+        text = open(segment, encoding="utf-8").read()
+        with open(segment, "w", encoding="utf-8") as fh:
+            fh.write(text.replace('"actual_time":0.0',
+                                  '"actual_time":99.0'))
+        problems = store.verify()
+        assert any("digest mismatch" in p for p in problems)
+
+    def test_missing_segment_is_reported(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), segment_records=1)
+        _fill(store, 2)
+        os.remove(os.path.join(store.path, _segments(store.path)[0]))
+        assert any("missing" in p for p in store.verify())
+
+
+class TestCompaction:
+    def test_compact_without_overflow_keeps_digest(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), segment_records=2)
+        _fill(store, 5)
+        digest = store.snapshot().digest
+        summary = store.compact()
+        assert summary["records_dropped"] == 0
+        assert store.snapshot().digest == digest
+        assert store.verify() == []
+
+    def test_retention_drops_oldest_first(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), segment_records=2,
+                           max_records=3)
+        _fill(store, 5)
+        digest_before = store.snapshot().digest
+        summary = store.compact()
+        assert summary["records_dropped"] == 2
+        assert [seq for seq, _ in store.records()] == [2, 3, 4]
+        # Dropping history is an auditable digest change.
+        assert store.snapshot().digest != digest_before
+        assert store.verify() == []
+
+    def test_seq_continues_after_compaction(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), max_records=2)
+        _fill(store, 4)
+        store.compact()
+        assert store.append(_obs()) == 4
+
+    def test_segment_ids_never_reused(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), segment_records=2)
+        _fill(store, 4)
+        before = set(_segments(store.path))
+        store.compact()
+        assert not (before & set(_segments(store.path)))
+
+    def test_reopen_after_retention_compact(self, tmp_path):
+        path = str(tmp_path / "s")
+        store = TraceStore(path, max_records=2)
+        _fill(store, 5)
+        store.compact()
+        digest = store.snapshot().digest
+        reopened = TraceStore(path)
+        assert len(reopened) == 2
+        assert reopened.snapshot().digest == digest
+        assert reopened.append(_obs()) == 5
+
+
+class TestDescribe:
+    def test_describe_summarizes(self, tmp_path):
+        store = TraceStore(str(tmp_path / "s"), segment_records=2)
+        _fill(store, 3, model="alexnet")
+        info = store.describe()
+        assert info["live_records"] == 3
+        assert info["trainable_records"] == 3
+        assert info["families"] == {"alexnet": 3}
+        assert info["kinds"] == {"sim": 3}
+        assert info["snapshot_digest"] == store.snapshot().digest
