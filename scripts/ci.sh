@@ -66,7 +66,11 @@ echo "==> repro bench --suite perf --quick (perf-regression gate)"
 # must be bit-identical to serial, and full observability must cost
 # <= 5% serve p50 with bitwise-identical predictions.  The command
 # exits non-zero on any gate violation; json.tool checks the payload
-# is well-formed JSON.
+# is well-formed JSON.  The quick sweep is too small to amortize even
+# a warm dispatch, so the "workers=4 must beat serial" throughput gate
+# only arms on non-quick payloads -- CI's bench job runs the full
+# suite and diffs it against the committed BENCH_perf.json baseline
+# (scripts/bench_diff.py).
 python -c "import sys; from repro.cli import main; sys.exit(main(['bench', '--suite', 'perf', '--quick', '--json']))" \
     | python -m json.tool > /dev/null
 
@@ -88,6 +92,14 @@ echo "==> repro chaos --self-test --json (fault-injection gate)"
 # fault schedule and summary.
 python -c "import sys; from repro.cli import main; sys.exit(main(['chaos', '--self-test', '--json']))" \
     | python -m json.tool > /dev/null
+
+if command -v shellcheck >/dev/null 2>&1; then
+    echo "==> shellcheck (scripts/*.sh)"
+    shellcheck scripts/*.sh
+else
+    echo "==> shellcheck not installed; skipping shell lint gate" \
+         "(apt install shellcheck)" >&2
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "==> ruff check"

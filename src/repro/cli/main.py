@@ -1011,11 +1011,25 @@ def _cmd_bench(args) -> int:
                   f"{p['batched_seconds']:>13.3f}"
                   f"{p['speedup']:>8.2f}x"
                   f"{p['max_abs_diff']:>11g}")
+        serial_pps = next(
+            (p["points_per_sec"] for p in payload["tracegen"]
+             if p["workers"] == 1), 0.0)
         for p in payload["tracegen"]:
             match = "ok" if p["identical_to_serial"] else "MISMATCH"
+            ratio = ""
+            if p["workers"] > 1 and serial_pps > 0:
+                ratio = (f", {p['points_per_sec'] / serial_pps:.2f}x "
+                         f"serial")
             print(f"tracegen workers={p['workers']}: "
                   f"{p['points_per_sec']:.1f} points/s "
-                  f"({p['points']} points, bitwise {match})")
+                  f"({p['points']} points, bitwise {match}{ratio})")
+        pool = payload.get("parallel_pool")
+        if pool:
+            print(f"pool ({payload.get('cpus', '?')} cpus): "
+                  f"{pool['spawns']} spawned, "
+                  f"{pool['respawns']} respawned, "
+                  f"{pool['warm_hits']} warm hits, "
+                  f"{pool['steals']} steals over {pool['jobs']} jobs")
         if payload["serve"] is not None:
             s = payload["serve"]
             print(f"serve: p50 {s['p50_ms']:.2f}ms  "

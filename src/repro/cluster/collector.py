@@ -65,6 +65,31 @@ class ServerAgent:
         to the collector, which appends it to its attached trace store."""
         self.endpoint.send(self.collector_address, _TRACE, list(trace))
 
+    def run_sweep(self, models, dataset_name: str, server_class: str,
+                  cluster_sizes, *, batch_size_per_server: int = 32,
+                  epochs: int = 1, seed: int = 0,
+                  workers: int = 1) -> int:
+        """Run a measurement sweep locally and report it upstream.
+
+        The head-node production path of the continual-refit loop: the
+        agent generates ``models x cluster_sizes`` trace points --
+        sharded over the persistent worker pool when ``workers > 1``,
+        bit-identical to the serial sweep at any worker count -- and
+        ships them to the collector with :meth:`report_trace`.  Returns
+        the number of points reported.
+        """
+        # Lazy import: repro.sim sits above repro.cluster in the
+        # layering (sim -> cluster), so a module-level import here
+        # would be a cycle.
+        from ..sim import generate_trace
+        points = generate_trace(
+            list(models), dataset_name, server_class,
+            list(cluster_sizes),
+            batch_size_per_server=batch_size_per_server,
+            epochs=epochs, seed=seed, workers=workers)
+        self.report_trace(points)
+        return len(points)
+
     def _run(self) -> None:
         while self._running:
             msg = self.endpoint.recv()

@@ -1,0 +1,140 @@
+"""Deterministic work sharding over a persistent worker pool.
+
+The Fig. 9-13 sweeps and the trace generator are embarrassingly
+parallel, but naive pools make results depend on scheduling -- and
+naive *per-call* pools pay spawn and serialization costs that dwarf
+the work.  This package guarantees **bit-identical results at any
+worker count** with three rules:
+
+* *Seed ownership*: callers derive one :class:`numpy.random.SeedSequence`
+  substream per task (:func:`substreams`) **before** sharding, so a
+  task's randomness is a function of its index, never of which worker
+  ran it.
+* *Pure tasks*: the task function must depend only on its argument
+  (including its substream).  Worker-side mutation of shared state is
+  structurally impossible across processes, which is exactly why the
+  pool uses processes rather than threads.
+* *Ordered reassembly*: results are returned in task order, not
+  completion order.
+
+...and makes the parallel path actually pay with a **persistent**
+execution context (:class:`~repro.parallel.pool.WorkerPool`): workers
+survive across :func:`parallel_map` calls with warm state resident,
+tasks shard into work-stealing chunks on a shared queue, large numpy
+results ride zero-copy shared-memory buffers
+(:mod:`repro.parallel.shm`), and a worker death mid-sweep respawns and
+re-runs its chunks without breaking the bitwise contract.
+
+``parallel_map(fn, tasks, workers=N)`` is the single entry point:
+``workers <= 1`` runs a plain in-process loop (no pickling, no pool);
+``workers > 1`` dispatches to the shared pool and falls back to the
+serial loop -- with a ``parallel.fallbacks`` obs counter -- when the
+platform cannot spawn processes or the payload cannot be pickled.
+Because tasks are pure and reassembly is ordered, both paths produce
+the same bytes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+from ..obs import METRICS, TRACER
+from .pool import (PoolStats, UnpicklableTaskError, WorkerPool, get_pool,
+                   pool_stats, shutdown_pool)
+from .shm import DEFAULT_SHM_THRESHOLD, ShmArrayView
+from .worker import default_initializer
+
+__all__ = ["parallel_map", "substreams", "WorkerPool", "PoolStats",
+           "UnpicklableTaskError", "get_pool", "shutdown_pool",
+           "pool_stats", "default_initializer", "DEFAULT_SHM_THRESHOLD",
+           "ShmArrayView"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def substreams(seed: int | np.random.SeedSequence,
+               count: int) -> list[np.random.SeedSequence]:
+    """``count`` independent child seed sequences of ``seed``.
+
+    Spawned once, in task order, before any sharding -- so task ``i``
+    gets the same stream whether the sweep runs on 1 worker or 16.
+    """
+    root = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    return root.spawn(count)
+
+
+def _run_serial(fn: Callable[[T], R], tasks: Sequence[T]) -> list[R]:
+    return [fn(task) for task in tasks]
+
+
+def _probe_picklable(fn, tasks) -> bool:
+    """Cheap viability probe: ``fn`` plus the *first* task only.
+
+    The old path serialized the entire task list up front and then let
+    the executor pickle everything a second time on submit; the pool
+    now owns the one real serialization pass (per chunk), so the probe
+    just needs to catch the common whole-call failures -- a lambda
+    ``fn`` or a uniformly unpicklable task type -- before any dispatch.
+    A pickle failure on a *later* task surfaces at chunk-encode time as
+    :class:`UnpicklableTaskError` and takes the same counted fallback.
+    """
+    try:
+        pickle.dumps(fn)
+        if tasks:
+            pickle.dumps(tasks[0])
+    except Exception:  # noqa: BLE001 - any pickle failure => serial
+        return False
+    return True
+
+
+def _fallback(fn: Callable[[T], R], tasks: Sequence[T],
+              reason: str) -> list[R]:
+    METRICS.counter("parallel.fallbacks",
+                    labels={"reason": reason}).inc()
+    return _run_serial(fn, tasks)
+
+
+def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], *,
+                 workers: int = 1, pool: WorkerPool | None = None,
+                 chunk_size: int | None = None,
+                 shm_threshold: int | None = None) -> list[R]:
+    """Map ``fn`` over ``tasks``, optionally across pooled processes.
+
+    Results arrive in task order.  ``fn`` must be a module-level
+    callable and ``fn``/``tasks`` picklable when ``workers > 1``; if
+    the platform refuses (sandboxed interpreters, unpicklable
+    payloads), the map silently degrades to the serial loop, which is
+    result-identical by construction.  Exceptions raised by ``fn``
+    propagate to the caller on both paths.
+
+    ``workers > 1`` reuses the process-global persistent pool
+    (:func:`get_pool`) -- or an explicit ``pool`` -- so consecutive
+    sweeps skip respawn and re-import entirely.  ``chunk_size`` and
+    ``shm_threshold`` tune sharding granularity and the zero-copy
+    result channel; the defaults fit the tracegen workload.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return _run_serial(fn, tasks)
+    if not _probe_picklable(fn, tasks):
+        return _fallback(fn, tasks, "unpicklable")
+    with TRACER.span("parallel.map", tasks=len(tasks),
+                     workers=min(workers, len(tasks))):
+        try:
+            target = pool if pool is not None else get_pool(workers)
+            return target.run(fn, tasks, workers=workers,
+                              chunk_size=chunk_size,
+                              shm_threshold=shm_threshold)
+        except UnpicklableTaskError:
+            return _fallback(fn, tasks, "unpicklable")
+        except OSError as exc:
+            # The platform cannot run (or keep) worker processes; a
+            # genuine task exception is *not* caught here -- it
+            # propagates as itself on both paths.
+            return _fallback(fn, tasks, type(exc).__name__)

@@ -1,0 +1,427 @@
+"""Persistent worker pool: spawn once, stay warm, steal work, respawn.
+
+The old sharded map paid a full ``ProcessPoolExecutor`` spin-up --
+process spawn, module imports, double task serialization -- on *every*
+call, which is why ``workers=4`` ran ~4x slower than serial on the
+Fig. 9-13 sweeps.  :class:`WorkerPool` fixes the economics with an
+explicit long-lived lifecycle (create -> ``warm`` -> ``run``* ->
+``close``):
+
+* **Persistent workers.**  Processes survive across :meth:`run` calls;
+  a one-time per-worker initializer (plus copy-on-write inheritance
+  under ``fork``) keeps warm state -- GHN weights, the process-wide
+  ``GraphStructure`` LRU, traversal schedules -- resident between
+  sweeps.  ``parallel.pool.{spawns,respawns,warm_hits}`` count the
+  lifecycle events.
+* **Chunked work-stealing.**  Tasks shard into contiguous chunks on a
+  single shared queue; an idle worker pulls the next chunk regardless
+  of which worker it was nominally homed to (``parallel.pool.steals``).
+  Results carry their task indices and reassemble in task order, so
+  scheduling never leaks into the output: combined with pre-spawned
+  seed substreams and pure tasks, **results are bit-identical at any
+  worker count**.
+* **Zero-copy results.**  Workers return payloads through
+  :mod:`repro.parallel.shm` -- large numpy arrays ride shared-memory
+  segments (``parallel.pool.shm_bytes``) instead of the result pipe.
+* **Crash containment.**  Workers ``claim`` a chunk before executing
+  it.  When the parent notices a dead worker it respawns a replacement
+  (flight-recorder events ``parallel.worker_died`` /
+  ``parallel.worker_respawn``) and requeues the dead worker's claimed
+  chunks plus any unclaimed ones it might have swallowed; duplicate
+  completions are idempotent because tasks are pure, so a sweep that
+  lost a worker mid-flight still returns bytes identical to the serial
+  run.  A failing *task* (as opposed to a dying worker) reports an
+  ``error``; after every chunk settles the lowest-task-index exception
+  is raised, deterministically at any worker count.
+
+One job runs at a time per pool (guarded by a lock -- concurrent
+callers serialize).  The module-level :func:`get_pool` singleton backs
+:func:`repro.parallel.parallel_map`; it grows to the largest worker
+count requested and is torn down at interpreter exit by ``atexit`` (or
+explicitly via :func:`shutdown_pool`).
+
+Known limit: a worker killed *while executing tasks* is fully
+recovered, but one killed in the narrow window while it holds a shared
+queue lock can wedge the queue -- the standard multiprocessing caveat;
+``repro.faults`` injects crashes at the task seam, which is also where
+real sweeps spend >99% of their time.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import multiprocessing
+import pickle
+import queue as queue_module
+import threading
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+from ..obs import METRICS, RECORDER
+from .shm import DEFAULT_SHM_THRESHOLD, decode_payload
+from .worker import default_initializer, worker_main
+
+__all__ = ["WorkerPool", "PoolStats", "UnpicklableTaskError",
+           "get_pool", "shutdown_pool", "pool_stats",
+           "DEFAULT_CHUNKS_PER_WORKER"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Target chunks per active worker -- enough slack for stealing to
+#: even out unequal chunk costs without drowning in queue traffic.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: Seconds the collect loop waits on the result queue before checking
+#: worker liveness (the crash-detection latency).
+_POLL_INTERVAL = 0.05
+
+#: Seconds to wait for workers to drain their stop pills on close.
+_CLOSE_TIMEOUT = 5.0
+
+
+class UnpicklableTaskError(TypeError):
+    """A task (or the task function) cannot cross the process boundary.
+
+    Raised by :meth:`WorkerPool.run` at chunk-encode time -- before any
+    dispatch -- so ``parallel_map`` can route the whole call through
+    its counted serial fallback.
+    """
+
+
+class PoolStats:
+    """Cheap always-on lifecycle counters (mirrored into ``METRICS``)."""
+
+    __slots__ = ("spawns", "respawns", "warm_hits", "jobs", "chunks",
+                 "tasks", "steals")
+
+    def __init__(self) -> None:
+        self.spawns = 0      # worker processes started, ever
+        self.respawns = 0    # of those, replacements for dead workers
+        self.warm_hits = 0   # run() calls served without any spawn
+        self.jobs = 0        # run() calls dispatched to the pool
+        self.chunks = 0      # chunks dispatched (incl. crash requeues)
+        self.tasks = 0       # tasks dispatched
+        self.steals = 0      # chunks executed away from their home worker
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """``fork`` where the platform offers it (cheap spawn + free warm
+    state via copy-on-write), the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else None)
+
+
+class WorkerPool:
+    """A long-lived parallel execution context (see module docstring)."""
+
+    def __init__(self, workers: int, *,
+                 initializer: Callable[[], None] | None =
+                 default_initializer,
+                 chunk_size: int | None = None,
+                 shm_threshold: int = DEFAULT_SHM_THRESHOLD,
+                 start_method: str | None = None,
+                 poll_interval: float = _POLL_INTERVAL):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._target = workers
+        self._chunk_size = chunk_size
+        self._shm_threshold = shm_threshold
+        self._poll_interval = poll_interval
+        self._ctx = (multiprocessing.get_context(start_method)
+                     if start_method else _preferred_context())
+        self._init_blob = (None if initializer is None
+                           else pickle.dumps(initializer))
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        # Signed so "-job" can flag an aborted job to the workers.
+        self._current_job = self._ctx.Value("q", 0)
+        self._procs: list = []
+        self._job_seq = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self.stats = PoolStats()
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Target worker count (processes spawn lazily on first use)."""
+        return self._target
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def grow(self, workers: int) -> None:
+        """Raise the target worker count (never shrinks a live pool)."""
+        if workers > self._target:
+            self._target = workers
+            if self._procs:  # already started: spawn the extras now
+                with self._lock:
+                    self._ensure_spawned()
+
+    def warm(self) -> "WorkerPool":
+        """Spawn any missing workers now instead of on the first run."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._lock:
+            self._ensure_spawned()
+        return self
+
+    def close(self, timeout: float = _CLOSE_TIMEOUT) -> None:
+        """Stop every worker and release both queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            alive = [p for p in self._procs if p is not None]
+            for _ in alive:
+                try:
+                    self._task_q.put(None)
+                except (OSError, ValueError):
+                    break
+            for proc in alive:
+                proc.join(timeout=timeout)
+            for proc in alive:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            self._procs = []
+            for q in (self._task_q, self._result_q):
+                q.close()
+                q.cancel_join_thread()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- spawning -------------------------------------------------------
+    def _spawn(self, worker_id: int, *, respawn: bool = False) -> None:
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(worker_id, self._task_q, self._result_q,
+                  self._current_job, self._init_blob),
+            name=f"repro-pool-{worker_id}", daemon=True)
+        proc.start()
+        if worker_id < len(self._procs):
+            self._procs[worker_id] = proc
+        else:
+            self._procs.append(proc)
+        self.stats.spawns += 1
+        METRICS.counter("parallel.pool.spawns").inc()
+        if respawn:
+            self.stats.respawns += 1
+            METRICS.counter("parallel.pool.respawns").inc()
+            RECORDER.record("parallel.worker_respawn", worker=worker_id)
+
+    def _ensure_spawned(self) -> bool:
+        """Spawn missing workers; True when any spawn happened."""
+        spawned = False
+        for worker_id in range(len(self._procs), self._target):
+            self._spawn(worker_id)
+            spawned = True
+        return spawned
+
+    # -- running --------------------------------------------------------
+    def run(self, fn: Callable[[T], R], tasks: Sequence[T], *,
+            workers: int | None = None,
+            chunk_size: int | None = None,
+            shm_threshold: int | None = None) -> list[R]:
+        """Map ``fn`` over ``tasks`` on the pool, results in task order.
+
+        ``workers`` only bounds the chunking granularity -- the shared
+        queue lets every live worker steal, which cannot change the
+        result (pure tasks, indexed reassembly).  Raises
+        :class:`UnpicklableTaskError` before dispatch when ``fn`` or a
+        task refuses to pickle; task exceptions re-raise as themselves,
+        lowest task index first.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        with self._lock:
+            return self._run_locked(fn, tasks, workers, chunk_size,
+                                    shm_threshold)
+
+    def _run_locked(self, fn, tasks, workers, chunk_size,
+                    shm_threshold) -> list:
+        if not self._ensure_spawned():
+            self.stats.warm_hits += 1
+            METRICS.counter("parallel.pool.warm_hits").inc()
+        self._job_seq += 1
+        job = self._job_seq
+        active = max(1, min(workers or self._target, len(tasks)))
+        per_chunk = (chunk_size or self._chunk_size
+                     or max(1, math.ceil(
+                         len(tasks) / (active * DEFAULT_CHUNKS_PER_WORKER))))
+        threshold = (self._shm_threshold if shm_threshold is None
+                     else shm_threshold)
+        indexed = list(enumerate(tasks))
+        chunks = [indexed[i:i + per_chunk]
+                  for i in range(0, len(indexed), per_chunk)]
+        blobs: dict[int, bytes] = {}
+        for chunk_id, items in enumerate(chunks):
+            # The single point of serialization: encoded once here,
+            # decoded once in the worker (the old path pickled every
+            # task twice -- once probing, once submitting).
+            try:
+                blobs[chunk_id] = pickle.dumps(
+                    ("chunk", job, chunk_id, threshold, fn, items),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                raise UnpicklableTaskError(
+                    f"chunk {chunk_id} cannot be pickled: {exc}") from exc
+        self.stats.jobs += 1
+        self.stats.chunks += len(blobs)
+        self.stats.tasks += len(tasks)
+        METRICS.counter("parallel.pool.jobs").inc()
+        METRICS.counter("parallel.pool.chunks").inc(len(blobs))
+        with self._current_job.get_lock():
+            self._current_job.value = job
+        for blob in blobs.values():
+            self._task_q.put(blob)
+        return self._collect(job, len(tasks), blobs)
+
+    def _collect(self, job: int, num_tasks: int,
+                 blobs: dict[int, bytes]) -> list:
+        outstanding = set(blobs)
+        claims: dict[int, int] = {}
+        payloads: dict[int, bytes] = {}
+        errors: dict[int, tuple[int, BaseException]] = {}
+        aborted = False
+        while outstanding:
+            try:
+                message = self._result_q.get(timeout=self._poll_interval)
+            except queue_module.Empty:
+                aborted = self._reap(job, blobs, claims, outstanding,
+                                     aborted)
+                continue
+            tag, msg_job, chunk_id = message[0], message[1], message[2]
+            if msg_job != job:
+                if tag == "done":  # stale payload: release its segments
+                    self._discard_payload(message[4])
+                continue
+            if tag == "claim":
+                worker_id = message[3]
+                claims[chunk_id] = worker_id
+                if self._procs and chunk_id % len(self._procs) != \
+                        worker_id:
+                    self.stats.steals += 1
+                    METRICS.counter("parallel.pool.steals").inc()
+            elif tag == "done":
+                if chunk_id in outstanding:
+                    payloads[chunk_id] = message[4]
+                    outstanding.discard(chunk_id)
+                    claims.pop(chunk_id, None)
+                else:  # duplicate after a crash requeue
+                    self._discard_payload(message[4])
+            elif tag == "error":
+                if chunk_id in outstanding:
+                    errors[chunk_id] = (message[4], message[5])
+                    outstanding.discard(chunk_id)
+                    claims.pop(chunk_id, None)
+                    if not aborted:
+                        aborted = True
+                        with self._current_job.get_lock():
+                            self._current_job.value = -job
+            elif tag == "skip":
+                if aborted:
+                    outstanding.discard(chunk_id)
+        if errors:
+            _, exc = min(errors.values(), key=lambda pair: pair[0])
+            raise exc
+        results: list = [None] * num_tasks
+        for payload in payloads.values():
+            for index, value in decode_payload(payload):
+                results[index] = value
+        return results
+
+    def _reap(self, job: int, blobs: dict[int, bytes],
+              claims: dict[int, int], outstanding: set,
+              aborted: bool) -> bool:
+        """Respawn dead workers and recover the chunks they took down.
+
+        A dead worker loses its *claimed* chunks, and may additionally
+        have swallowed a chunk it never got to claim -- so unclaimed
+        outstanding chunks are requeued too.  A still-queued duplicate
+        then executes twice; pure tasks make that invisible.
+        """
+        dead = [worker_id for worker_id, proc in enumerate(self._procs)
+                if proc is not None and not proc.is_alive()]
+        if not dead:
+            return aborted
+        for worker_id in dead:
+            exitcode = self._procs[worker_id].exitcode
+            RECORDER.record("parallel.worker_died", worker=worker_id,
+                            exitcode=exitcode, job=job)
+            METRICS.counter("parallel.pool.worker_deaths").inc()
+            self._spawn(worker_id, respawn=True)
+        dead_set = set(dead)
+        recover = [chunk_id for chunk_id in sorted(outstanding)
+                   if claims.get(chunk_id) in dead_set
+                   or chunk_id not in claims]
+        for chunk_id in recover:
+            claims.pop(chunk_id, None)
+            if aborted:
+                # The job already failed; nothing left worth re-running.
+                outstanding.discard(chunk_id)
+            else:
+                self.stats.chunks += 1
+                self._task_q.put(blobs[chunk_id])
+        return aborted
+
+    @staticmethod
+    def _discard_payload(payload: bytes) -> None:
+        """Decode-and-drop so any shared-memory segments are released."""
+        try:
+            decode_payload(payload)
+        except Exception:  # noqa: BLE001 - best-effort cleanup
+            pass
+
+
+# -- the process-global pool behind parallel_map ------------------------
+
+_GLOBAL_POOL: WorkerPool | None = None
+_ATEXIT_REGISTERED = False
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The shared persistent pool, grown to at least ``workers``.
+
+    Created on first use (and registered for ``atexit`` teardown);
+    subsequent calls reuse the live pool -- the warm path that makes
+    repeated sweeps cheap.
+    """
+    global _GLOBAL_POOL, _ATEXIT_REGISTERED
+    if _GLOBAL_POOL is None or _GLOBAL_POOL.closed:
+        _GLOBAL_POOL = WorkerPool(workers)
+        if not _ATEXIT_REGISTERED:
+            atexit.register(shutdown_pool)
+            _ATEXIT_REGISTERED = True
+    else:
+        _GLOBAL_POOL.grow(workers)
+    return _GLOBAL_POOL
+
+
+def shutdown_pool() -> None:
+    """Close the shared pool (no-op when none is live)."""
+    global _GLOBAL_POOL
+    if _GLOBAL_POOL is not None:
+        _GLOBAL_POOL.close()
+        _GLOBAL_POOL = None
+
+
+def pool_stats() -> dict | None:
+    """Lifecycle counters of the live shared pool, or None."""
+    if _GLOBAL_POOL is None or _GLOBAL_POOL.closed:
+        return None
+    return _GLOBAL_POOL.stats.to_dict()

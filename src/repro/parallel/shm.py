@@ -1,0 +1,163 @@
+"""Zero-copy result transport over POSIX shared memory.
+
+Worker processes hand large numpy arrays back to the parent through
+``multiprocessing.shared_memory`` segments instead of pickling their
+bytes through the result pipe.  For trace arrays the pipe cost is the
+dominant tax of the old pool -- every byte was serialized in the
+worker, copied through a socket, and deserialized in the parent.  The
+shared-memory path writes each eligible array once into a segment the
+parent then *maps*, so the bytes cross the process boundary zero-copy.
+
+Protocol:
+
+* the worker pickles its result payload with :class:`ShmPickler`; its
+  ``reducer_override`` exports every eligible ndarray (``nbytes >=
+  threshold``, plain non-object dtype) into a fresh shared-memory
+  segment and replaces it in the pickle stream with a tiny descriptor
+  (segment name, dtype, shape);
+* the parent unpickles with :func:`decode_payload`: each descriptor
+  re-attaches the segment, maps a :class:`ShmArrayView` straight onto
+  the shared buffer (no byte copy), then immediately **unlinks** the
+  name -- POSIX keeps the mapping alive until the last view drops, so
+  a decoded segment can never outlive its arrays or leak a name;
+* a ``weakref.finalize`` on the view closes the parent's mapping when
+  the array is garbage collected (:class:`ShmArrayView` is a trivial
+  ndarray subclass only because plain ndarrays refuse weakrefs).
+
+Segments are registered with the multiprocessing resource tracker by
+the creating worker and unregistered by the parent after the unlink,
+so a worker that dies between export and delivery leaves nothing
+behind: the shared tracker reclaims the orphaned name at interpreter
+exit.  ``parallel.pool.shm_bytes`` counts the bytes that rode shared
+memory.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..obs import METRICS
+
+__all__ = ["DEFAULT_SHM_THRESHOLD", "ShmArrayView", "ShmPickler",
+           "encode_payload", "decode_payload"]
+
+#: Arrays at or above this many bytes ride shared memory; smaller ones
+#: pickle inline (a descriptor plus segment syscalls would cost more).
+DEFAULT_SHM_THRESHOLD = 1 << 16
+
+
+class ShmArrayView(np.ndarray):
+    """An ndarray mapped onto an attached shared-memory segment.
+
+    Behaviourally identical to ``np.ndarray``; the subclass exists so
+    instances accept weak references, letting a finalizer close the
+    parent's mapping exactly when the last view dies.
+    """
+
+
+def _unregister(raw_name: str) -> None:
+    """Drop a segment from the shared resource tracker (best effort).
+
+    The tracker API is private but stable since 3.8; failure only means
+    a harmless double-unlink warning at interpreter exit.
+    """
+    try:
+        resource_tracker.unregister(raw_name, "shared_memory")
+    except Exception:  # noqa: BLE001 - cleanup must never raise
+        pass
+
+
+def _export_array(arr: np.ndarray) -> tuple:
+    """Worker side: copy ``arr`` into a fresh segment, return descriptor.
+
+    The creating process keeps the segment *registered* with the
+    resource tracker -- ownership passes to the parent only once the
+    descriptor is decoded, so a crash in between cannot leak the name
+    past process exit.
+    """
+    contiguous = np.ascontiguousarray(arr)
+    seg = shared_memory.SharedMemory(create=True,
+                                     size=max(1, contiguous.nbytes))
+    try:
+        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype,
+                          buffer=seg.buf)
+        view[...] = contiguous
+        del view
+    finally:
+        seg.close()
+    return (seg.name, contiguous.dtype.str, contiguous.shape,
+            contiguous.nbytes)
+
+
+def _release_segment(seg: shared_memory.SharedMemory) -> None:
+    try:
+        seg.close()
+    except BufferError:  # a live view still maps the buffer
+        pass
+
+
+def _attach_array(name: str, dtype_str: str, shape: tuple,
+                  nbytes: int) -> np.ndarray:
+    """Parent side: map the exported array and retire the segment name.
+
+    The name is unlinked immediately after mapping -- the kernel frees
+    the memory when the last mapping closes, which the finalizer does
+    as soon as the returned view is garbage collected.
+    """
+    seg = shared_memory.SharedMemory(name=name)
+    arr = ShmArrayView(shape, dtype=np.dtype(dtype_str), buffer=seg.buf)
+    arr.flags.writeable = False
+    raw_name = getattr(seg, "_name", name)
+    seg.unlink()
+    _unregister(raw_name)
+    weakref.finalize(arr, _release_segment, seg)
+    METRICS.counter("parallel.pool.shm_bytes").inc(nbytes)
+    return arr
+
+
+class ShmPickler(pickle.Pickler):
+    """Pickler that detours large plain-dtype ndarrays via shared memory.
+
+    Anything else -- small arrays, object dtypes, structured records --
+    pickles normally, so the channel is transparent to callers whose
+    results carry no bulk data.
+    """
+
+    def __init__(self, buffer: io.BytesIO, threshold: int):
+        super().__init__(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        self._threshold = threshold
+        self.exported_bytes = 0
+
+    def reducer_override(self, obj):
+        if (isinstance(obj, np.ndarray)
+                and obj.dtype.hasobject is False
+                and obj.dtype.fields is None
+                and obj.nbytes >= self._threshold):
+            try:
+                descriptor = _export_array(obj)
+            except (OSError, ValueError):
+                # No usable /dev/shm (or segment creation refused):
+                # fall back to inline pickling for this array.
+                return NotImplemented
+            self.exported_bytes += descriptor[3]
+            return (_attach_array, descriptor)
+        return NotImplemented
+
+
+def encode_payload(obj, threshold: int | None = None) -> bytes:
+    """Serialize ``obj``, exporting large arrays to shared memory."""
+    if threshold is None:
+        threshold = DEFAULT_SHM_THRESHOLD
+    buffer = io.BytesIO()
+    ShmPickler(buffer, threshold).dump(obj)
+    return buffer.getvalue()
+
+
+def decode_payload(data: bytes):
+    """Inverse of :func:`encode_payload`; attaches any exported arrays."""
+    return pickle.loads(data)

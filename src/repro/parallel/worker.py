@@ -1,0 +1,95 @@
+"""Worker-process side of the persistent pool.
+
+Each worker is one long-lived process running :func:`worker_main`: pull
+a chunk off the shared task queue, execute its tasks in index order,
+push the results back.  The shared queue *is* the work-stealing
+mechanism -- a worker that finishes early simply pulls the next chunk,
+whichever worker it was nominally "homed" to.
+
+Protocol (all messages tagged with the job id so the parent can discard
+strays from aborted jobs):
+
+* parent -> worker: ``None`` (stop pill) or pickled
+  ``("chunk", job, chunk_id, shm_threshold, fn, [(index, task), ...])``;
+* worker -> parent: ``("claim", job, chunk_id, worker_id)`` before
+  executing (so the parent knows which chunks die with a worker),
+  then ``("done", job, chunk_id, worker_id, payload_bytes)``,
+  ``("error", job, chunk_id, worker_id, task_index, exception)`` or
+  ``("skip", job, chunk_id, worker_id)`` for a chunk whose job was
+  aborted before pickup.
+
+The one-time ``initializer`` runs before the loop.  Under the ``fork``
+start method it is effectively free -- the parent's warm state (GHN
+weights, the process-wide ``GraphStructure`` LRU, traversal schedules)
+arrives pre-built in the copied address space; on spawn-start platforms
+:func:`default_initializer` imports the heavy sweep stack once per
+worker instead of once per chunk.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from .shm import encode_payload
+
+__all__ = ["default_initializer", "worker_main"]
+
+
+def default_initializer() -> None:
+    """Warm a fresh worker: import the sweep stack the tasks will hit.
+
+    A no-op after ``fork`` (the modules are already resident); on spawn
+    platforms this moves the import cost out of the first chunk.
+    """
+    import repro.ghn  # noqa: F401 - imported for the side effect
+    import repro.sim  # noqa: F401 - imported for the side effect
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """The exception itself if picklable, else a faithful stand-in."""
+    try:
+        pickle.dumps(exc)
+    except Exception:  # noqa: BLE001 - any pickle failure => wrap
+        return RuntimeError(
+            f"task raised unpicklable {type(exc).__name__}: {exc!r}")
+    return exc
+
+
+def worker_main(worker_id: int, task_q, result_q, current_job,
+                init_blob: bytes | None) -> None:
+    """Run chunks until the stop pill arrives.
+
+    ``init_blob`` is the pickled one-time initializer (or None); it
+    runs before the first chunk.  Tasks are executed strictly in index
+    order inside a chunk; on the first failing task the chunk reports
+    an ``error`` carrying that task's index, which the parent uses to
+    raise the lowest-index exception deterministically at any worker
+    count.
+    """
+    if init_blob is not None:
+        initializer = pickle.loads(init_blob)
+        if initializer is not None:
+            initializer()
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        _, job, chunk_id, shm_threshold, fn, items = pickle.loads(item)
+        if current_job.value != job:
+            result_q.put(("skip", job, chunk_id, worker_id))
+            continue
+        result_q.put(("claim", job, chunk_id, worker_id))
+        results: list[tuple[int, object]] = []
+        failure: tuple[int, BaseException] | None = None
+        for index, task in items:
+            try:
+                results.append((index, fn(task)))
+            except BaseException as exc:  # noqa: BLE001 - to parent
+                failure = (index, _portable_exception(exc))
+                break
+        if failure is not None:
+            result_q.put(("error", job, chunk_id, worker_id,
+                          failure[0], failure[1]))
+        else:
+            payload = encode_payload(results, shm_threshold)
+            result_q.put(("done", job, chunk_id, worker_id, payload))

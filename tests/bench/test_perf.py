@@ -151,6 +151,74 @@ class TestCheckGates:
         assert check_gates(_payload()) == []
 
 
+def _tracegen_point(workers, pps, identical=True):
+    return {"workers": workers, "points": 36, "seconds": 36.0 / pps,
+            "points_per_sec": pps, "identical_to_serial": identical}
+
+
+class TestParallelThroughputGate:
+    """Non-quick runs must show workers>1 actually beating serial."""
+
+    def test_slow_parallel_fails_on_full_run(self):
+        payload = dict(_payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 300.0)]), quick=False, cpus=4)
+        assert any("must beat serial" in f
+                   for f in check_gates(payload))
+
+    def test_fast_parallel_passes_on_full_run(self):
+        payload = dict(_payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 800.0)]), quick=False, cpus=4)
+        assert check_gates(payload) == []
+
+    def test_single_cpu_host_gets_the_overhead_bound(self):
+        # workers=4 cannot beat serial on one CPU; the gate degrades
+        # to a dispatch-overhead floor (default 0.65x) instead.
+        tracegen = [_tracegen_point(1, 400.0),
+                    _tracegen_point(4, 340.0)]
+        near = dict(_payload(tracegen=tracegen), quick=False, cpus=1)
+        assert check_gates(near) == []
+        far = dict(_payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 200.0)]), quick=False, cpus=1)
+        assert any("dispatch overhead" in f for f in check_gates(far))
+
+    def test_legacy_payload_without_cpus_key_is_strict(self):
+        payload = dict(_payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 300.0)]), quick=False)
+        assert any("must beat serial" in f
+                   for f in check_gates(payload))
+
+    def test_quick_payload_skips_the_throughput_gate(self):
+        # Quick sweeps are too small to amortize even a warm dispatch.
+        payload = dict(_payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 100.0)]), quick=True)
+        assert check_gates(payload) == []
+
+    def test_legacy_payload_without_quick_key_skips(self):
+        payload = _payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 100.0)])
+        assert check_gates(payload) == []
+
+    def test_min_parallel_ratio_is_configurable(self):
+        payload = dict(_payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 500.0)]), quick=False)
+        assert check_gates(payload) == []
+        assert check_gates(payload, min_parallel_ratio=2.0) != []
+
+    def test_mismatch_still_fails_on_full_run(self):
+        payload = dict(_payload(
+            tracegen=[_tracegen_point(1, 400.0),
+                      _tracegen_point(4, 800.0, identical=False)]),
+            quick=False)
+        assert any("records differ" in f for f in check_gates(payload))
+
+
 @pytest.mark.slow
 class TestPerfSuiteEndToEnd:
     def test_embed_throughput_reports_zero_diff(self):

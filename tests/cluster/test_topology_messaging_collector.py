@@ -172,3 +172,29 @@ class TestCollector:
     def test_wait_for_members_timeout(self, collector_setup):
         _, collector, _ = collector_setup
         assert not collector.wait_for_members(1, timeout=0.05)
+
+    def test_run_sweep_reports_trace_upstream(self, collector_setup,
+                                              tmp_path):
+        # The head-node production path: an agent shards a sweep over
+        # the persistent pool and ships the points to the collector's
+        # attached store.
+        import time
+
+        from repro.store import TraceStore
+
+        fabric, collector, agents = collector_setup
+        collector.attach_store(TraceStore(str(tmp_path / "store")))
+        snap = ResourceSnapshot.idle("head", CPU_E5_2630)
+        agent = ServerAgent(fabric, "head", collector.address,
+                            lambda: snap)
+        agent.start()
+        agents.append(agent)
+        assert collector.wait_for_members(1)
+        count = agent.run_sweep(["alexnet"], "cifar10", "gpu-p100",
+                                [1, 2], seed=3, workers=2)
+        assert count == 2
+        deadline = time.monotonic() + 5.0
+        while (time.monotonic() < deadline
+               and collector.trace_points_ingested < count):
+            time.sleep(0.01)
+        assert collector.trace_points_ingested == count
